@@ -1,0 +1,82 @@
+// Reproduces paper Fig. 2: throughput over time on links A-R1, B-R2 and
+// B-R3 while the flash-crowd schedule plays out and the Fibbing controller
+// reacts. Prints the measured series (CSV), an ASCII rendering, and the
+// checkpoints the paper's figure shows:
+//   - before t=15: only B-R2 carries traffic;
+//   - after  t=15: B-R2 and B-R3 level at about half the surge each;
+//   - after  t=35: A-R1 joins; the maximum stays well below capacity while
+//     total carried load keeps growing.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/service.hpp"
+#include "topo/generators.hpp"
+#include "util/csv.hpp"
+#include "util/timeseries.hpp"
+#include "video/flash_crowd.hpp"
+
+using namespace fibbing;
+
+int main() {
+  const topo::PaperTopology p = topo::make_paper_topology();
+  core::ServiceConfig config;
+  config.controller.high_watermark = 0.7;
+  config.controller.low_watermark = 0.4;
+  config.controller.session_router = p.r3;
+  core::FibbingService service(p.topo, config);
+  service.boot();
+
+  const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
+  const auto s2 = service.video().add_server({"S2", p.a, net::Ipv4(198, 18, 2, 1)});
+  video::schedule_requests(
+      service.video(), service.events(),
+      video::fig2_schedule(s1, s2, p.p1, p.p2, video::VideoAsset{1e6, 300.0}));
+
+  util::TimeSeries a_r1("A-R1");
+  util::TimeSeries b_r2("B-R2");
+  util::TimeSeries b_r3("B-R3");
+  const topo::LinkId l_ar1 = p.topo.link_between(p.a, p.r1);
+  const topo::LinkId l_br2 = p.topo.link_between(p.b, p.r2);
+  const topo::LinkId l_br3 = p.topo.link_between(p.b, p.r3);
+  for (double t = 0.5; t <= 60.0; t += 0.5) {
+    service.events().schedule_at(t, [&, t] {
+      a_r1.add(t, service.sim().link_rate(l_ar1) / 8.0);  // byte/s, like Fig. 2
+      b_r2.add(t, service.sim().link_rate(l_br2) / 8.0);
+      b_r3.add(t, service.sim().link_rate(l_br3) / 8.0);
+    });
+  }
+  service.run_until(60.0);
+
+  std::printf("=== Fig. 2 series [byte/s] ===\n");
+  std::printf("%s\n", util::ascii_chart({&a_r1, &b_r2, &b_r3}, 0, 60).c_str());
+
+  std::printf("--- CSV (time, A-R1, B-R2, B-R3) ---\n");
+  util::write_series_csv(std::cout, {&a_r1, &b_r2, &b_r3});
+
+  // Checkpoints the paper's figure shows (byte/s).
+  struct Row {
+    const char* window;
+    double t0, t1;
+  };
+  const Row rows[] = {{"t in ( 5,14)", 5, 14},
+                      {"t in (20,34)", 20, 34},
+                      {"t in (45,60)", 45, 60}};
+  std::printf("\n%-14s %10s %10s %10s\n", "window", "A-R1", "B-R2", "B-R3");
+  for (const Row& row : rows) {
+    std::printf("%-14s %10.0f %10.0f %10.0f\n", row.window,
+                a_r1.mean_over(row.t0, row.t1), b_r2.mean_over(row.t0, row.t1),
+                b_r3.mean_over(row.t0, row.t1));
+  }
+  std::printf("\npaper shape: single flow ~125 KB/s on B-R2 only; then B-R2 == B-R3"
+              "\n~= 1.9 MB/s; then all three ~= 2.6 MB/s, max well below the 5 MB/s"
+              "\nlink capacity while total load grows.\n");
+
+  const double cap = 40e6 / 8.0;
+  const double worst = std::max({a_r1.max_over(40, 60), b_r2.max_over(40, 60),
+                                 b_r3.max_over(40, 60)});
+  std::printf("measured: worst monitored link after t=40 is %.2f MB/s = %.0f%% of "
+              "capacity\n",
+              worst / 1e6, 100.0 * worst / cap);
+  return 0;
+}

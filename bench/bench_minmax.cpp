@@ -1,0 +1,100 @@
+// Claim C2 (paper Sec. 2): "Fibbing can thus theoretically implement the
+// optimal solution to the min-max link utilization problem", while plain
+// ECMP cannot (even splits only) and pure shortest paths do far worse.
+//
+// Across random Waxman topologies with random single-destination surges,
+// compares maximum link utilization under:
+//   SPF      : plain IGP shortest paths (even ECMP),
+//   OPT      : the exact min-max optimum (binary search + max-flow),
+//   FIB      : the optimum compiled to lies with <= 8 FIB slots per router
+//              (bounded-denominator rounding), measured on the achieved
+//              weighted-ECMP routes.
+
+#include <cstdio>
+
+#include "core/augment.hpp"
+#include "core/loads.hpp"
+#include "core/verify.hpp"
+#include "igp/spf.hpp"
+#include "igp/view.hpp"
+#include "te/minmax.hpp"
+#include "topo/generators.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace fibbing;
+
+int main() {
+  util::Rng rng(20160822);  // SIGCOMM'16 demo day
+  util::RunningStats improvement;
+  util::RunningStats gap;
+  int solved = 0;
+  int compiled_ok = 0;
+  int verified = 0;
+
+  std::printf("=== C2: max link utilization -- SPF vs optimal vs Fibbing ===\n");
+  std::printf("%5s %6s %8s %8s %8s %9s\n", "trial", "nodes", "SPF", "OPT", "FIB",
+              "verified");
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 12 + 2 * (trial % 5);
+    topo::Topology base = topo::make_waxman(n, rng, 0.5, 0.5, 6, 80.0, 250.0);
+    // Rebuild with x4 metrics and a redistribution metric: granularity
+    // headroom for strict lies (deployment guidance; see DESIGN.md).
+    topo::Topology t;
+    for (topo::NodeId v = 0; v < base.node_count(); ++v) t.add_node(base.node(v).name);
+    for (topo::LinkId l = 0; l < base.link_count(); ++l) {
+      const topo::Link& link = base.link(l);
+      if (link.from < link.to) {
+        t.add_link(link.from, link.to, link.metric * 4, link.capacity_bps);
+      }
+    }
+    const topo::NodeId dest = static_cast<topo::NodeId>(rng.pick_index(n));
+    const net::Prefix prefix(net::Ipv4(203, 0, static_cast<std::uint8_t>(trial), 0),
+                             24);
+    t.attach_prefix(dest, prefix, 16);
+
+    std::vector<te::Demand> demands;
+    for (int d = 0; d < 4; ++d) {
+      topo::NodeId ingress = static_cast<topo::NodeId>(rng.pick_index(n));
+      if (ingress == dest) ingress = (ingress + 1) % static_cast<topo::NodeId>(n);
+      demands.push_back(te::Demand{ingress, rng.uniform(60.0, 220.0)});
+    }
+
+    const double spf = te::shortest_path_max_utilization(t, dest, demands);
+    const auto opt = te::solve_min_max(t, dest, demands, {}, 1e-4, 2.5);
+    if (!opt.ok()) continue;
+    ++solved;
+
+    const auto req = core::requirement_from_splits(prefix, opt.value().splits, 8);
+    const auto aug = core::compile_lies(t, req);
+    double fib_theta = -1.0;
+    bool ok = false;
+    if (aug.ok()) {
+      ++compiled_ok;
+      ok = core::verify_augmentation(t, req, aug.value().lies).ok();
+      if (ok) ++verified;
+      const auto tables = igp::compute_all_routes(
+          igp::NetworkView::from_topology(t, core::to_externals(aug.value().lies)));
+      const auto load = core::loads_from_routes(t, tables, prefix, demands);
+      fib_theta = 0.0;
+      for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+        fib_theta = std::max(fib_theta, load[l] / t.link(l).capacity_bps);
+      }
+      improvement.add(spf / fib_theta);
+      gap.add(fib_theta / opt.value().theta);
+    }
+    std::printf("%5d %6zu %8.3f %8.3f %8.3f %9s\n", trial, n, spf,
+                opt.value().theta, fib_theta, ok ? "yes" : "NO");
+  }
+
+  std::printf("\nsolved %d/12, compiled %d, verified %d\n", solved, compiled_ok,
+              verified);
+  std::printf("SPF/Fibbing improvement: mean %.2fx (min %.2fx, max %.2fx)\n",
+              improvement.mean(), improvement.min(), improvement.max());
+  std::printf("Fibbing/optimal gap (rounding to <=8 FIB slots): mean %.3f, worst "
+              "%.3f\n",
+              gap.mean(), gap.max());
+  std::printf("paper claim: Fibbing realizes (near-)optimal min-max splits; the "
+              "only gap is integer bucket rounding.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Claim C1 (paper Sec. 2): Fibbing programs per-destination multipath
+// "with very limited control-plane overhead" and "no data-plane overhead",
+// unlike MPLS RSVP-TE which needs tunnels, per-router LSP state and
+// per-packet encapsulation.
+//
+// For the same min-max placements (paper demo network and the Abilene-like
+// WAN, sweeping the number of surged ingresses), this bench counts:
+//   Fibbing : external LSAs injected, LSA transmissions to flood them,
+//             per-router extra FIB entries, encap bytes (0);
+//   RSVP-TE : tunnels, per-router LSP state entries, Path/Resv setup
+//             messages, label bytes per packet.
+
+#include <cstdio>
+
+#include "core/augment.hpp"
+#include "core/requirements.hpp"
+#include "igp/domain.hpp"
+#include "te/minmax.hpp"
+#include "te/mpls.hpp"
+#include "topo/generators.hpp"
+#include "util/event_queue.hpp"
+
+using namespace fibbing;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  topo::Topology topo;
+  topo::NodeId dest;
+  net::Prefix prefix;
+  std::vector<te::Demand> demands;
+};
+
+void run(const Scenario& s) {
+  const auto solution = te::solve_min_max(s.topo, s.dest, s.demands, {}, 1e-4, 2.0);
+  if (!solution.ok()) {
+    std::printf("%-28s optimizer failed: %s\n", s.name.c_str(),
+                solution.error().c_str());
+    return;
+  }
+  const core::DestRequirement req =
+      core::requirement_from_splits(s.prefix, solution.value().splits, 8);
+
+  // --- Fibbing side ---------------------------------------------------------
+  const auto compiled = core::compile_lies(s.topo, req);
+  if (!compiled.ok()) {
+    std::printf("%-28s augmentation failed: %s\n", s.name.c_str(),
+                compiled.error().c_str());
+    return;
+  }
+  // Count actual flooding cost by injecting into a live domain.
+  util::EventQueue events;
+  igp::IgpDomain domain(s.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+  const std::uint64_t before = domain.total_lsas_sent();
+  for (const core::Lie& lie : compiled.value().lies) {
+    domain.inject_external(0, core::to_lsa(lie));
+  }
+  domain.run_to_convergence();
+  const std::uint64_t lsa_tx = domain.total_lsas_sent() - before;
+  std::size_t extra_fib = 0;
+  for (const core::Lie& lie : compiled.value().lies) {
+    (void)lie;
+    ++extra_fib;  // each replica occupies one FIB slot at its attach router
+  }
+
+  // --- RSVP-TE side ----------------------------------------------------------
+  const auto tunnels =
+      te::tunnels_from_splits(s.topo, solution.value(), s.demands, s.dest);
+  const te::MplsOverhead mpls = te::account_overhead(tunnels);
+
+  std::printf("%-28s | %4zu lies %5llu LSA-tx %4zu FIB slots, 0 B encap"
+              " | %4zu LSPs %5zu state %5zu msgs, %.0f B/pkt encap\n",
+              s.name.c_str(), compiled.value().lies.size(),
+              static_cast<unsigned long long>(lsa_tx), extra_fib, mpls.tunnels,
+              mpls.state_entries, mpls.setup_messages, mpls.encap_bytes_per_packet);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== C1: control/data-plane overhead, Fibbing vs MPLS RSVP-TE ===\n");
+  std::printf("%-28s | %-45s | %s\n", "scenario", "Fibbing", "RSVP-TE");
+
+  {
+    const topo::PaperTopology p = topo::make_paper_topology(100.0);
+    Scenario s{"demo: surge B->blue", p.topo, p.c, p.p1, {{p.b, 100.0}}};
+    run(s);
+    Scenario s2{"demo: surges A+B->blue", p.topo, p.c, p.p1,
+                {{p.a, 100.0}, {p.b, 100.0}}};
+    run(s2);
+  }
+  for (int ingresses = 1; ingresses <= 5; ++ingresses) {
+    topo::Topology wan = topo::make_abilene(10e9);
+    const topo::NodeId cache = wan.node_id("KC");
+    const net::Prefix viral(net::Ipv4(203, 0, 113, 0), 24);
+    wan.attach_prefix(cache, viral, 10);
+    static const char* kSources[] = {"NY", "LAX", "ATL", "SEA", "CHI"};
+    Scenario s;
+    s.name = "abilene: " + std::to_string(ingresses) + " ingress(es)";
+    s.dest = cache;
+    s.prefix = viral;
+    for (int i = 0; i < ingresses; ++i) {
+      s.demands.push_back(te::Demand{wan.node_id(kSources[i]), 6e9});
+    }
+    s.topo = std::move(wan);
+    run(s);
+  }
+  std::printf("\npaper claim: Fibbing avoids per-tunnel control state and any "
+              "per-packet encapsulation;\nits footprint is a handful of LSAs "
+              "flooded once, then ordinary IGP state.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation A3: fidelity of uneven splitting. Fibbing approximates a target
+// fraction with replicated equal-cost lies (integer hash-bucket weights),
+// so accuracy is bounded by the per-router FIB slot budget; on top of that
+// the data plane splits *flows*, not fluid, so the achieved shares carry
+// hash noise that shrinks with flow count.
+//
+// Part 1: worst/mean rounding error of the bounded-denominator
+//         approximation vs the slot budget.
+// Part 2: achieved flow-count shares vs the FIB weights on the demo
+//         network's 1/3:2/3 split, vs number of concurrent flows.
+
+#include <cstdio>
+
+#include "dataplane/ecmp.hpp"
+#include "dataplane/fib.hpp"
+#include "te/ratio.hpp"
+#include "topo/generators.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace fibbing;
+
+int main() {
+  std::printf("=== A3 part 1: rounding error vs FIB slot budget ===\n");
+  std::printf("%8s %12s %12s\n", "budget", "mean err", "worst err");
+  util::Rng rng(31337);
+  for (const std::uint32_t budget : {2u, 3u, 4u, 6u, 8u, 12u, 16u, 32u}) {
+    util::RunningStats err;
+    for (int trial = 0; trial < 400; ++trial) {
+      const int k = 2 + static_cast<int>(rng.uniform_int(0, 1));
+      if (static_cast<std::uint32_t>(k) > budget) continue;
+      std::vector<double> f(static_cast<std::size_t>(k));
+      double sum = 0.0;
+      for (double& x : f) sum += (x = rng.uniform(0.05, 1.0));
+      for (double& x : f) x /= sum;
+      err.add(te::ratio_error(te::approximate_ratios(f, budget), f));
+    }
+    std::printf("%8u %12.4f %12.4f\n", budget, err.mean(), err.max());
+  }
+
+  std::printf("\n=== A3 part 2: achieved hash shares for the 1/3:2/3 split ===\n");
+  std::printf("%8s %14s %14s\n", "flows", "share via R1", "error vs 2/3");
+  const topo::PaperTopology p = topo::make_paper_topology();
+  // A's Fig. 1d FIB entry: {B:1, R1:2}.
+  dataplane::FibEntry entry{
+      false,
+      {dataplane::FibNextHop{p.topo.link_between(p.a, p.b), p.b, 1},
+       dataplane::FibNextHop{p.topo.link_between(p.a, p.r1), p.r1, 2}}};
+  for (const int flows : {10, 31, 100, 300, 1000, 10000}) {
+    util::RunningStats share;
+    for (int rep = 0; rep < 25; ++rep) {
+      int via_r1 = 0;
+      for (int i = 0; i < flows; ++i) {
+        dataplane::Flow f;
+        f.src = net::Ipv4(198, 18, 2, 1);
+        f.dst = p.p2.host(static_cast<std::uint32_t>(1 + (rep * flows + i) % 120));
+        f.src_port = static_cast<std::uint16_t>(20000 + rep * flows + i);
+        f.dst_port = 8554;
+        f.ingress = p.a;
+        if (entry.next_hops[dataplane::select_next_hop(entry, f, p.a)].via == p.r1) {
+          ++via_r1;
+        }
+      }
+      share.add(static_cast<double>(via_r1) / flows);
+    }
+    std::printf("%8d %14.4f %14.4f\n", flows, share.mean(),
+                std::abs(share.mean() - 2.0 / 3.0));
+  }
+  std::printf("\nreading: weights hit the target to within 1/budget; residual "
+              "deviation is per-flow hash noise vanishing as flow count grows "
+              "(the demo's 31 flows land within a few percent).\n");
+  return 0;
+}

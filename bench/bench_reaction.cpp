@@ -1,0 +1,86 @@
+// Ablation A1: how fast the controller removes congestion, as a function
+// of how it learns about the surge:
+//   - proactive (paper default): servers notify the controller on every new
+//     client, so mitigation can precede SNMP detection entirely;
+//   - reactive: only SNMP counter polling, swept over polling intervals.
+//
+// Reports time-to-mitigation after the t=15 surge and the resulting QoE.
+
+#include <cstdio>
+
+#include "core/service.hpp"
+#include "topo/generators.hpp"
+#include "video/flash_crowd.hpp"
+
+using namespace fibbing;
+
+namespace {
+
+struct Outcome {
+  double mitigation_time = -1.0;  // absolute sim time of the first mitigation
+  int stalled = 0;
+};
+
+Outcome run(bool proactive, double poll_interval_s, int hold_rounds) {
+  const topo::PaperTopology p = topo::make_paper_topology();
+  core::ServiceConfig config;
+  config.controller.proactive = proactive;
+  config.controller.high_watermark = 0.7;
+  config.controller.low_watermark = 0.4;
+  config.controller.hold_rounds = hold_rounds;
+  config.controller.session_router = p.r3;
+  config.poll_interval_s = poll_interval_s;
+  core::FibbingService service(p.topo, config);
+  service.boot();
+  const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
+  const auto s2 = service.video().add_server({"S2", p.a, net::Ipv4(198, 18, 2, 1)});
+  video::schedule_requests(
+      service.video(), service.events(),
+      video::fig2_schedule(s1, s2, p.p1, p.p2, video::VideoAsset{1e6, 300.0}));
+
+  Outcome out;
+  // Poll the mitigation counter frequently to timestamp the first reaction.
+  for (double t = 15.0; t <= 40.0; t += 0.05) {
+    service.events().schedule_at(t, [&service, &out, t] {
+      if (out.mitigation_time < 0 && service.controller().mitigations() > 0) {
+        out.mitigation_time = t;
+      }
+    });
+  }
+  service.run_until(60.0);
+  for (const auto& q : service.video().all_qoe()) {
+    if (q.stall_count > 0) ++out.stalled;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A1: reaction time vs detection path (surge at t=15) ===\n");
+  std::printf("%-34s %18s %10s\n", "configuration", "mitigated at [s]", "stalled");
+
+  const Outcome fast = run(/*proactive=*/true, 1.0, 2);
+  std::printf("%-34s %18.2f %10d\n", "proactive (server notices)",
+              fast.mitigation_time, fast.stalled);
+
+  for (const double poll : {0.5, 1.0, 2.0, 5.0}) {
+    const Outcome o = run(/*proactive=*/false, poll, 2);
+    char label[64];
+    std::snprintf(label, sizeof(label), "SNMP only, poll %.1fs, hold 2", poll);
+    std::printf("%-34s %18.2f %10d\n", label, o.mitigation_time, o.stalled);
+  }
+  for (const int hold : {1, 3}) {
+    const Outcome o = run(/*proactive=*/false, 1.0, hold);
+    char label[64];
+    std::snprintf(label, sizeof(label), "SNMP only, poll 1.0s, hold %d", hold);
+    std::printf("%-34s %18.2f %10d\n", label, o.mitigation_time, o.stalled);
+  }
+  std::printf("\nreading: proactive notices react at the surge instant; SNMP-only "
+              "reaction lags by roughly poll_interval * hold_rounds (plus EWMA "
+              "warm-up).\nstalls stay at zero here because the clients' 2 s "
+              "playout buffers absorb the worst-case detection lag; the lag "
+              "itself is the QoE budget an operator must keep below the "
+              "buffer depth.\n");
+  return 0;
+}

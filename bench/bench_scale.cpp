@@ -1,0 +1,119 @@
+// Scalability microbenchmarks (google-benchmark): the building blocks the
+// controller runs per reaction, as a function of network size:
+//   - one SPF run (Dijkstra + ECMP first hops),
+//   - full route computation for one router,
+//   - the exact min-max solve,
+//   - lie compilation incl. verification,
+//   - an end-to-end controller reaction (optimize + compile + verify).
+// Sizes are Waxman graphs of 25..200 routers -- ISP scale.
+
+#include <benchmark/benchmark.h>
+
+#include "core/augment.hpp"
+#include "core/requirements.hpp"
+#include "igp/spf.hpp"
+#include "igp/view.hpp"
+#include "te/minmax.hpp"
+#include "topo/generators.hpp"
+#include "util/rng.hpp"
+
+using namespace fibbing;
+
+namespace {
+
+struct Instance {
+  topo::Topology topo;
+  topo::NodeId dest;
+  net::Prefix prefix;
+  std::vector<te::Demand> demands;
+};
+
+Instance make_instance(std::size_t n) {
+  util::Rng rng(1000 + n);
+  topo::Topology base = topo::make_waxman(n, rng, 0.35, 0.4, 6, 80.0, 250.0);
+  Instance inst;
+  for (topo::NodeId v = 0; v < base.node_count(); ++v) {
+    inst.topo.add_node(base.node(v).name);
+  }
+  for (topo::LinkId l = 0; l < base.link_count(); ++l) {
+    const topo::Link& link = base.link(l);
+    if (link.from < link.to) {
+      inst.topo.add_link(link.from, link.to, link.metric * 4, link.capacity_bps);
+    }
+  }
+  inst.dest = static_cast<topo::NodeId>(rng.pick_index(n));
+  inst.prefix = net::Prefix(net::Ipv4(203, 0, 113, 0), 24);
+  inst.topo.attach_prefix(inst.dest, inst.prefix, 16);
+  for (int d = 0; d < 4; ++d) {
+    topo::NodeId ingress = static_cast<topo::NodeId>(rng.pick_index(n));
+    if (ingress == inst.dest) ingress = (ingress + 1) % static_cast<topo::NodeId>(n);
+    inst.demands.push_back(te::Demand{ingress, rng.uniform(60.0, 220.0)});
+  }
+  return inst;
+}
+
+void BM_Spf(benchmark::State& state) {
+  const Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const igp::NetworkView view = igp::NetworkView::from_topology(inst.topo);
+  topo::NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(igp::run_spf(view, src));
+    src = (src + 1) % static_cast<topo::NodeId>(inst.topo.node_count());
+  }
+}
+BENCHMARK(BM_Spf)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_RouteComputation(benchmark::State& state) {
+  const Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const igp::NetworkView view = igp::NetworkView::from_topology(inst.topo);
+  topo::NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(igp::compute_routes(view, src));
+    src = (src + 1) % static_cast<topo::NodeId>(inst.topo.node_count());
+  }
+}
+BENCHMARK(BM_RouteComputation)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_MinMaxSolve(benchmark::State& state) {
+  const Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        te::solve_min_max(inst.topo, inst.dest, inst.demands, {}, 1e-4, 2.5));
+  }
+}
+BENCHMARK(BM_MinMaxSolve)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_CompileLies(benchmark::State& state) {
+  const Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  const auto opt = te::solve_min_max(inst.topo, inst.dest, inst.demands, {}, 1e-4, 2.5);
+  if (!opt.ok()) {
+    state.SkipWithError("optimizer failed");
+    return;
+  }
+  const auto req = core::requirement_from_splits(inst.prefix, opt.value().splits, 8);
+  core::AugmentConfig cfg;
+  cfg.reduce = false;  // reduction is O(lies^2) verifications; measured separately
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile_lies(inst.topo, req, cfg));
+  }
+}
+BENCHMARK(BM_CompileLies)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_ControllerReaction(benchmark::State& state) {
+  // One full decision: optimize, round, compile, verify.
+  const Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  core::AugmentConfig cfg;
+  cfg.reduce = false;
+  for (auto _ : state) {
+    const auto opt =
+        te::solve_min_max(inst.topo, inst.dest, inst.demands, {}, 1e-4, 2.5);
+    if (!opt.ok()) continue;
+    const auto req = core::requirement_from_splits(inst.prefix, opt.value().splits, 8);
+    benchmark::DoNotOptimize(core::compile_lies(inst.topo, req, cfg));
+  }
+}
+BENCHMARK(BM_ControllerReaction)->Arg(25)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,221 @@
+#include "core/augment.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/verify.hpp"
+#include "igp/spf.hpp"
+#include "util/logging.hpp"
+
+namespace fibbing::core {
+
+namespace {
+
+using util::Result;
+
+/// Per-router compilation plan: desired weighted next hops plus the mode
+/// the repair loop has escalated it to.
+struct NodePlan {
+  Distribution hops;    // via -> copies, already in lowest terms
+  bool strict = false;  // lies strictly beat the real route
+  topo::Metric extra = 0;  // additional target decrements from repair rounds
+};
+
+std::string node_name(const topo::Topology& topo, topo::NodeId n) {
+  return topo.node(n).name;
+}
+
+}  // namespace
+
+Result<Augmentation> compile_lies(const topo::Topology& topo,
+                                  const DestRequirement& req,
+                                  const AugmentConfig& config) {
+  using R = Result<Augmentation>;
+  if (const auto valid = validate_requirement(topo, req); !valid.ok()) {
+    return R::failure(valid.error());
+  }
+
+  const igp::NetworkView view = igp::NetworkView::from_topology(topo);
+  const std::vector<igp::RoutingTable> baseline = igp::compute_all_routes(view);
+
+  // Cache one SPF per router we plan lies at.
+  std::map<topo::NodeId, igp::SpfResult> spf_cache;
+  const auto spf_at = [&](topo::NodeId u) -> const igp::SpfResult& {
+    auto it = spf_cache.find(u);
+    if (it == spf_cache.end()) it = spf_cache.emplace(u, igp::run_spf(view, u)).first;
+    return it->second;
+  };
+  // Distance from u to the transfer subnet of link u<->via, and the check
+  // that the subnet route actually steers out of that interface.
+  const auto subnet_route = [&](topo::NodeId u, topo::NodeId via)
+      -> Result<topo::Metric> {
+    const topo::LinkId l = topo.link_between(u, via);
+    FIB_ASSERT(l != topo::kInvalidLink, "compile: non-adjacent (validated before)");
+    const net::Prefix& subnet = topo.link(l).subnet;
+    for (const auto& s : view.subnets()) {
+      if (s.prefix != subnet) continue;
+      const igp::SubnetRoute route = igp::route_to_subnet(view, spf_at(u), s);
+      if (route.first_hops != std::vector<topo::NodeId>{via}) {
+        return Result<topo::Metric>::failure(
+            "lie at " + node_name(topo, u) + " toward " + node_name(topo, via) +
+            " would not steer out of the intended interface (shorter detour to the "
+            "transfer subnet exists)");
+      }
+      return route.cost;
+    }
+    return Result<topo::Metric>::failure("transfer subnet not in view");
+  };
+
+  // The plan starts from the requirement; repair rounds add pins and
+  // escalate modes.
+  std::map<topo::NodeId, NodePlan> plan;
+  for (const auto& [node, hops] : req.nodes) {
+    NodePlan p;
+    p.hops = normalize(hops);
+    plan.emplace(node, std::move(p));
+  }
+
+  Augmentation out;
+  out.prefix = req.prefix;
+
+  for (int round = 0; round <= config.max_repair_rounds; ++round) {
+    out.repair_rounds = round;
+    out.lies.clear();
+    std::uint64_t next_id = config.first_lie_id;
+
+    for (auto& [u, node_plan] : plan) {
+      const auto base_it = baseline[u].find(req.prefix);
+      if (base_it == baseline[u].end() || !base_it->second.reachable()) {
+        return R::failure("prefix " + req.prefix.to_string() + " unreachable at " +
+                          node_name(topo, u));
+      }
+      const igp::RouteEntry& base = base_it->second;
+      if (base.local) {
+        return R::failure("cannot place next-hop requirements at " +
+                          node_name(topo, u) + ": it announces the prefix");
+      }
+
+      // Decide mode: tie keeps the real route in the ECMP set, so it only
+      // works when the plan's next hops cover all current ones.
+      Distribution base_w;
+      for (const auto& nh : base.next_hops) base_w[nh.via] += nh.weight;
+      bool tie_ok = !node_plan.strict;
+      if (tie_ok) {
+        for (const auto& [via, w] : base_w) {
+          if (!node_plan.hops.contains(via)) {
+            tie_ok = false;
+            break;
+          }
+        }
+      }
+
+      Distribution lies_needed;
+      topo::Metric target = 0;
+      if (tie_ok) {
+        target = base.cost;
+        // Scale the desired distribution until it dominates the real
+        // route's contribution, then emit the difference as lies.
+        std::uint32_t k = 1;
+        for (const auto& [via, w] : base_w) {
+          const std::uint32_t want = node_plan.hops.at(via);
+          k = std::max(k, (w + want - 1) / want);  // ceil(w / want)
+        }
+        for (const auto& [via, want] : node_plan.hops) {
+          const std::uint32_t have = base_w.contains(via) ? base_w.at(via) : 0;
+          const std::uint32_t need = k * want - have;
+          if (need > 0) lies_needed[via] = need;
+        }
+      } else {
+        if (base.cost <= 1 + node_plan.extra) {
+          return R::failure("insufficient metric granularity at " +
+                            node_name(topo, u) +
+                            " (target cost would be non-positive); scale the IGP "
+                            "metrics");
+        }
+        target = base.cost - 1 - node_plan.extra;
+        lies_needed = node_plan.hops;
+      }
+
+      for (const auto& [via, copies] : lies_needed) {
+        auto sub = subnet_route(u, via);
+        if (!sub.ok()) return R::failure(sub.error());
+        if (target < sub.value()) {
+          return R::failure(
+              "insufficient metric granularity at " + node_name(topo, u) +
+              " toward " + node_name(topo, via) + ": target " +
+              std::to_string(target) + " below interface distance " +
+              std::to_string(sub.value()) + "; scale the IGP metrics");
+        }
+        const topo::Metric ext = target - sub.value();
+        for (std::uint32_t c = 0; c < copies; ++c) {
+          Lie lie;
+          lie.id = next_id++;
+          lie.name = "f_" + node_name(topo, u) + "_" + node_name(topo, via) + "_" +
+                     std::to_string(c + 1);
+          lie.prefix = req.prefix;
+          lie.attach = u;
+          lie.via = via;
+          lie.ext_metric = ext;
+          lie.target_cost = target;
+          lie.forwarding_address = lie_forwarding_address(topo, u, via);
+          out.lies.push_back(std::move(lie));
+        }
+      }
+    }
+
+    const VerifyReport report = verify_augmentation(topo, req, out.lies);
+    if (report.ok()) {
+      out.naive_lie_count = out.lies.size();
+      break;
+    }
+    if (round == config.max_repair_rounds) {
+      return R::failure("augmentation did not verify after " +
+                        std::to_string(round) + " repair rounds: " +
+                        report.to_string(topo));
+    }
+
+    // Repair: pin polluted routers to their baseline behaviour (strict
+    // mode), escalate required routers whose realization was undercut.
+    bool adjusted = false;
+    for (const VerifyIssue& issue : report.issues) {
+      if (issue.node == topo::kInvalidNode) continue;  // loop issue: fixed by pins
+      const auto plan_it = plan.find(issue.node);
+      if (plan_it == plan.end()) {
+        const auto base_it = baseline[issue.node].find(req.prefix);
+        if (base_it == baseline[issue.node].end()) continue;
+        NodePlan pin;
+        pin.hops = normalize(base_it->second);
+        pin.strict = true;
+        plan.emplace(issue.node, std::move(pin));
+        ++out.pinned_nodes;
+        adjusted = true;
+        FIB_LOG(kDebug, "augment") << "pinning polluted router "
+                                   << node_name(topo, issue.node);
+      } else if (!plan_it->second.strict) {
+        plan_it->second.strict = true;
+        adjusted = true;
+      } else {
+        ++plan_it->second.extra;
+        adjusted = true;
+      }
+    }
+    if (!adjusted) {
+      return R::failure("augmentation cannot be repaired: " + report.to_string(topo));
+    }
+  }
+
+  if (config.reduce) {
+    // Greedy verification-driven reduction (Merger-flavoured): drop any lie
+    // whose removal keeps the augmentation correct.
+    for (std::size_t i = out.lies.size(); i-- > 0;) {
+      std::vector<Lie> candidate = out.lies;
+      candidate.erase(candidate.begin() + static_cast<long>(i));
+      if (verify_augmentation(topo, req, candidate).ok()) {
+        out.lies = std::move(candidate);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace fibbing::core

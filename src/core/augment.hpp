@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/lie.hpp"
+#include "core/requirements.hpp"
+#include "topo/topology.hpp"
+#include "util/result.hpp"
+
+namespace fibbing::core {
+
+struct AugmentConfig {
+  /// First External-LSA id to allocate (the caller keeps ids unique across
+  /// prefixes and recompilations).
+  std::uint64_t first_lie_id = 1;
+  /// Bound on verify-repair iterations (each pins polluted routers or
+  /// lowers a target cost; realistic inputs converge in 1-2 rounds).
+  int max_repair_rounds = 8;
+  /// Run the greedy verification-driven reduction pass (drop every lie
+  /// whose removal keeps the augmentation correct). The Simple/reduced
+  /// difference is measured by bench_lies.
+  bool reduce = true;
+};
+
+/// A compiled augmentation for one destination prefix.
+struct Augmentation {
+  net::Prefix prefix;
+  std::vector<Lie> lies;
+  /// Lie count before the reduction pass (the Simple algorithm's output).
+  std::size_t naive_lie_count = 0;
+  /// Routers pinned by the repair loop (pollution victims that now carry
+  /// explicit keep-your-paths lies).
+  std::size_t pinned_nodes = 0;
+  int repair_rounds = 0;
+};
+
+/// Compile a per-destination forwarding requirement into a set of lies.
+///
+/// The algorithm (the paper's "Simple" augmentation with a verification
+/// loop):
+///   1. For every required router u, pick a target cost T(u): equal to u's
+///      current best (tie mode, keeps real ECMP paths in the set) when the
+///      required next hops include all current ones, otherwise one metric
+///      unit below (strict mode, lies replace the real route).
+///   2. Emit one External-LSA per required (u, via, copy): forwarding
+///      address = via's interface on the u<->via link, external metric =
+///      T(u) - dist_u(forwarding subnet).
+///   3. Re-run SPF with the lies and verify every router: required routers
+///      must match exactly; all others must be bit-compatible with the
+///      lie-free baseline. Pollution victims get pinned (explicit lies
+///      strictly preferring their original next hops) and the loop repeats.
+///
+/// Fails (Result) when the requirement needs a negative external metric --
+/// i.e. the IGP's integer metrics leave no room between two path costs; the
+/// fix is scaling the real metrics, see make_paper_topology().
+util::Result<Augmentation> compile_lies(const topo::Topology& topo,
+                                        const DestRequirement& req,
+                                        const AugmentConfig& config = {});
+
+}  // namespace fibbing::core

@@ -1,0 +1,263 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "core/loads.hpp"
+#include "igp/spf.hpp"
+#include "igp/view.hpp"
+#include "util/logging.hpp"
+
+namespace fibbing::core {
+
+Controller::Controller(const topo::Topology& topo, igp::IgpDomain& domain,
+                       monitor::NotificationBus& bus, util::EventQueue& events,
+                       ControllerConfig config)
+    : topo_(topo),
+      domain_(domain),
+      events_(events),
+      config_(config),
+      detector_(topo, config.high_watermark, config.low_watermark,
+                config.hold_rounds) {
+  FIB_ASSERT(config.session_router < topo.node_count(),
+             "Controller: bad session router");
+  bus.subscribe([this](const monitor::DemandNotice& notice) { on_notice_(notice); });
+  detector_.subscribe([this](const monitor::CongestionDetector::Event& event) {
+    if (!config_.enabled) return;
+    if (event.state == monitor::CongestionDetector::LinkState::kCongested) {
+      FIB_LOG(kInfo, "controller")
+          << "SNMP congestion on " << topo_.link_name(event.link) << " (util "
+          << event.utilization << "): mitigating";
+      mitigate_();
+    } else {
+      maybe_retract_();
+    }
+  });
+}
+
+void Controller::on_loads(const std::vector<monitor::LinkLoad>& loads) {
+  detector_.observe(loads);
+  // The detector signals *transitions*; a link that stays congested while
+  // new demand arrives produces no edge. React to level + pending work:
+  // anything congested while un-placed demand changes exist means the
+  // current lie set is stale.
+  if (config_.enabled && !dirty_.empty() && detector_.any_congested()) {
+    mitigate_();
+  }
+}
+
+std::size_t Controller::active_lie_count() const {
+  std::size_t n = 0;
+  for (const auto& [prefix, lies] : active_) n += lies.size();
+  return n;
+}
+
+double Controller::demand_for(const net::Prefix& prefix) const {
+  const auto it = ledger_.find(prefix);
+  if (it == ledger_.end()) return 0.0;
+  double total = 0.0;
+  for (const auto& [ingress, demand] : it->second) total += demand.rate_bps;
+  return total;
+}
+
+void Controller::on_notice_(const monitor::DemandNotice& notice) {
+  IngressDemand& entry = ledger_[notice.prefix][notice.ingress];
+  entry.sessions += notice.delta_sessions;
+  entry.rate_bps += notice.bitrate_bps * notice.delta_sessions;
+  if (entry.sessions <= 0) ledger_[notice.prefix].erase(notice.ingress);
+  dirty_.insert(notice.prefix);
+  if (!config_.enabled) return;
+  if (config_.proactive) {
+    // Coalesce same-instant notices (a request batch) into one decision.
+    if (eval_pending_) return;
+    eval_pending_ = true;
+    events_.schedule_in(0.0, [this] {
+      eval_pending_ = false;
+      evaluate_();
+    });
+  } else if (notice.delta_sessions < 0) {
+    // Even in reactive mode, departures may allow retraction.
+    maybe_retract_();
+  }
+}
+
+std::vector<te::Demand> Controller::demands_of_(const net::Prefix& prefix) const {
+  std::vector<te::Demand> out;
+  const auto it = ledger_.find(prefix);
+  if (it == ledger_.end()) return out;
+  for (const auto& [ingress, demand] : it->second) {
+    if (demand.rate_bps > 0.0) out.push_back(te::Demand{ingress, demand.rate_bps});
+  }
+  return out;
+}
+
+std::vector<Lie> Controller::all_lies_() const {
+  std::vector<Lie> out;
+  for (const auto& [prefix, lies] : active_) {
+    out.insert(out.end(), lies.begin(), lies.end());
+  }
+  return out;
+}
+
+std::vector<Lie> Controller::all_lies_except_(const net::Prefix& prefix) const {
+  std::vector<Lie> out;
+  for (const auto& [p, lies] : active_) {
+    if (p == prefix) continue;
+    out.insert(out.end(), lies.begin(), lies.end());
+  }
+  return out;
+}
+
+void Controller::evaluate_() {
+  // Predict per-link utilization with the ledger demand on the *current*
+  // forwarding state (lies included); mitigate if anything would run hot.
+  const auto tables = igp::compute_all_routes(
+      igp::NetworkView::from_topology(topo_, to_externals(all_lies_())));
+  std::vector<double> load(topo_.link_count(), 0.0);
+  for (const auto& [prefix, ingresses] : ledger_) {
+    const auto prefix_load = loads_from_routes(topo_, tables, prefix,
+                                               demands_of_(prefix));
+    for (topo::LinkId l = 0; l < topo_.link_count(); ++l) load[l] += prefix_load[l];
+  }
+  bool hot = false;
+  for (topo::LinkId l = 0; l < topo_.link_count(); ++l) {
+    if (load[l] / topo_.link(l).capacity_bps > config_.high_watermark) {
+      hot = true;
+      FIB_LOG(kInfo, "controller")
+          << "predicted overload on " << topo_.link_name(l) << " ("
+          << load[l] / topo_.link(l).capacity_bps << "): mitigating";
+      break;
+    }
+  }
+  if (hot) {
+    mitigate_();
+  } else {
+    maybe_retract_();
+  }
+}
+
+void Controller::mitigate_() {
+  // Incremental, churn-minimizing placement: only prefixes whose demand
+  // changed since their last placement are re-optimized (heaviest first);
+  // all standing placements are background the optimizer must respect.
+  std::vector<net::Prefix> prefixes;
+  for (const net::Prefix& prefix : dirty_) {
+    if (!demands_of_(prefix).empty()) prefixes.push_back(prefix);
+  }
+  std::sort(prefixes.begin(), prefixes.end(),
+            [&](const net::Prefix& a, const net::Prefix& b) {
+              return demand_for(a) > demand_for(b);
+            });
+
+  for (const net::Prefix& prefix : prefixes) {
+    const auto announcers = topo_.attachments_for(prefix);
+    if (announcers.empty()) {
+      FIB_LOG(kWarn, "controller") << "no announcer for " << prefix.to_string();
+      continue;
+    }
+    const topo::NodeId dest = announcers.front().node;
+    const std::vector<te::Demand> demands = demands_of_(prefix);
+
+    // Background: every *other* prefix's demand on its current routes.
+    const std::vector<Lie> other_lies = all_lies_except_(prefix);
+    const auto other_tables = igp::compute_all_routes(
+        igp::NetworkView::from_topology(topo_, to_externals(other_lies)));
+    std::vector<double> background(topo_.link_count(), 0.0);
+    for (const auto& [q, ingresses] : ledger_) {
+      if (q == prefix) continue;
+      const auto q_load = loads_from_routes(topo_, other_tables, q, demands_of_(q));
+      for (topo::LinkId l = 0; l < topo_.link_count(); ++l) background[l] += q_load[l];
+    }
+
+    const auto solution = te::solve_min_max(topo_, dest, demands, background, 1e-4,
+                                            config_.max_stretch);
+    if (!solution.ok()) {
+      FIB_LOG(kWarn, "controller") << "optimizer failed: " << solution.error();
+      continue;
+    }
+    const DestRequirement req = requirement_from_splits(
+        prefix, solution.value().splits, config_.max_replicas);
+
+    AugmentConfig aug_config;
+    aug_config.first_lie_id = next_lie_id_;
+    auto compiled = compile_lies(topo_, req, aug_config);
+    if (!compiled.ok()) {
+      FIB_LOG(kWarn, "controller") << "augmentation failed: " << compiled.error();
+      continue;
+    }
+    next_lie_id_ += compiled.value().naive_lie_count + 1;
+
+    // Idempotence: skip if the new lie set steers identically to the
+    // currently injected one.
+    const auto current = active_.find(prefix);
+    if (current != active_.end()) {
+      const auto& old_lies = current->second;
+      const auto& new_lies = compiled.value().lies;
+      const auto signature = [](const std::vector<Lie>& lies) {
+        std::multiset<std::tuple<topo::NodeId, topo::NodeId, topo::Metric>> sig;
+        for (const Lie& lie : lies) {
+          sig.emplace(lie.attach, lie.via, lie.ext_metric);
+        }
+        return sig;
+      };
+      if (signature(old_lies) == signature(new_lies)) {
+        dirty_.erase(prefix);
+        continue;
+      }
+    }
+    apply_lies_(prefix, std::move(compiled).value().lies);
+    dirty_.erase(prefix);
+    ++mitigations_;
+  }
+}
+
+void Controller::maybe_retract_() {
+  // A prefix's lies retract when its demand would fit on plain shortest
+  // paths with comfortable margin (below the low watermark), given the
+  // other prefixes' current placements as background.
+  std::vector<net::Prefix> to_retract;
+  for (const auto& [prefix, lies] : active_) {
+    if (lies.empty()) continue;
+    const auto announcers = topo_.attachments_for(prefix);
+    if (announcers.empty()) continue;
+    const std::vector<te::Demand> demands = demands_of_(prefix);
+
+    const std::vector<Lie> other_lies = all_lies_except_(prefix);
+    const auto other_tables = igp::compute_all_routes(
+        igp::NetworkView::from_topology(topo_, to_externals(other_lies)));
+    std::vector<double> background(topo_.link_count(), 0.0);
+    for (const auto& [q, ingresses] : ledger_) {
+      if (q == prefix) continue;
+      const auto q_load = loads_from_routes(topo_, other_tables, q, demands_of_(q));
+      for (topo::LinkId l = 0; l < topo_.link_count(); ++l) background[l] += q_load[l];
+    }
+    const double spf_util = te::shortest_path_max_utilization(
+        topo_, announcers.front().node, demands, background);
+    if (spf_util < config_.low_watermark) to_retract.push_back(prefix);
+  }
+  for (const net::Prefix& prefix : to_retract) {
+    FIB_LOG(kInfo, "controller") << "retracting lies for " << prefix.to_string();
+    apply_lies_(prefix, {});
+    dirty_.insert(prefix);  // any future demand re-places from scratch
+    ++retractions_;
+  }
+}
+
+void Controller::apply_lies_(const net::Prefix& prefix, std::vector<Lie> lies) {
+  const auto it = active_.find(prefix);
+  if (it != active_.end()) {
+    for (const Lie& old_lie : it->second) {
+      domain_.withdraw_external(config_.session_router, old_lie.id);
+    }
+    active_.erase(it);
+  }
+  if (lies.empty()) return;
+  for (const Lie& lie : lies) {
+    FIB_LOG(kInfo, "controller") << "inject " << to_string(lie, topo_);
+    domain_.inject_external(config_.session_router, to_lsa(lie));
+  }
+  active_.emplace(prefix, std::move(lies));
+}
+
+}  // namespace fibbing::core

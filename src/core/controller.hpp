@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/augment.hpp"
+#include "core/lie.hpp"
+#include "igp/domain.hpp"
+#include "monitor/bus.hpp"
+#include "monitor/detector.hpp"
+#include "monitor/poller.hpp"
+#include "net/prefix.hpp"
+#include "topo/topology.hpp"
+#include "util/event_queue.hpp"
+
+namespace fibbing::core {
+
+struct ControllerConfig {
+  bool enabled = true;
+  /// React to server demand notices immediately (predictive path); when
+  /// false the controller only reacts to SNMP-detected congestion -- the
+  /// reaction-time ablation (bench_reaction) flips this.
+  bool proactive = true;
+  /// Utilization above which mitigation starts / below which lies retract.
+  double high_watermark = 0.85;
+  double low_watermark = 0.5;
+  /// Consecutive polls a threshold must hold (congestion detector).
+  int hold_rounds = 2;
+  /// FIB-slot budget per (router, prefix) for uneven splits.
+  std::uint32_t max_replicas = 8;
+  /// Detour bound handed to the min-max optimizer (see solve_min_max).
+  double max_stretch = 1.5;
+  /// Router hosting the controller's IGP session (paper: R3).
+  topo::NodeId session_router = 0;
+};
+
+/// The Fibbing controller of the demo: learns demand from server notices,
+/// watches SNMP link loads, and when a link is (about to be) congested,
+/// computes the min-max placement for each hot destination prefix, compiles
+/// it into lies and injects them through its IGP session. When the surge
+/// subsides, lies are withdrawn and the network falls back to plain IGP.
+///
+/// Placement is *incremental and churn-minimizing*: only prefixes whose own
+/// demand changed since their last placement are (re)optimized; every other
+/// prefix's current placement is background the optimizer must respect.
+/// This mirrors the demo (the t=35 surge on D2 is placed around D1's
+/// standing lies, which yields exactly Fig. 1d) and avoids gratuitous
+/// route churn. Demand notices arriving at the same instant (a request
+/// batch) coalesce into a single placement decision.
+class Controller {
+ public:
+  Controller(const topo::Topology& topo, igp::IgpDomain& domain,
+             monitor::NotificationBus& bus, util::EventQueue& events,
+             ControllerConfig config = {});
+
+  /// Feed one SNMP polling snapshot (wire this to LinkLoadPoller).
+  void on_loads(const std::vector<monitor::LinkLoad>& loads);
+
+  // -- introspection -----------------------------------------------------
+  [[nodiscard]] const std::map<net::Prefix, std::vector<Lie>>& active_lies() const {
+    return active_;
+  }
+  [[nodiscard]] std::size_t active_lie_count() const;
+  [[nodiscard]] int mitigations() const { return mitigations_; }
+  [[nodiscard]] int retractions() const { return retractions_; }
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+
+  /// Registered demand toward a prefix (bps), for tests and benches.
+  [[nodiscard]] double demand_for(const net::Prefix& prefix) const;
+
+ private:
+  void on_notice_(const monitor::DemandNotice& notice);
+  void evaluate_();
+  void mitigate_();
+  void maybe_retract_();
+  [[nodiscard]] std::vector<te::Demand> demands_of_(const net::Prefix& prefix) const;
+  [[nodiscard]] std::vector<Lie> all_lies_except_(const net::Prefix& prefix) const;
+  [[nodiscard]] std::vector<Lie> all_lies_() const;
+  void apply_lies_(const net::Prefix& prefix, std::vector<Lie> lies);
+
+  const topo::Topology& topo_;
+  igp::IgpDomain& domain_;
+  util::EventQueue& events_;
+  ControllerConfig config_;
+  monitor::CongestionDetector detector_;
+
+  struct IngressDemand {
+    double rate_bps = 0.0;
+    int sessions = 0;
+  };
+  std::map<net::Prefix, std::map<topo::NodeId, IngressDemand>> ledger_;
+  /// Prefixes whose demand changed since their last successful placement.
+  std::set<net::Prefix> dirty_;
+  bool eval_pending_ = false;
+  std::map<net::Prefix, std::vector<Lie>> active_;
+  std::uint64_t next_lie_id_ = 1;
+  int mitigations_ = 0;
+  int retractions_ = 0;
+};
+
+}  // namespace fibbing::core

@@ -1,0 +1,44 @@
+#include "core/lie.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace fibbing::core {
+
+std::vector<igp::NetworkView::External> to_externals(const std::vector<Lie>& lies) {
+  std::vector<igp::NetworkView::External> out;
+  out.reserve(lies.size());
+  for (const Lie& lie : lies) {
+    out.push_back(igp::NetworkView::External{lie.id, lie.prefix, lie.ext_metric,
+                                             lie.forwarding_address});
+  }
+  return out;
+}
+
+igp::ExternalLsa to_lsa(const Lie& lie) {
+  igp::ExternalLsa lsa;
+  lsa.lie_id = lie.id;
+  lsa.prefix = lie.prefix;
+  lsa.ext_metric = lie.ext_metric;
+  lsa.forwarding_address = lie.forwarding_address;
+  return lsa;
+}
+
+net::Ipv4 lie_forwarding_address(const topo::Topology& topo, topo::NodeId attach,
+                                 topo::NodeId via) {
+  const topo::LinkId out = topo.link_between(attach, via);
+  FIB_ASSERT(out != topo::kInvalidLink, "lie_forwarding_address: not adjacent");
+  return topo.link(topo.link(out).reverse).local_addr;
+}
+
+std::string to_string(const Lie& lie, const topo::Topology& topo) {
+  std::ostringstream out;
+  out << lie.name << ": " << lie.prefix.to_string() << " @"
+      << topo.node(lie.attach).name << " -> " << topo.node(lie.via).name
+      << " (ext=" << lie.ext_metric << ", total=" << lie.target_cost
+      << ", fwd=" << lie.forwarding_address.to_string() << ")";
+  return out.str();
+}
+
+}  // namespace fibbing::core

@@ -1,0 +1,68 @@
+#include "core/loads.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fibbing::core {
+
+std::vector<double> loads_from_routes(const topo::Topology& topo,
+                                      const std::vector<igp::RoutingTable>& tables,
+                                      const net::Prefix& prefix,
+                                      const std::vector<te::Demand>& demands) {
+  FIB_ASSERT(tables.size() == topo.node_count(), "loads_from_routes: table mismatch");
+  std::vector<double> load(topo.link_count(), 0.0);
+  std::vector<double> node_in(topo.node_count(), 0.0);
+  for (const te::Demand& d : demands) {
+    FIB_ASSERT(d.ingress < topo.node_count(), "loads_from_routes: bad ingress");
+    node_in[d.ingress] += d.rate_bps;
+  }
+
+  // Topological order of the forwarding graph (Kahn). Verified
+  // augmentations are loop-free; any residual cycle would strand its
+  // inflow, which the assert below rejects.
+  std::vector<int> indegree(topo.node_count(), 0);
+  auto entry_of = [&](topo::NodeId n) -> const igp::RouteEntry* {
+    const auto it = tables[n].find(prefix);
+    return it == tables[n].end() ? nullptr : &it->second;
+  };
+  for (topo::NodeId u = 0; u < topo.node_count(); ++u) {
+    const igp::RouteEntry* entry = entry_of(u);
+    if (entry == nullptr || entry->local) continue;
+    for (const auto& nh : entry->next_hops) ++indegree[nh.via];
+  }
+  std::vector<topo::NodeId> order;
+  order.reserve(topo.node_count());
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    if (indegree[n] == 0) order.push_back(n);
+  }
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const igp::RouteEntry* entry = entry_of(order[head]);
+    if (entry == nullptr || entry->local) continue;
+    for (const auto& nh : entry->next_hops) {
+      if (--indegree[nh.via] == 0) order.push_back(nh.via);
+    }
+  }
+  FIB_ASSERT(order.size() == topo.node_count(),
+             "loads_from_routes: forwarding graph has a cycle");
+
+  for (const topo::NodeId u : order) {
+    if (node_in[u] <= 0.0) continue;
+    const auto it = tables[u].find(prefix);
+    if (it == tables[u].end()) continue;          // blackhole: load vanishes
+    const igp::RouteEntry& entry = it->second;
+    if (entry.local) continue;                    // delivered here
+    const std::uint32_t total = entry.total_weight();
+    if (total == 0) continue;
+    for (const auto& nh : entry.next_hops) {
+      const topo::LinkId l = topo.link_between(u, nh.via);
+      FIB_ASSERT(l != topo::kInvalidLink, "loads_from_routes: non-adjacent hop");
+      const double share = node_in[u] * nh.weight / total;
+      load[l] += share;
+      node_in[nh.via] += share;
+    }
+  }
+  return load;
+}
+
+}  // namespace fibbing::core

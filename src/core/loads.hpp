@@ -1,0 +1,20 @@
+#pragma once
+
+#include <vector>
+
+#include "igp/routes.hpp"
+#include "net/prefix.hpp"
+#include "te/minmax.hpp"
+#include "topo/topology.hpp"
+
+namespace fibbing::core {
+
+/// Expected per-link load (bps) when `demands` toward `prefix` follow the
+/// given routing tables, splitting at every hop proportionally to FIB
+/// weights (the fluid expectation of hash-based splitting). Used by the
+/// controller to account for traffic it is not currently re-optimizing.
+[[nodiscard]] std::vector<double> loads_from_routes(
+    const topo::Topology& topo, const std::vector<igp::RoutingTable>& tables,
+    const net::Prefix& prefix, const std::vector<te::Demand>& demands);
+
+}  // namespace fibbing::core

@@ -1,0 +1,34 @@
+#include "core/service.hpp"
+
+#include "dataplane/fib.hpp"
+#include "util/assert.hpp"
+
+namespace fibbing::core {
+
+FibbingService::FibbingService(const topo::Topology& topo, ServiceConfig config)
+    : topo_(topo),
+      domain_(topo, events_, config.igp_timing),
+      sim_(topo, events_),
+      poller_(topo, sim_, events_, config.poll_interval_s, config.poll_ewma_alpha),
+      video_(topo, sim_, events_, bus_) {
+  // Router control planes program the data plane.
+  domain_.set_on_table_change([this](topo::NodeId node, const igp::RoutingTable& table) {
+    sim_.set_fib(node, dataplane::Fib::from_routing_table(topo_, node, table));
+  });
+  controller_ = std::make_unique<Controller>(topo, domain_, bus_, events_,
+                                             config.controller);
+  // SNMP snapshots drive the controller's congestion detector.
+  poller_.subscribe([this](const std::vector<monitor::LinkLoad>& loads) {
+    controller_->on_loads(loads);
+  });
+}
+
+void FibbingService::boot() {
+  FIB_ASSERT(!booted_, "FibbingService::boot called twice");
+  booted_ = true;
+  domain_.start();
+  domain_.run_to_convergence();
+  poller_.start();
+}
+
+}  // namespace fibbing::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <memory>
+
+#include "core/controller.hpp"
+#include "dataplane/network_sim.hpp"
+#include "igp/domain.hpp"
+#include "monitor/bus.hpp"
+#include "monitor/poller.hpp"
+#include "topo/topology.hpp"
+#include "util/event_queue.hpp"
+#include "video/system.hpp"
+
+namespace fibbing::core {
+
+struct ServiceConfig {
+  igp::IgpTiming igp_timing{};
+  ControllerConfig controller{};
+  double poll_interval_s = 1.0;
+  double poll_ewma_alpha = 0.7;
+};
+
+/// Everything wired together: the emulated IGP domain, the fluid data
+/// plane, SNMP-style monitoring, the video delivery layer and the Fibbing
+/// controller -- the whole demo in one object. This is the entry point a
+/// downstream user starts from (see examples/quickstart.cpp).
+///
+/// Wiring (mirrors the paper's Fig. "Setup"):
+///   routers' SPF results  -> data-plane FIBs
+///   data-plane counters   -> SNMP poller -> controller (congestion)
+///   video servers         -> notification bus -> controller (demand)
+///   controller            -> External-LSAs through its session router.
+class FibbingService {
+ public:
+  explicit FibbingService(const topo::Topology& topo, ServiceConfig config = {});
+
+  /// Originate all LSAs, converge the IGP, install FIBs and start the
+  /// poller. Call once before running the simulation.
+  void boot();
+
+  /// Advance simulated time (events fire along the way).
+  void run_until(util::SimTime t) { events_.run_until(t); }
+
+  [[nodiscard]] util::EventQueue& events() { return events_; }
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+  [[nodiscard]] igp::IgpDomain& domain() { return domain_; }
+  [[nodiscard]] dataplane::NetworkSim& sim() { return sim_; }
+  [[nodiscard]] monitor::NotificationBus& bus() { return bus_; }
+  [[nodiscard]] monitor::LinkLoadPoller& poller() { return poller_; }
+  [[nodiscard]] video::VideoSystem& video() { return video_; }
+  [[nodiscard]] Controller& controller() { return *controller_; }
+
+ private:
+  const topo::Topology& topo_;
+  util::EventQueue events_;
+  igp::IgpDomain domain_;
+  dataplane::NetworkSim sim_;
+  monitor::NotificationBus bus_;
+  monitor::LinkLoadPoller poller_;
+  video::VideoSystem video_;
+  std::unique_ptr<Controller> controller_;
+  bool booted_ = false;
+};
+
+}  // namespace fibbing::core

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/lie.hpp"
+#include "core/requirements.hpp"
+#include "igp/routes.hpp"
+#include "topo/topology.hpp"
+
+namespace fibbing::core {
+
+/// A weighted next-hop distribution in lowest terms: weights divided by
+/// their gcd, so {B:2} == {B:1} (same forwarding behaviour) while
+/// {B:1,R1:2} != {B:1,R1:1}.
+using Distribution = std::map<topo::NodeId, std::uint32_t>;
+
+[[nodiscard]] Distribution normalize(const igp::RouteEntry& entry);
+[[nodiscard]] Distribution normalize(const std::vector<NextHopReq>& hops);
+
+/// One discrepancy found by the verifier.
+struct VerifyIssue {
+  topo::NodeId node = topo::kInvalidNode;
+  std::string what;
+};
+
+struct VerifyReport {
+  std::vector<VerifyIssue> issues;
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+  [[nodiscard]] std::string to_string(const topo::Topology& topo) const;
+};
+
+/// Check that installing `lies` on `topo` realizes `req` exactly:
+///   1. every required router's distribution for req.prefix matches;
+///   2. every other router's distribution for req.prefix is unchanged
+///      from the lie-free baseline (no pollution);
+///   3. routes for every other prefix are bit-identical (per-destination
+///      isolation -- the structural Fibbing guarantee);
+///   4. the achieved forwarding graph for req.prefix is loop-free.
+/// `lies` may contain lies for other prefixes (they are installed too, and
+/// property 3 is then asserted against a baseline that includes them).
+[[nodiscard]] VerifyReport verify_augmentation(const topo::Topology& topo,
+                                               const DestRequirement& req,
+                                               const std::vector<Lie>& lies);
+
+}  // namespace fibbing::core

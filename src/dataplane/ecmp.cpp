@@ -1,0 +1,41 @@
+#include "dataplane/ecmp.hpp"
+
+#include "util/assert.hpp"
+
+namespace fibbing::dataplane {
+
+namespace {
+/// splitmix64: strong-enough avalanche for bucket selection, dependency-free.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::uint64_t flow_hash(const Flow& flow, std::uint64_t router_salt) {
+  std::uint64_t h = router_salt;
+  h = mix(h ^ flow.src.bits());
+  h = mix(h ^ flow.dst.bits());
+  h = mix(h ^ (static_cast<std::uint64_t>(flow.src_port) << 32 |
+               static_cast<std::uint64_t>(flow.dst_port) << 16 | flow.protocol));
+  return h;
+}
+
+std::size_t select_next_hop(const FibEntry& entry, const Flow& flow,
+                            std::uint64_t router_salt) {
+  FIB_ASSERT(!entry.next_hops.empty(), "select_next_hop: no next hops");
+  const std::uint32_t total = entry.total_weight();
+  FIB_ASSERT(total > 0, "select_next_hop: zero total weight");
+  const auto bucket = static_cast<std::uint32_t>(flow_hash(flow, router_salt) % total);
+  std::uint32_t cumulative = 0;
+  for (std::size_t i = 0; i < entry.next_hops.size(); ++i) {
+    cumulative += entry.next_hops[i].weight;
+    if (bucket < cumulative) return i;
+  }
+  FIB_ASSERT(false, "select_next_hop: bucket walk overran");
+  return entry.next_hops.size() - 1;
+}
+
+}  // namespace fibbing::dataplane

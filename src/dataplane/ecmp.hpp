@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dataplane/fib.hpp"
+#include "dataplane/flow.hpp"
+
+namespace fibbing::dataplane {
+
+/// Deterministic per-router flow hash (the role of the hardware 5-tuple
+/// hash). `router_salt` models the per-device hash seed so consecutive
+/// routers do not make correlated choices (CEF-style polarization would
+/// otherwise defeat multi-stage ECMP).
+[[nodiscard]] std::uint64_t flow_hash(const Flow& flow, std::uint64_t router_salt);
+
+/// Pick the forwarding slot for a flow from a weighted next-hop list:
+/// hash modulo total weight, walked through the cumulative buckets. Returns
+/// the index into entry.next_hops. Entry must have at least one next hop.
+[[nodiscard]] std::size_t select_next_hop(const FibEntry& entry, const Flow& flow,
+                                          std::uint64_t router_salt);
+
+}  // namespace fibbing::dataplane

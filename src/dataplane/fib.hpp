@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "igp/routes.hpp"
+#include "net/lpm_trie.hpp"
+#include "topo/topology.hpp"
+
+namespace fibbing::dataplane {
+
+/// One forwarding slot: an outgoing link occupying `weight` ECMP buckets.
+struct FibNextHop {
+  topo::LinkId out_link = topo::kInvalidLink;
+  topo::NodeId via = topo::kInvalidNode;
+  std::uint32_t weight = 1;
+
+  friend bool operator==(const FibNextHop&, const FibNextHop&) = default;
+};
+
+/// The forwarding entry for a prefix at one router.
+struct FibEntry {
+  bool local = false;  // deliver to attached hosts here
+  std::vector<FibNextHop> next_hops;
+
+  [[nodiscard]] std::uint32_t total_weight() const {
+    std::uint32_t sum = 0;
+    for (const auto& nh : next_hops) sum += nh.weight;
+    return sum;
+  }
+  friend bool operator==(const FibEntry&, const FibEntry&) = default;
+};
+
+/// A router's forwarding table: longest-prefix-match over FibEntry.
+class Fib {
+ public:
+  Fib() = default;
+
+  /// Compile a routing table into forwarding state, resolving next-hop
+  /// router ids to outgoing links of `self`.
+  static Fib from_routing_table(const topo::Topology& topo, topo::NodeId self,
+                                const igp::RoutingTable& routes);
+
+  void set(const net::Prefix& prefix, FibEntry entry) {
+    trie_.insert(prefix, std::move(entry));
+  }
+  [[nodiscard]] const FibEntry* lookup(net::Ipv4 dst) const {
+    const auto m = trie_.lookup(dst);
+    return m ? m->value : nullptr;
+  }
+  [[nodiscard]] const FibEntry* exact(const net::Prefix& prefix) const {
+    return trie_.exact(prefix);
+  }
+  [[nodiscard]] std::size_t size() const { return trie_.size(); }
+
+  [[nodiscard]] std::string to_string(const topo::Topology& topo) const;
+
+ private:
+  net::LpmTrie<FibEntry> trie_;
+};
+
+}  // namespace fibbing::dataplane

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ipv4.hpp"
+#include "topo/topology.hpp"
+
+namespace fibbing::dataplane {
+
+using FlowId = std::uint64_t;
+
+/// A unidirectional transport flow (the unit of ECMP hashing and of fluid
+/// rate allocation). `demand_bps` is the sending rate the application wants
+/// (a video's bitrate); the achieved rate is capped by the network.
+struct Flow {
+  FlowId id = 0;
+  net::Ipv4 src;
+  net::Ipv4 dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 6;  // TCP
+  topo::NodeId ingress = topo::kInvalidNode;
+  double demand_bps = 0.0;
+
+  [[nodiscard]] std::string to_string() const {
+    return src.to_string() + ":" + std::to_string(src_port) + "->" + dst.to_string() +
+           ":" + std::to_string(dst_port);
+  }
+};
+
+}  // namespace fibbing::dataplane

@@ -1,0 +1,44 @@
+#include "dataplane/forwarding.hpp"
+
+#include "dataplane/ecmp.hpp"
+#include "util/assert.hpp"
+
+namespace fibbing::dataplane {
+
+FlowPath walk_flow(const topo::Topology& topo, const std::vector<Fib>& fibs,
+                   const Flow& flow) {
+  FIB_ASSERT(flow.ingress < topo.node_count(), "walk_flow: bad ingress");
+  FIB_ASSERT(fibs.size() == topo.node_count(), "walk_flow: fib table size mismatch");
+
+  FlowPath path;
+  std::vector<bool> visited(topo.node_count(), false);
+  topo::NodeId at = flow.ingress;
+  while (true) {
+    if (visited[at]) {
+      path.outcome = FlowPath::Outcome::kLoop;
+      return path;
+    }
+    visited[at] = true;
+    const FibEntry* entry = fibs[at].lookup(flow.dst);
+    if (entry == nullptr) {
+      path.outcome = FlowPath::Outcome::kBlackhole;
+      return path;
+    }
+    if (entry->local) {
+      path.outcome = FlowPath::Outcome::kDelivered;
+      path.egress = at;
+      return path;
+    }
+    if (entry->next_hops.empty()) {
+      path.outcome = FlowPath::Outcome::kBlackhole;
+      return path;
+    }
+    // Per-router salt: the node id seeds the hardware hash.
+    const std::size_t pick = select_next_hop(*entry, flow, /*router_salt=*/at);
+    const FibNextHop& nh = entry->next_hops[pick];
+    path.links.push_back(nh.out_link);
+    at = nh.via;
+  }
+}
+
+}  // namespace fibbing::dataplane

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <vector>
+
+#include "dataplane/fib.hpp"
+#include "dataplane/flow.hpp"
+#include "topo/topology.hpp"
+
+namespace fibbing::dataplane {
+
+/// The hop-by-hop fate of a flow under the current FIBs.
+struct FlowPath {
+  enum class Outcome { kDelivered, kBlackhole, kLoop };
+  Outcome outcome = Outcome::kBlackhole;
+  std::vector<topo::LinkId> links;  // traversed in order
+  topo::NodeId egress = topo::kInvalidNode;
+
+  [[nodiscard]] bool delivered() const { return outcome == Outcome::kDelivered; }
+};
+
+/// Walk a flow from its ingress through per-router FIB lookups and ECMP
+/// hashing until local delivery, a missing route (blackhole) or a repeated
+/// router (forwarding loop). `fibs` is indexed by NodeId.
+[[nodiscard]] FlowPath walk_flow(const topo::Topology& topo,
+                                 const std::vector<Fib>& fibs, const Flow& flow);
+
+}  // namespace fibbing::dataplane

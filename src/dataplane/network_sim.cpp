@@ -1,0 +1,135 @@
+#include "dataplane/network_sim.hpp"
+
+#include "dataplane/rate_solver.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace fibbing::dataplane {
+
+NetworkSim::NetworkSim(const topo::Topology& topo, util::EventQueue& events)
+    : topo_(topo),
+      events_(events),
+      fibs_(topo.node_count()),
+      link_rates_(topo.link_count(), 0.0),
+      link_bytes_(topo.link_count(), 0.0) {}
+
+void NetworkSim::set_fib(topo::NodeId node, Fib fib) {
+  FIB_ASSERT(node < fibs_.size(), "set_fib: node out of range");
+  fibs_[node] = std::move(fib);
+  reallocate_();
+}
+
+void NetworkSim::install_tables(const std::vector<igp::RoutingTable>& tables) {
+  FIB_ASSERT(tables.size() == fibs_.size(), "install_tables: size mismatch");
+  for (topo::NodeId n = 0; n < tables.size(); ++n) {
+    fibs_[n] = Fib::from_routing_table(topo_, n, tables[n]);
+  }
+  reallocate_();
+}
+
+const Fib& NetworkSim::fib(topo::NodeId node) const {
+  FIB_ASSERT(node < fibs_.size(), "fib: node out of range");
+  return fibs_[node];
+}
+
+FlowId NetworkSim::add_flow(Flow flow) {
+  if (flow.id == 0) flow.id = next_flow_id_++;
+  FIB_ASSERT(flows_.find(flow.id) == flows_.end(), "add_flow: duplicate id");
+  FIB_ASSERT(flow.ingress < topo_.node_count(), "add_flow: bad ingress");
+  const FlowId id = flow.id;
+  flows_.emplace(id, FlowState{flow, FlowPath{}, 0.0});
+  reallocate_();
+  return id;
+}
+
+void NetworkSim::remove_flow(FlowId id) {
+  const auto erased = flows_.erase(id);
+  FIB_ASSERT(erased == 1, "remove_flow: unknown flow");
+  reallocate_();
+}
+
+double NetworkSim::flow_rate(FlowId id) const {
+  const auto it = flows_.find(id);
+  FIB_ASSERT(it != flows_.end(), "flow_rate: unknown flow");
+  return it->second.rate_bps;
+}
+
+const FlowPath& NetworkSim::flow_path(FlowId id) const {
+  const auto it = flows_.find(id);
+  FIB_ASSERT(it != flows_.end(), "flow_path: unknown flow");
+  return it->second.path;
+}
+
+double NetworkSim::link_rate(topo::LinkId link) const {
+  FIB_ASSERT(link < link_rates_.size(), "link_rate: out of range");
+  return link_rates_[link];
+}
+
+double NetworkSim::link_utilization(topo::LinkId link) const {
+  return link_rate(link) / topo_.link(link).capacity_bps;
+}
+
+std::uint64_t NetworkSim::link_bytes(topo::LinkId link) {
+  FIB_ASSERT(link < link_bytes_.size(), "link_bytes: out of range");
+  settle_();
+  return static_cast<std::uint64_t>(link_bytes_[link]);
+}
+
+std::size_t NetworkSim::looping_flows() const {
+  std::size_t n = 0;
+  for (const auto& [id, state] : flows_) {
+    if (state.path.outcome == FlowPath::Outcome::kLoop) ++n;
+  }
+  return n;
+}
+
+std::size_t NetworkSim::blackholed_flows() const {
+  std::size_t n = 0;
+  for (const auto& [id, state] : flows_) {
+    if (state.path.outcome == FlowPath::Outcome::kBlackhole) ++n;
+  }
+  return n;
+}
+
+void NetworkSim::settle_() {
+  const util::SimTime now = events_.now();
+  const double dt = now - settled_at_;
+  if (dt <= 0.0) return;
+  for (topo::LinkId l = 0; l < link_rates_.size(); ++l) {
+    link_bytes_[l] += link_rates_[l] * dt / 8.0;  // rates are bits/s
+  }
+  settled_at_ = now;
+}
+
+void NetworkSim::reallocate_() {
+  settle_();  // close the books on the old rates first
+
+  // Recompute paths (hash decisions may move when FIB weights change).
+  std::vector<RatedFlow> rated;
+  std::vector<FlowState*> order;
+  rated.reserve(flows_.size());
+  for (auto& [id, state] : flows_) {
+    state.path = walk_flow(topo_, fibs_, state.flow);
+    order.push_back(&state);
+  }
+  for (FlowState* state : order) {
+    rated.push_back(RatedFlow{state->flow.id, state->flow.demand_bps, &state->path});
+  }
+  const std::vector<double> rates = max_min_rates(topo_, rated);
+
+  std::fill(link_rates_.begin(), link_rates_.end(), 0.0);
+  std::vector<std::pair<FlowId, double>> changed;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    FlowState& state = *order[i];
+    if (state.rate_bps != rates[i]) changed.emplace_back(state.flow.id, rates[i]);
+    state.rate_bps = rates[i];
+    if (state.path.delivered()) {
+      for (const topo::LinkId l : state.path.links) link_rates_[l] += rates[i];
+    }
+  }
+  for (const auto& [id, rate] : changed) {
+    for (const auto& listener : listeners_) listener(id, rate);
+  }
+}
+
+}  // namespace fibbing::dataplane

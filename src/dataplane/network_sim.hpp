@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "dataplane/fib.hpp"
+#include "dataplane/flow.hpp"
+#include "dataplane/forwarding.hpp"
+#include "igp/routes.hpp"
+#include "topo/topology.hpp"
+#include "util/event_queue.hpp"
+
+namespace fibbing::dataplane {
+
+/// Fluid-level data-plane simulator: forwards flows over per-router FIBs
+/// (with per-flow ECMP hashing), allocates max-min fair rates under link
+/// capacities, and integrates per-link byte counters over simulated time --
+/// the counters SNMP-style monitoring polls.
+///
+/// Rates are piecewise constant: they change only when the flow set or a
+/// FIB changes, at which point counters are settled and every affected
+/// listener is notified.
+class NetworkSim {
+ public:
+  NetworkSim(const topo::Topology& topo, util::EventQueue& events);
+
+  // -- forwarding state ------------------------------------------------------
+  /// Replace one router's FIB (e.g. after an IGP SPF run).
+  void set_fib(topo::NodeId node, Fib fib);
+  /// Bulk-install FIBs compiled from routing tables (static analyses).
+  void install_tables(const std::vector<igp::RoutingTable>& tables);
+  [[nodiscard]] const Fib& fib(topo::NodeId node) const;
+
+  // -- flows -----------------------------------------------------------------
+  /// Register a flow; if flow.id is 0 a fresh id is assigned. Returns the id.
+  FlowId add_flow(Flow flow);
+  void remove_flow(FlowId id);
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+  // -- queries ---------------------------------------------------------------
+  [[nodiscard]] double flow_rate(FlowId id) const;
+  [[nodiscard]] const FlowPath& flow_path(FlowId id) const;
+  /// Aggregate current rate on a directed link (bits/s).
+  [[nodiscard]] double link_rate(topo::LinkId link) const;
+  [[nodiscard]] double link_utilization(topo::LinkId link) const;
+  /// Cumulative octet counter (settled to the current simulation time).
+  [[nodiscard]] std::uint64_t link_bytes(topo::LinkId link);
+  /// Flows currently not delivered, by cause (diagnostics; loops should
+  /// never survive a correct augmentation).
+  [[nodiscard]] std::size_t looping_flows() const;
+  [[nodiscard]] std::size_t blackholed_flows() const;
+
+  /// Rate-change notification: fired with (flow id, new rate) whenever the
+  /// allocation changes a flow's rate (video clients track their buffers
+  /// with this).
+  using RateListener = std::function<void(FlowId, double)>;
+  void subscribe_rates(RateListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+ private:
+  void settle_();
+  void reallocate_();
+
+  const topo::Topology& topo_;
+  util::EventQueue& events_;
+  std::vector<Fib> fibs_;
+
+  struct FlowState {
+    Flow flow;
+    FlowPath path;
+    double rate_bps = 0.0;
+  };
+  std::map<FlowId, FlowState> flows_;  // ordered: deterministic iteration
+  FlowId next_flow_id_ = 1;
+
+  std::vector<double> link_rates_;
+  std::vector<double> link_bytes_;  // double to avoid quantization drift
+  util::SimTime settled_at_ = 0.0;
+  std::vector<RateListener> listeners_;
+};
+
+}  // namespace fibbing::dataplane

@@ -1,0 +1,88 @@
+#include "dataplane/rate_solver.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace fibbing::dataplane {
+
+std::vector<double> max_min_rates(const topo::Topology& topo,
+                                  const std::vector<RatedFlow>& flows) {
+  const std::size_t nflows = flows.size();
+  const std::size_t nlinks = topo.link_count();
+  std::vector<double> rate(nflows, 0.0);
+  std::vector<bool> active(nflows, false);
+
+  // Residual capacity per link and the active flows crossing it.
+  std::vector<double> residual(nlinks);
+  for (topo::LinkId l = 0; l < nlinks; ++l) residual[l] = topo.link(l).capacity_bps;
+  std::vector<std::vector<std::size_t>> on_link(nlinks);
+
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < nflows; ++i) {
+    const RatedFlow& f = flows[i];
+    FIB_ASSERT(f.path != nullptr, "max_min_rates: null path");
+    FIB_ASSERT(f.demand_bps >= 0.0, "max_min_rates: negative demand");
+    if (!f.path->delivered()) continue;  // looping/blackholed: rate 0
+    if (f.path->links.empty()) {
+      rate[i] = f.demand_bps;  // ingress == egress: no shared resource
+      continue;
+    }
+    active[i] = true;
+    ++remaining;
+    for (const topo::LinkId l : f.path->links) on_link[l].push_back(i);
+  }
+
+  // Progressive filling: repeatedly find the minimum of (a) the smallest
+  // per-link fair share and (b) the smallest active demand; freeze the
+  // corresponding flows. Each round freezes at least one flow.
+  while (remaining > 0) {
+    double share = std::numeric_limits<double>::infinity();
+    topo::LinkId bottleneck = topo::kInvalidLink;
+    for (topo::LinkId l = 0; l < nlinks; ++l) {
+      std::size_t live = 0;
+      for (const std::size_t i : on_link[l]) {
+        if (active[i]) ++live;
+      }
+      if (live == 0) continue;
+      const double s = std::max(residual[l], 0.0) / static_cast<double>(live);
+      if (s < share) {
+        share = s;
+        bottleneck = l;
+      }
+    }
+    FIB_ASSERT(bottleneck != topo::kInvalidLink,
+               "max_min_rates: active flow crosses no link");
+
+    double min_demand = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < nflows; ++i) {
+      if (active[i]) min_demand = std::min(min_demand, flows[i].demand_bps);
+    }
+
+    if (min_demand <= share) {
+      // Demand-limited flows saturate below the fair share: freeze them
+      // first so the remaining flows can claim the slack.
+      for (std::size_t i = 0; i < nflows; ++i) {
+        if (!active[i] || flows[i].demand_bps > min_demand) continue;
+        rate[i] = flows[i].demand_bps;
+        active[i] = false;
+        --remaining;
+        for (const topo::LinkId l : flows[i].path->links) residual[l] -= rate[i];
+      }
+    } else {
+      // Capacity-limited: every active flow on the bottleneck is frozen at
+      // the fair share.
+      for (const std::size_t i : on_link[bottleneck]) {
+        if (!active[i]) continue;
+        rate[i] = share;
+        active[i] = false;
+        --remaining;
+        for (const topo::LinkId l : flows[i].path->links) residual[l] -= rate[i];
+      }
+    }
+  }
+  return rate;
+}
+
+}  // namespace fibbing::dataplane

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "dataplane/flow.hpp"
+#include "dataplane/forwarding.hpp"
+#include "topo/topology.hpp"
+
+namespace fibbing::dataplane {
+
+/// Input to the fluid bandwidth allocator: a flow, its current path, and
+/// its demand.
+struct RatedFlow {
+  FlowId id = 0;
+  double demand_bps = 0.0;
+  const FlowPath* path = nullptr;  // not owned; must outlive the call
+};
+
+/// Max-min fair rates for concurrent flows sharing capacitated links -- the
+/// standard fluid model of long-lived TCP flows (progressive filling).
+///
+/// Properties (enforced by tests):
+///  - no link's allocated sum exceeds its capacity (within epsilon);
+///  - every flow gets min(demand, fair share of its tightest bottleneck);
+///  - undelivered flows (loop/blackhole) get rate 0;
+///  - the allocation is max-min: no flow can gain without a smaller or
+///    equal flow losing.
+/// Returns rates indexed like `flows`.
+[[nodiscard]] std::vector<double> max_min_rates(const topo::Topology& topo,
+                                                const std::vector<RatedFlow>& flows);
+
+}  // namespace fibbing::dataplane

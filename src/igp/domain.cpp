@@ -1,0 +1,108 @@
+#include "igp/domain.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace fibbing::igp {
+
+IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
+                     IgpTiming timing)
+    : topo_(topo), events_(events), timing_(timing) {
+  routers_.reserve(topo.node_count());
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    routers_.push_back(
+        std::make_unique<RouterProcess>(n, topo.node_count(), events, timing));
+  }
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    RouterProcess& router = *routers_[n];
+    for (const topo::LinkId lid : topo.out_links(n)) {
+      router.add_neighbor(topo.link(lid).to);
+    }
+    router.set_send([this](topo::NodeId from, topo::NodeId to, const Lsa& lsa) {
+      deliver_(from, to, lsa);
+    });
+    router.set_on_table([this](topo::NodeId self, const RoutingTable& table) {
+      if (on_table_change_) on_table_change_(self, table);
+    });
+  }
+}
+
+void IgpDomain::start() {
+  for (topo::NodeId n = 0; n < topo_.node_count(); ++n) {
+    routers_[n]->originate(make_router_lsa(topo_, n));
+  }
+}
+
+void IgpDomain::inject_external(topo::NodeId at, const ExternalLsa& ext) {
+  FIB_ASSERT(at < routers_.size(), "inject_external: unknown session router");
+  const SeqNum seq = ++lie_seq_[ext.lie_id];
+  FIB_LOG(kDebug, "igp") << "inject lie " << ext.lie_id << " at router " << at
+                         << " seq " << seq;
+  // The controller session behaves like an adjacency: the session router
+  // installs the LSA and floods it onward (`from == at` excludes no real
+  // neighbor, mirroring an LSA learned from outside the flooding graph).
+  routers_[at]->receive(at, make_external_lsa(ext, seq));
+}
+
+void IgpDomain::withdraw_external(topo::NodeId at, std::uint64_t lie_id) {
+  FIB_ASSERT(at < routers_.size(), "withdraw_external: unknown session router");
+  const auto it = lie_seq_.find(lie_id);
+  FIB_ASSERT(it != lie_seq_.end(), "withdraw_external: unknown lie id");
+  ExternalLsa tombstone;
+  tombstone.lie_id = lie_id;
+  tombstone.withdrawn = true;
+  routers_[at]->receive(at, make_external_lsa(tombstone, ++it->second));
+}
+
+bool IgpDomain::converged() const {
+  if (in_flight_ > 0) return false;
+  for (const auto& router : routers_) {
+    if (router->spf_pending()) return false;
+  }
+  return true;
+}
+
+void IgpDomain::run_to_convergence() {
+  // Each LSA hop and SPF run consumes an event; a finite domain converges in
+  // finitely many steps unless flooding livelocks (which the seq-number
+  // freshness check prevents). The bound is generous for 500-node graphs.
+  const std::uint64_t kMaxSteps = 50'000'000;
+  std::uint64_t steps = 0;
+  while (!converged()) {
+    const bool fired = events_.step();
+    FIB_ASSERT(fired, "run_to_convergence: queue drained while unconverged");
+    FIB_ASSERT(++steps < kMaxSteps, "run_to_convergence: livelock");
+  }
+}
+
+const RouterProcess& IgpDomain::router(topo::NodeId id) const {
+  FIB_ASSERT(id < routers_.size(), "router: id out of range");
+  return *routers_[id];
+}
+
+const RoutingTable& IgpDomain::table(topo::NodeId id) const {
+  return router(id).table();
+}
+
+std::uint64_t IgpDomain::total_lsas_sent() const {
+  std::uint64_t sum = 0;
+  for (const auto& router : routers_) sum += router->lsas_sent();
+  return sum;
+}
+
+std::uint64_t IgpDomain::total_spf_runs() const {
+  std::uint64_t sum = 0;
+  for (const auto& router : routers_) sum += router->spf_runs();
+  return sum;
+}
+
+void IgpDomain::deliver_(topo::NodeId from, topo::NodeId to, const Lsa& lsa) {
+  FIB_ASSERT(to < routers_.size(), "deliver: unknown destination");
+  ++in_flight_;
+  events_.schedule_in(timing_.flood_delay_s, [this, from, to, lsa] {
+    --in_flight_;
+    routers_[to]->receive(from, lsa);
+  });
+}
+
+}  // namespace fibbing::igp

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "igp/lsa.hpp"
+#include "igp/router_process.hpp"
+#include "topo/topology.hpp"
+#include "util/event_queue.hpp"
+
+namespace fibbing::igp {
+
+/// A running link-state routing domain: one RouterProcess per topology node,
+/// flooding over the topology's adjacencies through the shared event queue.
+/// The Fibbing controller talks to the domain exactly like the real one
+/// talks to OSPF: it injects/withdraws External-LSAs through a session with
+/// one router, and the protocol floods them domain-wide.
+class IgpDomain {
+ public:
+  IgpDomain(const topo::Topology& topo, util::EventQueue& events, IgpTiming timing = {});
+
+  /// Originate every router's Router-LSA (network boot). Call once, then
+  /// run the event queue (or run_to_convergence) to flood and compute.
+  void start();
+
+  /// Inject a lie through the session router `at`. Sequence numbers are
+  /// managed per lie_id so re-injection (updates) supersede older instances.
+  void inject_external(topo::NodeId at, const ExternalLsa& ext);
+
+  /// Withdraw a previously injected lie (floods a MaxAge-like tombstone).
+  void withdraw_external(topo::NodeId at, std::uint64_t lie_id);
+
+  /// True when no LSA is in flight and no SPF is pending anywhere.
+  [[nodiscard]] bool converged() const;
+
+  /// Pump the event queue until converged (bounded; asserts on livelock).
+  void run_to_convergence();
+
+  [[nodiscard]] const RouterProcess& router(topo::NodeId id) const;
+  [[nodiscard]] const RoutingTable& table(topo::NodeId id) const;
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+  [[nodiscard]] std::size_t size() const { return routers_.size(); }
+
+  /// Fired whenever any router installs a fresh routing table (dataplane
+  /// resynchronization hook).
+  using TableChangeFn = std::function<void(topo::NodeId, const RoutingTable&)>;
+  void set_on_table_change(TableChangeFn fn) { on_table_change_ = std::move(fn); }
+
+  /// Total LSA transmissions across all routers (control-plane overhead).
+  [[nodiscard]] std::uint64_t total_lsas_sent() const;
+  [[nodiscard]] std::uint64_t total_spf_runs() const;
+
+ private:
+  void deliver_(topo::NodeId from, topo::NodeId to, const Lsa& lsa);
+
+  const topo::Topology& topo_;
+  util::EventQueue& events_;
+  IgpTiming timing_;
+  std::vector<std::unique_ptr<RouterProcess>> routers_;
+  std::unordered_map<std::uint64_t, SeqNum> lie_seq_;
+  std::uint64_t in_flight_ = 0;
+  TableChangeFn on_table_change_;
+};
+
+}  // namespace fibbing::igp

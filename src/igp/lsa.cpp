@@ -1,0 +1,39 @@
+#include "igp/lsa.hpp"
+
+#include <sstream>
+
+namespace fibbing::igp {
+
+Lsa make_router_lsa(const topo::Topology& topo, topo::NodeId node, SeqNum seq) {
+  RouterLsa body;
+  body.origin = node;
+  for (const topo::LinkId lid : topo.out_links(node)) {
+    const topo::Link& link = topo.link(lid);
+    body.links.push_back(LsaLink{link.to, link.metric, link.subnet, link.local_addr});
+  }
+  for (const auto& att : topo.prefixes()) {
+    if (att.node == node) body.prefixes.push_back(LsaPrefix{att.prefix, att.metric});
+  }
+  return Lsa{LsaKey{LsaType::kRouter, node}, seq, std::move(body)};
+}
+
+Lsa make_external_lsa(const ExternalLsa& ext, SeqNum seq) {
+  return Lsa{LsaKey{LsaType::kExternal, ext.lie_id}, seq, ext};
+}
+
+std::string to_string(const Lsa& lsa) {
+  std::ostringstream out;
+  if (const auto* router = std::get_if<RouterLsa>(&lsa.body)) {
+    out << "RouterLSA(origin=" << router->origin << " seq=" << lsa.seq
+        << " links=" << router->links.size() << " prefixes=" << router->prefixes.size()
+        << ")";
+  } else if (const auto* ext = std::get_if<ExternalLsa>(&lsa.body)) {
+    out << "ExternalLSA(lie=" << ext->lie_id << " seq=" << lsa.seq << " "
+        << ext->prefix.to_string() << " metric=" << ext->ext_metric
+        << " fwd=" << ext->forwarding_address.to_string()
+        << (ext->withdrawn ? " WITHDRAWN" : "") << ")";
+  }
+  return out.str();
+}
+
+}  // namespace fibbing::igp

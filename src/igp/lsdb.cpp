@@ -1,0 +1,57 @@
+#include "igp/lsdb.hpp"
+
+#include <algorithm>
+
+namespace fibbing::igp {
+
+Lsdb::InstallResult Lsdb::install(const Lsa& lsa) {
+  auto it = entries_.find(lsa.id);
+  if (it == entries_.end()) {
+    entries_.emplace(lsa.id, lsa);
+    return InstallResult::kNewer;
+  }
+  if (lsa.seq > it->second.seq) {
+    it->second = lsa;
+    return InstallResult::kNewer;
+  }
+  if (lsa.seq == it->second.seq) return InstallResult::kDuplicate;
+  return InstallResult::kStale;
+}
+
+const Lsa* Lsdb::find(const LsaKey& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Lsa*> Lsdb::live() const {
+  std::vector<const Lsa*> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, lsa] : entries_) {
+    const auto* ext = std::get_if<ExternalLsa>(&lsa.body);
+    if (ext != nullptr && ext->withdrawn) continue;
+    out.push_back(&lsa);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Lsa* a, const Lsa* b) { return a->id < b->id; });
+  return out;
+}
+
+std::vector<const Lsa*> Lsdb::all() const {
+  std::vector<const Lsa*> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, lsa] : entries_) out.push_back(&lsa);
+  std::sort(out.begin(), out.end(),
+            [](const Lsa* a, const Lsa* b) { return a->id < b->id; });
+  return out;
+}
+
+bool Lsdb::same_content(const Lsdb& other) const {
+  if (entries_.size() != other.entries_.size()) return false;
+  for (const auto& [key, lsa] : entries_) {
+    const Lsa* theirs = other.find(key);
+    if (theirs == nullptr || theirs->seq != lsa.seq) return false;
+  }
+  return true;
+}
+
+}  // namespace fibbing::igp

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "igp/lsa.hpp"
+
+namespace fibbing::igp {
+
+/// Link-state database: the per-router replica of all flooded LSAs.
+/// Sequence numbers decide freshness, exactly as in OSPF: an instance
+/// replaces a stored one iff its seq is strictly newer.
+class Lsdb {
+ public:
+  enum class InstallResult { kNewer, kDuplicate, kStale };
+
+  /// Install an LSA instance. kNewer means the database changed (and the
+  /// caller should re-flood and schedule SPF).
+  InstallResult install(const Lsa& lsa);
+
+  [[nodiscard]] const Lsa* find(const LsaKey& key) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// All live (non-withdrawn) LSAs, deterministic order (sorted by key).
+  [[nodiscard]] std::vector<const Lsa*> live() const;
+
+  /// All entries including withdrawal tombstones (for flooding sync).
+  [[nodiscard]] std::vector<const Lsa*> all() const;
+
+  /// Two databases are equivalent when they hold the same keys at the same
+  /// sequence numbers (the convergence criterion for the flooding tests).
+  [[nodiscard]] bool same_content(const Lsdb& other) const;
+
+ private:
+  std::unordered_map<LsaKey, Lsa> entries_;
+};
+
+}  // namespace fibbing::igp

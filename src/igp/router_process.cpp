@@ -1,0 +1,57 @@
+#include "igp/router_process.hpp"
+
+#include "igp/spf.hpp"
+#include "igp/view.hpp"
+#include "util/logging.hpp"
+
+namespace fibbing::igp {
+
+RouterProcess::RouterProcess(topo::NodeId self, std::size_t node_count,
+                             util::EventQueue& events, IgpTiming timing)
+    : self_(self), node_count_(node_count), events_(events), timing_(timing) {}
+
+void RouterProcess::add_neighbor(topo::NodeId peer) { neighbors_.push_back(peer); }
+
+void RouterProcess::originate(const Lsa& lsa) {
+  const auto result = lsdb_.install(lsa);
+  if (result != Lsdb::InstallResult::kNewer) return;
+  flood_(lsa, /*except=*/self_);
+  schedule_spf_();
+}
+
+void RouterProcess::receive(topo::NodeId from, const Lsa& lsa) {
+  ++lsas_received_;
+  const auto result = lsdb_.install(lsa);
+  if (result != Lsdb::InstallResult::kNewer) return;  // duplicate/stale: drop
+  flood_(lsa, /*except=*/from);
+  schedule_spf_();
+}
+
+void RouterProcess::flood_(const Lsa& lsa, topo::NodeId except) {
+  FIB_ASSERT(send_ != nullptr, "RouterProcess: transport not wired");
+  for (const topo::NodeId peer : neighbors_) {
+    if (peer == except) continue;
+    ++lsas_sent_;
+    send_(self_, peer, lsa);
+  }
+}
+
+void RouterProcess::schedule_spf_() {
+  if (spf_pending_) return;  // hold-down: batch further LSDB changes
+  spf_pending_ = true;
+  events_.schedule_in(timing_.spf_delay_s, [this] {
+    spf_pending_ = false;
+    run_spf_now_();
+  });
+}
+
+void RouterProcess::run_spf_now_() {
+  ++spf_runs_;
+  const NetworkView view = NetworkView::from_lsdb(lsdb_, node_count_);
+  table_ = compute_routes(view, self_);
+  FIB_LOG(kDebug, "igp") << "router " << self_ << " spf run #" << spf_runs_ << ", "
+                         << table_.size() << " routes";
+  if (on_table_) on_table_(self_, table_);
+}
+
+}  // namespace fibbing::igp

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "igp/lsdb.hpp"
+#include "igp/routes.hpp"
+#include "util/event_queue.hpp"
+
+namespace fibbing::igp {
+
+/// Protocol timers, loosely modelled on deployed OSPF defaults (scaled down
+/// to the demo's seconds-scale dynamics).
+struct IgpTiming {
+  double flood_delay_s = 0.001;  // per-hop LSA propagation + processing
+  double spf_delay_s = 0.05;     // SPF hold-down after an LSDB change
+};
+
+/// One router's control plane: an LSDB replica, flooding behaviour and SPF
+/// scheduling. Transport is injected (the domain delivers messages through
+/// the shared event queue), which keeps this class testable in isolation.
+class RouterProcess {
+ public:
+  /// (from, to, lsa): deliver `lsa` from this router to neighbor `to`.
+  using SendFn = std::function<void(topo::NodeId from, topo::NodeId to, const Lsa&)>;
+  /// Fired after each SPF run with the fresh routing table.
+  using TableFn = std::function<void(topo::NodeId self, const RoutingTable&)>;
+
+  RouterProcess(topo::NodeId self, std::size_t node_count, util::EventQueue& events,
+                IgpTiming timing);
+
+  void set_send(SendFn fn) { send_ = std::move(fn); }
+  void set_on_table(TableFn fn) { on_table_ = std::move(fn); }
+  void add_neighbor(topo::NodeId peer);
+
+  /// Install a self/controller-originated LSA and flood it to all neighbors.
+  void originate(const Lsa& lsa);
+
+  /// Handle an LSA arriving from `from` (a neighbor, or the controller
+  /// session when from == self).
+  void receive(topo::NodeId from, const Lsa& lsa);
+
+  [[nodiscard]] topo::NodeId id() const { return self_; }
+  [[nodiscard]] const Lsdb& lsdb() const { return lsdb_; }
+  [[nodiscard]] const RoutingTable& table() const { return table_; }
+  [[nodiscard]] bool spf_pending() const { return spf_pending_; }
+
+  // Control-plane accounting for the overhead benches.
+  [[nodiscard]] std::uint64_t lsas_sent() const { return lsas_sent_; }
+  [[nodiscard]] std::uint64_t lsas_received() const { return lsas_received_; }
+  [[nodiscard]] std::uint64_t spf_runs() const { return spf_runs_; }
+
+ private:
+  void flood_(const Lsa& lsa, topo::NodeId except);
+  void schedule_spf_();
+  void run_spf_now_();
+
+  topo::NodeId self_;
+  std::size_t node_count_;
+  util::EventQueue& events_;
+  IgpTiming timing_;
+  Lsdb lsdb_;
+  RoutingTable table_;
+  std::vector<topo::NodeId> neighbors_;
+  SendFn send_;
+  TableFn on_table_;
+  bool spf_pending_ = false;
+  std::uint64_t lsas_sent_ = 0;
+  std::uint64_t lsas_received_ = 0;
+  std::uint64_t spf_runs_ = 0;
+};
+
+}  // namespace fibbing::igp

@@ -1,0 +1,184 @@
+#include "igp/spf.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace fibbing::igp {
+
+namespace {
+
+/// Merge sorted id vectors (small ECMP sets; linear merge).
+void merge_sorted(std::vector<topo::NodeId>& into, const std::vector<topo::NodeId>& from) {
+  std::vector<topo::NodeId> merged;
+  merged.reserve(into.size() + from.size());
+  std::set_union(into.begin(), into.end(), from.begin(), from.end(),
+                 std::back_inserter(merged));
+  into = std::move(merged);
+}
+
+}  // namespace
+
+SpfResult run_spf(const NetworkView& view, topo::NodeId source) {
+  const std::size_t n = view.node_count();
+  FIB_ASSERT(source < n, "run_spf: source out of range");
+  SpfResult result;
+  result.source = source;
+  result.dist.assign(n, kInfMetric);
+  result.first_hops.assign(n, {});
+  result.dist[source] = 0;
+
+  using Item = std::pair<topo::Metric, topo::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  std::vector<bool> settled(n, false);
+  heap.emplace(0, source);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (settled[u] || d > result.dist[u]) continue;
+    settled[u] = true;
+    for (const NetworkView::Edge& edge : view.edges_from(u)) {
+      const topo::NodeId v = edge.to;
+      FIB_ASSERT(edge.metric > 0, "run_spf: non-positive metric");
+      const topo::Metric nd = result.dist[u] + edge.metric;
+      // First hops propagate along shortest paths; the neighbor itself is
+      // the first hop for edges leaving the source. Positive metrics ensure
+      // v cannot be settled before an equal-cost merge from u arrives.
+      if (nd < result.dist[v]) {
+        result.dist[v] = nd;
+        result.first_hops[v] =
+            (u == source) ? std::vector<topo::NodeId>{v} : result.first_hops[u];
+        heap.emplace(nd, v);
+      } else if (nd == result.dist[v]) {
+        FIB_ASSERT(!settled[v], "run_spf: equal-cost merge on settled node");
+        if (u == source) {
+          merge_sorted(result.first_hops[v], {v});
+        } else {
+          merge_sorted(result.first_hops[v], result.first_hops[u]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+SubnetRoute route_to_subnet(const NetworkView& view, const SpfResult& spf,
+                            const NetworkView::Subnet& subnet) {
+  (void)view;
+  SubnetRoute out;
+  struct Side {
+    topo::NodeId endpoint;
+    topo::Metric iface_cost;
+    topo::NodeId other;
+  };
+  const Side sides[2] = {{subnet.a, subnet.metric_ab, subnet.b},
+                         {subnet.b, subnet.metric_ba, subnet.a}};
+  for (const Side& side : sides) {
+    if (!spf.reaches(side.endpoint)) continue;
+    const topo::Metric cost = spf.dist[side.endpoint] + side.iface_cost;
+    std::vector<topo::NodeId> hops;
+    if (side.endpoint == spf.source) {
+      // Directly connected: traffic exits the interface; the only device
+      // across the transfer network is the other endpoint.
+      hops = {side.other};
+    } else {
+      hops = spf.first_hops[side.endpoint];
+    }
+    if (cost < out.cost) {
+      out.cost = cost;
+      out.first_hops = std::move(hops);
+    } else if (cost == out.cost) {
+      merge_sorted(out.first_hops, hops);
+    }
+  }
+  return out;
+}
+
+RoutingTable compute_routes(const NetworkView& view, topo::NodeId source) {
+  const SpfResult spf = run_spf(view, source);
+
+  struct Candidate {
+    topo::Metric cost = kInfMetric;
+    bool local = false;
+    std::vector<topo::NodeId> first_hops;  // each contributes weight 1
+  };
+  std::map<net::Prefix, std::vector<Candidate>> candidates;
+
+  for (const NetworkView::Attachment& att : view.attachments()) {
+    if (!spf.reaches(att.node)) continue;
+    Candidate cand;
+    cand.cost = spf.dist[att.node] + att.metric;
+    if (att.node == source) {
+      cand.local = true;
+    } else {
+      cand.first_hops = spf.first_hops[att.node];
+    }
+    candidates[att.prefix].push_back(std::move(cand));
+  }
+
+  for (const NetworkView::External& ext : view.externals()) {
+    const auto match = view.resolve_forwarding_address(ext.forwarding_address);
+    if (!match) continue;  // dangling forwarding address: route unusable
+    // A lie whose forwarding address belongs to this very router would make
+    // it forward to itself; routers ignore such self-pointing externals.
+    if (match->pointed_router == source) continue;
+    const SubnetRoute sub = route_to_subnet(view, spf, *match->subnet);
+    if (sub.cost >= kInfMetric) continue;
+    Candidate cand;
+    cand.cost = sub.cost + ext.ext_metric;
+    cand.first_hops = sub.first_hops;
+    candidates[ext.prefix].push_back(std::move(cand));
+  }
+
+  RoutingTable table;
+  for (auto& [prefix, cands] : candidates) {
+    RouteEntry entry;
+    for (const Candidate& cand : cands) entry.cost = std::min(entry.cost, cand.cost);
+    if (entry.cost >= kInfMetric) continue;
+    std::map<topo::NodeId, std::uint32_t> weights;
+    for (const Candidate& cand : cands) {
+      if (cand.cost != entry.cost) continue;
+      if (cand.local) entry.local = true;
+      // Every minimal candidate (intra route or individual lie) contributes
+      // one FIB slot per first hop; replicated lies therefore accumulate
+      // weight on their shared physical next hop -- uneven splitting.
+      for (const topo::NodeId hop : cand.first_hops) weights[hop] += 1;
+    }
+    for (const auto& [via, weight] : weights) {
+      entry.next_hops.push_back(WeightedNextHop{via, weight});
+    }
+    table.emplace(prefix, std::move(entry));
+  }
+  return table;
+}
+
+std::vector<RoutingTable> compute_all_routes(const NetworkView& view) {
+  std::vector<RoutingTable> tables;
+  tables.reserve(view.node_count());
+  for (topo::NodeId n = 0; n < view.node_count(); ++n) {
+    tables.push_back(compute_routes(view, n));
+  }
+  return tables;
+}
+
+std::string to_string(const RouteEntry& entry, const topo::Topology& topo) {
+  std::ostringstream out;
+  out << "cost=" << entry.cost;
+  if (entry.local) out << " local";
+  out << " via {";
+  bool first = true;
+  for (const auto& nh : entry.next_hops) {
+    if (!first) out << ", ";
+    first = false;
+    out << topo.node(nh.via).name;
+    if (nh.weight > 1) out << " x" << nh.weight;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace fibbing::igp

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "igp/routes.hpp"
+#include "igp/view.hpp"
+
+namespace fibbing::igp {
+
+/// Result of one shortest-path-first run from a single source: distances
+/// and ECMP first-hop sets toward every node.
+struct SpfResult {
+  topo::NodeId source = topo::kInvalidNode;
+  std::vector<topo::Metric> dist;                 // per node
+  std::vector<std::vector<topo::NodeId>> first_hops;  // per node, sorted
+
+  [[nodiscard]] bool reaches(topo::NodeId n) const { return dist[n] < kInfMetric; }
+};
+
+/// Dijkstra with ECMP first-hop propagation over a NetworkView.
+[[nodiscard]] SpfResult run_spf(const NetworkView& view, topo::NodeId source);
+
+/// Distance and first hops from `source` toward a transfer subnet, OSPF
+/// stub-network style: min over both endpoint announcements of
+/// dist(source, endpoint) + endpoint interface cost.
+struct SubnetRoute {
+  topo::Metric cost = kInfMetric;
+  std::vector<topo::NodeId> first_hops;  // sorted
+};
+[[nodiscard]] SubnetRoute route_to_subnet(const NetworkView& view,
+                                          const SpfResult& spf,
+                                          const NetworkView::Subnet& subnet);
+
+/// Build the full routing table of `source`: intra-area routes from prefix
+/// attachments plus external routes (lies) resolved through forwarding
+/// addresses. Candidates at equal minimal cost merge; every external LSA
+/// contributes its first hops *independently*, so replicated lies produce
+/// weights > 1 -- the Fibbing uneven-splitting mechanism.
+[[nodiscard]] RoutingTable compute_routes(const NetworkView& view,
+                                          topo::NodeId source);
+
+/// Convenience: routing tables for every router in the view.
+[[nodiscard]] std::vector<RoutingTable> compute_all_routes(const NetworkView& view);
+
+}  // namespace fibbing::igp

@@ -1,0 +1,100 @@
+#include "igp/view.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace fibbing::igp {
+
+NetworkView NetworkView::from_topology(const topo::Topology& topo,
+                                       std::vector<External> externals) {
+  NetworkView view;
+  view.adj_.resize(topo.node_count());
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    for (const topo::LinkId lid : topo.out_links(n)) {
+      const topo::Link& link = topo.link(lid);
+      view.adj_[n].push_back(Edge{link.to, link.metric});
+    }
+  }
+  // One Subnet per bidirectional pair: take the direction with from < to.
+  for (topo::LinkId lid = 0; lid < topo.link_count(); ++lid) {
+    const topo::Link& link = topo.link(lid);
+    if (link.from < link.to) {
+      const topo::Link& rev = topo.link(link.reverse);
+      view.subnets_.push_back(Subnet{link.subnet, link.from, link.to, link.metric,
+                                     rev.metric, link.local_addr, rev.local_addr});
+    }
+  }
+  for (const auto& att : topo.prefixes()) {
+    view.attachments_.push_back(Attachment{att.prefix, att.node, att.metric});
+  }
+  view.externals_ = std::move(externals);
+  return view;
+}
+
+NetworkView NetworkView::from_lsdb(const Lsdb& lsdb, std::size_t node_count) {
+  NetworkView view;
+  view.adj_.resize(node_count);
+  // Collect both half-links of each subnet before emitting Subnet records.
+  struct Half {
+    topo::NodeId origin;
+    LsaLink link;
+  };
+  std::map<std::pair<std::uint32_t, std::uint8_t>, std::vector<Half>> halves;
+
+  for (const Lsa* lsa : lsdb.live()) {
+    if (const auto* router = std::get_if<RouterLsa>(&lsa->body)) {
+      FIB_ASSERT(router->origin < node_count, "from_lsdb: origin out of range");
+      for (const LsaLink& link : router->links) {
+        // Only use an adjacency if the neighbor's Router-LSA is also present
+        // (OSPF's two-way check).
+        const Lsa* peer = lsdb.find(LsaKey{LsaType::kRouter, link.neighbor});
+        if (peer == nullptr) continue;
+        view.adj_[router->origin].push_back(Edge{link.neighbor, link.metric});
+        halves[{link.subnet.network().bits(), link.subnet.length()}].push_back(
+            Half{router->origin, link});
+      }
+      for (const LsaPrefix& pfx : router->prefixes) {
+        view.attachments_.push_back(Attachment{pfx.prefix, router->origin, pfx.metric});
+      }
+    } else if (const auto* ext = std::get_if<ExternalLsa>(&lsa->body)) {
+      view.externals_.push_back(
+          External{ext->lie_id, ext->prefix, ext->ext_metric, ext->forwarding_address});
+    }
+  }
+  for (const auto& [key, sides] : halves) {
+    if (sides.size() != 2) continue;  // half-configured adjacency: unusable
+    const Half& a = sides[0];
+    const Half& b = sides[1];
+    view.subnets_.push_back(Subnet{a.link.subnet, a.origin, b.origin, a.link.metric,
+                                   b.link.metric, a.link.local_addr,
+                                   b.link.local_addr});
+  }
+  return view;
+}
+
+const std::vector<NetworkView::Edge>& NetworkView::edges_from(topo::NodeId n) const {
+  FIB_ASSERT(n < adj_.size(), "edges_from: node out of range");
+  return adj_[n];
+}
+
+std::vector<net::Prefix> NetworkView::known_prefixes() const {
+  std::vector<net::Prefix> out;
+  for (const auto& att : attachments_) out.push_back(att.prefix);
+  for (const auto& ext : externals_) out.push_back(ext.prefix);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::optional<NetworkView::FwdAddrMatch> NetworkView::resolve_forwarding_address(
+    net::Ipv4 addr) const {
+  for (const Subnet& subnet : subnets_) {
+    if (subnet.addr_a == addr) return FwdAddrMatch{&subnet, subnet.a};
+    if (subnet.addr_b == addr) return FwdAddrMatch{&subnet, subnet.b};
+  }
+  return std::nullopt;
+}
+
+}  // namespace fibbing::igp

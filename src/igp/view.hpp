@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "igp/lsa.hpp"
+#include "igp/lsdb.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "topo/topology.hpp"
+
+namespace fibbing::igp {
+
+/// The routing-relevant content of a converged LSDB, in graph form: what a
+/// router's SPF actually consumes. Built either from an Lsdb (protocol path)
+/// or directly from a Topology plus a set of external routes (the fast path
+/// used by the optimizer, verifier and benches).
+class NetworkView {
+ public:
+  struct Edge {
+    topo::NodeId to = topo::kInvalidNode;
+    topo::Metric metric = 1;
+  };
+
+  /// A transfer network (/30) between two routers, used to resolve external
+  /// forwarding addresses. Directions matter: metric_ab is a's interface
+  /// cost toward b (a's stub cost for the subnet).
+  struct Subnet {
+    net::Prefix prefix;
+    topo::NodeId a = topo::kInvalidNode;
+    topo::NodeId b = topo::kInvalidNode;
+    topo::Metric metric_ab = 1;
+    topo::Metric metric_ba = 1;
+    net::Ipv4 addr_a;  // a's interface address
+    net::Ipv4 addr_b;  // b's interface address
+  };
+
+  struct Attachment {
+    net::Prefix prefix;
+    topo::NodeId node = topo::kInvalidNode;
+    topo::Metric metric = 0;
+  };
+
+  /// One external route (a Fibbing lie, or any redistributed route).
+  struct External {
+    std::uint64_t lie_id = 0;
+    net::Prefix prefix;
+    topo::Metric ext_metric = 0;
+    net::Ipv4 forwarding_address;
+  };
+
+  static NetworkView from_topology(const topo::Topology& topo,
+                                   std::vector<External> externals = {});
+  static NetworkView from_lsdb(const Lsdb& lsdb, std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const { return adj_.size(); }
+  [[nodiscard]] const std::vector<Edge>& edges_from(topo::NodeId n) const;
+  [[nodiscard]] const std::vector<Subnet>& subnets() const { return subnets_; }
+  [[nodiscard]] const std::vector<Attachment>& attachments() const {
+    return attachments_;
+  }
+  [[nodiscard]] const std::vector<External>& externals() const { return externals_; }
+
+  /// All prefixes known to the view (attached or announced externally),
+  /// deduplicated, deterministic order.
+  [[nodiscard]] std::vector<net::Prefix> known_prefixes() const;
+
+  /// The subnet owning an external forwarding address, with the pointed-to
+  /// side resolved: `entry` is the router whose interface address matches.
+  struct FwdAddrMatch {
+    const Subnet* subnet = nullptr;
+    topo::NodeId pointed_router = topo::kInvalidNode;
+  };
+  [[nodiscard]] std::optional<FwdAddrMatch> resolve_forwarding_address(
+      net::Ipv4 addr) const;
+
+  void add_external(const External& ext) { externals_.push_back(ext); }
+
+ private:
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<Subnet> subnets_;
+  std::vector<Attachment> attachments_;
+  std::vector<External> externals_;
+};
+
+}  // namespace fibbing::igp

@@ -1,0 +1,2 @@
+// NotificationBus is header-only; this TU pins the header's compilation.
+#include "monitor/bus.hpp"

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "topo/topology.hpp"
+
+namespace fibbing::monitor {
+
+/// A demand-change notice from a video server to the controller: "I just
+/// gained/lost a client streaming at `bitrate_bps` toward `prefix`, and my
+/// traffic enters the network at `ingress`". This is the paper's
+/// "[the controller] is notified by the servers when they have a new
+/// client" side channel.
+struct DemandNotice {
+  topo::NodeId ingress = topo::kInvalidNode;
+  net::Prefix prefix;
+  double bitrate_bps = 0.0;
+  int delta_sessions = 0;  // +1 on start, -1 on stop
+};
+
+/// Synchronous pub/sub bus between the application layer (servers) and the
+/// Fibbing controller.
+class NotificationBus {
+ public:
+  using Subscriber = std::function<void(const DemandNotice&)>;
+
+  void subscribe(Subscriber fn) { subscribers_.push_back(std::move(fn)); }
+  void publish(const DemandNotice& notice) {
+    for (const auto& fn : subscribers_) fn(notice);
+  }
+
+ private:
+  std::vector<Subscriber> subscribers_;
+};
+
+}  // namespace fibbing::monitor

@@ -1,0 +1,67 @@
+#include "monitor/detector.hpp"
+
+#include "util/assert.hpp"
+
+namespace fibbing::monitor {
+
+CongestionDetector::CongestionDetector(const topo::Topology& topo,
+                                       double high_watermark, double low_watermark,
+                                       int hold_rounds)
+    : topo_(topo),
+      high_(high_watermark),
+      low_(low_watermark),
+      hold_(hold_rounds),
+      links_(topo.link_count()) {
+  FIB_ASSERT(low_watermark < high_watermark,
+             "CongestionDetector: watermarks must satisfy low < high");
+  FIB_ASSERT(hold_rounds >= 1, "CongestionDetector: hold_rounds must be >= 1");
+}
+
+void CongestionDetector::observe(const std::vector<LinkLoad>& loads) {
+  for (const LinkLoad& load : loads) {
+    FIB_ASSERT(load.link < links_.size(), "observe: link out of range");
+    PerLink& pl = links_[load.link];
+    if (load.utilization > high_) {
+      ++pl.above;
+      pl.below = 0;
+    } else if (load.utilization < low_) {
+      ++pl.below;
+      pl.above = 0;
+    } else {
+      pl.above = 0;
+      pl.below = 0;
+    }
+    const LinkState next = (pl.state == LinkState::kClear)
+                               ? (pl.above >= hold_ ? LinkState::kCongested : pl.state)
+                               : (pl.below >= hold_ ? LinkState::kClear : pl.state);
+    if (next != pl.state) {
+      pl.state = next;
+      pl.above = 0;
+      pl.below = 0;
+      const Event event{load.link, next, load.utilization};
+      for (const auto& fn : subscribers_) fn(event);
+    }
+  }
+}
+
+CongestionDetector::LinkState CongestionDetector::state(topo::LinkId link) const {
+  FIB_ASSERT(link < links_.size(), "state: link out of range");
+  return links_[link].state;
+}
+
+bool CongestionDetector::any_congested() const {
+  for (const PerLink& pl : links_) {
+    if (pl.state == LinkState::kCongested) return true;
+  }
+  return false;
+}
+
+std::vector<topo::LinkId> CongestionDetector::congested_links() const {
+  std::vector<topo::LinkId> out;
+  for (topo::LinkId l = 0; l < links_.size(); ++l) {
+    if (links_[l].state == LinkState::kCongested) out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace fibbing::monitor

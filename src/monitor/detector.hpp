@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "monitor/poller.hpp"
+#include "topo/topology.hpp"
+
+namespace fibbing::monitor {
+
+/// Threshold + hysteresis congestion detection per directed link.
+///
+/// A link becomes kCongested after `hold_rounds` consecutive polls above
+/// `high_watermark` utilization, and kClear again after `hold_rounds`
+/// consecutive polls below `low_watermark`. The two watermarks plus the
+/// hold count prevent the controller from flapping lies in and out on
+/// transient load (ablation bench_reaction sweeps these).
+class CongestionDetector {
+ public:
+  enum class LinkState { kClear, kCongested };
+  struct Event {
+    topo::LinkId link = topo::kInvalidLink;
+    LinkState state = LinkState::kClear;
+    double utilization = 0.0;
+  };
+  using EventFn = std::function<void(const Event&)>;
+
+  CongestionDetector(const topo::Topology& topo, double high_watermark = 0.9,
+                     double low_watermark = 0.6, int hold_rounds = 2);
+
+  /// Feed one polling snapshot; fires subscriber callbacks on transitions.
+  void observe(const std::vector<LinkLoad>& loads);
+
+  [[nodiscard]] LinkState state(topo::LinkId link) const;
+  [[nodiscard]] bool any_congested() const;
+  [[nodiscard]] std::vector<topo::LinkId> congested_links() const;
+
+  void subscribe(EventFn fn) { subscribers_.push_back(std::move(fn)); }
+
+ private:
+  struct PerLink {
+    LinkState state = LinkState::kClear;
+    int above = 0;
+    int below = 0;
+  };
+
+  const topo::Topology& topo_;
+  double high_;
+  double low_;
+  int hold_;
+  std::vector<PerLink> links_;
+  std::vector<EventFn> subscribers_;
+};
+
+}  // namespace fibbing::monitor

@@ -1,0 +1,52 @@
+#include "monitor/poller.hpp"
+
+#include "util/assert.hpp"
+
+namespace fibbing::monitor {
+
+LinkLoadPoller::LinkLoadPoller(const topo::Topology& topo, dataplane::NetworkSim& sim,
+                               util::EventQueue& events, double interval_s,
+                               double ewma_alpha)
+    : topo_(topo),
+      sim_(sim),
+      events_(events),
+      interval_s_(interval_s),
+      last_bytes_(topo.link_count(), 0),
+      ewma_(topo.link_count(), util::Ewma(ewma_alpha)) {
+  FIB_ASSERT(interval_s > 0.0, "LinkLoadPoller: non-positive interval");
+}
+
+void LinkLoadPoller::start() {
+  FIB_ASSERT(!running_, "LinkLoadPoller: already started");
+  running_ = true;
+  // Baseline the counters so the first delta is meaningful.
+  for (topo::LinkId l = 0; l < topo_.link_count(); ++l) {
+    last_bytes_[l] = sim_.link_bytes(l);
+  }
+  next_poll_ = events_.schedule_in(interval_s_, [this] { poll_(); });
+}
+
+void LinkLoadPoller::stop() {
+  if (!running_) return;
+  running_ = false;
+  events_.cancel(next_poll_);
+}
+
+void LinkLoadPoller::poll_() {
+  if (!running_) return;
+  ++polls_;
+  loads_.resize(topo_.link_count());
+  for (topo::LinkId l = 0; l < topo_.link_count(); ++l) {
+    const std::uint64_t bytes = sim_.link_bytes(l);
+    const double rate =
+        static_cast<double>(bytes - last_bytes_[l]) * 8.0 / interval_s_;
+    last_bytes_[l] = bytes;
+    ewma_[l].add(rate);
+    loads_[l] = LinkLoad{l, rate, ewma_[l].value(),
+                         ewma_[l].value() / topo_.link(l).capacity_bps};
+  }
+  for (const auto& fn : subscribers_) fn(loads_);
+  next_poll_ = events_.schedule_in(interval_s_, [this] { poll_(); });
+}
+
+}  // namespace fibbing::monitor

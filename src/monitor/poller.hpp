@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dataplane/network_sim.hpp"
+#include "topo/topology.hpp"
+#include "util/event_queue.hpp"
+#include "util/stats.hpp"
+
+namespace fibbing::monitor {
+
+/// One polling round's estimate for a directed link.
+struct LinkLoad {
+  topo::LinkId link = topo::kInvalidLink;
+  double rate_bps = 0.0;      // raw delta-counter estimate for the round
+  double smoothed_bps = 0.0;  // EWMA of the raw estimates
+  double utilization = 0.0;   // smoothed / capacity
+};
+
+/// SNMP-style link-load monitoring: polls the data plane's octet counters
+/// every `interval_s`, differentiates them into rates and smooths with an
+/// EWMA -- the controller in the paper "monitors link loads using SNMP".
+///
+/// Deliberately counter-based (not reading NetworkSim's instantaneous
+/// rates): the controller only ever sees what a real SNMP poller would,
+/// including the polling-delay it implies (measured by bench_reaction).
+class LinkLoadPoller {
+ public:
+  using SnapshotFn = std::function<void(const std::vector<LinkLoad>&)>;
+
+  LinkLoadPoller(const topo::Topology& topo, dataplane::NetworkSim& sim,
+                 util::EventQueue& events, double interval_s = 1.0,
+                 double ewma_alpha = 0.5);
+
+  /// Begin periodic polling (first poll after one interval).
+  void start();
+  void stop();
+
+  /// Most recent estimates (empty before the first poll).
+  [[nodiscard]] const std::vector<LinkLoad>& loads() const { return loads_; }
+  [[nodiscard]] double interval() const { return interval_s_; }
+  [[nodiscard]] std::uint64_t polls_completed() const { return polls_; }
+
+  void subscribe(SnapshotFn fn) { subscribers_.push_back(std::move(fn)); }
+
+ private:
+  void poll_();
+
+  const topo::Topology& topo_;
+  dataplane::NetworkSim& sim_;
+  util::EventQueue& events_;
+  double interval_s_;
+  std::vector<std::uint64_t> last_bytes_;
+  std::vector<util::Ewma> ewma_;
+  std::vector<LinkLoad> loads_;
+  std::vector<SnapshotFn> subscribers_;
+  util::EventHandle next_poll_{};
+  bool running_ = false;
+  std::uint64_t polls_ = 0;
+};
+
+}  // namespace fibbing::monitor

@@ -1,0 +1,32 @@
+#include "net/ipv4.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace fibbing::net {
+
+util::Result<Ipv4> Ipv4::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) {
+    return util::Result<Ipv4>::failure("malformed IPv4 address: " + std::string(text));
+  }
+  std::uint32_t bits = 0;
+  for (const auto& part : parts) {
+    const long long octet = util::parse_uint_or(part, -1);
+    if (octet < 0 || octet > 255) {
+      return util::Result<Ipv4>::failure("malformed IPv4 octet: " + std::string(text));
+    }
+    bits = (bits << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4(bits);
+}
+
+std::string Ipv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (bits_ >> 24) & 0xff,
+                (bits_ >> 16) & 0xff, (bits_ >> 8) & 0xff, bits_ & 0xff);
+  return buf;
+}
+
+}  // namespace fibbing::net

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace fibbing::net {
+
+/// An IPv4 address as a host-order 32-bit value. Plain value type: cheap to
+/// copy, totally ordered, hashable.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t host_order) : bits_(host_order) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parse dotted-quad notation ("203.0.113.7").
+  static util::Result<Ipv4> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4 a, Ipv4 b) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace fibbing::net
+
+template <>
+struct std::hash<fibbing::net::Ipv4> {
+  std::size_t operator()(fibbing::net::Ipv4 a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.bits());
+  }
+};

@@ -1,0 +1,14 @@
+// LpmTrie is header-only (template); this TU pins the header's compilation
+// so build errors surface in the library build rather than first use.
+#include "net/lpm_trie.hpp"
+
+namespace fibbing::net {
+namespace {
+// Instantiate with a representative payload to type-check the template.
+[[maybe_unused]] void instantiate() {
+  LpmTrie<int> trie;
+  trie.insert(Prefix(Ipv4(10, 0, 0, 0), 8), 1);
+  (void)trie.lookup(Ipv4(10, 1, 2, 3));
+}
+}  // namespace
+}  // namespace fibbing::net

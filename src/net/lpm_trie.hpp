@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace fibbing::net {
+
+/// Longest-prefix-match binary trie mapping Prefix -> T. This is the data
+/// structure behind every router FIB in the data-plane simulator.
+///
+/// Operations: insert/overwrite, exact erase, exact lookup, and LPM lookup.
+/// The trie owns its values; lookups return pointers that stay valid until
+/// the next mutation of the matched entry.
+template <typename T>
+class LpmTrie {
+ public:
+  /// Insert or overwrite the value at `prefix`. Returns true if inserted,
+  /// false if an existing entry was overwritten.
+  bool insert(const Prefix& prefix, T value) {
+    Node* node = &root_;
+    const std::uint32_t bits = prefix.network().bits();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      auto& child = node->child[bit];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    const bool inserted = !node->value.has_value();
+    node->value = std::move(value);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Remove the entry exactly at `prefix`. Returns true if one existed.
+  bool erase(const Prefix& prefix) {
+    Node* node = find_node_(prefix);
+    if (node == nullptr || !node->value.has_value()) return false;
+    node->value.reset();
+    --size_;
+    return true;  // empty branches are kept; fine for simulator lifetimes
+  }
+
+  /// Exact-match lookup.
+  [[nodiscard]] const T* exact(const Prefix& prefix) const {
+    const Node* node = find_node_(prefix);
+    return (node != nullptr && node->value.has_value()) ? &*node->value : nullptr;
+  }
+  [[nodiscard]] T* exact(const Prefix& prefix) {
+    return const_cast<T*>(std::as_const(*this).exact(prefix));
+  }
+
+  /// Longest-prefix match for a destination address, with the matched
+  /// prefix. nullopt when no entry covers the address.
+  struct Match {
+    Prefix prefix;
+    const T* value;
+  };
+  [[nodiscard]] std::optional<Match> lookup(Ipv4 address) const {
+    const Node* node = &root_;
+    std::optional<Match> best;
+    if (node->value.has_value()) best = Match{Prefix(Ipv4(0), 0), &*node->value};
+    const std::uint32_t bits = address.bits();
+    for (std::uint8_t depth = 0; depth < 32; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (node == nullptr) break;
+      if (node->value.has_value()) {
+        const std::uint8_t len = depth + 1;
+        best = Match{Prefix(Ipv4(bits & mask_for(len)), len), &*node->value};
+      }
+    }
+    return best;
+  }
+
+  /// Visit every (prefix, value) pair in lexicographic (DFS) order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk_(&root_, 0, 0, fn);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  void clear() {
+    root_ = Node{};
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  [[nodiscard]] const Node* find_node_(const Prefix& prefix) const {
+    const Node* node = &root_;
+    const std::uint32_t bits = prefix.network().bits();
+    for (std::uint8_t depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->child[bit].get();
+      if (node == nullptr) return nullptr;
+    }
+    return node;
+  }
+  [[nodiscard]] Node* find_node_(const Prefix& prefix) {
+    return const_cast<Node*>(std::as_const(*this).find_node_(prefix));
+  }
+
+  template <typename Fn>
+  static void walk_(const Node* node, std::uint32_t bits, std::uint8_t depth, Fn& fn) {
+    if (node->value.has_value()) {
+      fn(Prefix(Ipv4(bits), depth), *node->value);
+    }
+    for (int bit = 0; bit < 2; ++bit) {
+      if (node->child[bit]) {
+        FIB_ASSERT(depth < 32, "LpmTrie: trie deeper than 32 bits");
+        const std::uint32_t next =
+            bit ? (bits | (std::uint32_t{1} << (31 - depth))) : bits;
+        walk_(node->child[bit].get(), next, depth + 1, fn);
+      }
+    }
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fibbing::net

@@ -1,0 +1,45 @@
+#include "net/prefix.hpp"
+
+#include "util/strings.hpp"
+
+namespace fibbing::net {
+
+Prefix::Prefix(Ipv4 network, std::uint8_t length)
+    : network_(network.bits() & mask_for(length)), length_(length) {
+  FIB_ASSERT(length <= 32, "Prefix: length > 32");
+}
+
+util::Result<Prefix> Prefix::parse(std::string_view text) {
+  const auto parts = util::split(text, '/');
+  if (parts.size() != 2) {
+    return util::Result<Prefix>::failure("malformed prefix (want a.b.c.d/len): " +
+                                         std::string(text));
+  }
+  auto addr = Ipv4::parse(parts[0]);
+  if (!addr) return util::Result<Prefix>::failure(addr.error());
+  const long long len = util::parse_uint_or(parts[1], -1);
+  if (len < 0 || len > 32) {
+    return util::Result<Prefix>::failure("malformed prefix length: " + std::string(text));
+  }
+  return Prefix(addr.value(), static_cast<std::uint8_t>(len));
+}
+
+bool Prefix::contains(Ipv4 address) const {
+  return (address.bits() & mask_for(length_)) == network_.bits();
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  return other.length() >= length_ && contains(other.network());
+}
+
+Ipv4 Prefix::host(std::uint32_t n) const {
+  FIB_ASSERT(length_ == 32 || n < (std::uint64_t{1} << (32 - length_)),
+             "Prefix::host: index outside prefix");
+  return Ipv4(network_.bits() | n);
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace fibbing::net

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+#include "util/result.hpp"
+
+namespace fibbing::net {
+
+/// An IPv4 CIDR prefix. Canonical form: host bits are zeroed on
+/// construction, so two prefixes covering the same block compare equal.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  Prefix(Ipv4 network, std::uint8_t length);
+
+  /// Parse "a.b.c.d/len".
+  static util::Result<Prefix> parse(std::string_view text);
+
+  [[nodiscard]] Ipv4 network() const { return network_; }
+  [[nodiscard]] std::uint8_t length() const { return length_; }
+  [[nodiscard]] bool contains(Ipv4 address) const;
+  [[nodiscard]] bool contains(const Prefix& other) const;
+  /// The n-th host address inside the prefix (n=0 is the network address).
+  [[nodiscard]] Ipv4 host(std::uint32_t n) const;
+  [[nodiscard]] std::string to_string() const;
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4 network_;
+  std::uint8_t length_ = 0;
+};
+
+/// Netmask for a prefix length (host order); length 0 -> 0.
+[[nodiscard]] constexpr std::uint32_t mask_for(std::uint8_t length) {
+  return length == 0 ? 0u : (~std::uint32_t{0} << (32 - length));
+}
+
+}  // namespace fibbing::net
+
+template <>
+struct std::hash<fibbing::net::Prefix> {
+  std::size_t operator()(const fibbing::net::Prefix& p) const noexcept {
+    return std::hash<std::uint32_t>{}(p.network().bits() * 31u + p.length());
+  }
+};

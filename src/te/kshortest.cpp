@@ -1,0 +1,117 @@
+#include "te/kshortest.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "igp/routes.hpp"
+#include "util/assert.hpp"
+
+namespace fibbing::te {
+
+Path shortest_path(const topo::Topology& topo, topo::NodeId src, topo::NodeId dst,
+                   const std::vector<bool>& banned_nodes,
+                   const std::vector<bool>& banned_links) {
+  FIB_ASSERT(src < topo.node_count() && dst < topo.node_count(),
+             "shortest_path: bad endpoint");
+  const std::size_t n = topo.node_count();
+  std::vector<topo::Metric> dist(n, igp::kInfMetric);
+  std::vector<topo::LinkId> via(n, topo::kInvalidLink);
+  using Item = std::pair<topo::Metric, topo::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[src] = 0;
+  heap.emplace(0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (const topo::LinkId l : topo.out_links(u)) {
+      if (!banned_links.empty() && banned_links[l]) continue;
+      const topo::NodeId v = topo.link(l).to;
+      if (!banned_nodes.empty() && banned_nodes[v] && v != dst) continue;
+      const topo::Metric nd = d + topo.link(l).metric;
+      if (nd < dist[v] || (nd == dist[v] && via[v] != topo::kInvalidLink &&
+                           l < via[v])) {  // deterministic tie-break
+        dist[v] = nd;
+        via[v] = l;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  Path path;
+  if (dist[dst] >= igp::kInfMetric) return path;
+  path.cost = dist[dst];
+  for (topo::NodeId at = dst; at != src;) {
+    const topo::LinkId l = via[at];
+    path.links.push_back(l);
+    at = topo.link(l).from;
+  }
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
+}
+
+std::vector<Path> k_shortest_paths(const topo::Topology& topo, topo::NodeId src,
+                                   topo::NodeId dst, std::size_t k) {
+  FIB_ASSERT(src != dst, "k_shortest_paths: src == dst");
+  std::vector<Path> result;
+  if (k == 0) return result;
+  const Path first = shortest_path(topo, src, dst);
+  if (first.empty()) return result;
+  result.push_back(first);
+
+  // Candidate set ordered by (cost, links) for determinism.
+  auto cmp = [](const Path& a, const Path& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.links < b.links;
+  };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  while (result.size() < k) {
+    const Path& last = result.back();
+    // Spur from every node of the previous path.
+    std::vector<topo::NodeId> path_nodes{src};
+    for (const topo::LinkId l : last.links) path_nodes.push_back(topo.link(l).to);
+
+    for (std::size_t i = 0; i + 1 < path_nodes.size(); ++i) {
+      const topo::NodeId spur = path_nodes[i];
+      std::vector<bool> banned_links(topo.link_count(), false);
+      std::vector<bool> banned_nodes(topo.node_count(), false);
+      // Ban links continuing any known path sharing this root.
+      for (const Path& p : result) {
+        if (p.links.size() <= i) continue;
+        bool same_root = true;
+        for (std::size_t j = 0; j < i; ++j) {
+          if (p.links[j] != last.links[j]) {
+            same_root = false;
+            break;
+          }
+        }
+        if (same_root) {
+          banned_links[p.links[i]] = true;
+          banned_links[topo.link(p.links[i]).reverse] = true;
+        }
+      }
+      // Ban root-path nodes (looplessness).
+      for (std::size_t j = 0; j < i; ++j) banned_nodes[path_nodes[j]] = true;
+
+      const Path spur_path = shortest_path(topo, spur, dst, banned_nodes, banned_links);
+      if (spur_path.empty()) continue;
+      Path total;
+      total.links.assign(last.links.begin(), last.links.begin() + static_cast<long>(i));
+      total.links.insert(total.links.end(), spur_path.links.begin(),
+                         spur_path.links.end());
+      total.cost = spur_path.cost;
+      for (std::size_t j = 0; j < i; ++j) total.cost += topo.link(last.links[j]).metric;
+      if (std::find(result.begin(), result.end(), total) == result.end()) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace fibbing::te

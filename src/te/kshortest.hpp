@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace fibbing::te {
+
+/// A simple (loopless) path with its total IGP metric.
+struct Path {
+  std::vector<topo::LinkId> links;
+  topo::Metric cost = 0;
+
+  [[nodiscard]] bool empty() const { return links.empty(); }
+  friend bool operator==(const Path&, const Path&) = default;
+};
+
+/// Shortest path src -> dst honoring `banned_nodes` / `banned_links`
+/// (empty Path if disconnected). Deterministic tie-break by link id.
+[[nodiscard]] Path shortest_path(const topo::Topology& topo, topo::NodeId src,
+                                 topo::NodeId dst,
+                                 const std::vector<bool>& banned_nodes = {},
+                                 const std::vector<bool>& banned_links = {});
+
+/// Yen's algorithm: the K shortest loopless paths src -> dst in
+/// nondecreasing cost order (fewer if the graph does not have K). Used by
+/// the MPLS RSVP-TE baseline to pre-provision explicit tunnel paths.
+[[nodiscard]] std::vector<Path> k_shortest_paths(const topo::Topology& topo,
+                                                 topo::NodeId src, topo::NodeId dst,
+                                                 std::size_t k);
+
+}  // namespace fibbing::te

@@ -1,0 +1,82 @@
+#include "te/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace fibbing::te {
+
+namespace {
+constexpr double kFlowEps = 1e-9;
+}
+
+MaxFlow::MaxFlow(std::size_t node_count) : graph_(node_count) {}
+
+std::size_t MaxFlow::add_edge(std::size_t from, std::size_t to, double capacity) {
+  FIB_ASSERT(from < graph_.size() && to < graph_.size(), "add_edge: bad endpoint");
+  FIB_ASSERT(capacity >= 0.0, "add_edge: negative capacity");
+  graph_[from].push_back(Edge{to, capacity, graph_[to].size()});
+  graph_[to].push_back(Edge{from, 0.0, graph_[from].size() - 1});
+  edge_refs_.emplace_back(from, graph_[from].size() - 1);
+  original_capacity_.push_back(capacity);
+  return edge_refs_.size() - 1;
+}
+
+bool MaxFlow::bfs_(std::size_t s, std::size_t t) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::size_t> queue;
+  level_[s] = 0;
+  queue.push(s);
+  while (!queue.empty()) {
+    const std::size_t v = queue.front();
+    queue.pop();
+    for (const Edge& e : graph_[v]) {
+      if (e.capacity > kFlowEps && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double MaxFlow::dfs_(std::size_t v, std::size_t t, double pushed) {
+  if (v == t) return pushed;
+  for (std::size_t& i = iter_[v]; i < graph_[v].size(); ++i) {
+    Edge& e = graph_[v][i];
+    if (e.capacity <= kFlowEps || level_[e.to] != level_[v] + 1) continue;
+    const double got = dfs_(e.to, t, std::min(pushed, e.capacity));
+    if (got > kFlowEps) {
+      e.capacity -= got;
+      graph_[e.to][e.rev].capacity += got;
+      return got;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::solve(std::size_t s, std::size_t t) {
+  FIB_ASSERT(s < graph_.size() && t < graph_.size(), "solve: bad endpoint");
+  FIB_ASSERT(s != t, "solve: source equals sink");
+  double total = 0.0;
+  while (bfs_(s, t)) {
+    iter_.assign(graph_.size(), 0);
+    while (true) {
+      const double pushed = dfs_(s, t, std::numeric_limits<double>::infinity());
+      if (pushed <= kFlowEps) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double MaxFlow::flow_on(std::size_t edge_id) const {
+  FIB_ASSERT(edge_id < edge_refs_.size(), "flow_on: bad edge id");
+  const auto [node, index] = edge_refs_[edge_id];
+  // Flow = original capacity minus residual.
+  return std::max(original_capacity_[edge_id] - graph_[node][index].capacity, 0.0);
+}
+
+}  // namespace fibbing::te

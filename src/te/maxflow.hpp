@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fibbing::te {
+
+/// Dinic's maximum-flow over a directed graph with real-valued capacities.
+/// The feasibility oracle inside the min-max link-utilization solver
+/// (Ahuja et al. [5] in the paper): capacities are scaled link capacities,
+/// sources are the surge ingresses, the sink is the destination router.
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t node_count);
+
+  /// Add a directed edge; returns an edge id usable with flow_on().
+  std::size_t add_edge(std::size_t from, std::size_t to, double capacity);
+
+  /// Compute the max flow from s to t. May be called once per instance.
+  double solve(std::size_t s, std::size_t t);
+
+  /// Flow routed on a previously added edge (valid after solve()).
+  [[nodiscard]] double flow_on(std::size_t edge_id) const;
+
+  [[nodiscard]] std::size_t node_count() const { return graph_.size(); }
+
+ private:
+  struct Edge {
+    std::size_t to;
+    double capacity;  // residual
+    std::size_t rev;  // index of reverse edge in graph_[to]
+  };
+
+  bool bfs_(std::size_t s, std::size_t t);
+  double dfs_(std::size_t v, std::size_t t, double pushed);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_refs_;  // (node, index)
+  std::vector<double> original_capacity_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace fibbing::te

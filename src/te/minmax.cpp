@@ -1,0 +1,310 @@
+#include "te/minmax.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "igp/routes.hpp"
+#include "te/maxflow.hpp"
+#include "util/assert.hpp"
+
+namespace fibbing::te {
+
+namespace {
+
+constexpr double kThetaCeiling = 1e9;
+
+/// Metric distance of every node toward `dest` (reverse Dijkstra).
+std::vector<topo::Metric> dist_to_node(const topo::Topology& topo,
+                                       topo::NodeId dest) {
+  const std::size_t n = topo.node_count();
+  std::vector<topo::Metric> dist(n, igp::kInfMetric);
+  using Item = std::pair<topo::Metric, topo::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[dest] = 0;
+  heap.emplace(0, dest);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (const topo::LinkId vl : topo.out_links(v)) {
+      const topo::LinkId ul = topo.link(vl).reverse;  // u -> v
+      const topo::NodeId u = topo.link(ul).from;
+      const topo::Metric nd = d + topo.link(ul).metric;
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        heap.emplace(nd, u);
+      }
+    }
+  }
+  return dist;
+}
+
+struct Feasibility {
+  bool feasible = false;
+  std::vector<double> link_flow;
+};
+
+Feasibility check_theta(const topo::Topology& topo, topo::NodeId dest,
+                        const std::vector<Demand>& demands,
+                        const std::vector<double>& background, double theta,
+                        double total_demand, const std::vector<bool>& allowed) {
+  const std::size_t n = topo.node_count();
+  const std::size_t super = n;
+  MaxFlow mf(n + 1);
+  std::vector<std::size_t> edge_of_link(topo.link_count());
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    const topo::Link& link = topo.link(l);
+    const double bg = background.empty() ? 0.0 : background[l];
+    double cap = std::max(theta * link.capacity_bps - bg, 0.0);
+    if (!allowed.empty() && !allowed[l]) cap = 0.0;
+    edge_of_link[l] = mf.add_edge(link.from, link.to, cap);
+  }
+  for (const Demand& d : demands) {
+    mf.add_edge(super, d.ingress, d.rate_bps);
+  }
+  const double got = mf.solve(super, dest);
+  Feasibility out;
+  out.feasible = got >= total_demand * (1.0 - 1e-9) - 1e-6;
+  if (out.feasible) {
+    out.link_flow.resize(topo.link_count());
+    for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+      out.link_flow[l] = mf.flow_on(edge_of_link[l]);
+    }
+  }
+  return out;
+}
+
+/// Remove circulations from a feasible flow: repeatedly locate a cycle among
+/// links with positive flow and subtract its bottleneck. Max-flow solutions
+/// are usually already acyclic; this guarantees it (a forwarding DAG must
+/// be loop-free by definition).
+/// Locate one directed cycle among links with flow > eps (empty when the
+/// flow graph is acyclic). Iterative DFS; the cycle is read off the stack.
+std::vector<topo::LinkId> find_flow_cycle(const topo::Topology& topo,
+                                          const std::vector<double>& flow,
+                                          double eps) {
+  const std::size_t n = topo.node_count();
+  std::vector<int> color(n, 0);  // 0 white, 1 on stack, 2 done
+
+  struct Frame {
+    topo::NodeId node;
+    std::size_t next_edge = 0;  // index into out_links(node)
+  };
+  for (topo::NodeId start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    std::vector<Frame> stack{Frame{start}};
+    std::vector<topo::LinkId> path_edges;  // edge i connects stack[i] -> stack[i+1]
+    color[start] = 1;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& out = topo.out_links(frame.node);
+      bool descended = false;
+      while (frame.next_edge < out.size()) {
+        const topo::LinkId l = out[frame.next_edge++];
+        if (flow[l] <= eps) continue;
+        const topo::NodeId v = topo.link(l).to;
+        if (color[v] == 1) {
+          // Back edge: the cycle is the stack suffix from v, plus l.
+          std::vector<topo::LinkId> cycle;
+          std::size_t j = 0;
+          while (stack[j].node != v) ++j;
+          for (std::size_t k = j; k + 1 < stack.size(); ++k) {
+            cycle.push_back(path_edges[k]);
+          }
+          cycle.push_back(l);
+          return cycle;
+        }
+        if (color[v] == 0) {
+          color[v] = 1;
+          path_edges.push_back(l);
+          stack.push_back(Frame{v});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color[frame.node] = 2;
+        stack.pop_back();
+        if (!path_edges.empty()) path_edges.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+void cancel_cycles(const topo::Topology& topo, std::vector<double>& flow,
+                   double eps) {
+  while (true) {
+    const std::vector<topo::LinkId> cycle = find_flow_cycle(topo, flow, eps);
+    if (cycle.empty()) return;
+    double bottleneck = flow[cycle.front()];
+    for (const topo::LinkId l : cycle) bottleneck = std::min(bottleneck, flow[l]);
+    for (const topo::LinkId l : cycle) flow[l] -= bottleneck;
+  }
+}
+
+}  // namespace
+
+util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
+                                         topo::NodeId dest,
+                                         const std::vector<Demand>& demands,
+                                         const std::vector<double>& background_bps,
+                                         double precision, double max_stretch) {
+  using R = util::Result<MinMaxResult>;
+  if (dest >= topo.node_count()) return R::failure("min-max: unknown destination");
+  if (!background_bps.empty() && background_bps.size() != topo.link_count()) {
+    return R::failure("min-max: background vector size mismatch");
+  }
+  double total = 0.0;
+  for (const Demand& d : demands) {
+    if (d.ingress >= topo.node_count()) return R::failure("min-max: bad ingress");
+    if (d.rate_bps < 0.0) return R::failure("min-max: negative demand");
+    total += d.rate_bps;
+  }
+  MinMaxResult result;
+  result.link_flow.assign(topo.link_count(), 0.0);
+  if (total <= 0.0) return result;  // nothing to place
+
+  // Bounded-detour filter: usable links lie on paths within max_stretch of
+  // the shortest metric toward dest.
+  std::vector<bool> allowed;
+  if (max_stretch > 0.0) {
+    const std::vector<topo::Metric> dist = dist_to_node(topo, dest);
+    allowed.assign(topo.link_count(), false);
+    for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+      const topo::Link& link = topo.link(l);
+      if (dist[link.from] >= igp::kInfMetric || dist[link.to] >= igp::kInfMetric) {
+        continue;
+      }
+      allowed[l] = link.metric + dist[link.to] <=
+                   max_stretch * static_cast<double>(dist[link.from]) + 1e-9;
+    }
+  }
+
+  // Find a feasible upper bound by doubling, then binary search.
+  double hi = 1.0;
+  while (!check_theta(topo, dest, demands, background_bps, hi, total, allowed)
+              .feasible) {
+    hi *= 2.0;
+    if (hi > kThetaCeiling) {
+      return R::failure(
+          "min-max: destination unreachable from some ingress (check stretch bound)");
+    }
+  }
+  double lo = 0.0;
+  while (hi - lo > precision * std::max(hi, 1.0)) {
+    const double mid = 0.5 * (lo + hi);
+    if (check_theta(topo, dest, demands, background_bps, mid, total, allowed)
+            .feasible) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  Feasibility final =
+      check_theta(topo, dest, demands, background_bps, hi, total, allowed);
+  FIB_ASSERT(final.feasible, "min-max: upper bound lost feasibility");
+
+  const double eps = std::max(total, 1.0) * 1e-7;
+  cancel_cycles(topo, final.link_flow, eps);
+
+  // Fractional splits from the flow DAG.
+  for (topo::NodeId u = 0; u < topo.node_count(); ++u) {
+    if (u == dest) continue;
+    double out = 0.0;
+    for (const topo::LinkId l : topo.out_links(u)) {
+      if (final.link_flow[l] > eps) out += final.link_flow[l];
+    }
+    if (out <= eps) continue;
+    std::vector<std::pair<topo::NodeId, double>> split;
+    for (const topo::LinkId l : topo.out_links(u)) {
+      if (final.link_flow[l] > eps) {
+        split.emplace_back(topo.link(l).to, final.link_flow[l] / out);
+      }
+    }
+    result.splits.emplace(u, std::move(split));
+  }
+
+  result.link_flow = final.link_flow;
+  double theta = 0.0;
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    const double bg = background_bps.empty() ? 0.0 : background_bps[l];
+    theta = std::max(theta, (result.link_flow[l] + bg) / topo.link(l).capacity_bps);
+  }
+  result.theta = theta;
+  return result;
+}
+
+std::vector<double> shortest_path_loads(const topo::Topology& topo, topo::NodeId dest,
+                                        const std::vector<Demand>& demands) {
+  FIB_ASSERT(dest < topo.node_count(), "shortest_path_loads: bad destination");
+  const std::size_t n = topo.node_count();
+
+  // Distance of every node *to* dest: Dijkstra over reversed edges.
+  std::vector<topo::Metric> dist(n, igp::kInfMetric);
+  using Item = std::pair<topo::Metric, topo::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[dest] = 0;
+  heap.emplace(0, dest);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    // Relax incoming edges (u -> v): iterate v's out-links and use reverses.
+    for (const topo::LinkId vl : topo.out_links(v)) {
+      const topo::LinkId ul = topo.link(vl).reverse;  // u -> v
+      const topo::NodeId u = topo.link(ul).from;
+      const topo::Metric nd = d + topo.link(ul).metric;
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        heap.emplace(nd, u);
+      }
+    }
+  }
+
+  std::vector<double> node_in(n, 0.0);
+  for (const Demand& d : demands) {
+    FIB_ASSERT(d.ingress < n, "shortest_path_loads: bad ingress");
+    node_in[d.ingress] += d.rate_bps;
+  }
+
+  // Propagate in decreasing distance order, splitting evenly over ECMP
+  // successors (plain IGP behaviour).
+  std::vector<topo::NodeId> order(n);
+  for (topo::NodeId i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](topo::NodeId a, topo::NodeId b) { return dist[a] > dist[b]; });
+
+  std::vector<double> load(topo.link_count(), 0.0);
+  for (const topo::NodeId u : order) {
+    if (u == dest || node_in[u] <= 0.0 || dist[u] >= igp::kInfMetric) continue;
+    std::vector<topo::LinkId> dag_links;
+    for (const topo::LinkId l : topo.out_links(u)) {
+      const topo::Link& link = topo.link(l);
+      if (dist[link.to] < igp::kInfMetric && link.metric + dist[link.to] == dist[u]) {
+        dag_links.push_back(l);
+      }
+    }
+    FIB_ASSERT(!dag_links.empty(), "shortest_path_loads: broken SPF DAG");
+    const double share = node_in[u] / static_cast<double>(dag_links.size());
+    for (const topo::LinkId l : dag_links) {
+      load[l] += share;
+      node_in[topo.link(l).to] += share;
+    }
+  }
+  return load;
+}
+
+double shortest_path_max_utilization(const topo::Topology& topo, topo::NodeId dest,
+                                     const std::vector<Demand>& demands,
+                                     const std::vector<double>& background_bps) {
+  const std::vector<double> load = shortest_path_loads(topo, dest, demands);
+  double theta = 0.0;
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    const double bg = background_bps.empty() ? 0.0 : background_bps[l];
+    theta = std::max(theta, (load[l] + bg) / topo.link(l).capacity_bps);
+  }
+  return theta;
+}
+
+}  // namespace fibbing::te

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "util/result.hpp"
+
+namespace fibbing::te {
+
+/// A traffic demand entering at `ingress`, all heading to the destination
+/// the solver is invoked for.
+struct Demand {
+  topo::NodeId ingress = topo::kInvalidNode;
+  double rate_bps = 0.0;
+};
+
+/// Fractional next-hop split at one node (fractions sum to 1 over the
+/// node's entries).
+using SplitMap = std::map<topo::NodeId, std::vector<std::pair<topo::NodeId, double>>>;
+
+/// Output of the exact min-max link-utilization solver.
+struct MinMaxResult {
+  /// Optimal maximum link utilization (may exceed 1 when the demand simply
+  /// does not fit; the DAG is still the best possible placement).
+  double theta = 0.0;
+  /// Forwarding DAG with fractional splits, covering every node that
+  /// carries positive flow.
+  SplitMap splits;
+  /// Flow placed on each directed link (bps).
+  std::vector<double> link_flow;
+};
+
+/// Exactly minimize the maximum link utilization for routing all `demands`
+/// to `dest`: binary search on the utilization bound, with a Dinic max-flow
+/// feasibility oracle at each step (capacities scaled to theta * c_e),
+/// then a cycle-free decomposition of the feasible flow into per-node
+/// fractional splits. This is the optimum the paper says Fibbing can
+/// implement ("the optimal solution to the min-max link utilization
+/// problem [5]").
+///
+/// `background_bps` (optional, per directed link) is load the optimizer
+/// must leave room for (other traffic it may not touch).
+///
+/// `max_stretch` (0 = unlimited) restricts placement to links on paths of
+/// bounded detour: a link u->v is usable only if
+///   metric(u,v) + dist(v, dest) <= max_stretch * dist(u, dest).
+/// Unbounded min-max happily routes traffic backwards through the whole
+/// network for a marginally lower maximum; operators bound the detour.
+/// On the demo topology, stretch 1.35 yields exactly the paper's DAG
+/// (B: R2/R3 evenly, A: 1/3 via B, 2/3 via R1).
+util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
+                                         topo::NodeId dest,
+                                         const std::vector<Demand>& demands,
+                                         const std::vector<double>& background_bps = {},
+                                         double precision = 1e-4,
+                                         double max_stretch = 0.0);
+
+/// Maximum link utilization if the same demands follow plain IGP shortest
+/// paths with even ECMP splitting (the no-Fibbing baseline of Fig. 1b).
+/// Background load is added per link when provided.
+double shortest_path_max_utilization(const topo::Topology& topo, topo::NodeId dest,
+                                     const std::vector<Demand>& demands,
+                                     const std::vector<double>& background_bps = {});
+
+/// Per-link loads for demands routed on the plain IGP shortest-path DAG
+/// with even splits (helper shared by baselines and benches).
+std::vector<double> shortest_path_loads(const topo::Topology& topo, topo::NodeId dest,
+                                        const std::vector<Demand>& demands);
+
+}  // namespace fibbing::te

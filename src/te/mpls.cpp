@@ -1,0 +1,64 @@
+#include "te/mpls.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fibbing::te {
+
+std::vector<Tunnel> tunnels_from_splits(const topo::Topology& topo,
+                                        const MinMaxResult& solution,
+                                        const std::vector<Demand>& demands,
+                                        topo::NodeId dest) {
+  std::vector<double> flow = solution.link_flow;  // consumed as we peel
+  double total = 0.0;
+  for (const Demand& d : demands) total += d.rate_bps;
+  const double eps = std::max(total, 1.0) * 1e-7;
+
+  std::vector<Tunnel> tunnels;
+  for (const Demand& demand : demands) {
+    double remaining = demand.rate_bps;
+    while (remaining > eps) {
+      // Follow the fattest positive-flow edge toward the destination. The
+      // flow graph is a DAG (cycles cancelled by the solver), so the walk
+      // terminates at `dest`.
+      Tunnel tunnel;
+      tunnel.ingress = demand.ingress;
+      tunnel.egress = dest;
+      double bottleneck = remaining;
+      topo::NodeId at = demand.ingress;
+      std::size_t hops = 0;
+      while (at != dest) {
+        topo::LinkId best = topo::kInvalidLink;
+        for (const topo::LinkId l : topo.out_links(at)) {
+          if (flow[l] <= eps) continue;
+          if (best == topo::kInvalidLink || flow[l] > flow[best]) best = l;
+        }
+        FIB_ASSERT(best != topo::kInvalidLink,
+                   "tunnels_from_splits: flow dead-ends before destination");
+        tunnel.links.push_back(best);
+        bottleneck = std::min(bottleneck, flow[best]);
+        at = topo.link(best).to;
+        FIB_ASSERT(++hops <= topo.node_count(),
+                   "tunnels_from_splits: flow graph has a cycle");
+      }
+      tunnel.reserved_bps = bottleneck;
+      for (const topo::LinkId l : tunnel.links) flow[l] -= bottleneck;
+      remaining -= bottleneck;
+      tunnels.push_back(std::move(tunnel));
+    }
+  }
+  return tunnels;
+}
+
+MplsOverhead account_overhead(const std::vector<Tunnel>& tunnels) {
+  MplsOverhead overhead;
+  overhead.tunnels = tunnels.size();
+  for (const Tunnel& t : tunnels) {
+    overhead.state_entries += t.links.size() + 1;  // every router on the LSP
+    overhead.setup_messages += 2 * t.links.size();  // Path + Resv per hop
+  }
+  return overhead;
+}
+
+}  // namespace fibbing::te

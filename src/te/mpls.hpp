@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "te/minmax.hpp"
+#include "topo/topology.hpp"
+
+namespace fibbing::te {
+
+/// An RSVP-TE tunnel: an explicit path with a bandwidth reservation.
+struct Tunnel {
+  topo::NodeId ingress = topo::kInvalidNode;
+  topo::NodeId egress = topo::kInvalidNode;
+  std::vector<topo::LinkId> links;
+  double reserved_bps = 0.0;
+};
+
+/// Control- and data-plane cost of a tunnel set -- the overhead the paper
+/// argues Fibbing avoids ("establishing a potentially-high number of
+/// tunnels, encapsulating packets, and performing statefull uneven
+/// load-balancing").
+struct MplsOverhead {
+  std::size_t tunnels = 0;
+  /// Per-router LSP state entries summed over the network (each tunnel
+  /// holds state at its ingress, every transit hop and the egress).
+  std::size_t state_entries = 0;
+  /// RSVP Path + Resv messages to establish the LSPs (2 per hop), excluding
+  /// periodic refreshes which scale the same way.
+  std::size_t setup_messages = 0;
+  /// Label stack bytes added to every packet.
+  double encap_bytes_per_packet = 4.0;
+
+  [[nodiscard]] double encap_overhead_ratio(double mtu_bytes = 1500.0) const {
+    return encap_bytes_per_packet / mtu_bytes;
+  }
+};
+
+/// Realize a min-max solution as explicit tunnels: peel single paths off
+/// the fractional flow, one bundle per ingress, splitting each demand over
+/// as many tunnels as the decomposition requires (this is what an RSVP-TE
+/// deployment with unequal-cost load-balancing would provision).
+[[nodiscard]] std::vector<Tunnel> tunnels_from_splits(const topo::Topology& topo,
+                                                      const MinMaxResult& solution,
+                                                      const std::vector<Demand>& demands,
+                                                      topo::NodeId dest);
+
+[[nodiscard]] MplsOverhead account_overhead(const std::vector<Tunnel>& tunnels);
+
+}  // namespace fibbing::te

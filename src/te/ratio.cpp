@@ -1,0 +1,75 @@
+#include "te/ratio.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace fibbing::te {
+
+double ratio_error(const std::vector<std::uint32_t>& weights,
+                   const std::vector<double>& fractions) {
+  FIB_ASSERT(weights.size() == fractions.size(), "ratio_error: size mismatch");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  FIB_ASSERT(total > 0.0, "ratio_error: zero total weight");
+  double err = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    err = std::max(err, std::abs(weights[i] / total - fractions[i]));
+  }
+  return err;
+}
+
+std::vector<std::uint32_t> approximate_ratios(const std::vector<double>& fractions,
+                                              std::uint32_t max_total) {
+  FIB_ASSERT(!fractions.empty(), "approximate_ratios: empty input");
+  double sum = 0.0;
+  std::uint32_t positive = 0;
+  for (const double f : fractions) {
+    FIB_ASSERT(f >= 0.0, "approximate_ratios: negative fraction");
+    sum += f;
+    if (f > 0.0) ++positive;
+  }
+  FIB_ASSERT(std::abs(sum - 1.0) < 1e-6, "approximate_ratios: fractions must sum to 1");
+  FIB_ASSERT(positive > 0, "approximate_ratios: all fractions zero");
+  FIB_ASSERT(max_total >= positive,
+             "approximate_ratios: budget below positive fraction count");
+
+  std::vector<std::uint32_t> best;
+  double best_err = 0.0;
+  for (std::uint32_t denom = positive; denom <= max_total; ++denom) {
+    // Deficit apportionment with a floor of 1 per positive entry: hand the
+    // remaining units one by one to the entry furthest below its target.
+    // Always sums to exactly `denom`, even when one fraction dominates.
+    std::vector<std::uint32_t> w(fractions.size(), 0);
+    std::uint32_t used = 0;
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      if (fractions[i] > 0.0) {
+        w[i] = 1;
+        ++used;
+      }
+    }
+    for (; used < denom; ++used) {
+      std::size_t pick = fractions.size();
+      double worst_deficit = -1e18;
+      for (std::size_t i = 0; i < fractions.size(); ++i) {
+        if (fractions[i] <= 0.0) continue;
+        const double deficit = fractions[i] * denom - w[i];
+        if (deficit > worst_deficit + 1e-15) {
+          worst_deficit = deficit;
+          pick = i;
+        }
+      }
+      ++w[pick];
+    }
+    const double err = ratio_error(w, fractions);
+    if (best.empty() || err < best_err - 1e-12) {
+      best = std::move(w);
+      best_err = err;
+    }
+  }
+  FIB_ASSERT(!best.empty(), "approximate_ratios: no feasible denominator");
+  return best;
+}
+
+}  // namespace fibbing::te

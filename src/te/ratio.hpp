@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fibbing::te {
+
+/// Approximate a fractional split with small integer weights.
+///
+/// Fibbing realizes a fraction f_i at a next hop by replicating equal-cost
+/// fake paths, so the denominator (total replica count at one router) is
+/// bounded by how many lies we tolerate per (router, prefix). Given target
+/// fractions (nonnegative, summing to ~1), returns integer weights w_i,
+/// sum(w_i) <= max_total, every positive fraction gets w_i >= 1, minimizing
+/// the maximum absolute error |w_i / sum - f_i| (largest-remainder rounding
+/// evaluated at every denominator, smallest denominator wins ties).
+[[nodiscard]] std::vector<std::uint32_t> approximate_ratios(
+    const std::vector<double>& fractions, std::uint32_t max_total = 8);
+
+/// Maximum absolute error of an integer weighting against target fractions.
+[[nodiscard]] double ratio_error(const std::vector<std::uint32_t>& weights,
+                                 const std::vector<double>& fractions);
+
+}  // namespace fibbing::te

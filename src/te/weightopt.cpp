@@ -1,0 +1,191 @@
+#include "te/weightopt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "igp/routes.hpp"
+#include "util/assert.hpp"
+
+namespace fibbing::te {
+
+namespace {
+
+/// Distance of every node toward `dest` under explicit weights (reverse
+/// Dijkstra).
+std::vector<topo::Metric> dist_to(const topo::Topology& topo,
+                                  const std::vector<topo::Metric>& weights,
+                                  topo::NodeId dest) {
+  const std::size_t n = topo.node_count();
+  std::vector<topo::Metric> dist(n, igp::kInfMetric);
+  using Item = std::pair<topo::Metric, topo::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[dest] = 0;
+  heap.emplace(0, dest);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (const topo::LinkId vl : topo.out_links(v)) {
+      const topo::LinkId ul = topo.link(vl).reverse;  // u -> v
+      const topo::NodeId u = topo.link(ul).from;
+      const topo::Metric nd = d + weights[ul];
+      if (nd < dist[u]) {
+        dist[u] = nd;
+        heap.emplace(nd, u);
+      }
+    }
+  }
+  return dist;
+}
+
+/// ECMP successor links of `u` toward `dest` given the distance field.
+std::vector<topo::LinkId> dag_links(const topo::Topology& topo,
+                                    const std::vector<topo::Metric>& weights,
+                                    const std::vector<topo::Metric>& dist,
+                                    topo::NodeId u) {
+  std::vector<topo::LinkId> out;
+  for (const topo::LinkId l : topo.out_links(u)) {
+    const topo::NodeId v = topo.link(l).to;
+    if (dist[v] < igp::kInfMetric && weights[l] + dist[v] == dist[u]) {
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double fortz_thorup_phi(double utilization) {
+  // Integrated piecewise-linear penalty with the canonical breakpoints
+  // (1/3, 2/3, 9/10, 1, 11/10) and slopes (1, 3, 10, 70, 500, 5000).
+  struct Segment {
+    double upto;
+    double slope;
+  };
+  static constexpr Segment kSegments[] = {{1.0 / 3, 1},  {2.0 / 3, 3},
+                                          {9.0 / 10, 10}, {1.0, 70},
+                                          {11.0 / 10, 500}};
+  FIB_ASSERT(utilization >= 0.0, "fortz_thorup_phi: negative utilization");
+  double phi = 0.0;
+  double prev = 0.0;
+  for (const Segment& seg : kSegments) {
+    if (utilization <= seg.upto) {
+      return phi + (utilization - prev) * seg.slope;
+    }
+    phi += (seg.upto - prev) * seg.slope;
+    prev = seg.upto;
+  }
+  return phi + (utilization - prev) * 5000.0;
+}
+
+std::vector<double> loads_for_weights(const topo::Topology& topo,
+                                      const std::vector<topo::Metric>& weights,
+                                      const std::vector<TrafficDemand>& demands) {
+  FIB_ASSERT(weights.size() == topo.link_count(), "loads_for_weights: size mismatch");
+  std::vector<double> load(topo.link_count(), 0.0);
+
+  // Group demands by destination: one reverse SPF per destination.
+  std::map<topo::NodeId, std::vector<const TrafficDemand*>> by_dest;
+  for (const TrafficDemand& d : demands) {
+    FIB_ASSERT(d.src < topo.node_count() && d.dst < topo.node_count(),
+               "loads_for_weights: bad demand endpoints");
+    by_dest[d.dst].push_back(&d);
+  }
+
+  for (const auto& [dest, dest_demands] : by_dest) {
+    const std::vector<topo::Metric> dist = dist_to(topo, weights, dest);
+    std::vector<double> node_in(topo.node_count(), 0.0);
+    for (const TrafficDemand* d : dest_demands) node_in[d->src] += d->rate_bps;
+
+    std::vector<topo::NodeId> order(topo.node_count());
+    for (topo::NodeId i = 0; i < topo.node_count(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](topo::NodeId a, topo::NodeId b) { return dist[a] > dist[b]; });
+    for (const topo::NodeId u : order) {
+      if (u == dest || node_in[u] <= 0.0 || dist[u] >= igp::kInfMetric) continue;
+      const std::vector<topo::LinkId> succ = dag_links(topo, weights, dist, u);
+      FIB_ASSERT(!succ.empty(), "loads_for_weights: broken DAG");
+      const double share = node_in[u] / static_cast<double>(succ.size());
+      for (const topo::LinkId l : succ) {
+        load[l] += share;
+        node_in[topo.link(l).to] += share;
+      }
+    }
+  }
+  return load;
+}
+
+WeightOptResult optimize_weights(const topo::Topology& topo,
+                                 const std::vector<TrafficDemand>& demands,
+                                 const WeightOptConfig& config) {
+  FIB_ASSERT(config.max_weight >= 1, "optimize_weights: max_weight must be >= 1");
+  util::Rng rng(config.seed);
+
+  std::vector<topo::Metric> weights(topo.link_count());
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    weights[l] = topo.link(l).metric;
+  }
+  const std::vector<topo::Metric> initial_weights = weights;
+
+  const auto evaluate = [&](const std::vector<topo::Metric>& w) {
+    const std::vector<double> load = loads_for_weights(topo, w, demands);
+    double objective = 0.0;
+    double max_util = 0.0;
+    for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+      const double util = load[l] / topo.link(l).capacity_bps;
+      objective += fortz_thorup_phi(util);
+      max_util = std::max(max_util, util);
+    }
+    return std::make_pair(objective, max_util);
+  };
+
+  WeightOptResult result;
+  auto [objective, max_util] = evaluate(weights);
+  result.initial_objective = objective;
+  result.initial_max_util = max_util;
+  result.evaluations = 1;
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    const topo::LinkId l =
+        static_cast<topo::LinkId>(rng.pick_index(topo.link_count()));
+    const topo::Metric old = weights[l];
+    topo::Metric candidate =
+        static_cast<topo::Metric>(rng.uniform_int(1, config.max_weight));
+    if (candidate == old) continue;
+    weights[l] = candidate;
+    const auto [new_objective, new_max_util] = evaluate(weights);
+    ++result.evaluations;
+    if (new_objective < objective - 1e-12) {
+      objective = new_objective;
+      max_util = new_max_util;
+      ++result.weight_changes;
+    } else {
+      weights[l] = old;
+    }
+  }
+
+  result.weights = weights;
+  result.final_objective = objective;
+  result.final_max_util = max_util;
+
+  // Collateral damage: (router, destination) pairs whose ECMP successor set
+  // changed relative to the original weights.
+  std::set<topo::NodeId> dests;
+  for (const TrafficDemand& d : demands) dests.insert(d.dst);
+  for (const topo::NodeId dest : dests) {
+    const auto dist_before = dist_to(topo, initial_weights, dest);
+    const auto dist_after = dist_to(topo, weights, dest);
+    for (topo::NodeId u = 0; u < topo.node_count(); ++u) {
+      if (u == dest) continue;
+      if (dag_links(topo, initial_weights, dist_before, u) !=
+          dag_links(topo, weights, dist_after, u)) {
+        ++result.disturbed_pairs;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fibbing::te

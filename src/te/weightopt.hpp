@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace fibbing::te {
+
+/// A point-to-point demand for the weight optimizer (node-level traffic
+/// matrix entry).
+struct TrafficDemand {
+  topo::NodeId src = topo::kInvalidNode;
+  topo::NodeId dst = topo::kInvalidNode;
+  double rate_bps = 0.0;
+};
+
+struct WeightOptConfig {
+  int max_iterations = 2000;
+  topo::Metric max_weight = 64;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of the classic IGP-TE baseline: local search over link weights
+/// minimizing the Fortz-Thorup piecewise-linear congestion objective.
+/// The paper's argument against it is operational, and this struct carries
+/// the evidence: `weight_changes` devices must be reconfigured, and
+/// `disturbed_pairs` (router, destination) forwarding decisions move as a
+/// side effect -- Fibbing touches neither.
+struct WeightOptResult {
+  std::vector<topo::Metric> weights;  // per directed link
+  double initial_objective = 0.0;
+  double final_objective = 0.0;
+  double initial_max_util = 0.0;
+  double final_max_util = 0.0;
+  int weight_changes = 0;  // accepted moves = device reconfigurations
+  int evaluations = 0;
+  std::size_t disturbed_pairs = 0;
+};
+
+/// Per-link loads when `demands` follow shortest paths under `weights`
+/// (even ECMP splits). Exposed for tests and benches.
+[[nodiscard]] std::vector<double> loads_for_weights(
+    const topo::Topology& topo, const std::vector<topo::Metric>& weights,
+    const std::vector<TrafficDemand>& demands);
+
+/// The Fortz-Thorup piecewise-linear link cost, integrated: steeper as
+/// utilization approaches and exceeds 1.
+[[nodiscard]] double fortz_thorup_phi(double utilization);
+
+/// First-improvement local search from the topology's current weights.
+[[nodiscard]] WeightOptResult optimize_weights(const topo::Topology& topo,
+                                               const std::vector<TrafficDemand>& demands,
+                                               const WeightOptConfig& config = {});
+
+}  // namespace fibbing::te

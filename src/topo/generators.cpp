@@ -1,0 +1,136 @@
+#include "topo/generators.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fibbing::topo {
+
+PaperTopology make_paper_topology(double capacity_bps, Metric metric_scale) {
+  FIB_ASSERT(metric_scale >= 1, "make_paper_topology: zero metric scale");
+  PaperTopology p;
+  Topology& t = p.topo;
+  p.a = t.add_node("A");
+  p.b = t.add_node("B");
+  p.r1 = t.add_node("R1");
+  p.r2 = t.add_node("R2");
+  p.r3 = t.add_node("R3");
+  p.r4 = t.add_node("R4");
+  p.c = t.add_node("C");
+
+  const Metric s = metric_scale;
+  t.add_link(p.a, p.b, 1 * s, capacity_bps);
+  t.add_link(p.a, p.r1, 2 * s, capacity_bps);
+  t.add_link(p.b, p.r2, 1 * s, capacity_bps);
+  t.add_link(p.b, p.r3, 2 * s, capacity_bps);
+  t.add_link(p.r1, p.r4, 1 * s, capacity_bps);
+  t.add_link(p.r2, p.c, 1 * s, capacity_bps);
+  t.add_link(p.r3, p.c, 1 * s, capacity_bps);
+  t.add_link(p.r4, p.c, 1 * s, capacity_bps);
+
+  p.blue = net::Prefix(net::Ipv4(203, 0, 113, 0), 24);
+  p.p1 = net::Prefix(net::Ipv4(203, 0, 113, 0), 25);
+  p.p2 = net::Prefix(net::Ipv4(203, 0, 113, 128), 25);
+  t.attach_prefix(p.c, p.p1, 0);
+  t.attach_prefix(p.c, p.p2, 0);
+  FIB_ASSERT(t.validate().ok(), "paper topology must validate");
+  return p;
+}
+
+Topology make_waxman(std::size_t n, util::Rng& rng, double alpha, double beta,
+                     Metric max_metric, double cap_lo, double cap_hi) {
+  FIB_ASSERT(n >= 2, "make_waxman: need at least 2 nodes");
+  constexpr int kMaxAttempts = 200;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Topology t;
+    std::vector<double> x(n);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      t.add_node("n" + std::to_string(i));
+      x[i] = rng.uniform(0.0, 1.0);
+      y[i] = rng.uniform(0.0, 1.0);
+    }
+    const double scale = std::sqrt(2.0);  // max distance on the unit square
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double d = std::hypot(x[i] - x[j], y[i] - y[j]);
+        if (rng.chance(alpha * std::exp(-d / (beta * scale)))) {
+          t.add_link(static_cast<NodeId>(i), static_cast<NodeId>(j),
+                     static_cast<Metric>(rng.uniform_int(1, max_metric)),
+                     rng.uniform(cap_lo, cap_hi));
+        }
+      }
+    }
+    if (t.link_count() > 0 && t.validate().ok()) return t;
+  }
+  FIB_ASSERT(false, "make_waxman: could not generate a connected graph");
+  return Topology{};
+}
+
+Topology make_grid(std::size_t w, std::size_t h, double capacity_bps) {
+  FIB_ASSERT(w >= 1 && h >= 1 && w * h >= 2, "make_grid: degenerate grid");
+  Topology t;
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      t.add_node("g" + std::to_string(r) + "_" + std::to_string(c));
+    }
+  }
+  auto id = [w](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * w + c);
+  };
+  for (std::size_t r = 0; r < h; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      if (c + 1 < w) t.add_link(id(r, c), id(r, c + 1), 1, capacity_bps);
+      if (r + 1 < h) t.add_link(id(r, c), id(r + 1, c), 1, capacity_bps);
+    }
+  }
+  return t;
+}
+
+Topology make_ring(std::size_t n, double capacity_bps) {
+  FIB_ASSERT(n >= 3, "make_ring: need at least 3 nodes");
+  Topology t;
+  for (std::size_t i = 0; i < n; ++i) t.add_node("r" + std::to_string(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n), 1,
+               capacity_bps);
+  }
+  return t;
+}
+
+Topology make_abilene(double capacity_bps) {
+  Topology t;
+  const NodeId sea = t.add_node("SEA");
+  const NodeId sfo = t.add_node("SFO");
+  const NodeId lax = t.add_node("LAX");
+  const NodeId den = t.add_node("DEN");
+  const NodeId kc = t.add_node("KC");
+  const NodeId hou = t.add_node("HOU");
+  const NodeId chi = t.add_node("CHI");
+  const NodeId ind = t.add_node("IND");
+  const NodeId atl = t.add_node("ATL");
+  const NodeId dc = t.add_node("DC");
+  const NodeId ny = t.add_node("NY");
+
+  // Metrics roughly proportional to fiber latency, as Abilene configured.
+  t.add_link(sea, sfo, 9, capacity_bps);
+  t.add_link(sea, den, 13, capacity_bps);
+  t.add_link(sfo, lax, 4, capacity_bps);
+  t.add_link(sfo, den, 11, capacity_bps);
+  t.add_link(lax, hou, 14, capacity_bps);
+  t.add_link(den, kc, 6, capacity_bps);
+  t.add_link(kc, hou, 8, capacity_bps);
+  t.add_link(kc, ind, 5, capacity_bps);
+  t.add_link(hou, atl, 10, capacity_bps);
+  t.add_link(chi, ind, 2, capacity_bps);
+  t.add_link(chi, ny, 8, capacity_bps);
+  t.add_link(ind, atl, 6, capacity_bps);
+  t.add_link(atl, dc, 7, capacity_bps);
+  t.add_link(dc, ny, 3, capacity_bps);
+  FIB_ASSERT(t.validate().ok(), "abilene topology must validate");
+  return t;
+}
+
+}  // namespace fibbing::topo

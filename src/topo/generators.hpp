@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/prefix.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace fibbing::topo {
+
+/// Canonical constants for the paper's demo network (Fig. 1).
+///
+/// The figure draws one "blue prefix"; the demo's traffic is two client
+/// groups (D1 served by S1, D2 served by S2) behind C. Per-destination
+/// lies require them to be distinct routable prefixes, so C announces the
+/// two halves of the blue /24: P1 = lower /25 (D1), P2 = upper /25 (D2).
+/// `blue` is their aggregate, kept for documentation and negative tests.
+struct PaperTopology {
+  Topology topo;
+  NodeId a, b, r1, r2, r3, r4, c;
+  /// The aggregate "blue prefix" of Fig. 1 (not announced).
+  net::Prefix blue;
+  /// D1's prefix (203.0.113.0/25), announced at C.
+  net::Prefix p1;
+  /// D2's prefix (203.0.113.128/25), announced at C.
+  net::Prefix p2;
+};
+
+/// The network of Fig. 1a with weights reconstructed from the paper's text
+/// (see DESIGN.md section 3):
+///   A-B:1  A-R1:2  B-R2:1  B-R3:2  R1-R4:1  R2-C:1  R3-C:1  R4-C:1
+/// All metrics are multiplied by `metric_scale` (default 2). Uniform scaling
+/// preserves every shortest path of Fig. 1a but gives the lie compiler the
+/// one-unit cost headroom it needs to place strictly-preferred lies between
+/// two consecutive real path costs (external metrics are integers; at the
+/// figure's literal weights the exact 1/3:2/3 split of Fig. 1d is not
+/// expressible -- see DESIGN.md). Every link has `capacity_bps` capacity
+/// (default 40 Mb/s, which makes the Fig. 2 schedule congest exactly as in
+/// the paper).
+PaperTopology make_paper_topology(double capacity_bps = 40e6,
+                                  Metric metric_scale = 2);
+
+/// Waxman random graph: n nodes on the unit square, edge probability
+/// alpha * exp(-d / (beta * L)). Retries until connected. Metrics are
+/// uniform in [1, max_metric]; capacities uniform in [cap_lo, cap_hi].
+Topology make_waxman(std::size_t n, util::Rng& rng, double alpha = 0.4,
+                     double beta = 0.4, Metric max_metric = 10,
+                     double cap_lo = 10e9, double cap_hi = 40e9);
+
+/// w x h grid (Manhattan neighbours), unit metrics.
+Topology make_grid(std::size_t w, std::size_t h, double capacity_bps = 10e9);
+
+/// Ring of n nodes, unit metrics.
+Topology make_ring(std::size_t n, double capacity_bps = 10e9);
+
+/// A small ISP-like topology (11 PoPs, loosely modelled on Abilene) used by
+/// the WAN traffic-engineering example and the min-max benches.
+Topology make_abilene(double capacity_bps = 10e9);
+
+}  // namespace fibbing::topo

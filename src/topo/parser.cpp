@@ -1,0 +1,132 @@
+#include "topo/parser.hpp"
+
+#include <charconv>
+#include <string>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace fibbing::topo {
+
+namespace {
+
+using util::Result;
+
+/// Parse "40M"-style capacities into bits/s.
+Result<double> parse_capacity(std::string_view text) {
+  double multiplier = 1.0;
+  if (!text.empty()) {
+    switch (text.back()) {
+      case 'K': multiplier = 1e3; text.remove_suffix(1); break;
+      case 'M': multiplier = 1e6; text.remove_suffix(1); break;
+      case 'G': multiplier = 1e9; text.remove_suffix(1); break;
+      default: break;
+    }
+  }
+  double value = 0.0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || value <= 0.0) {
+    return Result<double>::failure("bad capacity: " + std::string(text));
+  }
+  return value * multiplier;
+}
+
+/// Split "key=value" attribute tokens into a map.
+Result<std::unordered_map<std::string, std::string>> parse_attrs(
+    const std::vector<std::string>& tokens, std::size_t first) {
+  std::unordered_map<std::string, std::string> attrs;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const auto kv = util::split(tokens[i], '=');
+    if (kv.size() != 2 || kv[0].empty() || kv[1].empty()) {
+      return Result<std::unordered_map<std::string, std::string>>::failure(
+          "bad attribute (want key=value): " + tokens[i]);
+    }
+    attrs[kv[0]] = kv[1];
+  }
+  return attrs;
+}
+
+}  // namespace
+
+Result<Topology> parse_topology(std::string_view text) {
+  Topology topo;
+  int line_no = 0;
+  for (const auto& raw_line : util::split(text, '\n')) {
+    ++line_no;
+    std::string_view line = util::trim(raw_line);
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = util::trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    std::vector<std::string> tokens;
+    for (auto& tok : util::split(line, ' ')) {
+      if (!util::trim(tok).empty()) tokens.emplace_back(util::trim(tok));
+    }
+    const auto fail = [&](const std::string& why) {
+      return Result<Topology>::failure("line " + std::to_string(line_no) + ": " + why);
+    };
+
+    if (tokens[0] == "node") {
+      if (tokens.size() != 2) return fail("node wants exactly one name");
+      if (topo.find_node(tokens[1]) != kInvalidNode) return fail("duplicate node");
+      topo.add_node(tokens[1]);
+    } else if (tokens[0] == "link") {
+      if (tokens.size() < 3) return fail("link wants two endpoints");
+      const NodeId a = topo.find_node(tokens[1]);
+      const NodeId b = topo.find_node(tokens[2]);
+      if (a == kInvalidNode || b == kInvalidNode) return fail("unknown endpoint");
+      auto attrs = parse_attrs(tokens, 3);
+      if (!attrs) return fail(attrs.error());
+      Metric metric = 1;
+      Metric rmetric = 0;
+      double capacity = 10e9;
+      for (const auto& [key, value] : attrs.value()) {
+        if (key == "metric") {
+          const long long m = util::parse_uint_or(value, -1);
+          if (m <= 0) return fail("bad metric");
+          metric = static_cast<Metric>(m);
+        } else if (key == "rmetric") {
+          const long long m = util::parse_uint_or(value, -1);
+          if (m <= 0) return fail("bad rmetric");
+          rmetric = static_cast<Metric>(m);
+        } else if (key == "capacity") {
+          auto cap = parse_capacity(value);
+          if (!cap) return fail(cap.error());
+          capacity = cap.value();
+        } else {
+          return fail("unknown link attribute: " + key);
+        }
+      }
+      if (rmetric == 0) rmetric = metric;
+      topo.add_link_asymmetric(a, b, metric, rmetric, capacity);
+    } else if (tokens[0] == "prefix") {
+      if (tokens.size() < 3) return fail("prefix wants: node cidr [metric=N]");
+      const NodeId node = topo.find_node(tokens[1]);
+      if (node == kInvalidNode) return fail("unknown node");
+      auto prefix = net::Prefix::parse(tokens[2]);
+      if (!prefix) return fail(prefix.error());
+      auto attrs = parse_attrs(tokens, 3);
+      if (!attrs) return fail(attrs.error());
+      Metric metric = 0;
+      for (const auto& [key, value] : attrs.value()) {
+        if (key == "metric") {
+          const long long m = util::parse_uint_or(value, -1);
+          if (m < 0) return fail("bad metric");
+          metric = static_cast<Metric>(m);
+        } else {
+          return fail("unknown prefix attribute: " + key);
+        }
+      }
+      topo.attach_prefix(node, prefix.value(), metric);
+    } else {
+      return fail("unknown directive: " + tokens[0]);
+    }
+  }
+  auto valid = topo.validate();
+  if (!valid.ok()) return Result<Topology>::failure(valid.error());
+  return topo;
+}
+
+}  // namespace fibbing::topo

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string_view>
+
+#include "topo/topology.hpp"
+#include "util/result.hpp"
+
+namespace fibbing::topo {
+
+/// Parse a topology description. Line-oriented format, '#' comments:
+///
+///   node A
+///   node B
+///   link A B metric=2 capacity=40M        # capacity suffixes: K, M, G
+///   link A B metric=2 rmetric=3 capacity=40M   # asymmetric metrics
+///   prefix C 203.0.113.0/24 metric=0
+///
+/// Used by examples to load scenario files and by tests as a compact graph
+/// literal syntax.
+util::Result<Topology> parse_topology(std::string_view text);
+
+}  // namespace fibbing::topo

@@ -1,0 +1,138 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fibbing::topo {
+
+NodeId Topology::add_node(std::string name) {
+  FIB_ASSERT(!name.empty(), "add_node: empty name");
+  FIB_ASSERT(by_name_.find(name) == by_name_.end(), "add_node: duplicate name");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  // Loopback/router-id from 192.168.0.0/16 -- supports up to 65k routers.
+  FIB_ASSERT(id < 0xffffu, "add_node: too many nodes");
+  const net::Ipv4 router_id(192, 168, static_cast<std::uint8_t>((id + 1) >> 8),
+                            static_cast<std::uint8_t>((id + 1) & 0xff));
+  nodes_.push_back(Node{name, router_id});
+  adjacency_.emplace_back();
+  by_name_.emplace(std::move(name), id);
+  return id;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, Metric metric, double capacity_bps) {
+  return add_link_asymmetric(a, b, metric, metric, capacity_bps);
+}
+
+LinkId Topology::add_link_asymmetric(NodeId a, NodeId b, Metric ab_metric,
+                                     Metric ba_metric, double capacity_bps) {
+  FIB_ASSERT(a < nodes_.size() && b < nodes_.size(), "add_link: unknown node");
+  FIB_ASSERT(a != b, "add_link: self-loop");
+  FIB_ASSERT(ab_metric > 0 && ba_metric > 0, "add_link: metric must be positive");
+  FIB_ASSERT(capacity_bps > 0.0, "add_link: capacity must be positive");
+  FIB_ASSERT(link_between(a, b) == kInvalidLink, "add_link: parallel link");
+
+  // Allocate the /30 transfer network: 10.x.y.z, 4 addresses per link.
+  FIB_ASSERT(next_subnet_ < (1u << 22), "add_link: /30 pool exhausted");
+  const std::uint32_t base = (std::uint32_t{10} << 24) | (next_subnet_ << 2);
+  ++next_subnet_;
+  const net::Prefix subnet(net::Ipv4(base), 30);
+
+  const auto ab = static_cast<LinkId>(links_.size());
+  const auto ba = static_cast<LinkId>(links_.size() + 1);
+  links_.push_back(Link{a, b, ab_metric, capacity_bps, ba, net::Ipv4(base + 1), subnet});
+  links_.push_back(Link{b, a, ba_metric, capacity_bps, ab, net::Ipv4(base + 2), subnet});
+  adjacency_[a].push_back(ab);
+  adjacency_[b].push_back(ba);
+  return ab;
+}
+
+void Topology::attach_prefix(NodeId node, const net::Prefix& prefix, Metric metric) {
+  FIB_ASSERT(node < nodes_.size(), "attach_prefix: unknown node");
+  prefixes_.push_back(PrefixAttachment{prefix, node, metric});
+}
+
+const Node& Topology::node(NodeId id) const {
+  FIB_ASSERT(id < nodes_.size(), "node: id out of range");
+  return nodes_[id];
+}
+
+const Link& Topology::link(LinkId id) const {
+  FIB_ASSERT(id < links_.size(), "link: id out of range");
+  return links_[id];
+}
+
+const std::vector<LinkId>& Topology::out_links(NodeId id) const {
+  FIB_ASSERT(id < adjacency_.size(), "out_links: id out of range");
+  return adjacency_[id];
+}
+
+NodeId Topology::find_node(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidNode : it->second;
+}
+
+NodeId Topology::node_id(std::string_view name) const {
+  const NodeId id = find_node(name);
+  FIB_ASSERT(id != kInvalidNode, "node_id: unknown node name");
+  return id;
+}
+
+LinkId Topology::link_between(NodeId a, NodeId b) const {
+  if (a >= adjacency_.size()) return kInvalidLink;
+  for (const LinkId lid : adjacency_[a]) {
+    if (links_[lid].to == b) return lid;
+  }
+  return kInvalidLink;
+}
+
+std::string Topology::link_name(LinkId id) const {
+  const Link& l = link(id);
+  return nodes_[l.from].name + "->" + nodes_[l.to].name;
+}
+
+std::vector<PrefixAttachment> Topology::attachments_for(const net::Prefix& prefix) const {
+  std::vector<PrefixAttachment> out;
+  for (const auto& att : prefixes_) {
+    if (att.prefix == prefix) out.push_back(att);
+  }
+  return out;
+}
+
+LinkId Topology::link_owning(net::Ipv4 address) const {
+  for (LinkId id = 0; id < links_.size(); ++id) {
+    if (links_[id].local_addr == address) return id;
+  }
+  return kInvalidLink;
+}
+
+util::Status Topology::validate() const {
+  if (nodes_.empty()) return util::Status::failure("topology has no nodes");
+  if (links_.empty()) return util::Status::failure("topology has no links");
+  // Connectivity: BFS over undirected adjacency.
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<NodeId> queue{0};
+  seen[0] = true;
+  while (!queue.empty()) {
+    const NodeId u = queue.back();
+    queue.pop_back();
+    for (const LinkId lid : adjacency_[u]) {
+      const NodeId v = links_[lid].to;
+      if (!seen[v]) {
+        seen[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  if (!std::all_of(seen.begin(), seen.end(), [](bool b) { return b; })) {
+    return util::Status::failure("topology is not connected");
+  }
+  for (const auto& att : prefixes_) {
+    if (att.node >= nodes_.size()) {
+      return util::Status::failure("prefix attached to unknown node");
+    }
+  }
+  return {};
+}
+
+}  // namespace fibbing::topo

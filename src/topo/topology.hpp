@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "util/result.hpp"
+
+namespace fibbing::topo {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+
+/// IGP metric type. OSPF interface costs are 16-bit; we keep 32 bits for
+/// headroom in synthetic topologies.
+using Metric = std::uint32_t;
+
+struct Node {
+  std::string name;
+  net::Ipv4 router_id;  // loopback, auto-assigned 192.168.0.<n+1>
+};
+
+/// Directed half of a bidirectional adjacency. add_link() always creates
+/// both directions; `reverse` indexes the other half.
+struct Link {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Metric metric = 1;
+  double capacity_bps = 0.0;
+  LinkId reverse = kInvalidLink;
+  /// Address of the *local* (from-side) interface inside the link's /30.
+  net::Ipv4 local_addr;
+  /// The /30 transfer network shared by both directions.
+  net::Prefix subnet;
+};
+
+/// A destination prefix announced into the IGP by a router (an OSPF stub /
+/// intra-area route, e.g. the "blue prefix" of the paper attached at C).
+struct PrefixAttachment {
+  net::Prefix prefix;
+  NodeId node = kInvalidNode;
+  Metric metric = 0;
+};
+
+/// The physical network: routers, bidirectional capacitated weighted links,
+/// and announced prefixes. Pure value type; the IGP, data plane and
+/// controller all reference one immutable Topology (lies never mutate it --
+/// that is the whole point of Fibbing).
+class Topology {
+ public:
+  /// Add a router; names must be unique and non-empty.
+  NodeId add_node(std::string name);
+
+  /// Add a bidirectional link with symmetric metric and capacity.
+  /// Returns the id of the a->b direction (b->a is `reverse`).
+  LinkId add_link(NodeId a, NodeId b, Metric metric, double capacity_bps);
+
+  /// Add a bidirectional link with asymmetric metrics.
+  LinkId add_link_asymmetric(NodeId a, NodeId b, Metric ab_metric, Metric ba_metric,
+                             double capacity_bps);
+
+  /// Announce `prefix` at `node` with the given internal metric.
+  void attach_prefix(NodeId node, const net::Prefix& prefix, Metric metric = 0);
+
+  // -- accessors ------------------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] const std::vector<PrefixAttachment>& prefixes() const {
+    return prefixes_;
+  }
+
+  /// Out-links (directed) of a node.
+  [[nodiscard]] const std::vector<LinkId>& out_links(NodeId id) const;
+
+  /// Node by name; kInvalidNode if absent.
+  [[nodiscard]] NodeId find_node(std::string_view name) const;
+  /// Node by name, asserting existence (for tests/examples on known graphs).
+  [[nodiscard]] NodeId node_id(std::string_view name) const;
+
+  /// Directed link a->b; kInvalidLink if not adjacent.
+  [[nodiscard]] LinkId link_between(NodeId a, NodeId b) const;
+
+  /// Human-readable "A->B" label for a directed link.
+  [[nodiscard]] std::string link_name(LinkId id) const;
+
+  /// All attachments announcing prefixes that contain/equal `prefix`.
+  [[nodiscard]] std::vector<PrefixAttachment> attachments_for(
+      const net::Prefix& prefix) const;
+
+  /// The link whose /30 subnet contains `address` (forwarding-address
+  /// resolution); kInvalidLink when none does. Returns the directed link
+  /// whose *local* interface owns the address.
+  [[nodiscard]] LinkId link_owning(net::Ipv4 address) const;
+
+  /// Structural validation: connected, positive metrics, capacities set.
+  [[nodiscard]] util::Status validate() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+  std::vector<PrefixAttachment> prefixes_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::uint32_t next_subnet_ = 0;  // /30 allocator within 10.0.0.0/8
+};
+
+}  // namespace fibbing::topo

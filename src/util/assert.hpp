@@ -1,0 +1,17 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+/// FIB_ASSERT guards *programming errors* (broken invariants, contract
+/// violations). Recoverable conditions use util::Result instead.
+/// Enabled in all build types: simulation correctness trumps the few
+/// nanoseconds saved by stripping checks.
+#define FIB_ASSERT(cond, msg)                                                 \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "FIB_ASSERT failed at %s:%d: %s\n  %s\n",          \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,69 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace fibbing::util {
+
+void CsvWriter::header(std::initializer_list<std::string> columns) {
+  write_line_(std::vector<std::string>(columns));
+}
+
+void CsvWriter::row(std::initializer_list<std::string> cells) {
+  write_line_(std::vector<std::string>(cells));
+}
+
+void CsvWriter::row_values(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    cells.emplace_back(buf);
+  }
+  write_line_(cells);
+}
+
+void CsvWriter::write_line_(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    // Values here are numbers and identifiers; quoting is only needed if a
+    // cell embeds a comma.
+    if (cells[i].find(',') != std::string::npos) {
+      out_ << '"' << cells[i] << '"';
+    } else {
+      out_ << cells[i];
+    }
+  }
+  out_ << '\n';
+}
+
+void write_series_csv(std::ostream& out, const std::vector<const TimeSeries*>& series) {
+  CsvWriter csv(out);
+  std::vector<std::string> head{"time"};
+  std::vector<double> times;
+  for (const TimeSeries* s : series) {
+    FIB_ASSERT(s != nullptr, "write_series_csv: null series");
+    head.push_back(s->name());
+    times.insert(times.end(), s->times().begin(), s->times().end());
+  }
+  {
+    // CsvWriter::header takes an initializer_list; reuse row plumbing instead.
+    for (std::size_t i = 0; i < head.size(); ++i) {
+      if (i > 0) out << ',';
+      out << head[i];
+    }
+    out << '\n';
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  for (double t : times) {
+    std::vector<double> rowv{t};
+    for (const TimeSeries* s : series) rowv.push_back(s->at(t));
+    csv.row_values(rowv);
+  }
+}
+
+}  // namespace fibbing::util

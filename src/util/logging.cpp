@@ -1,0 +1,32 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace fibbing::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DBG";
+    case LogLevel::kInfo: return "INF";
+    case LogLevel::kWarn: return "WRN";
+    case LogLevel::kError: return "ERR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "???";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& component, const std::string& message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %-12s %s\n", level_tag(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace fibbing::util

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fibbing::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold. Benches and tests default to kWarn so output
+/// stays readable; examples raise it to kInfo to narrate the demo.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Sink for a fully-formatted line (used by the LOG macro below).
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace fibbing::util
+
+/// Usage: FIB_LOG(kInfo, "controller") << "injected " << n << " lies";
+#define FIB_LOG(level, component)                                        \
+  if (::fibbing::util::LogLevel::level < ::fibbing::util::log_level()) { \
+  } else                                                                 \
+    ::fibbing::util::detail::LogStream(::fibbing::util::LogLevel::level, component)

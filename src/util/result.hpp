@@ -1,0 +1,65 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace fibbing::util {
+
+/// Minimal expected-like type for recoverable failures (std::expected is
+/// C++23; we target C++20). The error channel is a human-readable message:
+/// callers of this library either propagate or log it, they never branch on
+/// error *codes*, so a string keeps the API honest and small.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  static Result failure(std::string why) { return Result(Error{std::move(why)}); }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    FIB_ASSERT(ok(), error_.why.c_str());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    FIB_ASSERT(ok(), error_.why.c_str());
+    return std::move(*value_);
+  }
+  [[nodiscard]] const std::string& error() const {
+    FIB_ASSERT(!ok(), "Result::error() called on success");
+    return error_.why;
+  }
+
+ private:
+  struct Error {
+    std::string why;
+  };
+  explicit Result(Error e) : error_(std::move(e)) {}
+
+  std::optional<T> value_;
+  Error error_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  static Status failure(std::string why) { return Status(std::move(why)); }
+
+  [[nodiscard]] bool ok() const { return why_.empty(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const std::string& error() const {
+    FIB_ASSERT(!ok(), "Status::error() called on success");
+    return why_;
+  }
+
+ private:
+  explicit Status(std::string why) : why_(std::move(why)) {}
+  std::string why_;
+};
+
+}  // namespace fibbing::util

@@ -1,0 +1,19 @@
+#include "util/rng.hpp"
+
+namespace fibbing::util {
+
+Rng Rng::fork() {
+  // Mix two draws through splitmix64 so child streams are decorrelated from
+  // the parent's subsequent output.
+  auto mix = [](std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(mix(a) ^ mix(b ^ 0xda942042e4dd58b5ULL));
+}
+
+}  // namespace fibbing::util

@@ -1,0 +1,89 @@
+#include "util/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace fibbing::util {
+
+void TimeSeries::add(double t, double v) {
+  FIB_ASSERT(t_.empty() || t >= t_.back(), "TimeSeries: samples must be time-ordered");
+  t_.push_back(t);
+  v_.push_back(v);
+}
+
+double TimeSeries::at(double t) const {
+  // Last sample with time <= t.
+  auto it = std::upper_bound(t_.begin(), t_.end(), t);
+  if (it == t_.begin()) return 0.0;
+  const auto idx = static_cast<std::size_t>(std::distance(t_.begin(), it)) - 1;
+  return v_[idx];
+}
+
+double TimeSeries::mean_over(double t0, double t1) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i] >= t0 && t_[i] <= t1) {
+      sum += v_[i];
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::max_over(double t0, double t1) const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < t_.size(); ++i) {
+    if (t_[i] >= t0 && t_[i] <= t1) best = std::max(best, v_[i]);
+  }
+  return best;
+}
+
+std::string ascii_chart(const std::vector<const TimeSeries*>& series, double t0,
+                        double t1, int width, int height) {
+  FIB_ASSERT(width > 0 && height > 0, "ascii_chart: non-positive dimensions");
+  FIB_ASSERT(t1 > t0, "ascii_chart: empty time range");
+  static constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+
+  double vmax = 0.0;
+  for (const TimeSeries* s : series) {
+    FIB_ASSERT(s != nullptr, "ascii_chart: null series");
+    vmax = std::max(vmax, s->max_over(t0, t1));
+  }
+  if (vmax <= 0.0) vmax = 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (int col = 0; col < width; ++col) {
+      const double t = t0 + (t1 - t0) * (col + 0.5) / width;
+      const double v = series[si]->at(t);
+      int row = static_cast<int>(std::lround((v / vmax) * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      // row 0 is the bottom of the chart
+      grid[static_cast<std::size_t>(height - 1 - row)][static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  std::string out;
+  char label[64];
+  std::snprintf(label, sizeof(label), "%.3g", vmax);
+  out += std::string("  ^ ") + label + "\n";
+  for (const auto& row : grid) out += "  |" + row + "\n";
+  out += "  +" + std::string(static_cast<std::size_t>(width), '-') + ">\n";
+  std::snprintf(label, sizeof(label), "  t=%.4g .. %.4g   legend:", t0, t1);
+  out += label;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += ' ';
+    out += kGlyphs[si % sizeof(kGlyphs)];
+    out += '=' + series[si]->name();
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace fibbing::util

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fibbing::util {
+
+/// A named sampled series of (time, value) points, e.g. per-link throughput.
+/// This is the currency of every figure-reproduction bench.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(double t, double v);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return t_.size(); }
+  [[nodiscard]] bool empty() const { return t_.empty(); }
+  [[nodiscard]] const std::vector<double>& times() const { return t_; }
+  [[nodiscard]] const std::vector<double>& values() const { return v_; }
+
+  /// Value at time t by step interpolation (last sample at or before t);
+  /// 0 before the first sample.
+  [[nodiscard]] double at(double t) const;
+
+  /// Mean of samples with time in [t0, t1].
+  [[nodiscard]] double mean_over(double t0, double t1) const;
+
+  /// Maximum sample value over [t0, t1] (0 if no samples there).
+  [[nodiscard]] double max_over(double t0, double t1) const;
+
+ private:
+  std::string name_;
+  std::vector<double> t_;
+  std::vector<double> v_;
+};
+
+/// Render several series as an ASCII chart (rows = value buckets, cols =
+/// time buckets), one glyph per series — enough to eyeball Fig. 2's shape
+/// in bench output without a plotting stack.
+[[nodiscard]] std::string ascii_chart(const std::vector<const TimeSeries*>& series,
+                                      double t0, double t1, int width = 72,
+                                      int height = 16);
+
+}  // namespace fibbing::util

@@ -1,0 +1,54 @@
+#include "video/flash_crowd.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fibbing::video {
+
+std::vector<RequestBatch> fig2_schedule(ServerId s1, ServerId s2,
+                                        const net::Prefix& p1, const net::Prefix& p2,
+                                        VideoAsset asset) {
+  return {
+      RequestBatch{0.0, s1, p1, /*first_host=*/1, /*count=*/1, asset},
+      RequestBatch{15.0, s1, p1, /*first_host=*/2, /*count=*/30, asset},
+      RequestBatch{35.0, s2, p2, /*first_host=*/1, /*count=*/31, asset},
+  };
+}
+
+std::vector<RequestBatch> poisson_crowd(util::Rng& rng, double rate_per_s,
+                                        double start_s, double duration_s,
+                                        ServerId server,
+                                        const net::Prefix& client_prefix,
+                                        VideoAsset asset, std::uint32_t first_host) {
+  FIB_ASSERT(rate_per_s > 0.0, "poisson_crowd: non-positive rate");
+  std::vector<RequestBatch> out;
+  double t = start_s + rng.exponential(rate_per_s);
+  std::uint32_t host = first_host;
+  while (t < start_s + duration_s) {
+    out.push_back(RequestBatch{t, server, client_prefix, host++, 1, asset});
+    t += rng.exponential(rate_per_s);
+  }
+  return out;
+}
+
+int schedule_requests(VideoSystem& system, util::EventQueue& events,
+                      const std::vector<RequestBatch>& batches) {
+  int total = 0;
+  for (const RequestBatch& batch : batches) {
+    FIB_ASSERT(batch.count > 0, "schedule_requests: empty batch");
+    total += batch.count;
+    // Batches "at t=0" land right after whatever booted the network (IGP
+    // convergence already consumed a few tens of milliseconds).
+    events.schedule_at(std::max(batch.time_s, events.now()), [&system, batch] {
+      for (int i = 0; i < batch.count; ++i) {
+        const net::Ipv4 addr =
+            batch.client_prefix.host(batch.first_host + static_cast<std::uint32_t>(i));
+        system.start_session(batch.server, batch.client_prefix, addr, batch.asset);
+      }
+    });
+  }
+  return total;
+}
+
+}  // namespace fibbing::video

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "util/event_queue.hpp"
+#include "util/rng.hpp"
+#include "video/system.hpp"
+
+namespace fibbing::video {
+
+/// A batch of simultaneous video requests: `count` clients inside
+/// `client_prefix` (hosts first_host, first_host+1, ...) hit `server` at
+/// `time_s`. Flash crowds are sequences of such batches.
+struct RequestBatch {
+  double time_s = 0.0;
+  ServerId server = 0;
+  net::Prefix client_prefix;
+  std::uint32_t first_host = 1;
+  int count = 1;
+  VideoAsset asset;
+};
+
+/// The exact experiment schedule of the paper's Fig. 2:
+///   t = 0 s : 1 client (D1) requests a video from S1;
+///   t = 15 s: 30 more D1 clients arrive (flash crowd on P1);
+///   t = 35 s: 31 D2 clients request videos from S2 (flash crowd on P2).
+/// `s1`/`s2` are the server ids registered with the VideoSystem; `p1`/`p2`
+/// the client prefixes. Videos are `asset` (default 1 Mb/s, long enough to
+/// span the experiment).
+[[nodiscard]] std::vector<RequestBatch> fig2_schedule(ServerId s1, ServerId s2,
+                                                      const net::Prefix& p1,
+                                                      const net::Prefix& p2,
+                                                      VideoAsset asset = {1e6, 300.0});
+
+/// A random flash crowd: Poisson arrivals at `rate_per_s` over
+/// [start_s, start_s + duration_s), one client per arrival.
+[[nodiscard]] std::vector<RequestBatch> poisson_crowd(
+    util::Rng& rng, double rate_per_s, double start_s, double duration_s,
+    ServerId server, const net::Prefix& client_prefix, VideoAsset asset,
+    std::uint32_t first_host = 1);
+
+/// Install the batches into the event queue; each fires start_session calls
+/// at its time. Returns the number of sessions that will be started.
+int schedule_requests(VideoSystem& system, util::EventQueue& events,
+                      const std::vector<RequestBatch>& batches);
+
+}  // namespace fibbing::video

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include "core/augment.hpp"
+#include "core/lie.hpp"
+#include "core/loads.hpp"
+#include "core/requirements.hpp"
+#include "core/verify.hpp"
+#include "igp/spf.hpp"
+#include "igp/view.hpp"
+#include "te/minmax.hpp"
+#include "topo/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fibbing::core {
+namespace {
+
+using topo::make_paper_topology;
+using topo::NodeId;
+using topo::PaperTopology;
+
+DestRequirement paper_requirement_p2(const PaperTopology& p) {
+  // Fig. 1d for P2: A splits 1/3 via B, 2/3 via R1; B splits evenly R2/R3.
+  DestRequirement req;
+  req.prefix = p.p2;
+  req.nodes[p.a] = {NextHopReq{p.b, 1}, NextHopReq{p.r1, 2}};
+  req.nodes[p.b] = {NextHopReq{p.r2, 1}, NextHopReq{p.r3, 1}};
+  return req;
+}
+
+// ------------------------------------------------------------- requirements
+
+TEST(Requirements, FromSplitsRoundsFractions) {
+  const PaperTopology p = make_paper_topology();
+  te::SplitMap splits;
+  splits[p.a] = {{p.b, 1.0 / 3}, {p.r1, 2.0 / 3}};
+  splits[p.b] = {{p.r2, 0.5}, {p.r3, 0.5}};
+  const DestRequirement req = requirement_from_splits(p.p2, splits, 8);
+  ASSERT_TRUE(req.nodes.contains(p.a));
+  EXPECT_EQ(req.nodes.at(p.a),
+            (std::vector<NextHopReq>{{p.b, 1}, {p.r1, 2}}));
+  EXPECT_EQ(req.nodes.at(p.b), (std::vector<NextHopReq>{{p.r2, 1}, {p.r3, 1}}));
+}
+
+TEST(Requirements, ValidateRejectsNonAdjacent) {
+  const PaperTopology p = make_paper_topology();
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.a] = {NextHopReq{p.c, 1}};  // A is not adjacent to C
+  EXPECT_FALSE(validate_requirement(p.topo, req).ok());
+}
+
+TEST(Requirements, ValidateRejectsCycle) {
+  const PaperTopology p = make_paper_topology();
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.a] = {NextHopReq{p.b, 1}};
+  req.nodes[p.b] = {NextHopReq{p.a, 1}};
+  EXPECT_FALSE(validate_requirement(p.topo, req).ok());
+}
+
+TEST(Requirements, ValidateRejectsUnannouncedPrefix) {
+  const PaperTopology p = make_paper_topology();
+  DestRequirement req;
+  req.prefix = p.blue;  // the aggregate is not announced
+  req.nodes[p.b] = {NextHopReq{p.r2, 1}};
+  EXPECT_FALSE(validate_requirement(p.topo, req).ok());
+}
+
+TEST(Requirements, ValidateAcceptsPaperRequirement) {
+  const PaperTopology p = make_paper_topology();
+  EXPECT_TRUE(validate_requirement(p.topo, paper_requirement_p2(p)).ok());
+}
+
+// ----------------------------------------------------------------- verifier
+
+TEST(Verify, NormalizeReducesWeights) {
+  igp::RouteEntry entry;
+  entry.next_hops = {{1, 2}, {2, 4}};
+  const Distribution d = normalize(entry);
+  EXPECT_EQ(d.at(1), 1u);
+  EXPECT_EQ(d.at(2), 2u);
+}
+
+TEST(Verify, HandBuiltPaperLiesVerify) {
+  const PaperTopology p = make_paper_topology();
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.b] = {NextHopReq{p.r2, 1}, NextHopReq{p.r3, 1}};
+  std::vector<Lie> lies;
+  Lie fb;
+  fb.id = 1;
+  fb.prefix = p.p1;
+  fb.attach = p.b;
+  fb.via = p.r3;
+  fb.ext_metric = 0;  // dist(B, S_BR3) = 4 = B's real cost
+  fb.forwarding_address = lie_forwarding_address(p.topo, p.b, p.r3);
+  lies.push_back(fb);
+  const VerifyReport report = verify_augmentation(p.topo, req, lies);
+  EXPECT_TRUE(report.ok()) << report.to_string(p.topo);
+}
+
+TEST(Verify, DetectsUnmetRequirement) {
+  const PaperTopology p = make_paper_topology();
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.b] = {NextHopReq{p.r2, 1}, NextHopReq{p.r3, 1}};
+  const VerifyReport report = verify_augmentation(p.topo, req, {});  // no lies
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].node, p.b);
+}
+
+TEST(Verify, DetectsPollution) {
+  const PaperTopology p = make_paper_topology();
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.b] = {NextHopReq{p.r2, 1}, NextHopReq{p.r3, 1}};
+  std::vector<Lie> lies;
+  Lie fb;
+  fb.id = 1;
+  fb.prefix = p.p1;
+  fb.attach = p.b;
+  fb.via = p.r3;
+  fb.ext_metric = 0;
+  fb.forwarding_address = lie_forwarding_address(p.topo, p.b, p.r3);
+  lies.push_back(fb);
+  // A rogue lie that drags R4's traffic for P1 toward R1.
+  Lie rogue;
+  rogue.id = 2;
+  rogue.prefix = p.p1;
+  rogue.attach = p.r4;
+  rogue.via = p.r1;
+  rogue.ext_metric = 0;  // cost 2 at R4 < its real cost -> hijack
+  rogue.forwarding_address = lie_forwarding_address(p.topo, p.r4, p.r1);
+  lies.push_back(rogue);
+  const VerifyReport report = verify_augmentation(p.topo, req, lies);
+  ASSERT_FALSE(report.ok());
+  bool saw_pollution = false;
+  for (const auto& issue : report.issues) {
+    if (issue.node == p.r4) saw_pollution = true;
+  }
+  EXPECT_TRUE(saw_pollution) << report.to_string(p.topo);
+}
+
+TEST(Verify, DetectsIsolationViolation) {
+  const PaperTopology p = make_paper_topology();
+  // Requirement on P1 but a lie that also reroutes P2 at B.
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.b] = {NextHopReq{p.r2, 1}, NextHopReq{p.r3, 1}};
+  std::vector<Lie> lies;
+  Lie fb;
+  fb.id = 1;
+  fb.prefix = p.p1;
+  fb.attach = p.b;
+  fb.via = p.r3;
+  fb.ext_metric = 0;
+  fb.forwarding_address = lie_forwarding_address(p.topo, p.b, p.r3);
+  lies.push_back(fb);
+  Lie hijack_p2;  // environment lie breaking P2 at B
+  hijack_p2.id = 2;
+  hijack_p2.prefix = p.p2;
+  hijack_p2.attach = p.b;
+  hijack_p2.via = p.r3;
+  hijack_p2.ext_metric = 0;
+  hijack_p2.forwarding_address = lie_forwarding_address(p.topo, p.b, p.r3);
+  // The environment lie is in both baseline and augmented views, so it must
+  // NOT trip the verifier: isolation is judged on req.prefix's lies only.
+  lies.push_back(hijack_p2);
+  const VerifyReport report = verify_augmentation(p.topo, req, lies);
+  EXPECT_TRUE(report.ok()) << report.to_string(p.topo);
+}
+
+// ------------------------------------------------------------ augmentation
+
+TEST(Augment, CompilesFbLieForEvenSplitAtB) {
+  const PaperTopology p = make_paper_topology();
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.b] = {NextHopReq{p.r2, 1}, NextHopReq{p.r3, 1}};
+  const auto result = compile_lies(p.topo, req);
+  ASSERT_TRUE(result.ok()) << result.error();
+  const Augmentation& aug = result.value();
+  // One lie suffices: fB toward R3 at tie cost (the paper's fB).
+  ASSERT_EQ(aug.lies.size(), 1u);
+  EXPECT_EQ(aug.lies[0].attach, p.b);
+  EXPECT_EQ(aug.lies[0].via, p.r3);
+  EXPECT_EQ(aug.lies[0].ext_metric, 0u);
+  EXPECT_EQ(aug.lies[0].target_cost, 4u);
+  EXPECT_TRUE(verify_augmentation(p.topo, req, aug.lies).ok());
+}
+
+TEST(Augment, CompilesPaperP2RequirementWithStrictModeAtA) {
+  const PaperTopology p = make_paper_topology();
+  const DestRequirement req = paper_requirement_p2(p);
+  const auto result = compile_lies(p.topo, req);
+  ASSERT_TRUE(result.ok()) << result.error();
+  const Augmentation& aug = result.value();
+  EXPECT_TRUE(verify_augmentation(p.topo, req, aug.lies).ok());
+  // A needs 3 lies in strict mode (target 5): 1 toward B (ext 3), 2 toward
+  // R1 (ext 1). B needs 1 lie (tie, ext 0). Total 4 after reduction.
+  std::map<std::pair<NodeId, NodeId>, int> per_edge;
+  for (const Lie& lie : aug.lies) per_edge[std::make_pair(lie.attach, lie.via)]++;
+  EXPECT_EQ(per_edge[std::make_pair(p.a, p.b)], 1);
+  EXPECT_EQ(per_edge[std::make_pair(p.a, p.r1)], 2);
+  EXPECT_EQ(per_edge[std::make_pair(p.b, p.r3)], 1);
+  EXPECT_EQ(aug.lies.size(), 4u);
+}
+
+TEST(Augment, FullPaperSceneBothPrefixes) {
+  const PaperTopology p = make_paper_topology();
+  // P1: even split at B. P2: the Fig. 1d requirement.
+  DestRequirement req1;
+  req1.prefix = p.p1;
+  req1.nodes[p.b] = {NextHopReq{p.r2, 1}, NextHopReq{p.r3, 1}};
+  const auto aug1 = compile_lies(p.topo, req1);
+  ASSERT_TRUE(aug1.ok()) << aug1.error();
+
+  DestRequirement req2 = paper_requirement_p2(p);
+  AugmentConfig config2;
+  config2.first_lie_id = 100;
+  const auto aug2 = compile_lies(p.topo, req2, config2);
+  ASSERT_TRUE(aug2.ok()) << aug2.error();
+
+  // Both lie sets coexist: verify each requirement in the presence of the
+  // other's lies (per-destination isolation).
+  std::vector<Lie> all = aug1.value().lies;
+  all.insert(all.end(), aug2.value().lies.begin(), aug2.value().lies.end());
+  EXPECT_TRUE(verify_augmentation(p.topo, req1, all).ok());
+  EXPECT_TRUE(verify_augmentation(p.topo, req2, all).ok());
+}
+
+TEST(Augment, StrictModeExcludesRealPath) {
+  // Excluding a real next hop needs the lie to cost *less* than the real
+  // route, yet a forwarding-address lie can never cost less than the
+  // interface metric toward the desired hop. The deployment remedy is
+  // announcing the prefix with a redistribution metric (headroom): all real
+  // costs rise uniformly, leaving room below them.
+  PaperTopology p = make_paper_topology();
+  topo::Topology t = p.topo;  // rebuild with attachment metric 10
+  topo::Topology fresh;
+  for (topo::NodeId n = 0; n < t.node_count(); ++n) fresh.add_node(t.node(n).name);
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    const topo::Link& link = t.link(l);
+    if (link.from < link.to) {
+      fresh.add_link(link.from, link.to, link.metric, link.capacity_bps);
+    }
+  }
+  fresh.attach_prefix(p.c, p.p1, /*metric=*/10);
+
+  // B must abandon its real best (R2) entirely: all traffic via R3.
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.b] = {NextHopReq{p.r3, 1}};
+  const auto result = compile_lies(fresh, req);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(verify_augmentation(fresh, req, result.value().lies).ok());
+  // Strict: target below B's real cost 14 (4 + attachment metric 10).
+  for (const Lie& lie : result.value().lies) {
+    if (lie.attach == p.b) EXPECT_LT(lie.target_cost, 14u);
+  }
+}
+
+TEST(Augment, StrictExclusionWithoutHeadroomFails) {
+  // Same requirement at attachment metric 0: the only candidate target (3)
+  // sits below B's interface distance to the R3 transfer network (4);
+  // compile must fail with the granularity diagnostic rather than emit a
+  // broken lie.
+  const PaperTopology p = make_paper_topology();
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.b] = {NextHopReq{p.r3, 1}};
+  const auto result = compile_lies(p.topo, req);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("granularity"), std::string::npos) << result.error();
+}
+
+TEST(Augment, FailsAtUnitMetricsWithDiagnostic) {
+  // The unscaled paper topology (metric scale 1) has no room for strict
+  // lies at B: compile must fail with the granularity diagnostic.
+  const PaperTopology p = make_paper_topology(40e6, /*metric_scale=*/1);
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.b] = {NextHopReq{p.r3, 1}};  // strict: drop R2
+  const auto result = compile_lies(p.topo, req);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("granularity"), std::string::npos) << result.error();
+}
+
+TEST(Augment, RequirementAtAnnouncerFails) {
+  const PaperTopology p = make_paper_topology();
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.c] = {NextHopReq{p.r2, 1}};
+  EXPECT_FALSE(compile_lies(p.topo, req).ok());
+}
+
+TEST(Augment, ReductionDropsRedundantLies) {
+  const PaperTopology p = make_paper_topology();
+  // Requirement equal to current state: zero lies needed; reduction (and
+  // tie-mode delta computation) must produce an empty set.
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.b] = {NextHopReq{p.r2, 1}};
+  const auto result = compile_lies(p.topo, req);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().lies.size(), 0u);
+}
+
+/// End-to-end property on random graphs: take the min-max optimizer's DAG,
+/// compile lies, verify exactness. This is the paper's central claim --
+/// Fibbing can realize the optimal min-max placement.
+TEST(Augment, RealizesMinMaxDagOnRandomGraphs) {
+  util::Rng rng(424242);
+  int compiled = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    topo::Topology t =
+        topo::make_waxman(12, rng, 0.5, 0.5, /*max_metric=*/6, 100.0, 300.0);
+    // Scale metrics x4 for granularity headroom (deployment guidance).
+    topo::Topology scaled;
+    for (topo::NodeId n = 0; n < t.node_count(); ++n) scaled.add_node(t.node(n).name);
+    for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+      const topo::Link& link = t.link(l);
+      if (link.from < link.to) {
+        scaled.add_link(link.from, link.to, link.metric * 4, link.capacity_bps);
+      }
+    }
+    const NodeId dest = static_cast<NodeId>(rng.pick_index(scaled.node_count()));
+    const net::Prefix prefix(net::Ipv4(203, 0, static_cast<std::uint8_t>(trial), 0), 24);
+    // Announce with a redistribution metric: headroom for strict-mode lies
+    // (see StrictModeExcludesRealPath).
+    scaled.attach_prefix(dest, prefix, 16);
+
+    std::vector<te::Demand> demands;
+    for (int d = 0; d < 3; ++d) {
+      NodeId ingress = static_cast<NodeId>(rng.pick_index(scaled.node_count()));
+      if (ingress == dest) ingress = (ingress + 1) % scaled.node_count();
+      demands.push_back(te::Demand{ingress, rng.uniform(80.0, 250.0)});
+    }
+    const auto solution = te::solve_min_max(scaled, dest, demands, {}, 1e-4, 2.0);
+    if (!solution.ok()) continue;
+    const DestRequirement req =
+        requirement_from_splits(prefix, solution.value().splits, 8);
+    if (req.nodes.empty()) continue;
+    const auto result = compile_lies(scaled, req);
+    if (!result.ok()) {
+      // Granularity failures are legitimate on adversarial metrics; anything
+      // else is a bug.
+      EXPECT_NE(result.error().find("granularity"), std::string::npos)
+          << "trial " << trial << ": " << result.error();
+      continue;
+    }
+    ++compiled;
+    const VerifyReport report = verify_augmentation(scaled, req, result.value().lies);
+    EXPECT_TRUE(report.ok()) << "trial " << trial << ": " << report.to_string(scaled);
+  }
+  EXPECT_GE(compiled, 4);  // most random instances must compile
+}
+
+// -------------------------------------------------------------------- loads
+
+TEST(Loads, PropagatesWeightedSplits) {
+  const PaperTopology p = make_paper_topology();
+  const DestRequirement req = paper_requirement_p2(p);
+  const auto aug = compile_lies(p.topo, req);
+  ASSERT_TRUE(aug.ok());
+  const auto tables = igp::compute_all_routes(
+      igp::NetworkView::from_topology(p.topo, to_externals(aug.value().lies)));
+  const auto load =
+      loads_from_routes(p.topo, tables, p.p2, {{p.a, 99e6}});
+  // Fig. 1d fractions: 33 via A-B then split at B; 66 via A-R1-R4.
+  EXPECT_NEAR(load[p.topo.link_between(p.a, p.b)], 33e6, 1e-3);
+  EXPECT_NEAR(load[p.topo.link_between(p.a, p.r1)], 66e6, 1e-3);
+  EXPECT_NEAR(load[p.topo.link_between(p.b, p.r2)], 16.5e6, 1e-3);
+  EXPECT_NEAR(load[p.topo.link_between(p.b, p.r3)], 16.5e6, 1e-3);
+  EXPECT_NEAR(load[p.topo.link_between(p.r1, p.r4)], 66e6, 1e-3);
+}
+
+}  // namespace
+}  // namespace fibbing::core

@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "dataplane/ecmp.hpp"
+#include "dataplane/fib.hpp"
+#include "dataplane/forwarding.hpp"
+#include "dataplane/network_sim.hpp"
+#include "dataplane/rate_solver.hpp"
+#include "igp/spf.hpp"
+#include "igp/view.hpp"
+#include "topo/generators.hpp"
+#include "util/event_queue.hpp"
+
+namespace fibbing::dataplane {
+namespace {
+
+using igp::NetworkView;
+using topo::make_paper_topology;
+using topo::NodeId;
+using topo::PaperTopology;
+
+net::Ipv4 fwd_addr(const topo::Topology& t, NodeId from, NodeId to) {
+  return t.link(t.link(t.link_between(from, to)).reverse).local_addr;
+}
+
+/// The paper's five-lie augmentation (see igp_test FullPaperLieSetMatchesFig1d).
+std::vector<NetworkView::External> paper_lies(const PaperTopology& p) {
+  const net::Ipv4 to_r3 = fwd_addr(p.topo, p.b, p.r3);
+  const net::Ipv4 to_r1 = fwd_addr(p.topo, p.a, p.r1);
+  const net::Ipv4 to_b = fwd_addr(p.topo, p.a, p.b);
+  return {{1, p.p1, 0, to_r3},
+          {2, p.p2, 0, to_r3},
+          {9, p.p2, 3, to_b},
+          {10, p.p2, 1, to_r1},
+          {11, p.p2, 1, to_r1}};
+}
+
+Flow make_flow(const PaperTopology& p, NodeId ingress, net::Ipv4 dst,
+               std::uint16_t sport, double demand = 1e6) {
+  Flow f;
+  f.src = net::Ipv4(198, 18, static_cast<std::uint8_t>(ingress), 1);
+  f.dst = dst;
+  f.src_port = sport;
+  f.dst_port = 80;
+  f.ingress = ingress;
+  f.demand_bps = demand;
+  (void)p;
+  return f;
+}
+
+// ------------------------------------------------------------------ Fib
+
+TEST(Fib, FromRoutingTableResolvesLinks) {
+  const PaperTopology p = make_paper_topology();
+  const auto tables = igp::compute_all_routes(NetworkView::from_topology(p.topo));
+  const Fib fib_a = Fib::from_routing_table(p.topo, p.a, tables[p.a]);
+  const FibEntry* entry = fib_a.lookup(p.p1.host(5));
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->next_hops.size(), 1u);
+  EXPECT_EQ(entry->next_hops[0].via, p.b);
+  EXPECT_EQ(entry->next_hops[0].out_link, p.topo.link_between(p.a, p.b));
+  EXPECT_FALSE(entry->local);
+}
+
+TEST(Fib, LocalDeliveryAtAttachmentRouter) {
+  const PaperTopology p = make_paper_topology();
+  const auto tables = igp::compute_all_routes(NetworkView::from_topology(p.topo));
+  const Fib fib_c = Fib::from_routing_table(p.topo, p.c, tables[p.c]);
+  const FibEntry* entry = fib_c.lookup(p.p2.host(9));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->local);
+}
+
+TEST(Fib, LpmPrefersLongerPrefix) {
+  const PaperTopology p = make_paper_topology();
+  Fib fib;
+  fib.set(p.blue, FibEntry{false, {FibNextHop{0, 1, 1}}});
+  fib.set(p.p2, FibEntry{false, {FibNextHop{2, 2, 1}}});
+  EXPECT_EQ(fib.lookup(p.p2.host(1))->next_hops[0].via, 2u);
+  EXPECT_EQ(fib.lookup(p.p1.host(1))->next_hops[0].via, 1u);  // falls to /24
+}
+
+// ----------------------------------------------------------------- ECMP hash
+
+TEST(Ecmp, DeterministicPerFlow) {
+  const PaperTopology p = make_paper_topology();
+  const Flow f = make_flow(p, p.b, p.p1.host(7), 1234);
+  FibEntry entry{false,
+                 {FibNextHop{0, 1, 1}, FibNextHop{1, 2, 1}, FibNextHop{2, 3, 1}}};
+  const std::size_t pick = select_next_hop(entry, f, 42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(select_next_hop(entry, f, 42), pick);
+}
+
+TEST(Ecmp, WeightsBiasBucketShares) {
+  const PaperTopology p = make_paper_topology();
+  // Weight 2:1 -> about two thirds of many flows should pick slot 0.
+  FibEntry entry{false, {FibNextHop{0, 1, 2}, FibNextHop{1, 2, 1}}};
+  int slot0 = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const Flow f = make_flow(p, p.b, p.p1.host(static_cast<std::uint32_t>(i % 120)),
+                             static_cast<std::uint16_t>(1000 + i));
+    if (select_next_hop(entry, f, 7) == 0) ++slot0;
+  }
+  const double share = static_cast<double>(slot0) / n;
+  EXPECT_NEAR(share, 2.0 / 3.0, 0.04);
+}
+
+TEST(Ecmp, EvenWeightsSplitEvenly) {
+  const PaperTopology p = make_paper_topology();
+  FibEntry entry{false, {FibNextHop{0, 1, 1}, FibNextHop{1, 2, 1}}};
+  int slot0 = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const Flow f = make_flow(p, p.b, p.p1.host(static_cast<std::uint32_t>(i % 120)),
+                             static_cast<std::uint16_t>(2000 + i));
+    if (select_next_hop(entry, f, 7) == 0) ++slot0;
+  }
+  EXPECT_NEAR(static_cast<double>(slot0) / n, 0.5, 0.04);
+}
+
+TEST(Ecmp, DifferentSaltsDecorrelate) {
+  const PaperTopology p = make_paper_topology();
+  FibEntry entry{false, {FibNextHop{0, 1, 1}, FibNextHop{1, 2, 1}}};
+  int agree = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const Flow f = make_flow(p, p.b, p.p1.host(static_cast<std::uint32_t>(i % 120)),
+                             static_cast<std::uint16_t>(3000 + i));
+    if (select_next_hop(entry, f, 1) == select_next_hop(entry, f, 2)) ++agree;
+  }
+  // Independent coins agree about half the time; correlated hashes ~always.
+  EXPECT_NEAR(static_cast<double>(agree) / n, 0.5, 0.06);
+}
+
+// ---------------------------------------------------------------- forwarding
+
+TEST(Forwarding, WalksShortestPathOnPaperTopology) {
+  const PaperTopology p = make_paper_topology();
+  const auto tables = igp::compute_all_routes(NetworkView::from_topology(p.topo));
+  std::vector<Fib> fibs;
+  for (NodeId n = 0; n < p.topo.node_count(); ++n) {
+    fibs.push_back(Fib::from_routing_table(p.topo, n, tables[n]));
+  }
+  const Flow f = make_flow(p, p.a, p.p1.host(3), 5555);
+  const FlowPath path = walk_flow(p.topo, fibs, f);
+  ASSERT_TRUE(path.delivered());
+  EXPECT_EQ(path.egress, p.c);
+  ASSERT_EQ(path.links.size(), 3u);  // A-B, B-R2, R2-C
+  EXPECT_EQ(path.links[0], p.topo.link_between(p.a, p.b));
+  EXPECT_EQ(path.links[1], p.topo.link_between(p.b, p.r2));
+  EXPECT_EQ(path.links[2], p.topo.link_between(p.r2, p.c));
+}
+
+TEST(Forwarding, BlackholeWhenNoRoute) {
+  const PaperTopology p = make_paper_topology();
+  std::vector<Fib> fibs(p.topo.node_count());  // all FIBs empty
+  const Flow f = make_flow(p, p.a, p.p1.host(3), 5555);
+  EXPECT_EQ(walk_flow(p.topo, fibs, f).outcome, FlowPath::Outcome::kBlackhole);
+}
+
+TEST(Forwarding, DetectsLoop) {
+  const PaperTopology p = make_paper_topology();
+  std::vector<Fib> fibs(p.topo.node_count());
+  // A -> B and B -> A for the same prefix: a two-node loop.
+  FibEntry a_entry{false, {FibNextHop{p.topo.link_between(p.a, p.b), p.b, 1}}};
+  FibEntry b_entry{false, {FibNextHop{p.topo.link_between(p.b, p.a), p.a, 1}}};
+  fibs[p.a].set(p.p1, a_entry);
+  fibs[p.b].set(p.p1, b_entry);
+  const Flow f = make_flow(p, p.a, p.p1.host(3), 5555);
+  EXPECT_EQ(walk_flow(p.topo, fibs, f).outcome, FlowPath::Outcome::kLoop);
+}
+
+/// With the paper's lie set installed, many flows from A to P2 split about
+/// 1/3 : 2/3 between next hops B and R1 -- Fibbing's uneven ECMP realized by
+/// hash buckets.
+TEST(Forwarding, UnevenSplitMatchesWeights) {
+  const PaperTopology p = make_paper_topology();
+  const auto tables =
+      igp::compute_all_routes(NetworkView::from_topology(p.topo, paper_lies(p)));
+  std::vector<Fib> fibs;
+  for (NodeId n = 0; n < p.topo.node_count(); ++n) {
+    fibs.push_back(Fib::from_routing_table(p.topo, n, tables[n]));
+  }
+  int via_r1 = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const Flow f = make_flow(p, p.a, p.p2.host(static_cast<std::uint32_t>(i % 120)),
+                             static_cast<std::uint16_t>(1000 + i));
+    const FlowPath path = walk_flow(p.topo, fibs, f);
+    ASSERT_TRUE(path.delivered());
+    if (path.links[0] == p.topo.link_between(p.a, p.r1)) ++via_r1;
+  }
+  EXPECT_NEAR(static_cast<double>(via_r1) / n, 2.0 / 3.0, 0.04);
+}
+
+// --------------------------------------------------------------- rate solver
+
+TEST(RateSolver, SingleFlowCappedByDemand) {
+  const PaperTopology p = make_paper_topology(10e6);
+  FlowPath path;
+  path.outcome = FlowPath::Outcome::kDelivered;
+  path.links = {p.topo.link_between(p.b, p.r2)};
+  const std::vector<RatedFlow> flows{{1, 2e6, &path}};
+  const auto rates = max_min_rates(p.topo, flows);
+  EXPECT_DOUBLE_EQ(rates[0], 2e6);
+}
+
+TEST(RateSolver, FlowsShareBottleneckEqually) {
+  const PaperTopology p = make_paper_topology(10e6);
+  FlowPath path;
+  path.outcome = FlowPath::Outcome::kDelivered;
+  path.links = {p.topo.link_between(p.b, p.r2)};
+  const std::vector<RatedFlow> flows{{1, 20e6, &path}, {2, 20e6, &path}};
+  const auto rates = max_min_rates(p.topo, flows);
+  EXPECT_DOUBLE_EQ(rates[0], 5e6);
+  EXPECT_DOUBLE_EQ(rates[1], 5e6);
+}
+
+TEST(RateSolver, DemandLimitedFlowLeavesSlackToOthers) {
+  const PaperTopology p = make_paper_topology(10e6);
+  FlowPath path;
+  path.outcome = FlowPath::Outcome::kDelivered;
+  path.links = {p.topo.link_between(p.b, p.r2)};
+  const std::vector<RatedFlow> flows{{1, 2e6, &path}, {2, 50e6, &path}};
+  const auto rates = max_min_rates(p.topo, flows);
+  EXPECT_DOUBLE_EQ(rates[0], 2e6);
+  EXPECT_DOUBLE_EQ(rates[1], 8e6);
+}
+
+TEST(RateSolver, MultiBottleneckMaxMin) {
+  // Two links in series with different capacities; three flows:
+  //  f1 uses only link1 (cap 9), f2 uses both, f3 uses only link2 (cap 4).
+  topo::Topology t;
+  const NodeId x = t.add_node("x");
+  const NodeId y = t.add_node("y");
+  const NodeId z = t.add_node("z");
+  const topo::LinkId l1 = t.add_link(x, y, 1, 9.0);
+  const topo::LinkId l2 = t.add_link(y, z, 1, 4.0);
+  FlowPath p1;
+  p1.outcome = FlowPath::Outcome::kDelivered;
+  p1.links = {l1};
+  FlowPath p2 = p1;
+  p2.links = {l1, l2};
+  FlowPath p3 = p1;
+  p3.links = {l2};
+  const std::vector<RatedFlow> flows{{1, 100.0, &p1}, {2, 100.0, &p2}, {3, 100.0, &p3}};
+  const auto rates = max_min_rates(t, flows);
+  // link2 is the tighter bottleneck: f2 = f3 = 2. f1 then gets 9 - 2 = 7.
+  EXPECT_DOUBLE_EQ(rates[1], 2.0);
+  EXPECT_DOUBLE_EQ(rates[2], 2.0);
+  EXPECT_DOUBLE_EQ(rates[0], 7.0);
+}
+
+TEST(RateSolver, UndeliveredFlowsGetZero) {
+  const PaperTopology p = make_paper_topology();
+  FlowPath loop;
+  loop.outcome = FlowPath::Outcome::kLoop;
+  const std::vector<RatedFlow> flows{{1, 5e6, &loop}};
+  EXPECT_DOUBLE_EQ(max_min_rates(p.topo, flows)[0], 0.0);
+}
+
+/// Property: random flow sets never violate capacity, and every flow is
+/// either demand-satisfied or crosses a saturated link (max-min optimality
+/// witness).
+TEST(RateSolver, CapacityAndSaturationProperty) {
+  const PaperTopology p = make_paper_topology(20e6);
+  const auto tables = igp::compute_all_routes(NetworkView::from_topology(p.topo));
+  std::vector<Fib> fibs;
+  for (NodeId n = 0; n < p.topo.node_count(); ++n) {
+    fibs.push_back(Fib::from_routing_table(p.topo, n, tables[n]));
+  }
+  std::vector<FlowPath> paths;
+  std::vector<Flow> defs;
+  for (int i = 0; i < 60; ++i) {
+    const NodeId ingress = (i % 2 == 0) ? p.a : p.b;
+    const net::Prefix& prefix = (i % 3 == 0) ? p.p2 : p.p1;
+    Flow f = make_flow({}, ingress, prefix.host(static_cast<std::uint32_t>(i % 100)),
+                       static_cast<std::uint16_t>(1000 + i),
+                       /*demand=*/1e6 * (1 + i % 4));
+    defs.push_back(f);
+  }
+  paths.reserve(defs.size());
+  for (const Flow& f : defs) paths.push_back(walk_flow(p.topo, fibs, f));
+  std::vector<RatedFlow> rated;
+  for (std::size_t i = 0; i < defs.size(); ++i) {
+    rated.push_back(RatedFlow{defs[i].id, defs[i].demand_bps, &paths[i]});
+  }
+  const auto rates = max_min_rates(p.topo, rated);
+
+  std::vector<double> used(p.topo.link_count(), 0.0);
+  for (std::size_t i = 0; i < rated.size(); ++i) {
+    for (const topo::LinkId l : paths[i].links) used[l] += rates[i];
+  }
+  for (topo::LinkId l = 0; l < p.topo.link_count(); ++l) {
+    EXPECT_LE(used[l], p.topo.link(l).capacity_bps * (1 + 1e-9));
+  }
+  for (std::size_t i = 0; i < rated.size(); ++i) {
+    if (rates[i] >= rated[i].demand_bps - 1e-6) continue;  // demand-satisfied
+    bool crosses_saturated = false;
+    for (const topo::LinkId l : paths[i].links) {
+      if (used[l] >= p.topo.link(l).capacity_bps * (1 - 1e-6)) {
+        crosses_saturated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(crosses_saturated) << "flow " << i << " is throttled for no reason";
+  }
+}
+
+// ---------------------------------------------------------------- NetworkSim
+
+TEST(NetworkSim, CountersIntegrateRatesOverTime) {
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  NetworkSim sim(p.topo, events);
+  sim.install_tables(igp::compute_all_routes(NetworkView::from_topology(p.topo)));
+
+  sim.add_flow(make_flow(p, p.b, p.p1.host(1), 4000, /*demand=*/8e6));
+  events.schedule_at(10.0, [] {});
+  events.run();
+  // 8 Mb/s for 10 s = 10 MB on each link of the B-R2-C path.
+  const topo::LinkId br2 = p.topo.link_between(p.b, p.r2);
+  EXPECT_NEAR(static_cast<double>(sim.link_bytes(br2)), 10e6, 1.0);
+  const topo::LinkId ar1 = p.topo.link_between(p.a, p.r1);
+  EXPECT_EQ(sim.link_bytes(ar1), 0u);
+}
+
+TEST(NetworkSim, FibChangeMovesTraffic) {
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  NetworkSim sim(p.topo, events);
+  sim.install_tables(igp::compute_all_routes(NetworkView::from_topology(p.topo)));
+
+  // 30 flows B->P1: all on B-R2 under plain IGP.
+  for (int i = 0; i < 30; ++i) {
+    sim.add_flow(make_flow(p, p.b, p.p1.host(static_cast<std::uint32_t>(i)),
+                           static_cast<std::uint16_t>(1000 + i)));
+  }
+  const topo::LinkId br2 = p.topo.link_between(p.b, p.r2);
+  const topo::LinkId br3 = p.topo.link_between(p.b, p.r3);
+  EXPECT_NEAR(sim.link_rate(br2), 30e6, 1e-6);
+  EXPECT_DOUBLE_EQ(sim.link_rate(br3), 0.0);
+
+  // Install the fB lie: traffic splits about evenly.
+  sim.install_tables(
+      igp::compute_all_routes(NetworkView::from_topology(p.topo, paper_lies(p))));
+  EXPECT_GT(sim.link_rate(br3), 10e6);
+  EXPECT_LT(sim.link_rate(br2), 20e6);
+  EXPECT_NEAR(sim.link_rate(br2) + sim.link_rate(br3), 30e6, 1e-6);
+}
+
+TEST(NetworkSim, RateListenersFireOnChange) {
+  const PaperTopology p = make_paper_topology(10e6);
+  util::EventQueue events;
+  NetworkSim sim(p.topo, events);
+  sim.install_tables(igp::compute_all_routes(NetworkView::from_topology(p.topo)));
+
+  std::map<FlowId, double> latest;
+  sim.subscribe_rates([&](FlowId id, double rate) { latest[id] = rate; });
+
+  const FlowId f1 = sim.add_flow(make_flow(p, p.b, p.p1.host(1), 4001, 8e6));
+  EXPECT_DOUBLE_EQ(latest[f1], 8e6);
+  const FlowId f2 = sim.add_flow(make_flow(p, p.b, p.p1.host(2), 4002, 8e6));
+  // Both now squeezed to 5 Mb/s on the 10 Mb/s bottleneck.
+  EXPECT_DOUBLE_EQ(latest[f1], 5e6);
+  EXPECT_DOUBLE_EQ(latest[f2], 5e6);
+  sim.remove_flow(f2);
+  EXPECT_DOUBLE_EQ(latest[f1], 8e6);
+}
+
+TEST(NetworkSim, RemoveFlowFreesCapacity) {
+  const PaperTopology p = make_paper_topology(10e6);
+  util::EventQueue events;
+  NetworkSim sim(p.topo, events);
+  sim.install_tables(igp::compute_all_routes(NetworkView::from_topology(p.topo)));
+  const FlowId f1 = sim.add_flow(make_flow(p, p.b, p.p1.host(1), 4001, 20e6));
+  const FlowId f2 = sim.add_flow(make_flow(p, p.b, p.p1.host(2), 4002, 20e6));
+  EXPECT_DOUBLE_EQ(sim.flow_rate(f1), 5e6);
+  sim.remove_flow(f2);
+  EXPECT_DOUBLE_EQ(sim.flow_rate(f1), 10e6);
+}
+
+TEST(NetworkSim, LoopAccountingIsolatesBrokenState) {
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  NetworkSim sim(p.topo, events);
+  // Hand-broken FIBs: loop for P1 between A and B.
+  Fib fib_a;
+  fib_a.set(p.p1, FibEntry{false, {FibNextHop{p.topo.link_between(p.a, p.b), p.b, 1}}});
+  Fib fib_b;
+  fib_b.set(p.p1, FibEntry{false, {FibNextHop{p.topo.link_between(p.b, p.a), p.a, 1}}});
+  sim.set_fib(p.a, std::move(fib_a));
+  sim.set_fib(p.b, std::move(fib_b));
+  const FlowId f = sim.add_flow(make_flow(p, p.a, p.p1.host(1), 4000));
+  EXPECT_EQ(sim.looping_flows(), 1u);
+  EXPECT_DOUBLE_EQ(sim.flow_rate(f), 0.0);
+}
+
+}  // namespace
+}  // namespace fibbing::dataplane

@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "igp/domain.hpp"
+#include "igp/lsa.hpp"
+#include "igp/lsdb.hpp"
+#include "igp/spf.hpp"
+#include "igp/view.hpp"
+#include "topo/generators.hpp"
+#include "util/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace fibbing::igp {
+namespace {
+
+using topo::make_paper_topology;
+using topo::NodeId;
+using topo::PaperTopology;
+
+/// Forwarding address of `to`'s interface on the to<->from link: a lie with
+/// this FA makes `from` send matched traffic to `to`.
+net::Ipv4 fwd_addr(const topo::Topology& t, NodeId from, NodeId to) {
+  const topo::LinkId from_to = t.link_between(from, to);
+  return t.link(t.link(from_to).reverse).local_addr;
+}
+
+std::map<std::string, std::uint32_t> named_hops(const topo::Topology& t,
+                                                const RouteEntry& entry) {
+  std::map<std::string, std::uint32_t> out;
+  for (const auto& nh : entry.next_hops) out[t.node(nh.via).name] = nh.weight;
+  return out;
+}
+
+// ------------------------------------------------------------------ SPF core
+
+TEST(Spf, PaperTopologyDistances) {
+  const PaperTopology p = make_paper_topology();
+  const NetworkView view = NetworkView::from_topology(p.topo);
+  const SpfResult from_a = run_spf(view, p.a);
+  EXPECT_EQ(from_a.dist[p.c], 6u);   // A-B-R2-C (metrics are scaled by 2)
+  EXPECT_EQ(from_a.dist[p.b], 2u);
+  EXPECT_EQ(from_a.dist[p.r1], 4u);
+  EXPECT_EQ(from_a.dist[p.r4], 6u);  // A-R1-R4
+  const SpfResult from_b = run_spf(view, p.b);
+  EXPECT_EQ(from_b.dist[p.c], 4u);   // B-R2-C
+  EXPECT_EQ(from_b.dist[p.r3], 4u);
+}
+
+TEST(Spf, FirstHopsAreUniqueOnPaperTopology) {
+  const PaperTopology p = make_paper_topology();
+  const NetworkView view = NetworkView::from_topology(p.topo);
+  const SpfResult from_a = run_spf(view, p.a);
+  EXPECT_EQ(from_a.first_hops[p.c], (std::vector<NodeId>{p.b}));
+  const SpfResult from_b = run_spf(view, p.b);
+  EXPECT_EQ(from_b.first_hops[p.c], (std::vector<NodeId>{p.r2}));
+}
+
+TEST(Spf, EcmpMergesFirstHops) {
+  // Diamond: s-(1)-x-(1)-t and s-(1)-y-(1)-t: two equal paths.
+  topo::Topology t;
+  const NodeId s = t.add_node("s");
+  const NodeId x = t.add_node("x");
+  const NodeId y = t.add_node("y");
+  const NodeId d = t.add_node("d");
+  t.add_link(s, x, 1, 1e9);
+  t.add_link(s, y, 1, 1e9);
+  t.add_link(x, d, 1, 1e9);
+  t.add_link(y, d, 1, 1e9);
+  const SpfResult spf = run_spf(NetworkView::from_topology(t), s);
+  EXPECT_EQ(spf.dist[d], 2u);
+  EXPECT_EQ(spf.first_hops[d], (std::vector<NodeId>{x, y}));
+}
+
+TEST(Spf, UnreachableNodeHasInfiniteCost) {
+  topo::Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  t.add_node("island");  // node 2, never linked
+  t.add_link(a, b, 1, 1e9);
+  const SpfResult spf = run_spf(NetworkView::from_topology(t), a);
+  EXPECT_FALSE(spf.reaches(2));
+  EXPECT_TRUE(spf.reaches(b));
+}
+
+TEST(Spf, AsymmetricMetricsUseDirectionalCosts) {
+  topo::Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  t.add_link_asymmetric(a, b, 5, 2, 1e9);
+  EXPECT_EQ(run_spf(NetworkView::from_topology(t), a).dist[b], 5u);
+  EXPECT_EQ(run_spf(NetworkView::from_topology(t), b).dist[a], 2u);
+}
+
+// ------------------------------------------------------------ route building
+
+TEST(Routes, IntraRoutesOnPaperTopology) {
+  const PaperTopology p = make_paper_topology();
+  const NetworkView view = NetworkView::from_topology(p.topo);
+
+  const RoutingTable at_a = compute_routes(view, p.a);
+  ASSERT_TRUE(at_a.contains(p.p1));
+  EXPECT_EQ(at_a.at(p.p1).cost, 6u);
+  EXPECT_EQ(named_hops(p.topo, at_a.at(p.p1)),
+            (std::map<std::string, std::uint32_t>{{"B", 1}}));
+
+  const RoutingTable at_b = compute_routes(view, p.b);
+  EXPECT_EQ(at_b.at(p.p1).cost, 4u);
+  EXPECT_EQ(named_hops(p.topo, at_b.at(p.p1)),
+            (std::map<std::string, std::uint32_t>{{"R2", 1}}));
+
+  const RoutingTable at_c = compute_routes(view, p.c);
+  EXPECT_TRUE(at_c.at(p.p1).local);
+  EXPECT_EQ(at_c.at(p.p1).cost, 0u);
+}
+
+/// Fig. 1c, first lie: fake node fB attached to B announcing D1's prefix at
+/// a total cost equal to B's real path cost, resolving to R3. B must see two
+/// equal-cost paths.
+TEST(Routes, LieFbGivesBEcmp) {
+  const PaperTopology p = make_paper_topology();
+  // dist(B, S_BR3) = 4 = B's real cost, so ext_metric 0 creates the tie.
+  const NetworkView::External fb{/*lie_id=*/1, p.p1, /*ext_metric=*/0,
+                                 fwd_addr(p.topo, p.b, p.r3)};
+  const NetworkView view = NetworkView::from_topology(p.topo, {fb});
+
+  const RoutingTable at_b = compute_routes(view, p.b);
+  EXPECT_EQ(at_b.at(p.p1).cost, 4u);
+  EXPECT_EQ(named_hops(p.topo, at_b.at(p.p1)),
+            (std::map<std::string, std::uint32_t>{{"R2", 1}, {"R3", 1}}));
+}
+
+/// The fB lie ties at A (A's path to the forwarding subnet runs through B
+/// at equal total cost) but only duplicates A's unique next hop -- the
+/// forwarding *behaviour* at A must not change. This benign tie is why the
+/// verifier compares normalized distributions, not raw weights.
+TEST(Routes, LieFbTieAtAIsBehaviorallyInvisible) {
+  const PaperTopology p = make_paper_topology();
+  const NetworkView::External fb{1, p.p1, 0, fwd_addr(p.topo, p.b, p.r3)};
+  const NetworkView view = NetworkView::from_topology(p.topo, {fb});
+
+  const RoutingTable at_a = compute_routes(view, p.a);
+  const RouteEntry& entry = at_a.at(p.p1);
+  EXPECT_EQ(entry.cost, 6u);
+  ASSERT_EQ(entry.next_hops.size(), 1u);  // still only via B
+  EXPECT_EQ(entry.next_hops[0].via, p.b);
+  EXPECT_EQ(entry.next_hops[0].weight, 2u);  // intra + lie, same interface
+}
+
+/// Fig. 1c, second step: two fake nodes fA at A announcing D2's prefix at
+/// a total cost equal to A's real path cost, resolving to R1 -> A's FIB gets
+/// {B:1, R1:2} = the paper's 1/3 : 2/3 uneven split.
+TEST(Routes, TwoFaLiesGiveUnevenSplitAtA) {
+  const PaperTopology p = make_paper_topology();
+  const net::Ipv4 fa_r1 = fwd_addr(p.topo, p.a, p.r1);
+  // dist(A, S_AR1) = 4, so ext_metric 2 makes the total 6 = A's real cost.
+  const NetworkView view = NetworkView::from_topology(
+      p.topo, {{10, p.p2, 2, fa_r1}, {11, p.p2, 2, fa_r1}});
+
+  const RoutingTable at_a = compute_routes(view, p.a);
+  const RouteEntry& entry = at_a.at(p.p2);
+  EXPECT_EQ(entry.cost, 6u);
+  EXPECT_EQ(named_hops(p.topo, entry),
+            (std::map<std::string, std::uint32_t>{{"B", 1}, {"R1", 2}}));
+  EXPECT_EQ(entry.total_weight(), 3u);
+
+  // Per-destination isolation: A's route for P1 is untouched.
+  EXPECT_EQ(named_hops(p.topo, at_a.at(p.p1)),
+            (std::map<std::string, std::uint32_t>{{"B", 1}}));
+}
+
+/// The full Fig. 1c/1d lie set: fB about both halves; at A, strict-mode lies
+/// for P2 (one unit below A's real cost, so fB's benign tie at A cannot
+/// pollute the uneven split): fA' resolving to B plus twice fA resolving to
+/// R1. Checks every router's resulting next hops -- the complete data plane
+/// of Fig. 1d.
+TEST(Routes, FullPaperLieSetMatchesFig1d) {
+  const PaperTopology p = make_paper_topology();
+  const net::Ipv4 to_r3 = fwd_addr(p.topo, p.b, p.r3);
+  const net::Ipv4 to_r1 = fwd_addr(p.topo, p.a, p.r1);
+  const net::Ipv4 to_b = fwd_addr(p.topo, p.a, p.b);
+  // A's targets: total 5 (real cost 6, strict). dist(A,S_AB)=2 -> ext 3;
+  // dist(A,S_AR1)=4 -> ext 1. B's target: total 4 (tie) -> ext 0.
+  const NetworkView view = NetworkView::from_topology(p.topo, {
+                                                                  {1, p.p1, 0, to_r3},
+                                                                  {2, p.p2, 0, to_r3},
+                                                                  {9, p.p2, 3, to_b},
+                                                                  {10, p.p2, 1, to_r1},
+                                                                  {11, p.p2, 1, to_r1},
+                                                              });
+
+  const auto tables = compute_all_routes(view);
+  // B splits both prefixes evenly across R2/R3.
+  EXPECT_EQ(named_hops(p.topo, tables[p.b].at(p.p1)),
+            (std::map<std::string, std::uint32_t>{{"R2", 1}, {"R3", 1}}));
+  EXPECT_EQ(named_hops(p.topo, tables[p.b].at(p.p2)),
+            (std::map<std::string, std::uint32_t>{{"R2", 1}, {"R3", 1}}));
+  // A: P1 via B only; P2 at 1/3 B, 2/3 R1.
+  ASSERT_EQ(tables[p.a].at(p.p1).next_hops.size(), 1u);
+  EXPECT_EQ(tables[p.a].at(p.p1).next_hops[0].via, p.b);
+  EXPECT_EQ(named_hops(p.topo, tables[p.a].at(p.p2)),
+            (std::map<std::string, std::uint32_t>{{"B", 1}, {"R1", 2}}));
+  // Transit routers unaffected: R1 -> R4, R2/R3/R4 -> C, for both prefixes.
+  for (const auto& prefix : {p.p1, p.p2}) {
+    EXPECT_EQ(named_hops(p.topo, tables[p.r1].at(prefix)),
+              (std::map<std::string, std::uint32_t>{{"R4", 1}}));
+    EXPECT_EQ(named_hops(p.topo, tables[p.r2].at(prefix)),
+              (std::map<std::string, std::uint32_t>{{"C", 1}}));
+    EXPECT_EQ(named_hops(p.topo, tables[p.r3].at(prefix)),
+              (std::map<std::string, std::uint32_t>{{"C", 1}}));
+    EXPECT_EQ(named_hops(p.topo, tables[p.r4].at(prefix)),
+              (std::map<std::string, std::uint32_t>{{"C", 1}}));
+    EXPECT_TRUE(tables[p.c].at(prefix).local);
+  }
+}
+
+TEST(Routes, SelfPointingLieIsIgnored) {
+  const PaperTopology p = make_paper_topology();
+  // FA owned by R3 itself: R3 must ignore it; others may use it.
+  const NetworkView::External lie{1, p.p1, 0, fwd_addr(p.topo, p.b, p.r3)};
+  const NetworkView view = NetworkView::from_topology(p.topo, {lie});
+  const RoutingTable at_r3 = compute_routes(view, p.r3);
+  // R3's route for P1 is its plain intra route (cost 2 via C).
+  EXPECT_EQ(at_r3.at(p.p1).cost, 2u);
+  EXPECT_EQ(named_hops(p.topo, at_r3.at(p.p1)),
+            (std::map<std::string, std::uint32_t>{{"C", 1}}));
+}
+
+TEST(Routes, DanglingForwardingAddressIsUnusable) {
+  const PaperTopology p = make_paper_topology();
+  const NetworkView::External lie{1, p.p1, 0, net::Ipv4(1, 2, 3, 4)};
+  const NetworkView view = NetworkView::from_topology(p.topo, {lie});
+  // Route falls back to the intra path everywhere.
+  const RoutingTable at_b = compute_routes(view, p.b);
+  EXPECT_EQ(at_b.at(p.p1).cost, 4u);
+  EXPECT_EQ(named_hops(p.topo, at_b.at(p.p1)),
+            (std::map<std::string, std::uint32_t>{{"R2", 1}}));
+}
+
+TEST(Routes, LieForUnknownPrefixCreatesRoute) {
+  const PaperTopology p = make_paper_topology();
+  const net::Prefix q(net::Ipv4(198, 51, 100, 0), 24);
+  const NetworkView::External lie{1, q, 0, fwd_addr(p.topo, p.b, p.r3)};
+  const NetworkView view = NetworkView::from_topology(p.topo, {lie});
+  const RoutingTable at_b = compute_routes(view, p.b);
+  ASSERT_TRUE(at_b.contains(q));
+  EXPECT_EQ(named_hops(p.topo, at_b.at(q)),
+            (std::map<std::string, std::uint32_t>{{"R3", 1}}));
+}
+
+// ----------------------------------------------------------------- LSDB
+
+TEST(Lsdb, NewerSequenceWins) {
+  Lsdb db;
+  ExternalLsa ext;
+  ext.lie_id = 7;
+  ext.prefix = net::Prefix(net::Ipv4(203, 0, 113, 0), 24);
+  EXPECT_EQ(db.install(make_external_lsa(ext, 1)), Lsdb::InstallResult::kNewer);
+  EXPECT_EQ(db.install(make_external_lsa(ext, 1)), Lsdb::InstallResult::kDuplicate);
+  ext.ext_metric = 9;
+  EXPECT_EQ(db.install(make_external_lsa(ext, 2)), Lsdb::InstallResult::kNewer);
+  EXPECT_EQ(db.install(make_external_lsa(ext, 1)), Lsdb::InstallResult::kStale);
+  const Lsa* stored = db.find(LsaKey{LsaType::kExternal, 7});
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(std::get<ExternalLsa>(stored->body).ext_metric, 9u);
+}
+
+TEST(Lsdb, WithdrawnLsasAreNotLive) {
+  Lsdb db;
+  ExternalLsa ext;
+  ext.lie_id = 7;
+  db.install(make_external_lsa(ext, 1));
+  EXPECT_EQ(db.live().size(), 1u);
+  ext.withdrawn = true;
+  db.install(make_external_lsa(ext, 2));
+  EXPECT_EQ(db.live().size(), 0u);
+  EXPECT_EQ(db.all().size(), 1u);  // tombstone retained
+}
+
+// ------------------------------------------------------------------ protocol
+
+TEST(Domain, FloodingConvergesToIdenticalLsdbs) {
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  IgpDomain domain(p.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+  for (NodeId n = 1; n < p.topo.node_count(); ++n) {
+    EXPECT_TRUE(domain.router(0).lsdb().same_content(domain.router(n).lsdb()))
+        << "router " << n << " LSDB differs";
+  }
+  EXPECT_EQ(domain.router(0).lsdb().size(), p.topo.node_count());
+}
+
+TEST(Domain, ConvergedTablesMatchDirectComputation) {
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  IgpDomain domain(p.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+  const auto direct = compute_all_routes(NetworkView::from_topology(p.topo));
+  for (NodeId n = 0; n < p.topo.node_count(); ++n) {
+    EXPECT_EQ(domain.table(n), direct[n]) << "router " << n;
+  }
+}
+
+TEST(Domain, InjectedLieFloodsAndReprograms) {
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  IgpDomain domain(p.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+
+  // Controller session at R3 (as in the paper's demo setup).
+  ExternalLsa fb;
+  fb.lie_id = 1;
+  fb.prefix = p.p1;
+  fb.ext_metric = 0;
+  fb.forwarding_address = fwd_addr(p.topo, p.b, p.r3);
+  domain.inject_external(p.r3, fb);
+  domain.run_to_convergence();
+
+  EXPECT_EQ(named_hops(p.topo, domain.table(p.b).at(p.p1)),
+            (std::map<std::string, std::uint32_t>{{"R2", 1}, {"R3", 1}}));
+}
+
+TEST(Domain, WithdrawRestoresOriginalRoutes) {
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  IgpDomain domain(p.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+  const RoutingTable before = domain.table(p.b);
+
+  ExternalLsa fb;
+  fb.lie_id = 1;
+  fb.prefix = p.p1;
+  fb.forwarding_address = fwd_addr(p.topo, p.b, p.r3);
+  domain.inject_external(p.r3, fb);
+  domain.run_to_convergence();
+  EXPECT_NE(domain.table(p.b), before);
+
+  domain.withdraw_external(p.r3, 1);
+  domain.run_to_convergence();
+  EXPECT_EQ(domain.table(p.b), before);
+}
+
+TEST(Domain, ReinjectionSupersedesOlderInstance) {
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  IgpDomain domain(p.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+
+  ExternalLsa fa;
+  fa.lie_id = 10;
+  fa.prefix = p.p2;
+  fa.ext_metric = 2;  // total 6 = A's real cost: tie -> ECMP at A
+  fa.forwarding_address = fwd_addr(p.topo, p.a, p.r1);
+  domain.inject_external(p.r3, fa);
+  domain.run_to_convergence();
+  EXPECT_EQ(domain.table(p.a).at(p.p2).next_hops.size(), 2u);
+
+  // Update the same lie to a non-competitive metric: route reverts.
+  fa.ext_metric = 50;
+  domain.inject_external(p.r3, fa);
+  domain.run_to_convergence();
+  EXPECT_EQ(domain.table(p.a).at(p.p2).next_hops.size(), 1u);
+}
+
+TEST(Domain, LsaFloodCountIsBounded) {
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  IgpDomain domain(p.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+  const std::uint64_t boot = domain.total_lsas_sent();
+
+  ExternalLsa fb;
+  fb.lie_id = 1;
+  fb.prefix = p.p1;
+  fb.forwarding_address = fwd_addr(p.topo, p.b, p.r3);
+  domain.inject_external(p.r3, fb);
+  domain.run_to_convergence();
+  const std::uint64_t delta = domain.total_lsas_sent() - boot;
+  // One LSA flooded once per directed link is the upper bound.
+  EXPECT_LE(delta, p.topo.link_count());
+  EXPECT_GE(delta, p.topo.node_count() - 1);  // must have reached everyone
+}
+
+/// Property: on random graphs, protocol-computed tables equal direct
+/// computation from the topology (flooding correctness at scale).
+TEST(Domain, RandomGraphsConvergeToDirectTables) {
+  util::Rng rng(2026);
+  for (int trial = 0; trial < 5; ++trial) {
+    topo::Topology t = topo::make_waxman(12 + 4 * trial, rng);
+    const net::Prefix pfx(net::Ipv4(203, 0, static_cast<std::uint8_t>(trial), 0), 24);
+    t.attach_prefix(static_cast<NodeId>(trial % t.node_count()), pfx, 0);
+    util::EventQueue events;
+    IgpDomain domain(t, events);
+    domain.start();
+    domain.run_to_convergence();
+    const auto direct = compute_all_routes(NetworkView::from_topology(t));
+    for (NodeId n = 0; n < t.node_count(); ++n) {
+      ASSERT_EQ(domain.table(n), direct[n]) << "trial " << trial << " router " << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fibbing::igp

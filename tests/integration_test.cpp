@@ -1,0 +1,192 @@
+// Whole-system integration sweeps beyond the scripted Fig. 2 scenario:
+// random workloads, multi-prefix isolation under a live controller, and a
+// WAN-scale run. The invariants checked here are the ones that make or
+// break a production deployment: no forwarding loops or blackholes ever,
+// conservation of delivered traffic, and untouched state for uninvolved
+// destinations.
+
+#include <gtest/gtest.h>
+
+#include "core/service.hpp"
+#include "igp/spf.hpp"
+#include "igp/view.hpp"
+#include "topo/generators.hpp"
+#include "util/rng.hpp"
+#include "video/flash_crowd.hpp"
+
+namespace fibbing::core {
+namespace {
+
+using topo::make_paper_topology;
+using topo::PaperTopology;
+using video::VideoAsset;
+
+ServiceConfig demo_config() {
+  ServiceConfig config;
+  config.controller.high_watermark = 0.7;
+  config.controller.low_watermark = 0.4;
+  config.controller.session_router = 4;  // R3
+  return config;
+}
+
+/// Sample the data plane's health at several instants: under a correct
+/// controller, no flow may ever loop or blackhole.
+struct HealthProbe {
+  std::size_t loop_observations = 0;
+  std::size_t blackhole_observations = 0;
+
+  void install(FibbingService& service, double until, double step = 0.5) {
+    for (double t = step; t <= until; t += step) {
+      service.events().schedule_at(t, [this, &service] {
+        loop_observations += service.sim().looping_flows();
+        blackhole_observations += service.sim().blackholed_flows();
+      });
+    }
+  }
+};
+
+TEST(Integration, PoissonCrowdStaysLoopFreeAndSmooth) {
+  const PaperTopology p = make_paper_topology();
+  FibbingService service(p.topo, demo_config());
+  service.boot();
+  const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
+  const auto s2 = service.video().add_server({"S2", p.a, net::Ipv4(198, 18, 2, 1)});
+
+  util::Rng rng(99);
+  auto batches = video::poisson_crowd(rng, /*rate=*/1.5, /*start=*/1.0,
+                                      /*duration=*/30.0, s1, p.p1,
+                                      VideoAsset{1e6, 45.0});
+  const auto more = video::poisson_crowd(rng, 1.0, 10.0, 25.0, s2, p.p2,
+                                         VideoAsset{1e6, 45.0}, 1);
+  batches.insert(batches.end(), more.begin(), more.end());
+  const int total = video::schedule_requests(service.video(), service.events(),
+                                             batches);
+  ASSERT_GT(total, 20);
+
+  HealthProbe probe;
+  probe.install(service, 90.0);
+  service.run_until(90.0);
+
+  EXPECT_EQ(probe.loop_observations, 0u);
+  EXPECT_EQ(probe.blackhole_observations, 0u);
+  // Arrivals are spread out, so the controller keeps everything smooth.
+  for (const auto& q : service.video().all_qoe()) {
+    EXPECT_EQ(q.stall_count, 0);
+  }
+}
+
+TEST(Integration, UninvolvedPrefixIsBitIdenticalThroughoutMitigation) {
+  // A third prefix at R4 never sees demand; its routes must stay identical
+  // on every router while the controller fibs for P1 and P2.
+  PaperTopology p = make_paper_topology();
+  const net::Prefix bystander(net::Ipv4(198, 51, 100, 0), 24);
+  p.topo.attach_prefix(p.r4, bystander, 0);
+
+  FibbingService service(p.topo, demo_config());
+  service.boot();
+  std::vector<igp::RouteEntry> before;
+  for (topo::NodeId n = 0; n < p.topo.node_count(); ++n) {
+    before.push_back(service.domain().table(n).at(bystander));
+  }
+
+  const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
+  const auto s2 = service.video().add_server({"S2", p.a, net::Ipv4(198, 18, 2, 1)});
+  video::schedule_requests(service.video(), service.events(),
+                           video::fig2_schedule(s1, s2, p.p1, p.p2,
+                                                VideoAsset{1e6, 300.0}));
+  service.run_until(55.0);
+  ASSERT_GT(service.controller().active_lie_count(), 0u);
+
+  for (topo::NodeId n = 0; n < p.topo.node_count(); ++n) {
+    EXPECT_EQ(service.domain().table(n).at(bystander), before[n]) << "router " << n;
+  }
+}
+
+TEST(Integration, AbileneWanSurgeIsMitigated) {
+  topo::Topology wan = topo::make_abilene(/*capacity=*/100e6);  // scaled-down caps
+  const topo::NodeId cache = wan.node_id("KC");
+  const net::Prefix viral(net::Ipv4(203, 0, 113, 0), 24);
+  wan.attach_prefix(cache, viral, 10);
+
+  ServiceConfig config;
+  config.controller.high_watermark = 0.7;
+  config.controller.low_watermark = 0.3;
+  config.controller.max_stretch = 2.0;
+  config.controller.session_router = wan.node_id("IND");
+  FibbingService service(wan, config);
+  service.boot();
+
+  // 80 Mb/s of video demand from NY toward the cache prefix: the shortest
+  // path NY-DC-ATL-... would saturate; the controller must spread it.
+  const auto ny = service.video().add_server({"NY-cdn", wan.node_id("NY"),
+                                              net::Ipv4(198, 18, 9, 1)});
+  std::vector<video::RequestBatch> batches{
+      video::RequestBatch{1.0, ny, viral, 1, 80, VideoAsset{1e6, 120.0}}};
+  video::schedule_requests(service.video(), service.events(), batches);
+
+  HealthProbe probe;
+  probe.install(service, 40.0);
+  service.run_until(40.0);
+
+  EXPECT_EQ(probe.loop_observations, 0u);
+  EXPECT_EQ(probe.blackhole_observations, 0u);
+  EXPECT_GE(service.controller().mitigations(), 1);
+  // No directed link above 90% and all 80 sessions smooth.
+  for (topo::LinkId l = 0; l < wan.link_count(); ++l) {
+    EXPECT_LE(service.sim().link_utilization(l), 0.9) << wan.link_name(l);
+  }
+  for (const auto& q : service.video().all_qoe()) {
+    EXPECT_EQ(q.stall_count, 0);
+  }
+}
+
+TEST(Integration, ControllerSurvivesUnannouncedPrefixDemand) {
+  // Demand toward a prefix nobody announces: the data plane blackholes it
+  // (no route) and the controller must log-and-continue, not crash, and
+  // must still fix the legitimate surge.
+  const PaperTopology p = make_paper_topology();
+  FibbingService service(p.topo, demo_config());
+  service.boot();
+  const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
+
+  const net::Prefix ghost(net::Ipv4(192, 0, 2, 0), 24);
+  std::vector<video::RequestBatch> batches{
+      video::RequestBatch{1.0, s1, ghost, 1, 40, VideoAsset{1e6, 120.0}},
+      video::RequestBatch{5.0, s1, p.p1, 1, 31, VideoAsset{1e6, 120.0}},
+  };
+  video::schedule_requests(service.video(), service.events(), batches);
+  service.run_until(30.0);
+
+  // Ghost traffic is blackholed (rate 0) but P1 is split as usual.
+  EXPECT_EQ(service.sim().blackholed_flows(), 40u);
+  EXPECT_GE(service.controller().mitigations(), 1);
+  const auto& entry = service.domain().table(p.b).at(p.p1);
+  EXPECT_EQ(entry.next_hops.size(), 2u);
+}
+
+TEST(Integration, RepeatedSurgeCyclesInjectAndRetractCleanly) {
+  const PaperTopology p = make_paper_topology();
+  FibbingService service(p.topo, demo_config());
+  service.boot();
+  const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
+
+  // Three surge waves of short videos with idle gaps between them.
+  std::vector<video::RequestBatch> batches;
+  for (int wave = 0; wave < 3; ++wave) {
+    batches.push_back(video::RequestBatch{5.0 + wave * 40.0, s1, p.p1, 1, 31,
+                                          VideoAsset{1e6, 15.0}});
+  }
+  video::schedule_requests(service.video(), service.events(), batches);
+  service.run_until(130.0);
+
+  EXPECT_GE(service.controller().mitigations(), 3);
+  EXPECT_GE(service.controller().retractions(), 3);
+  EXPECT_EQ(service.controller().active_lie_count(), 0u);  // idle at the end
+  // Plain IGP restored.
+  const auto& entry = service.domain().table(p.b).at(p.p1);
+  ASSERT_EQ(entry.next_hops.size(), 1u);
+  EXPECT_EQ(entry.next_hops[0].via, p.r2);
+}
+
+}  // namespace
+}  // namespace fibbing::core

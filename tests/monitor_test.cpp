@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "dataplane/network_sim.hpp"
+#include "igp/spf.hpp"
+#include "igp/view.hpp"
+#include "monitor/bus.hpp"
+#include "monitor/detector.hpp"
+#include "monitor/poller.hpp"
+#include "topo/generators.hpp"
+#include "util/event_queue.hpp"
+
+namespace fibbing::monitor {
+namespace {
+
+using topo::make_paper_topology;
+using topo::PaperTopology;
+
+dataplane::Flow video_flow(const PaperTopology& p, topo::NodeId ingress, net::Ipv4 dst,
+                           std::uint16_t sport, double demand = 1e6) {
+  dataplane::Flow f;
+  f.src = net::Ipv4(198, 18, 0, 1);
+  f.dst = dst;
+  f.src_port = sport;
+  f.dst_port = 8554;
+  f.ingress = ingress;
+  f.demand_bps = demand;
+  (void)p;
+  return f;
+}
+
+struct SimFixture {
+  PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  dataplane::NetworkSim sim{p.topo, events};
+
+  SimFixture() {
+    sim.install_tables(
+        igp::compute_all_routes(igp::NetworkView::from_topology(p.topo)));
+  }
+};
+
+// -------------------------------------------------------------------- poller
+
+TEST(Poller, EstimatesRateFromCounters) {
+  SimFixture fx;
+  fx.sim.add_flow(video_flow(fx.p, fx.p.b, fx.p.p1.host(1), 1000, 8e6));
+  LinkLoadPoller poller(fx.p.topo, fx.sim, fx.events, /*interval=*/1.0,
+                        /*alpha=*/1.0);
+  poller.start();
+  fx.events.run_until(5.0);
+  EXPECT_EQ(poller.polls_completed(), 5u);
+  const topo::LinkId br2 = fx.p.topo.link_between(fx.p.b, fx.p.r2);
+  EXPECT_NEAR(poller.loads()[br2].rate_bps, 8e6, 1.0);
+  EXPECT_NEAR(poller.loads()[br2].utilization, 0.2, 1e-6);  // 8 of 40 Mb/s
+}
+
+TEST(Poller, SeesRateChangeOnlyAtNextPoll) {
+  SimFixture fx;
+  LinkLoadPoller poller(fx.p.topo, fx.sim, fx.events, 1.0, 1.0);
+  poller.start();
+  // Flow starts mid-interval at t=2.5.
+  fx.events.schedule_at(2.5, [&] {
+    fx.sim.add_flow(video_flow(fx.p, fx.p.b, fx.p.p1.host(1), 1000, 8e6));
+  });
+  const topo::LinkId br2 = fx.p.topo.link_between(fx.p.b, fx.p.r2);
+  fx.events.run_until(2.9);
+  EXPECT_DOUBLE_EQ(poller.loads()[br2].rate_bps, 0.0);  // last poll at t=2
+  fx.events.run_until(3.1);
+  // Poll at t=3 sees half an interval of traffic: 4 Mb/s average.
+  EXPECT_NEAR(poller.loads()[br2].rate_bps, 4e6, 1.0);
+  fx.events.run_until(4.1);
+  EXPECT_NEAR(poller.loads()[br2].rate_bps, 8e6, 1.0);
+}
+
+TEST(Poller, EwmaSmoothsSteps) {
+  SimFixture fx;
+  LinkLoadPoller poller(fx.p.topo, fx.sim, fx.events, 1.0, /*alpha=*/0.5);
+  poller.start();
+  fx.events.run_until(3.0);  // establish 0 baseline
+  fx.sim.add_flow(video_flow(fx.p, fx.p.b, fx.p.p1.host(1), 1000, 8e6));
+  fx.events.run_until(4.05);
+  const topo::LinkId br2 = fx.p.topo.link_between(fx.p.b, fx.p.r2);
+  // One post-step poll: EWMA at half the new rate.
+  EXPECT_NEAR(poller.loads()[br2].smoothed_bps, 4e6, 1e3);
+  fx.events.run_until(10.0);
+  EXPECT_NEAR(poller.loads()[br2].smoothed_bps, 8e6, 1e5);
+}
+
+TEST(Poller, StopCancelsFuturePolls) {
+  SimFixture fx;
+  LinkLoadPoller poller(fx.p.topo, fx.sim, fx.events, 1.0);
+  poller.start();
+  fx.events.run_until(2.5);
+  poller.stop();
+  fx.events.run_until(10.0);
+  EXPECT_EQ(poller.polls_completed(), 2u);
+}
+
+TEST(Poller, SubscribersGetSnapshots) {
+  SimFixture fx;
+  LinkLoadPoller poller(fx.p.topo, fx.sim, fx.events, 1.0);
+  int calls = 0;
+  poller.subscribe([&](const std::vector<LinkLoad>& loads) {
+    ++calls;
+    EXPECT_EQ(loads.size(), fx.p.topo.link_count());
+  });
+  poller.start();
+  fx.events.run_until(3.5);
+  EXPECT_EQ(calls, 3);
+}
+
+// ------------------------------------------------------------------ detector
+
+std::vector<LinkLoad> uniform_load(const topo::Topology& t, double utilization) {
+  std::vector<LinkLoad> loads;
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    const double cap = t.link(l).capacity_bps;
+    loads.push_back(LinkLoad{l, utilization * cap, utilization * cap, utilization});
+  }
+  return loads;
+}
+
+TEST(Detector, RequiresHoldRoundsBeforeFiring) {
+  const PaperTopology p = make_paper_topology();
+  CongestionDetector det(p.topo, 0.9, 0.6, /*hold=*/2);
+  int events = 0;
+  det.subscribe([&](const CongestionDetector::Event&) { ++events; });
+
+  det.observe(uniform_load(p.topo, 0.95));
+  EXPECT_FALSE(det.any_congested());  // one round is not enough
+  det.observe(uniform_load(p.topo, 0.95));
+  EXPECT_TRUE(det.any_congested());
+  EXPECT_EQ(events, static_cast<int>(p.topo.link_count()));
+}
+
+TEST(Detector, HysteresisKeepsStateBetweenWatermarks) {
+  const PaperTopology p = make_paper_topology();
+  CongestionDetector det(p.topo, 0.9, 0.6, 1);
+  det.observe(uniform_load(p.topo, 0.95));
+  EXPECT_TRUE(det.any_congested());
+  // Load drops into the dead band: still congested.
+  det.observe(uniform_load(p.topo, 0.7));
+  det.observe(uniform_load(p.topo, 0.7));
+  EXPECT_TRUE(det.any_congested());
+  // Below the low watermark: clears.
+  det.observe(uniform_load(p.topo, 0.3));
+  EXPECT_FALSE(det.any_congested());
+}
+
+TEST(Detector, InterruptedStreakDoesNotFire) {
+  const PaperTopology p = make_paper_topology();
+  CongestionDetector det(p.topo, 0.9, 0.6, 3);
+  det.observe(uniform_load(p.topo, 0.95));
+  det.observe(uniform_load(p.topo, 0.95));
+  det.observe(uniform_load(p.topo, 0.7));  // streak broken
+  det.observe(uniform_load(p.topo, 0.95));
+  det.observe(uniform_load(p.topo, 0.95));
+  EXPECT_FALSE(det.any_congested());
+  det.observe(uniform_load(p.topo, 0.95));
+  EXPECT_TRUE(det.any_congested());
+}
+
+TEST(Detector, ReportsCongestedLinkList) {
+  const PaperTopology p = make_paper_topology();
+  CongestionDetector det(p.topo, 0.9, 0.6, 1);
+  auto loads = uniform_load(p.topo, 0.2);
+  const topo::LinkId hot = p.topo.link_between(p.b, p.r2);
+  loads[hot].utilization = 0.97;
+  det.observe(loads);
+  const auto congested = det.congested_links();
+  ASSERT_EQ(congested.size(), 1u);
+  EXPECT_EQ(congested[0], hot);
+  EXPECT_EQ(det.state(hot), CongestionDetector::LinkState::kCongested);
+}
+
+// ----------------------------------------------------------------------- bus
+
+TEST(Bus, DeliversToAllSubscribers) {
+  NotificationBus bus;
+  int a = 0;
+  int b = 0;
+  bus.subscribe([&](const DemandNotice& n) { a += n.delta_sessions; });
+  bus.subscribe([&](const DemandNotice& n) { b += n.delta_sessions; });
+  bus.publish(DemandNotice{0, net::Prefix(net::Ipv4(10, 0, 0, 0), 8), 1e6, +1});
+  bus.publish(DemandNotice{0, net::Prefix(net::Ipv4(10, 0, 0, 0), 8), 1e6, +1});
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 2);
+}
+
+}  // namespace
+}  // namespace fibbing::monitor

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/lpm_trie.hpp"
+#include "net/prefix.hpp"
+
+namespace fibbing::net {
+namespace {
+
+// ---------------------------------------------------------------------- Ipv4
+
+TEST(Ipv4, ParseAndFormatRoundTrip) {
+  const auto a = Ipv4::parse("203.0.113.7");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value().to_string(), "203.0.113.7");
+  EXPECT_EQ(a.value(), Ipv4(203, 0, 113, 7));
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4::parse("1.2.3").ok());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5").ok());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.256").ok());
+  EXPECT_FALSE(Ipv4::parse("a.b.c.d").ok());
+  EXPECT_FALSE(Ipv4::parse("").ok());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.-4").ok());
+}
+
+TEST(Ipv4, OrderingFollowsNumericValue) {
+  EXPECT_LT(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2));
+  EXPECT_LT(Ipv4(9, 255, 255, 255), Ipv4(10, 0, 0, 0));
+}
+
+// -------------------------------------------------------------------- Prefix
+
+TEST(Prefix, CanonicalizesHostBits) {
+  const Prefix p(Ipv4(10, 1, 2, 3), 24);
+  EXPECT_EQ(p.network(), Ipv4(10, 1, 2, 0));
+  EXPECT_EQ(p, Prefix(Ipv4(10, 1, 2, 99), 24));
+}
+
+TEST(Prefix, ParseRoundTrip) {
+  const auto p = Prefix::parse("203.0.113.0/24");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().to_string(), "203.0.113.0/24");
+  EXPECT_EQ(p.value().length(), 24);
+}
+
+TEST(Prefix, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").ok());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").ok());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/x").ok());
+  EXPECT_FALSE(Prefix::parse("10.0.0/8").ok());
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p(Ipv4(10, 0, 0, 0), 8);
+  EXPECT_TRUE(p.contains(Ipv4(10, 255, 0, 1)));
+  EXPECT_FALSE(p.contains(Ipv4(11, 0, 0, 1)));
+}
+
+TEST(Prefix, ContainsPrefixNesting) {
+  const Prefix p8(Ipv4(10, 0, 0, 0), 8);
+  const Prefix p16(Ipv4(10, 1, 0, 0), 16);
+  EXPECT_TRUE(p8.contains(p16));
+  EXPECT_FALSE(p16.contains(p8));
+  EXPECT_TRUE(p8.contains(p8));
+}
+
+TEST(Prefix, HostAddressing) {
+  const Prefix p(Ipv4(192, 0, 2, 0), 30);
+  EXPECT_EQ(p.host(1), Ipv4(192, 0, 2, 1));
+  EXPECT_EQ(p.host(2), Ipv4(192, 0, 2, 2));
+}
+
+TEST(Prefix, ZeroLengthMatchesEverything) {
+  const Prefix any(Ipv4(0), 0);
+  EXPECT_TRUE(any.contains(Ipv4(255, 255, 255, 255)));
+  EXPECT_TRUE(any.contains(Ipv4(0)));
+}
+
+// ------------------------------------------------------------------- LpmTrie
+
+TEST(LpmTrie, ExactInsertLookupErase) {
+  LpmTrie<int> trie;
+  const Prefix p(Ipv4(10, 0, 0, 0), 8);
+  EXPECT_TRUE(trie.insert(p, 1));
+  EXPECT_FALSE(trie.insert(p, 2));  // overwrite
+  ASSERT_NE(trie.exact(p), nullptr);
+  EXPECT_EQ(*trie.exact(p), 2);
+  EXPECT_TRUE(trie.erase(p));
+  EXPECT_FALSE(trie.erase(p));
+  EXPECT_EQ(trie.exact(p), nullptr);
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(LpmTrie, LongestPrefixWins) {
+  LpmTrie<int> trie;
+  trie.insert(Prefix(Ipv4(10, 0, 0, 0), 8), 8);
+  trie.insert(Prefix(Ipv4(10, 1, 0, 0), 16), 16);
+  trie.insert(Prefix(Ipv4(10, 1, 2, 0), 24), 24);
+
+  const auto m = trie.lookup(Ipv4(10, 1, 2, 3));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->value, 24);
+  EXPECT_EQ(m->prefix.length(), 24);
+
+  const auto m16 = trie.lookup(Ipv4(10, 1, 9, 9));
+  ASSERT_TRUE(m16.has_value());
+  EXPECT_EQ(*m16->value, 16);
+
+  const auto m8 = trie.lookup(Ipv4(10, 9, 9, 9));
+  ASSERT_TRUE(m8.has_value());
+  EXPECT_EQ(*m8->value, 8);
+
+  EXPECT_FALSE(trie.lookup(Ipv4(11, 0, 0, 1)).has_value());
+}
+
+TEST(LpmTrie, DefaultRouteCatchesAll) {
+  LpmTrie<int> trie;
+  trie.insert(Prefix(Ipv4(0), 0), 0);
+  const auto m = trie.lookup(Ipv4(8, 8, 8, 8));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->value, 0);
+  EXPECT_EQ(m->prefix.length(), 0);
+}
+
+TEST(LpmTrie, HostRouteIsMostSpecific) {
+  LpmTrie<int> trie;
+  trie.insert(Prefix(Ipv4(10, 0, 0, 0), 8), 8);
+  trie.insert(Prefix(Ipv4(10, 0, 0, 7), 32), 32);
+  EXPECT_EQ(*trie.lookup(Ipv4(10, 0, 0, 7))->value, 32);
+  EXPECT_EQ(*trie.lookup(Ipv4(10, 0, 0, 8))->value, 8);
+}
+
+TEST(LpmTrie, ForEachVisitsAllInOrder) {
+  LpmTrie<int> trie;
+  trie.insert(Prefix(Ipv4(192, 0, 2, 0), 24), 1);
+  trie.insert(Prefix(Ipv4(10, 0, 0, 0), 8), 2);
+  trie.insert(Prefix(Ipv4(10, 128, 0, 0), 9), 3);
+  std::vector<std::string> seen;
+  trie.for_each([&](const Prefix& p, int v) {
+    seen.push_back(p.to_string() + "=" + std::to_string(v));
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "10.0.0.0/8=2");
+  EXPECT_EQ(seen[1], "10.128.0.0/9=3");
+  EXPECT_EQ(seen[2], "192.0.2.0/24=1");
+}
+
+TEST(LpmTrie, EraseLeavesSiblingsIntact) {
+  LpmTrie<int> trie;
+  trie.insert(Prefix(Ipv4(10, 0, 0, 0), 9), 1);
+  trie.insert(Prefix(Ipv4(10, 128, 0, 0), 9), 2);
+  trie.erase(Prefix(Ipv4(10, 0, 0, 0), 9));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.lookup(Ipv4(10, 200, 0, 1))->value, 2);
+  EXPECT_FALSE(trie.lookup(Ipv4(10, 1, 0, 1)).has_value());
+}
+
+/// Property sweep: a trie with /8, /16, /24 nested prefixes answers every
+/// address in the /8 with the deepest covering entry.
+TEST(LpmTrie, NestedCoverageProperty) {
+  LpmTrie<int> trie;
+  trie.insert(Prefix(Ipv4(10, 0, 0, 0), 8), 8);
+  for (std::uint8_t b = 0; b < 8; ++b) {
+    trie.insert(Prefix(Ipv4(10, b, 0, 0), 16), 16);
+    trie.insert(Prefix(Ipv4(10, b, b, 0), 24), 24);
+  }
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const Ipv4 addr(10, static_cast<std::uint8_t>(i % 13),
+                    static_cast<std::uint8_t>(i % 7), static_cast<std::uint8_t>(i));
+    const auto m = trie.lookup(addr);
+    ASSERT_TRUE(m.has_value());
+    const std::uint8_t b2 = (addr.bits() >> 16) & 0xff;
+    const std::uint8_t b3 = (addr.bits() >> 8) & 0xff;
+    int expect = 8;
+    if (b2 < 8) expect = (b3 == b2) ? 24 : 16;
+    EXPECT_EQ(*m->value, expect) << addr.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace fibbing::net

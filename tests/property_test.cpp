@@ -1,0 +1,440 @@
+// Parameterized property sweeps: each suite cross-checks a core algorithm
+// against an independent reference implementation (or an invariant) over
+// randomized instances, one seed per test case.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/augment.hpp"
+#include "core/verify.hpp"
+#include "dataplane/ecmp.hpp"
+#include "dataplane/forwarding.hpp"
+#include "dataplane/rate_solver.hpp"
+#include "igp/spf.hpp"
+#include "igp/view.hpp"
+#include "net/lpm_trie.hpp"
+#include "te/kshortest.hpp"
+#include "te/maxflow.hpp"
+#include "te/minmax.hpp"
+#include "te/ratio.hpp"
+#include "topo/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fibbing {
+namespace {
+
+// ------------------------------------------------------- SPF vs Bellman-Ford
+
+class SpfProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpfProperty, DistancesMatchBellmanFord) {
+  util::Rng rng(GetParam());
+  const topo::Topology t = topo::make_waxman(18, rng, 0.5, 0.5, 9);
+  const igp::NetworkView view = igp::NetworkView::from_topology(t);
+  const auto source = static_cast<topo::NodeId>(rng.pick_index(t.node_count()));
+  const igp::SpfResult spf = igp::run_spf(view, source);
+
+  // Reference: Bellman-Ford relaxation until fixpoint.
+  std::vector<std::uint64_t> ref(t.node_count(), ~0ull);
+  ref[source] = 0;
+  for (std::size_t round = 0; round < t.node_count(); ++round) {
+    for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+      const topo::Link& link = t.link(l);
+      if (ref[link.from] != ~0ull && ref[link.from] + link.metric < ref[link.to]) {
+        ref[link.to] = ref[link.from] + link.metric;
+      }
+    }
+  }
+  for (topo::NodeId n = 0; n < t.node_count(); ++n) {
+    if (ref[n] == ~0ull) {
+      EXPECT_FALSE(spf.reaches(n));
+    } else {
+      EXPECT_EQ(spf.dist[n], ref[n]) << "node " << n;
+    }
+  }
+}
+
+TEST_P(SpfProperty, FirstHopsSatisfyEcmpDefinition) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  const topo::Topology t = topo::make_waxman(16, rng, 0.5, 0.5, 7);
+  const igp::NetworkView view = igp::NetworkView::from_topology(t);
+  const auto source = static_cast<topo::NodeId>(rng.pick_index(t.node_count()));
+  const igp::SpfResult from_src = igp::run_spf(view, source);
+
+  // Definition: neighbor w is a first hop toward v iff
+  // metric(source,w) + dist(w,v) == dist(source,v).
+  for (topo::NodeId v = 0; v < t.node_count(); ++v) {
+    if (v == source || !from_src.reaches(v)) continue;
+    std::vector<topo::NodeId> expected;
+    for (const topo::LinkId l : t.out_links(source)) {
+      const topo::NodeId w = t.link(l).to;
+      const igp::SpfResult from_w = igp::run_spf(view, w);
+      if (from_w.reaches(v) &&
+          t.link(l).metric + from_w.dist[v] == from_src.dist[v]) {
+        expected.push_back(w);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(from_src.first_hops[v], expected) << "target " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpfProperty, ::testing::Range<std::uint64_t>(1, 9));
+
+// ----------------------------------------------------- LPM trie vs linear scan
+
+class LpmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmProperty, MatchesLinearScanReference) {
+  util::Rng rng(GetParam());
+  net::LpmTrie<int> trie;
+  std::vector<std::pair<net::Prefix, int>> entries;
+  for (int i = 0; i < 60; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(0, 28));
+    const net::Prefix p(net::Ipv4(static_cast<std::uint32_t>(
+                            rng.uniform_int(0, 0xffffffffLL))),
+                        len);
+    // Insert-or-overwrite in both structures.
+    trie.insert(p, i);
+    bool replaced = false;
+    for (auto& [q, v] : entries) {
+      if (q == p) {
+        v = i;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) entries.emplace_back(p, i);
+  }
+  for (int probe = 0; probe < 400; ++probe) {
+    const net::Ipv4 addr(static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffffLL)));
+    const auto got = trie.lookup(addr);
+    // Reference: longest matching prefix by linear scan.
+    const std::pair<net::Prefix, int>* best = nullptr;
+    for (const auto& entry : entries) {
+      if (!entry.first.contains(addr)) continue;
+      if (best == nullptr || entry.first.length() > best->first.length()) {
+        best = &entry;
+      }
+    }
+    if (best == nullptr) {
+      EXPECT_FALSE(got.has_value()) << addr.to_string();
+    } else {
+      ASSERT_TRUE(got.has_value()) << addr.to_string();
+      EXPECT_EQ(*got->value, best->second) << addr.to_string();
+      EXPECT_EQ(got->prefix, best->first) << addr.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmProperty, ::testing::Range<std::uint64_t>(1, 7));
+
+// ------------------------------------------------------ max-min fairness laws
+
+class RateSolverProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RateSolverProperty, CapacityEfficiencyAndFairness) {
+  util::Rng rng(GetParam());
+  const topo::Topology t = topo::make_waxman(12, rng, 0.6, 0.6, 5, 50.0, 200.0);
+  const igp::NetworkView view = igp::NetworkView::from_topology(t);
+
+  // Random delivered paths along shortest routes.
+  std::vector<dataplane::FlowPath> paths;
+  std::vector<double> demands;
+  for (int i = 0; i < 40; ++i) {
+    const auto src = static_cast<topo::NodeId>(rng.pick_index(t.node_count()));
+    auto dst = static_cast<topo::NodeId>(rng.pick_index(t.node_count()));
+    if (dst == src) dst = (dst + 1) % static_cast<topo::NodeId>(t.node_count());
+    const te::Path sp = te::shortest_path(t, src, dst);
+    if (sp.empty()) continue;
+    dataplane::FlowPath path;
+    path.outcome = dataplane::FlowPath::Outcome::kDelivered;
+    path.links = sp.links;
+    path.egress = dst;
+    paths.push_back(std::move(path));
+    demands.push_back(rng.uniform(5.0, 80.0));
+  }
+  std::vector<dataplane::RatedFlow> flows;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    flows.push_back(dataplane::RatedFlow{i + 1, demands[i], &paths[i]});
+  }
+  const std::vector<double> rates = dataplane::max_min_rates(t, flows);
+
+  std::vector<double> used(t.link_count(), 0.0);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_GE(rates[i], 0.0);
+    EXPECT_LE(rates[i], demands[i] + 1e-9);
+    for (const topo::LinkId l : paths[i].links) used[l] += rates[i];
+  }
+  // 1. Capacity: no link over its limit.
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    EXPECT_LE(used[l], t.link(l).capacity_bps * (1 + 1e-9)) << t.link_name(l);
+  }
+  // 2. Efficiency (Pareto): every throttled flow crosses a saturated link.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (rates[i] >= demands[i] - 1e-6) continue;
+    bool saturated = false;
+    for (const topo::LinkId l : paths[i].links) {
+      if (used[l] >= t.link(l).capacity_bps * (1 - 1e-6)) saturated = true;
+    }
+    EXPECT_TRUE(saturated) << "flow " << i;
+  }
+  // 3. Max-min: on each saturated link, every throttled flow crossing it
+  //    has rate >= any other crossing flow's rate minus epsilon... i.e. a
+  //    throttled flow's rate equals the max of the link's min rates.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (rates[i] >= demands[i] - 1e-6) continue;
+    // The flow is bottlenecked somewhere: on that link no flow may hold
+    // more than rates[i] unless it is demand-limited below its fair share.
+    bool justified = false;
+    for (const topo::LinkId l : paths[i].links) {
+      if (used[l] < t.link(l).capacity_bps * (1 - 1e-6)) continue;
+      bool dominated = false;
+      for (std::size_t j = 0; j < flows.size(); ++j) {
+        if (j == i || rates[j] <= rates[i] + 1e-6) continue;
+        bool crosses = false;
+        for (const topo::LinkId m : paths[j].links) {
+          if (m == l) crosses = true;
+        }
+        if (crosses && rates[j] > rates[i] + 1e-6 &&
+            rates[j] > demands[j] - 1e-6) {
+          // j holds more but only because it is demand-limited: fine.
+        } else if (crosses) {
+          dominated = true;
+        }
+      }
+      if (!dominated) justified = true;
+    }
+    EXPECT_TRUE(justified) << "flow " << i << " could be increased";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RateSolverProperty,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// ------------------------------------------------- max-flow vs min-cut bound
+
+class MaxFlowProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxFlowProperty, FlowConservationAndCutBound) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 10;
+  te::MaxFlow mf(n);
+  struct E {
+    std::size_t from, to, id;
+    double cap;
+  };
+  std::vector<E> edges;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u != v && rng.chance(0.3)) {
+        const double cap = rng.uniform(1.0, 20.0);
+        edges.push_back(E{u, v, mf.add_edge(u, v, cap), cap});
+      }
+    }
+  }
+  const double value = mf.solve(0, n - 1);
+
+  // Conservation at interior nodes; source/sink balance equals the value.
+  std::vector<double> net(n, 0.0);
+  for (const E& e : edges) {
+    const double f = mf.flow_on(e.id);
+    EXPECT_GE(f, -1e-9);
+    EXPECT_LE(f, e.cap + 1e-9);
+    net[e.from] -= f;
+    net[e.to] += f;
+  }
+  for (std::size_t v = 1; v + 1 < n; ++v) EXPECT_NEAR(net[v], 0.0, 1e-6);
+  EXPECT_NEAR(-net[0], value, 1e-6);
+  EXPECT_NEAR(net[n - 1], value, 1e-6);
+
+  // Weak duality: any random cut upper-bounds the flow value.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<bool> side(n, false);
+    side[0] = true;  // source side
+    for (std::size_t v = 1; v + 1 < n; ++v) side[v] = rng.chance(0.5);
+    double cut = 0.0;
+    for (const E& e : edges) {
+      if (side[e.from] && !side[e.to]) cut += e.cap;
+    }
+    EXPECT_GE(cut, value - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxFlowProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ------------------------------------------------ ratio approximation bounds
+
+class RatioProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint64_t>> {};
+
+TEST_P(RatioProperty, ErrorWithinApportionmentBound) {
+  const auto [budget, seed] = GetParam();
+  util::Rng rng(seed);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto k = static_cast<std::size_t>(rng.uniform_int(
+        2, std::min<std::uint32_t>(budget, 4)));
+    std::vector<double> f(k);
+    double sum = 0.0;
+    for (double& x : f) sum += (x = rng.uniform(0.02, 1.0));
+    for (double& x : f) x /= sum;
+    const auto w = te::approximate_ratios(f, budget);
+    // Sum within budget; every positive fraction keeps at least one slot.
+    std::uint32_t total = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_GE(w[i], 1u);
+      total += w[i];
+    }
+    EXPECT_LE(total, budget);
+    // With enough room (budget >= 2k) the apportionment lands within one
+    // slot of the target; at budget == k the floors dominate and only the
+    // structural invariants above hold.
+    if (budget >= 2 * k) {
+      EXPECT_LE(te::ratio_error(w, f), 1.0 / static_cast<double>(k) + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetsAndSeeds, RatioProperty,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u, 16u),
+                       ::testing::Values(11ull, 22ull, 33ull)));
+
+// ----------------------------------- augmentation: random two-hop requirements
+
+class AugmentProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Random per-destination requirements (random uneven splits over random
+/// adjacent next hops that lie on *some* sensible DAG): compile + verify
+/// must either succeed exactly or fail with the granularity diagnostic.
+TEST_P(AugmentProperty, CompiledLiesVerifyExactly) {
+  util::Rng rng(GetParam());
+  topo::Topology base = topo::make_waxman(12, rng, 0.55, 0.55, 4);
+  topo::Topology t;
+  for (topo::NodeId v = 0; v < base.node_count(); ++v) t.add_node(base.node(v).name);
+  for (topo::LinkId l = 0; l < base.link_count(); ++l) {
+    const topo::Link& link = base.link(l);
+    if (link.from < link.to) {
+      t.add_link(link.from, link.to, link.metric * 4, link.capacity_bps);
+    }
+  }
+  const auto dest = static_cast<topo::NodeId>(rng.pick_index(t.node_count()));
+  const net::Prefix prefix(net::Ipv4(203, 0, 113, 0), 24);
+  t.attach_prefix(dest, prefix, 16);
+
+  // Requirements from a *valid DAG*: distances to dest strictly decrease
+  // along required edges, so acyclicity holds by construction.
+  const igp::NetworkView view = igp::NetworkView::from_topology(t);
+  std::vector<topo::Metric> dist_to_dest(t.node_count());
+  for (topo::NodeId v = 0; v < t.node_count(); ++v) {
+    dist_to_dest[v] = igp::run_spf(view, v).dist[dest];
+  }
+  core::DestRequirement req;
+  req.prefix = prefix;
+  for (topo::NodeId u = 0; u < t.node_count(); ++u) {
+    if (u == dest || !rng.chance(0.4)) continue;
+    std::vector<core::NextHopReq> hops;
+    for (const topo::LinkId l : t.out_links(u)) {
+      const topo::NodeId v = t.link(l).to;
+      if (dist_to_dest[v] < dist_to_dest[u] && rng.chance(0.7)) {
+        hops.push_back(core::NextHopReq{
+            v, static_cast<std::uint32_t>(rng.uniform_int(1, 3))});
+      }
+    }
+    if (!hops.empty()) req.nodes.emplace(u, std::move(hops));
+  }
+  if (req.nodes.empty()) return;  // nothing to realize for this seed
+  ASSERT_TRUE(core::validate_requirement(t, req).ok());
+
+  const auto compiled = core::compile_lies(t, req);
+  if (!compiled.ok()) {
+    EXPECT_TRUE(compiled.error().find("granularity") != std::string::npos ||
+                compiled.error().find("repair") != std::string::npos ||
+                compiled.error().find("steer") != std::string::npos)
+        << compiled.error();
+    return;
+  }
+  const core::VerifyReport report =
+      core::verify_augmentation(t, req, compiled.value().lies);
+  EXPECT_TRUE(report.ok()) << report.to_string(t);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AugmentProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ------------------------------------ forwarding: hash shares track weights
+
+class EcmpShareProperty
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(EcmpShareProperty, FlowSharesTrackFibWeights) {
+  const auto [w1, w2] = GetParam();
+  const topo::PaperTopology p = topo::make_paper_topology();
+  dataplane::FibEntry entry{
+      false,
+      {dataplane::FibNextHop{0, 1, w1}, dataplane::FibNextHop{1, 2, w2}}};
+  const double target = static_cast<double>(w1) / (w1 + w2);
+  int first = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    dataplane::Flow f;
+    f.src = net::Ipv4(198, 18, 0, 1);
+    f.dst = p.p1.host(static_cast<std::uint32_t>(1 + i % 120));
+    f.src_port = static_cast<std::uint16_t>(1024 + i);
+    f.dst_port = 8554;
+    if (dataplane::select_next_hop(entry, f, 99) == 0) ++first;
+  }
+  EXPECT_NEAR(static_cast<double>(first) / n, target, 0.035)
+      << "weights " << w1 << ":" << w2;
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, EcmpShareProperty,
+                         ::testing::Values(std::pair<std::uint32_t, std::uint32_t>{1, 1},
+                                           std::pair<std::uint32_t, std::uint32_t>{1, 2},
+                                           std::pair<std::uint32_t, std::uint32_t>{1, 3},
+                                           std::pair<std::uint32_t, std::uint32_t>{2, 3},
+                                           std::pair<std::uint32_t, std::uint32_t>{3, 5},
+                                           std::pair<std::uint32_t, std::uint32_t>{1, 7}));
+
+// ------------------------------------------- k-shortest paths: order & validity
+
+class KShortestProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KShortestProperty, PathsAreSimpleOrderedAndDistinct) {
+  util::Rng rng(GetParam());
+  const topo::Topology t = topo::make_waxman(14, rng, 0.5, 0.5, 6);
+  const auto src = static_cast<topo::NodeId>(rng.pick_index(t.node_count()));
+  auto dst = static_cast<topo::NodeId>(rng.pick_index(t.node_count()));
+  if (dst == src) dst = (dst + 1) % static_cast<topo::NodeId>(t.node_count());
+  const auto paths = te::k_shortest_paths(t, src, dst, 6);
+  ASSERT_FALSE(paths.empty());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    // Valid contiguous path from src to dst.
+    topo::NodeId at = src;
+    std::vector<bool> seen(t.node_count(), false);
+    seen[at] = true;
+    topo::Metric cost = 0;
+    for (const topo::LinkId l : paths[i].links) {
+      EXPECT_EQ(t.link(l).from, at);
+      at = t.link(l).to;
+      EXPECT_FALSE(seen[at]) << "loop in path " << i;  // simple path
+      seen[at] = true;
+      cost += t.link(l).metric;
+    }
+    EXPECT_EQ(at, dst);
+    EXPECT_EQ(cost, paths[i].cost);
+    if (i > 0) EXPECT_GE(paths[i].cost, paths[i - 1].cost);
+    for (std::size_t j = 0; j < i; ++j) EXPECT_NE(paths[i].links, paths[j].links);
+  }
+  // First path is the true shortest.
+  EXPECT_EQ(paths[0].cost, te::shortest_path(t, src, dst).cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KShortestProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace fibbing

@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "te/kshortest.hpp"
+#include "te/maxflow.hpp"
+#include "te/minmax.hpp"
+#include "te/mpls.hpp"
+#include "te/ratio.hpp"
+#include "te/weightopt.hpp"
+#include "topo/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fibbing::te {
+namespace {
+
+using topo::make_paper_topology;
+using topo::NodeId;
+using topo::PaperTopology;
+
+// ------------------------------------------------------------------- MaxFlow
+
+TEST(MaxFlow, SimpleChain) {
+  MaxFlow mf(3);
+  mf.add_edge(0, 1, 5.0);
+  mf.add_edge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 2), 3.0);
+}
+
+TEST(MaxFlow, ParallelPathsSum) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 4.0);
+  mf.add_edge(1, 3, 4.0);
+  mf.add_edge(0, 2, 3.0);
+  mf.add_edge(2, 3, 5.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 7.0);
+}
+
+TEST(MaxFlow, ClassicResidualCase) {
+  // The textbook diamond where augmenting through the middle edge must be
+  // undone via the residual graph.
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 10.0);
+  mf.add_edge(0, 2, 10.0);
+  const std::size_t middle = mf.add_edge(1, 2, 1.0);
+  mf.add_edge(1, 3, 10.0);
+  mf.add_edge(2, 3, 10.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 20.0);
+  EXPECT_LE(mf.flow_on(middle), 1.0 + 1e-9);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 5.0);
+  mf.add_edge(2, 3, 5.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 0.0);
+}
+
+TEST(MaxFlow, FlowOnReportsPerEdge) {
+  MaxFlow mf(3);
+  const std::size_t a = mf.add_edge(0, 1, 5.0);
+  const std::size_t b = mf.add_edge(1, 2, 3.0);
+  mf.solve(0, 2);
+  EXPECT_DOUBLE_EQ(mf.flow_on(a), 3.0);
+  EXPECT_DOUBLE_EQ(mf.flow_on(b), 3.0);
+}
+
+// -------------------------------------------------------------------- minmax
+
+TEST(MinMax, PaperSurgeOptimum) {
+  // Fig. 1 situation: 100 units from A and 100 from B toward C, all links
+  // capacity 100. The optimum spreads 200 units over the three C-facing
+  // links (cuts {R2-C, R3-C, R4-C}): theta* = 200/300 = 2/3.
+  const PaperTopology p = make_paper_topology(100.0);
+  const std::vector<Demand> demands{{p.a, 100.0}, {p.b, 100.0}};
+  const auto result = solve_min_max(p.topo, p.c, demands);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_NEAR(result.value().theta, 2.0 / 3.0, 1e-3);
+}
+
+TEST(MinMax, BeatsShortestPathOnPaperTopology) {
+  const PaperTopology p = make_paper_topology(100.0);
+  const std::vector<Demand> demands{{p.a, 100.0}, {p.b, 100.0}};
+  const double spf_theta = shortest_path_max_utilization(p.topo, p.c, demands);
+  // Plain IGP sends everything through B-R2-C: 200 on a 100-capacity link.
+  EXPECT_NEAR(spf_theta, 2.0, 1e-9);
+  const auto optimal = solve_min_max(p.topo, p.c, demands);
+  ASSERT_TRUE(optimal.ok());
+  EXPECT_LT(optimal.value().theta, spf_theta / 2.5);
+}
+
+TEST(MinMax, SplitsFormDagCoveringDemand) {
+  const PaperTopology p = make_paper_topology(100.0);
+  const std::vector<Demand> demands{{p.a, 100.0}, {p.b, 100.0}};
+  const auto result = solve_min_max(p.topo, p.c, demands);
+  ASSERT_TRUE(result.ok());
+  const MinMaxResult& mm = result.value();
+
+  // Ingresses must split; fractions sum to 1 at every split node.
+  ASSERT_TRUE(mm.splits.contains(p.a));
+  ASSERT_TRUE(mm.splits.contains(p.b));
+  for (const auto& [node, split] : mm.splits) {
+    double sum = 0.0;
+    for (const auto& [via, frac] : split) {
+      EXPECT_GT(frac, 0.0);
+      sum += frac;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+  // Flow conservation: total into C equals total demand.
+  double into_c = 0.0;
+  for (topo::LinkId l = 0; l < p.topo.link_count(); ++l) {
+    if (p.topo.link(l).to == p.c) into_c += mm.link_flow[l];
+    EXPECT_GE(mm.link_flow[l], -1e-9);
+  }
+  EXPECT_NEAR(into_c, 200.0, 1e-3);
+}
+
+TEST(MinMax, RespectsBackgroundLoad) {
+  const PaperTopology p = make_paper_topology(100.0);
+  // B-R2 already carries 80 units of untouchable traffic.
+  std::vector<double> background(p.topo.link_count(), 0.0);
+  background[p.topo.link_between(p.b, p.r2)] = 80.0;
+  const std::vector<Demand> demands{{p.b, 100.0}};
+  const auto with_bg = solve_min_max(p.topo, p.c, demands, background);
+  const auto without = solve_min_max(p.topo, p.c, demands);
+  ASSERT_TRUE(with_bg.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_GT(with_bg.value().theta, without.value().theta);
+  // The new flow must mostly avoid B-R2.
+  EXPECT_LT(with_bg.value().link_flow[p.topo.link_between(p.b, p.r2)], 50.0);
+}
+
+TEST(MinMax, ZeroDemandIsTrivial) {
+  const PaperTopology p = make_paper_topology();
+  const auto result = solve_min_max(p.topo, p.c, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().theta, 0.0);
+  EXPECT_TRUE(result.value().splits.empty());
+}
+
+TEST(MinMax, OverloadReportsThetaAboveOne) {
+  const PaperTopology p = make_paper_topology(100.0);
+  // 600 units cannot fit into the 300-capacity cut around C.
+  const std::vector<Demand> demands{{p.a, 300.0}, {p.b, 300.0}};
+  const auto result = solve_min_max(p.topo, p.c, demands);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().theta, 2.0, 1e-3);
+}
+
+/// Property: on random graphs, the solver's theta is never worse than plain
+/// shortest-path routing, and link flows never exceed theta * capacity.
+TEST(MinMax, OptimalityAndFeasibilityOnRandomGraphs) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 6; ++trial) {
+    const topo::Topology t = topo::make_waxman(14, rng, 0.5, 0.5, 8, 100.0, 400.0);
+    const NodeId dest = static_cast<NodeId>(trial % t.node_count());
+    std::vector<Demand> demands;
+    for (int d = 0; d < 3; ++d) {
+      NodeId ingress = static_cast<NodeId>(rng.pick_index(t.node_count()));
+      if (ingress == dest) ingress = (ingress + 1) % t.node_count();
+      demands.push_back(Demand{ingress, rng.uniform(50.0, 200.0)});
+    }
+    const auto result = solve_min_max(t, dest, demands);
+    ASSERT_TRUE(result.ok()) << "trial " << trial;
+    const double spf = shortest_path_max_utilization(t, dest, demands);
+    EXPECT_LE(result.value().theta, spf + 1e-6) << "trial " << trial;
+    for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+      EXPECT_LE(result.value().link_flow[l],
+                result.value().theta * t.link(l).capacity_bps + 1e-6);
+    }
+  }
+}
+
+// --------------------------------------------------------------------- ratio
+
+TEST(Ratio, ExactFractionsAreExact) {
+  const auto w = approximate_ratios({1.0 / 3, 2.0 / 3}, 8);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(ratio_error(w, {1.0 / 3, 2.0 / 3}), 0.0);
+  EXPECT_EQ(w[0] * 2, w[1]);
+}
+
+TEST(Ratio, EvenSplitUsesMinimalDenominator) {
+  const auto w = approximate_ratios({0.5, 0.5}, 8);
+  EXPECT_EQ(w, (std::vector<std::uint32_t>{1, 1}));
+}
+
+TEST(Ratio, PositiveFractionNeverDropped) {
+  const auto w = approximate_ratios({0.05, 0.95}, 4);
+  EXPECT_GE(w[0], 1u);
+  EXPECT_GE(w[1], 1u);
+}
+
+TEST(Ratio, ZeroFractionGetsZeroWeight) {
+  const auto w = approximate_ratios({0.0, 0.4, 0.6}, 8);
+  EXPECT_EQ(w[0], 0u);
+  EXPECT_GT(w[1], 0u);
+}
+
+TEST(Ratio, TighterBudgetDegradesGracefully) {
+  const std::vector<double> f{0.21, 0.34, 0.45};
+  const auto w8 = approximate_ratios(f, 8);
+  const auto w16 = approximate_ratios(f, 16);
+  EXPECT_LE(ratio_error(w16, f), ratio_error(w8, f) + 1e-12);
+}
+
+/// Property sweep: error never exceeds 1/(2 * positive_count) * ... loose
+/// bound: with budget >= k the largest-remainder error is below 1/k.
+TEST(Ratio, ErrorBoundProperty) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int k = 2 + static_cast<int>(rng.uniform_int(0, 2));
+    std::vector<double> f(static_cast<std::size_t>(k));
+    double sum = 0.0;
+    for (double& x : f) sum += (x = rng.uniform(0.05, 1.0));
+    for (double& x : f) x /= sum;
+    const std::uint32_t budget = 8;
+    const auto w = approximate_ratios(f, budget);
+    EXPECT_LE(ratio_error(w, f), 1.0 / static_cast<double>(k)) << "trial " << trial;
+    EXPECT_LE(std::accumulate(w.begin(), w.end(), 0u), budget);
+  }
+}
+
+// ----------------------------------------------------------------- kshortest
+
+TEST(KShortest, FirstPathIsShortest) {
+  const PaperTopology p = make_paper_topology();
+  const auto paths = k_shortest_paths(p.topo, p.a, p.c, 3);
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_EQ(paths[0].cost, 6u);           // A-B-R2-C
+  EXPECT_EQ(paths[0].links.size(), 3u);
+  EXPECT_LE(paths[0].cost, paths[1].cost);  // nondecreasing
+}
+
+TEST(KShortest, EnumeratesAllSimplePaths) {
+  const PaperTopology p = make_paper_topology();
+  // A->C has exactly 4 simple paths in this graph... via B-R2, via B-R3,
+  // via R1-R4, and the long A-B...R1 detours are blocked (A-R1 only from A).
+  const auto paths = k_shortest_paths(p.topo, p.a, p.c, 10);
+  ASSERT_GE(paths.size(), 3u);
+  // Costs: 6 (A-B-R2-C), 8 (A-B-R3-C and A-R1-R4-C).
+  EXPECT_EQ(paths[0].cost, 6u);
+  EXPECT_EQ(paths[1].cost, 8u);
+  EXPECT_EQ(paths[2].cost, 8u);
+  // All loopless and genuinely distinct.
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i].links, paths[j].links);
+    }
+  }
+}
+
+TEST(KShortest, RespectsBans) {
+  const PaperTopology p = make_paper_topology();
+  std::vector<bool> banned_links(p.topo.link_count(), false);
+  const topo::LinkId br2 = p.topo.link_between(p.b, p.r2);
+  banned_links[br2] = true;
+  banned_links[p.topo.link(br2).reverse] = true;
+  const Path path = shortest_path(p.topo, p.b, p.c, {}, banned_links);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.cost, 6u);  // B-R3-C
+}
+
+// ---------------------------------------------------------------------- MPLS
+
+TEST(Mpls, TunnelsCoverDemandAndRespectFlows) {
+  const PaperTopology p = make_paper_topology(100.0);
+  const std::vector<Demand> demands{{p.a, 100.0}, {p.b, 100.0}};
+  const auto solution = solve_min_max(p.topo, p.c, demands);
+  ASSERT_TRUE(solution.ok());
+  const auto tunnels = tunnels_from_splits(p.topo, solution.value(), demands, p.c);
+
+  // Reservation totals match demand per ingress.
+  double from_a = 0.0;
+  double from_b = 0.0;
+  for (const Tunnel& t : tunnels) {
+    EXPECT_EQ(t.egress, p.c);
+    ASSERT_FALSE(t.links.empty());
+    EXPECT_EQ(p.topo.link(t.links.front()).from, t.ingress);
+    EXPECT_EQ(p.topo.link(t.links.back()).to, p.c);
+    (t.ingress == p.a ? from_a : from_b) += t.reserved_bps;
+  }
+  EXPECT_NEAR(from_a, 100.0, 1e-3);
+  EXPECT_NEAR(from_b, 100.0, 1e-3);
+
+  // Per-link reservations never exceed the solver's flow.
+  std::vector<double> reserved(p.topo.link_count(), 0.0);
+  for (const Tunnel& t : tunnels) {
+    for (const topo::LinkId l : t.links) reserved[l] += t.reserved_bps;
+  }
+  for (topo::LinkId l = 0; l < p.topo.link_count(); ++l) {
+    EXPECT_LE(reserved[l], solution.value().link_flow[l] + 1e-3);
+  }
+}
+
+TEST(Mpls, OverheadAccountingCountsStateAndMessages) {
+  const PaperTopology p = make_paper_topology(100.0);
+  const std::vector<Demand> demands{{p.a, 100.0}, {p.b, 100.0}};
+  const auto solution = solve_min_max(p.topo, p.c, demands);
+  ASSERT_TRUE(solution.ok());
+  const auto tunnels = tunnels_from_splits(p.topo, solution.value(), demands, p.c);
+  const MplsOverhead overhead = account_overhead(tunnels);
+  EXPECT_EQ(overhead.tunnels, tunnels.size());
+  EXPECT_GE(overhead.tunnels, 3u);  // multipath needs several LSPs
+  std::size_t hops = 0;
+  for (const Tunnel& t : tunnels) hops += t.links.size();
+  EXPECT_EQ(overhead.setup_messages, 2 * hops);
+  EXPECT_EQ(overhead.state_entries, hops + tunnels.size());
+  EXPECT_GT(overhead.encap_overhead_ratio(), 0.0);
+}
+
+// ----------------------------------------------------------------- weightopt
+
+TEST(WeightOpt, PhiIsConvexIncreasing) {
+  EXPECT_DOUBLE_EQ(fortz_thorup_phi(0.0), 0.0);
+  double prev = 0.0;
+  double prev_slope = 0.0;
+  for (double u = 0.05; u < 1.5; u += 0.05) {
+    const double phi = fortz_thorup_phi(u);
+    const double slope = (phi - prev) / 0.05;
+    EXPECT_GT(phi, prev);
+    EXPECT_GE(slope, prev_slope - 1e-9);
+    prev = phi;
+    prev_slope = slope;
+  }
+}
+
+TEST(WeightOpt, LoadsMatchShortestPathHelper) {
+  const PaperTopology p = make_paper_topology(100.0);
+  std::vector<topo::Metric> weights(p.topo.link_count());
+  for (topo::LinkId l = 0; l < p.topo.link_count(); ++l) {
+    weights[l] = p.topo.link(l).metric;
+  }
+  const std::vector<TrafficDemand> demands{{p.a, p.c, 100.0}, {p.b, p.c, 100.0}};
+  const auto loads = loads_for_weights(p.topo, weights, demands);
+  const auto spf_loads =
+      shortest_path_loads(p.topo, p.c, {{p.a, 100.0}, {p.b, 100.0}});
+  for (topo::LinkId l = 0; l < p.topo.link_count(); ++l) {
+    EXPECT_NEAR(loads[l], spf_loads[l], 1e-9) << p.topo.link_name(l);
+  }
+}
+
+TEST(WeightOpt, ImprovesCongestionOnPaperSurge) {
+  const PaperTopology p = make_paper_topology(100.0);
+  const std::vector<TrafficDemand> demands{{p.a, p.c, 100.0}, {p.b, p.c, 100.0}};
+  WeightOptConfig config;
+  config.max_iterations = 1500;
+  config.seed = 3;
+  const WeightOptResult result = optimize_weights(p.topo, demands, config);
+  EXPECT_NEAR(result.initial_max_util, 2.0, 1e-9);  // everything on B-R2-C
+  EXPECT_LT(result.final_max_util, result.initial_max_util);
+  EXPECT_GT(result.weight_changes, 0);
+  // The paper's operational argument: reaching the new optimum required
+  // touching devices and moved other forwarding decisions.
+  EXPECT_GT(result.disturbed_pairs, 0u);
+}
+
+TEST(WeightOpt, NoDemandMeansNoChange) {
+  const PaperTopology p = make_paper_topology();
+  const WeightOptResult result = optimize_weights(p.topo, {}, {});
+  EXPECT_EQ(result.weight_changes, 0);
+  EXPECT_DOUBLE_EQ(result.final_objective, 0.0);
+}
+
+}  // namespace
+}  // namespace fibbing::te

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "topo/generators.hpp"
+#include "topo/parser.hpp"
+#include "topo/topology.hpp"
+#include "util/rng.hpp"
+
+namespace fibbing::topo {
+namespace {
+
+TEST(Topology, AddNodesAndLinks) {
+  Topology t;
+  const NodeId a = t.add_node("A");
+  const NodeId b = t.add_node("B");
+  const LinkId ab = t.add_link(a, b, 3, 1e9);
+  EXPECT_EQ(t.node_count(), 2u);
+  EXPECT_EQ(t.link_count(), 2u);  // both directions
+  EXPECT_EQ(t.link(ab).from, a);
+  EXPECT_EQ(t.link(ab).to, b);
+  EXPECT_EQ(t.link(ab).metric, 3u);
+  const Link& ba = t.link(t.link(ab).reverse);
+  EXPECT_EQ(ba.from, b);
+  EXPECT_EQ(ba.to, a);
+  EXPECT_EQ(t.link(ba.reverse).from, a);  // reverse of reverse
+}
+
+TEST(Topology, LinkAddressingIsUniquePerLink) {
+  Topology t;
+  const NodeId a = t.add_node("A");
+  const NodeId b = t.add_node("B");
+  const NodeId c = t.add_node("C");
+  const LinkId ab = t.add_link(a, b, 1, 1e9);
+  const LinkId bc = t.add_link(b, c, 1, 1e9);
+  EXPECT_NE(t.link(ab).subnet, t.link(bc).subnet);
+  // Both directions share the /30; local addresses differ.
+  const Link& ab_fwd = t.link(ab);
+  const Link& ab_rev = t.link(ab_fwd.reverse);
+  EXPECT_EQ(ab_fwd.subnet, ab_rev.subnet);
+  EXPECT_NE(ab_fwd.local_addr, ab_rev.local_addr);
+  EXPECT_TRUE(ab_fwd.subnet.contains(ab_fwd.local_addr));
+  EXPECT_TRUE(ab_fwd.subnet.contains(ab_rev.local_addr));
+}
+
+TEST(Topology, LinkOwningResolvesInterfaceAddress) {
+  Topology t;
+  const NodeId a = t.add_node("A");
+  const NodeId b = t.add_node("B");
+  const LinkId ab = t.add_link(a, b, 1, 1e9);
+  const Link& fwd = t.link(ab);
+  EXPECT_EQ(t.link_owning(fwd.local_addr), ab);
+  EXPECT_EQ(t.link_owning(t.link(fwd.reverse).local_addr), fwd.reverse);
+  EXPECT_EQ(t.link_owning(net::Ipv4(1, 2, 3, 4)), kInvalidLink);
+}
+
+TEST(Topology, FindNodeByName) {
+  Topology t;
+  t.add_node("SEA");
+  const NodeId sfo = t.add_node("SFO");
+  EXPECT_EQ(t.find_node("SFO"), sfo);
+  EXPECT_EQ(t.find_node("LAX"), kInvalidNode);
+  EXPECT_EQ(t.node_id("SFO"), sfo);
+}
+
+TEST(Topology, ValidateRejectsDisconnected) {
+  Topology t;
+  const NodeId a = t.add_node("A");
+  const NodeId b = t.add_node("B");
+  t.add_node("isolated");
+  t.add_link(a, b, 1, 1e9);
+  EXPECT_FALSE(t.validate().ok());
+}
+
+TEST(Topology, AttachedPrefixLookup) {
+  Topology t;
+  const NodeId a = t.add_node("A");
+  const NodeId b = t.add_node("B");
+  t.add_link(a, b, 1, 1e9);
+  const net::Prefix blue(net::Ipv4(203, 0, 113, 0), 24);
+  t.attach_prefix(b, blue, 5);
+  const auto atts = t.attachments_for(blue);
+  ASSERT_EQ(atts.size(), 1u);
+  EXPECT_EQ(atts[0].node, b);
+  EXPECT_EQ(atts[0].metric, 5u);
+}
+
+// ------------------------------------------------------------ paper topology
+
+TEST(PaperTopology, MatchesFig1Weights) {
+  const PaperTopology p = make_paper_topology();
+  const Topology& t = p.topo;
+  EXPECT_EQ(t.node_count(), 7u);
+  EXPECT_EQ(t.link_count(), 16u);  // 8 bidirectional links
+
+  // Default metric scale is 2 (see make_paper_topology doc).
+  auto metric = [&](NodeId x, NodeId y) { return t.link(t.link_between(x, y)).metric; };
+  EXPECT_EQ(metric(p.a, p.b), 2u);
+  EXPECT_EQ(metric(p.a, p.r1), 4u);
+  EXPECT_EQ(metric(p.b, p.r2), 2u);
+  EXPECT_EQ(metric(p.b, p.r3), 4u);
+  EXPECT_EQ(metric(p.r1, p.r4), 2u);
+  EXPECT_EQ(metric(p.r2, p.c), 2u);
+  EXPECT_EQ(metric(p.r3, p.c), 2u);
+  EXPECT_EQ(metric(p.r4, p.c), 2u);
+
+  // At scale 1 the figure's literal weights come back.
+  const PaperTopology unscaled = make_paper_topology(40e6, 1);
+  EXPECT_EQ(unscaled.topo.link(unscaled.topo.link_between(unscaled.a, unscaled.b)).metric,
+            1u);
+  // The blue aggregate itself is not announced; its two /25 halves are.
+  EXPECT_EQ(t.attachments_for(p.blue).size(), 0u);
+  ASSERT_EQ(t.attachments_for(p.p1).size(), 1u);
+  ASSERT_EQ(t.attachments_for(p.p2).size(), 1u);
+  EXPECT_EQ(t.attachments_for(p.p1)[0].node, p.c);
+  EXPECT_TRUE(p.blue.contains(p.p1));
+  EXPECT_TRUE(p.blue.contains(p.p2));
+}
+
+// ---------------------------------------------------------------- generators
+
+TEST(Generators, WaxmanIsConnectedAndDeterministic) {
+  util::Rng rng1(99);
+  util::Rng rng2(99);
+  const Topology t1 = make_waxman(30, rng1);
+  const Topology t2 = make_waxman(30, rng2);
+  EXPECT_TRUE(t1.validate().ok());
+  EXPECT_EQ(t1.node_count(), 30u);
+  EXPECT_EQ(t1.link_count(), t2.link_count());  // same seed, same graph
+}
+
+TEST(Generators, GridHasExpectedShape) {
+  const Topology t = make_grid(3, 4);
+  EXPECT_EQ(t.node_count(), 12u);
+  // 3x4 grid: (3-1)*4 + 3*(4-1) = 17 bidirectional links.
+  EXPECT_EQ(t.link_count(), 34u);
+  EXPECT_TRUE(t.validate().ok());
+}
+
+TEST(Generators, RingDegreeTwo) {
+  const Topology t = make_ring(5);
+  EXPECT_EQ(t.node_count(), 5u);
+  for (NodeId n = 0; n < 5; ++n) EXPECT_EQ(t.out_links(n).size(), 2u);
+}
+
+TEST(Generators, AbileneValidates) {
+  const Topology t = make_abilene();
+  EXPECT_EQ(t.node_count(), 11u);
+  EXPECT_TRUE(t.validate().ok());
+}
+
+// -------------------------------------------------------------------- parser
+
+TEST(Parser, ParsesFullGrammar) {
+  const auto result = parse_topology(R"(
+    # demo network
+    node A
+    node B
+    node C
+    link A B metric=2 capacity=40M
+    link B C metric=1 rmetric=3 capacity=10G
+    prefix C 203.0.113.0/24 metric=0
+  )");
+  ASSERT_TRUE(result.ok()) << result.error();
+  const Topology& t = result.value();
+  EXPECT_EQ(t.node_count(), 3u);
+  const LinkId ab = t.link_between(t.node_id("A"), t.node_id("B"));
+  EXPECT_DOUBLE_EQ(t.link(ab).capacity_bps, 40e6);
+  const LinkId bc = t.link_between(t.node_id("B"), t.node_id("C"));
+  const LinkId cb = t.link(bc).reverse;
+  EXPECT_EQ(t.link(bc).metric, 1u);
+  EXPECT_EQ(t.link(cb).metric, 3u);
+  EXPECT_EQ(t.prefixes().size(), 1u);
+}
+
+TEST(Parser, RejectsUnknownNode) {
+  const auto result = parse_topology("node A\nlink A Z metric=1");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Parser, RejectsBadDirective) {
+  EXPECT_FALSE(parse_topology("nod A").ok());
+  EXPECT_FALSE(parse_topology("node A\nnode A").ok());
+  EXPECT_FALSE(parse_topology("node A\nnode B\nlink A B metric=0").ok());
+  EXPECT_FALSE(parse_topology("node A\nnode B\nlink A B bogus=1").ok());
+}
+
+TEST(Parser, RejectsDisconnectedResult) {
+  EXPECT_FALSE(parse_topology("node A\nnode B").ok());
+}
+
+}  // namespace
+}  // namespace fibbing::topo

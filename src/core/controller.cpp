@@ -150,10 +150,26 @@ void Controller::mitigate_() {
               return demand_for(a) > demand_for(b);
             });
 
+  // Prefixes later in this batch are about to be (re)placed themselves:
+  // their demand must not count as immovable background, or a coalesced
+  // multi-prefix surge forces each placement around traffic that is in
+  // fact about to move -- producing uncompilable all-or-nothing exclusions
+  // instead of the joint optimum. Each successful placement immediately
+  // joins the background of the prefixes that follow it. Exception: a
+  // prefix whose last placement attempt failed is NOT about to move; its
+  // traffic stays put and must be planned around like any other load.
+  std::set<net::Prefix> unattempted(prefixes.begin(), prefixes.end());
+  std::erase_if(placement_failed_,
+                [&](const net::Prefix& q) { return demands_of_(q).empty(); });
+  bool batch_failed = false;
+  std::vector<net::Prefix> attempted_ok;
+
   for (const net::Prefix& prefix : prefixes) {
+    unattempted.erase(prefix);
     const auto announcers = topo_.attachments_for(prefix);
     if (announcers.empty()) {
       FIB_LOG(kWarn, "controller") << "no announcer for " << prefix.to_string();
+      batch_failed |= placement_failed_.insert(prefix).second;
       continue;
     }
     const topo::NodeId dest = announcers.front().node;
@@ -165,7 +181,9 @@ void Controller::mitigate_() {
         igp::NetworkView::from_topology(topo_, to_externals(other_lies)));
     std::vector<double> background(topo_.link_count(), 0.0);
     for (const auto& [q, ingresses] : ledger_) {
-      if (q == prefix) continue;
+      if (q == prefix || (unattempted.contains(q) && !placement_failed_.contains(q))) {
+        continue;
+      }
       const auto q_load = loads_from_routes(topo_, other_tables, q, demands_of_(q));
       for (topo::LinkId l = 0; l < topo_.link_count(); ++l) background[l] += q_load[l];
     }
@@ -174,6 +192,7 @@ void Controller::mitigate_() {
                                             config_.max_stretch);
     if (!solution.ok()) {
       FIB_LOG(kWarn, "controller") << "optimizer failed: " << solution.error();
+      batch_failed |= placement_failed_.insert(prefix).second;
       continue;
     }
     const DestRequirement req = requirement_from_splits(
@@ -184,9 +203,9 @@ void Controller::mitigate_() {
     auto compiled = compile_lies(topo_, req, aug_config);
     if (!compiled.ok()) {
       FIB_LOG(kWarn, "controller") << "augmentation failed: " << compiled.error();
+      batch_failed |= placement_failed_.insert(prefix).second;
       continue;
     }
-    next_lie_id_ += compiled.value().naive_lie_count + 1;
 
     // Idempotence: skip if the new lie set steers identically to the
     // currently injected one.
@@ -203,12 +222,27 @@ void Controller::mitigate_() {
       };
       if (signature(old_lies) == signature(new_lies)) {
         dirty_.erase(prefix);
+        placement_failed_.erase(prefix);
+        attempted_ok.push_back(prefix);
         continue;
       }
     }
+    next_lie_id_ += compiled.value().naive_lie_count + 1;
     apply_lies_(prefix, std::move(compiled).value().lies);
     dirty_.erase(prefix);
+    placement_failed_.erase(prefix);
+    attempted_ok.push_back(prefix);
     ++mitigations_;
+  }
+
+  // A member *newly* failed: the ones placed before it in this batch were
+  // optimized against a background missing its (immovable) traffic. Mark
+  // them dirty so the next evaluation re-places them around it. Prefixes
+  // that were already failing do not re-trigger this -- their traffic was
+  // counted as background above, so the batch settles instead of
+  // re-running the full pipeline on every congested poll.
+  if (batch_failed) {
+    for (const net::Prefix& prefix : attempted_ok) dirty_.insert(prefix);
   }
 }
 

@@ -93,6 +93,10 @@ class Controller {
   std::map<net::Prefix, std::map<topo::NodeId, IngressDemand>> ledger_;
   /// Prefixes whose demand changed since their last successful placement.
   std::set<net::Prefix> dirty_;
+  /// Prefixes whose last placement attempt failed (unannounced prefix,
+  /// optimizer or compiler error): their traffic is immovable background
+  /// for batch placement until an attempt succeeds or demand drains.
+  std::set<net::Prefix> placement_failed_;
   bool eval_pending_ = false;
   std::map<net::Prefix, std::vector<Lie>> active_;
   std::uint64_t next_lie_id_ = 1;

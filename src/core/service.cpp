@@ -23,6 +23,14 @@ FibbingService::FibbingService(const topo::Topology& topo, ServiceConfig config)
   });
 }
 
+topo::LinkId FibbingService::fail_link(topo::NodeId a, topo::NodeId b) {
+  const topo::LinkId link = topo_.link_between(a, b);
+  FIB_ASSERT(link != topo::kInvalidLink, "fail_link: nodes not adjacent");
+  sim_.fail_link(link);
+  domain_.fail_link(link);
+  return link;
+}
+
 void FibbingService::boot() {
   FIB_ASSERT(!booted_, "FibbingService::boot called twice");
   booted_ = true;

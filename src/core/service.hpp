@@ -41,6 +41,12 @@ class FibbingService {
   /// Advance simulated time (events fire along the way).
   void run_until(util::SimTime t) { events_.run_until(t); }
 
+  /// Fail the bidirectional link between `a` and `b`: the data plane drops
+  /// traffic hashed onto it immediately, both endpoint routers re-originate
+  /// their Router-LSAs, and the domain reconverges as events run. Returns
+  /// the failed (a->b) link id.
+  topo::LinkId fail_link(topo::NodeId a, topo::NodeId b);
+
   [[nodiscard]] util::EventQueue& events() { return events_; }
   [[nodiscard]] const topo::Topology& topology() const { return topo_; }
   [[nodiscard]] igp::IgpDomain& domain() { return domain_; }

@@ -6,7 +6,7 @@
 namespace fibbing::dataplane {
 
 FlowPath walk_flow(const topo::Topology& topo, const std::vector<Fib>& fibs,
-                   const Flow& flow) {
+                   const Flow& flow, const std::vector<bool>& down_links) {
   FIB_ASSERT(flow.ingress < topo.node_count(), "walk_flow: bad ingress");
   FIB_ASSERT(fibs.size() == topo.node_count(), "walk_flow: fib table size mismatch");
 
@@ -36,6 +36,10 @@ FlowPath walk_flow(const topo::Topology& topo, const std::vector<Fib>& fibs,
     // Per-router salt: the node id seeds the hardware hash.
     const std::size_t pick = select_next_hop(*entry, flow, /*router_salt=*/at);
     const FibNextHop& nh = entry->next_hops[pick];
+    if (nh.out_link < down_links.size() && down_links[nh.out_link]) {
+      path.outcome = FlowPath::Outcome::kBlackhole;
+      return path;
+    }
     path.links.push_back(nh.out_link);
     at = nh.via;
   }

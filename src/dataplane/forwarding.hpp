@@ -20,8 +20,12 @@ struct FlowPath {
 
 /// Walk a flow from its ingress through per-router FIB lookups and ECMP
 /// hashing until local delivery, a missing route (blackhole) or a repeated
-/// router (forwarding loop). `fibs` is indexed by NodeId.
+/// router (forwarding loop). `fibs` is indexed by NodeId. When `down_links`
+/// is non-empty, a hop whose hash bucket selects a marked link drops the
+/// packet (blackhole) -- the data-plane behaviour between an interface
+/// failure and IGP reconvergence.
 [[nodiscard]] FlowPath walk_flow(const topo::Topology& topo,
-                                 const std::vector<Fib>& fibs, const Flow& flow);
+                                 const std::vector<Fib>& fibs, const Flow& flow,
+                                 const std::vector<bool>& down_links = {});
 
 }  // namespace fibbing::dataplane

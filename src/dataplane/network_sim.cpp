@@ -10,6 +10,7 @@ NetworkSim::NetworkSim(const topo::Topology& topo, util::EventQueue& events)
     : topo_(topo),
       events_(events),
       fibs_(topo.node_count()),
+      link_down_(topo.link_count(), false),
       link_rates_(topo.link_count(), 0.0),
       link_bytes_(topo.link_count(), 0.0) {}
 
@@ -30,6 +31,19 @@ void NetworkSim::install_tables(const std::vector<igp::RoutingTable>& tables) {
 const Fib& NetworkSim::fib(topo::NodeId node) const {
   FIB_ASSERT(node < fibs_.size(), "fib: node out of range");
   return fibs_[node];
+}
+
+void NetworkSim::fail_link(topo::LinkId id) {
+  FIB_ASSERT(id < link_down_.size(), "fail_link: link out of range");
+  if (link_down_[id]) return;
+  link_down_[id] = true;
+  link_down_[topo_.link(id).reverse] = true;
+  reallocate_();
+}
+
+bool NetworkSim::link_is_down(topo::LinkId id) const {
+  FIB_ASSERT(id < link_down_.size(), "link_is_down: link out of range");
+  return link_down_[id];
 }
 
 FlowId NetworkSim::add_flow(Flow flow) {
@@ -109,7 +123,7 @@ void NetworkSim::reallocate_() {
   std::vector<FlowState*> order;
   rated.reserve(flows_.size());
   for (auto& [id, state] : flows_) {
-    state.path = walk_flow(topo_, fibs_, state.flow);
+    state.path = walk_flow(topo_, fibs_, state.flow, link_down_);
     order.push_back(&state);
   }
   for (FlowState* state : order) {

@@ -33,6 +33,11 @@ class NetworkSim {
   void install_tables(const std::vector<igp::RoutingTable>& tables);
   [[nodiscard]] const Fib& fib(topo::NodeId node) const;
 
+  /// Take a bidirectional link down (`id` may be either direction): flows
+  /// whose hash bucket crosses it drop until fresh FIBs route around it.
+  void fail_link(topo::LinkId id);
+  [[nodiscard]] bool link_is_down(topo::LinkId id) const;
+
   // -- flows -----------------------------------------------------------------
   /// Register a flow; if flow.id is 0 a fresh id is assigned. Returns the id.
   FlowId add_flow(Flow flow);
@@ -67,6 +72,7 @@ class NetworkSim {
   const topo::Topology& topo_;
   util::EventQueue& events_;
   std::vector<Fib> fibs_;
+  std::vector<bool> link_down_;
 
   struct FlowState {
     Flow flow;

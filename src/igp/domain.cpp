@@ -7,7 +7,11 @@ namespace fibbing::igp {
 
 IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
                      IgpTiming timing)
-    : topo_(topo), events_(events), timing_(timing) {
+    : topo_(topo),
+      events_(events),
+      timing_(timing),
+      router_seq_(topo.node_count(), 1),
+      link_down_(topo.link_count(), false) {
   routers_.reserve(topo.node_count());
   for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
     routers_.push_back(
@@ -29,8 +33,30 @@ IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
 
 void IgpDomain::start() {
   for (topo::NodeId n = 0; n < topo_.node_count(); ++n) {
-    routers_[n]->originate(make_router_lsa(topo_, n));
+    routers_[n]->originate(make_router_lsa(topo_, n, router_seq_[n], link_down_));
   }
+}
+
+void IgpDomain::fail_link(topo::LinkId id) {
+  FIB_ASSERT(id < link_down_.size(), "fail_link: link out of range");
+  if (link_down_[id]) return;
+  const topo::Link& link = topo_.link(id);
+  link_down_[id] = true;
+  link_down_[link.reverse] = true;
+  FIB_LOG(kInfo, "igp") << "link " << topo_.link_name(id) << " down";
+  // Both endpoints tear down the adjacency (no further flooding toward the
+  // dead peer) and re-originate without it.
+  routers_[link.from]->remove_neighbor(link.to);
+  routers_[link.to]->remove_neighbor(link.from);
+  for (const topo::NodeId endpoint : {link.from, link.to}) {
+    routers_[endpoint]->originate(
+        make_router_lsa(topo_, endpoint, ++router_seq_[endpoint], link_down_));
+  }
+}
+
+bool IgpDomain::link_is_down(topo::LinkId id) const {
+  FIB_ASSERT(id < link_down_.size(), "link_is_down: link out of range");
+  return link_down_[id];
 }
 
 void IgpDomain::inject_external(topo::NodeId at, const ExternalLsa& ext) {
@@ -98,9 +124,15 @@ std::uint64_t IgpDomain::total_spf_runs() const {
 
 void IgpDomain::deliver_(topo::NodeId from, topo::NodeId to, const Lsa& lsa) {
   FIB_ASSERT(to < routers_.size(), "deliver: unknown destination");
+  // LSAs cannot cross a failed adjacency; a connected remainder still
+  // floods everywhere via the surviving links. Checked again at delivery
+  // time: an LSA in flight when the link dies is lost with it.
+  const topo::LinkId via = topo_.link_between(from, to);
+  if (via != topo::kInvalidLink && link_down_[via]) return;
   ++in_flight_;
-  events_.schedule_in(timing_.flood_delay_s, [this, from, to, lsa] {
+  events_.schedule_in(timing_.flood_delay_s, [this, from, to, via, lsa] {
     --in_flight_;
+    if (via != topo::kInvalidLink && link_down_[via]) return;
     routers_[to]->receive(from, lsa);
   });
 }

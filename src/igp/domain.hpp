@@ -33,6 +33,13 @@ class IgpDomain {
   /// Withdraw a previously injected lie (floods a MaxAge-like tombstone).
   void withdraw_external(topo::NodeId at, std::uint64_t lie_id);
 
+  /// Take a bidirectional link down: both endpoints re-originate their
+  /// Router-LSAs without the adjacency and the flooding graph stops using
+  /// it. Run the event queue (or run_to_convergence) to settle. `id` may be
+  /// either direction of the adjacency.
+  void fail_link(topo::LinkId id);
+  [[nodiscard]] bool link_is_down(topo::LinkId id) const;
+
   /// True when no LSA is in flight and no SPF is pending anywhere.
   [[nodiscard]] bool converged() const;
 
@@ -60,6 +67,8 @@ class IgpDomain {
   util::EventQueue& events_;
   IgpTiming timing_;
   std::vector<std::unique_ptr<RouterProcess>> routers_;
+  std::vector<SeqNum> router_seq_;
+  std::vector<bool> link_down_;
   std::unordered_map<std::uint64_t, SeqNum> lie_seq_;
   std::uint64_t in_flight_ = 0;
   TableChangeFn on_table_change_;

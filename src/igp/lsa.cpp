@@ -4,10 +4,12 @@
 
 namespace fibbing::igp {
 
-Lsa make_router_lsa(const topo::Topology& topo, topo::NodeId node, SeqNum seq) {
+Lsa make_router_lsa(const topo::Topology& topo, topo::NodeId node, SeqNum seq,
+                    const std::vector<bool>& down_links) {
   RouterLsa body;
   body.origin = node;
   for (const topo::LinkId lid : topo.out_links(node)) {
+    if (lid < down_links.size() && down_links[lid]) continue;
     const topo::Link& link = topo.link(lid);
     body.links.push_back(LsaLink{link.to, link.metric, link.subnet, link.local_addr});
   }

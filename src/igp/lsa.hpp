@@ -70,8 +70,11 @@ struct Lsa {
   LsaBody body;
 };
 
+/// Build `node`'s Router-LSA from the topology. Links whose id is marked in
+/// `down_links` (when non-empty) are omitted, as after an interface failure.
 [[nodiscard]] Lsa make_router_lsa(const topo::Topology& topo, topo::NodeId node,
-                                  SeqNum seq = 1);
+                                  SeqNum seq = 1,
+                                  const std::vector<bool>& down_links = {});
 [[nodiscard]] Lsa make_external_lsa(const ExternalLsa& ext, SeqNum seq = 1);
 
 [[nodiscard]] std::string to_string(const Lsa& lsa);

@@ -12,6 +12,10 @@ RouterProcess::RouterProcess(topo::NodeId self, std::size_t node_count,
 
 void RouterProcess::add_neighbor(topo::NodeId peer) { neighbors_.push_back(peer); }
 
+void RouterProcess::remove_neighbor(topo::NodeId peer) {
+  std::erase(neighbors_, peer);
+}
+
 void RouterProcess::originate(const Lsa& lsa) {
   const auto result = lsdb_.install(lsa);
   if (result != Lsdb::InstallResult::kNewer) return;

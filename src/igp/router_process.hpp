@@ -33,6 +33,8 @@ class RouterProcess {
   void set_send(SendFn fn) { send_ = std::move(fn); }
   void set_on_table(TableFn fn) { on_table_ = std::move(fn); }
   void add_neighbor(topo::NodeId peer);
+  /// Drop a dead adjacency: the router stops flooding toward `peer`.
+  void remove_neighbor(topo::NodeId peer);
 
   /// Install a self/controller-originated LSA and flood it to all neighbors.
   void originate(const Lsa& lsa);

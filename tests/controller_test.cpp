@@ -1,71 +1,31 @@
 #include <gtest/gtest.h>
 
 #include "core/service.hpp"
+#include "support/probes.hpp"
+#include "support/scenario.hpp"
 #include "topo/generators.hpp"
 #include "video/flash_crowd.hpp"
 
 namespace fibbing::core {
 namespace {
 
-using topo::make_paper_topology;
-using topo::PaperTopology;
-using video::fig2_schedule;
-using video::schedule_requests;
+using support::demo_config;
+using support::PaperScenario;
 using video::VideoAsset;
 
-/// Demo-tuned service configuration: 1 s SNMP polls and a 0.7 watermark so
-/// the 31 Mb/s surge on the 40 Mb/s bottleneck counts as "hot", as in the
-/// paper's demo.
-ServiceConfig demo_config(bool enabled, bool proactive = true) {
-  ServiceConfig config;
-  config.controller.enabled = enabled;
-  config.controller.proactive = proactive;
-  config.controller.high_watermark = 0.7;
-  config.controller.low_watermark = 0.4;
-  config.controller.max_stretch = 1.5;
-  config.controller.session_router = 4;  // R3, as in the paper's setup
-  config.poll_interval_s = 1.0;
-  return config;
-}
-
-struct DemoRun {
-  PaperTopology p = make_paper_topology();
-  FibbingService service;
-  video::ServerId s1 = 0;
-  video::ServerId s2 = 0;
-
-  explicit DemoRun(const ServiceConfig& config) : service(p.topo, config) {
-    service.boot();
-    s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
-    s2 = service.video().add_server({"S2", p.a, net::Ipv4(198, 18, 2, 1)});
-    schedule_requests(service.video(), service.events(),
-                      fig2_schedule(s1, s2, p.p1, p.p2, VideoAsset{1e6, 300.0}));
-  }
-
-  double rate(topo::NodeId a, topo::NodeId b) {
-    return service.sim().link_rate(p.topo.link_between(a, b));
-  }
-  int stalled_sessions() {
-    int n = 0;
-    for (const auto& q : service.video().all_qoe()) {
-      if (q.stall_count > 0) ++n;
-    }
-    return n;
-  }
-};
-
 TEST(Fig2, ControllerSplitsAtBThenUnevenAtA) {
-  DemoRun run(demo_config(true));
+  PaperScenario run;
+  run.schedule_fig2();
 
   // t < 15: a single 1 Mb/s flow on the shortest path B-R2-C.
-  run.service.run_until(10.0);
+  run.run_until(10.0);
   EXPECT_NEAR(run.rate(run.p.b, run.p.r2), 1e6, 1e3);
   EXPECT_DOUBLE_EQ(run.rate(run.p.b, run.p.r3), 0.0);
   EXPECT_DOUBLE_EQ(run.rate(run.p.a, run.p.r1), 0.0);
 
   // 15 < t < 35: the controller split B's traffic about evenly (Fig. 2's
   // B-R2 and B-R3 curves join). Hash-based ECMP wobbles around 50/50.
-  run.service.run_until(30.0);
+  run.run_until(30.0);
   EXPECT_EQ(run.service.controller().mitigations(), 1);
   EXPECT_NEAR(run.rate(run.p.b, run.p.r2), 15.5e6, 5e6);
   EXPECT_NEAR(run.rate(run.p.b, run.p.r3), 15.5e6, 5e6);
@@ -74,7 +34,7 @@ TEST(Fig2, ControllerSplitsAtBThenUnevenAtA) {
 
   // t > 35: uneven 1/3:2/3 at A; all three monitored links level out well
   // under capacity (the paper's punchline).
-  run.service.run_until(55.0);
+  run.run_until(55.0);
   EXPECT_EQ(run.service.controller().mitigations(), 2);
   EXPECT_NEAR(run.rate(run.p.a, run.p.r1), 20.7e6, 6e6);
   EXPECT_NEAR(run.rate(run.p.a, run.p.b), 10.3e6, 6e6);
@@ -83,17 +43,16 @@ TEST(Fig2, ControllerSplitsAtBThenUnevenAtA) {
   EXPECT_LT(br2, 40e6 * 0.8);  // decisively below capacity
   EXPECT_LT(br3, 40e6 * 0.8);
   // Total into C equals total demand: nothing lost.
-  const double into_c = run.rate(run.p.r2, run.p.c) + run.rate(run.p.r3, run.p.c) +
-                        run.rate(run.p.r4, run.p.c);
-  EXPECT_NEAR(into_c, 62e6, 1e4);
+  EXPECT_TRUE(support::traffic_conserved(run.service, run.p.c, 62e6));
 
   // Smooth playback for everyone.
   EXPECT_EQ(run.stalled_sessions(), 0);
 }
 
 TEST(Fig2, ControllerUsesPaperLieShape) {
-  DemoRun run(demo_config(true));
-  run.service.run_until(55.0);
+  PaperScenario run;
+  run.schedule_fig2();
+  run.run_until(55.0);
   const auto& active = run.service.controller().active_lies();
   ASSERT_TRUE(active.contains(run.p.p1));
   ASSERT_TRUE(active.contains(run.p.p2));
@@ -117,8 +76,9 @@ TEST(Fig2, ControllerUsesPaperLieShape) {
 }
 
 TEST(Fig2, WithoutControllerPlaybackStutters) {
-  DemoRun run(demo_config(false));
-  run.service.run_until(55.0);
+  PaperScenario run(demo_config(/*enabled=*/false));
+  run.schedule_fig2();
+  run.run_until(55.0);
   EXPECT_EQ(run.service.controller().mitigations(), 0);
   EXPECT_EQ(run.service.controller().active_lie_count(), 0u);
   // Everything still piles onto B-R2: saturated.
@@ -129,61 +89,69 @@ TEST(Fig2, WithoutControllerPlaybackStutters) {
 }
 
 TEST(Fig2, ReactiveModeMitigatesAfterSnmpDetection) {
-  DemoRun run(demo_config(true, /*proactive=*/false));
+  PaperScenario run(demo_config(/*enabled=*/true, /*proactive=*/false));
+  run.schedule_fig2();
   // Surge hits at t=15; detection needs polls above the watermark for
   // hold_rounds (2) intervals: no mitigation before ~t=17.
-  run.service.run_until(16.5);
+  run.run_until(16.5);
   EXPECT_EQ(run.service.controller().mitigations(), 0);
-  run.service.run_until(25.0);
+  run.run_until(25.0);
   EXPECT_EQ(run.service.controller().mitigations(), 1);
   EXPECT_GT(run.rate(run.p.b, run.p.r3), 8e6);  // split is in effect
 }
 
 TEST(Controller, RetractsLiesWhenSurgeEnds) {
-  PaperTopology p = make_paper_topology();
-  FibbingService service(p.topo, demo_config(true));
-  service.boot();
-  const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
+  PaperScenario run;
   // A short surge: 31 twenty-second videos.
-  std::vector<video::RequestBatch> batches{
-      video::RequestBatch{5.0, s1, p.p1, 1, 31, VideoAsset{1e6, 20.0}}};
-  schedule_requests(service.video(), service.events(), batches);
+  run.schedule(support::subsiding_surge_schedule(run.s1, run.p.p1, 31, 5.0, 20.0));
 
-  service.run_until(15.0);
-  EXPECT_EQ(service.controller().mitigations(), 1);
-  EXPECT_GT(service.controller().active_lie_count(), 0u);
+  run.run_until(15.0);
+  EXPECT_EQ(run.service.controller().mitigations(), 1);
+  EXPECT_GT(run.service.controller().active_lie_count(), 0u);
 
   // Videos end around t=27 (2 s startup + 20 s playout); demand drops to
   // zero and the lies retract.
-  service.run_until(40.0);
-  EXPECT_EQ(service.controller().active_lie_count(), 0u);
-  EXPECT_GE(service.controller().retractions(), 1);
+  run.run_until(40.0);
+  EXPECT_EQ(run.service.controller().active_lie_count(), 0u);
+  EXPECT_GE(run.service.controller().retractions(), 1);
   // Forwarding is back to plain IGP: B routes P1 via R2 only.
-  const auto& entry = service.domain().table(p.b).at(p.p1);
+  const auto& entry = run.service.domain().table(run.p.b).at(run.p.p1);
   ASSERT_EQ(entry.next_hops.size(), 1u);
-  EXPECT_EQ(entry.next_hops[0].via, p.r2);
+  EXPECT_EQ(entry.next_hops[0].via, run.p.r2);
 }
 
 TEST(Controller, LedgerTracksDemand) {
-  PaperTopology p = make_paper_topology();
-  FibbingService service(p.topo, demo_config(true));
-  service.boot();
-  const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
-  EXPECT_DOUBLE_EQ(service.controller().demand_for(p.p1), 0.0);
-  const auto session =
-      service.video().start_session(s1, p.p1, p.p1.host(1), VideoAsset{2e6, 60.0});
-  EXPECT_DOUBLE_EQ(service.controller().demand_for(p.p1), 2e6);
-  service.video().stop_session(session);
-  EXPECT_DOUBLE_EQ(service.controller().demand_for(p.p1), 0.0);
+  PaperScenario run;
+  EXPECT_DOUBLE_EQ(run.service.controller().demand_for(run.p.p1), 0.0);
+  const auto session = run.service.video().start_session(
+      run.s1, run.p.p1, run.p.p1.host(1), VideoAsset{2e6, 60.0});
+  EXPECT_DOUBLE_EQ(run.service.controller().demand_for(run.p.p1), 2e6);
+  run.service.video().stop_session(session);
+  EXPECT_DOUBLE_EQ(run.service.controller().demand_for(run.p.p1), 0.0);
 }
 
 TEST(Controller, IdempotentUnderRepeatedCongestionSignals) {
-  DemoRun run(demo_config(true));
-  run.service.run_until(30.0);
+  PaperScenario run;
+  run.schedule_fig2();
+  run.run_until(30.0);
   const int mitigations = run.service.controller().mitigations();
   // Nothing changes while demand is steady, despite continuous polling.
-  run.service.run_until(34.0);
+  run.run_until(34.0);
   EXPECT_EQ(run.service.controller().mitigations(), mitigations);
+}
+
+TEST(Controller, DoubleSurgePlacesBothPrefixesWithoutChurn) {
+  // The coalesced double surge must not see-saw: after the initial
+  // placement round settles, continued polling leaves the lie sets alone.
+  PaperScenario run;
+  run.schedule(support::double_surge_schedule(run.s1, run.s2, run.p.p1, run.p.p2));
+  run.run_until(20.0);
+  ASSERT_GE(run.service.controller().mitigations(), 1);
+  const int placed = run.service.controller().mitigations();
+  const std::size_t lies = run.service.controller().active_lie_count();
+  run.run_until(35.0);
+  EXPECT_EQ(run.service.controller().mitigations(), placed);
+  EXPECT_EQ(run.service.controller().active_lie_count(), lies);
 }
 
 }  // namespace

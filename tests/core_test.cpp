@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "core/augment.hpp"
 #include "core/lie.hpp"
 #include "core/loads.hpp"
@@ -206,6 +210,32 @@ TEST(Augment, CompilesPaperP2RequirementWithStrictModeAtA) {
   EXPECT_EQ(aug.lies.size(), 4u);
 }
 
+/// Golden lock on the paper's Fig. 1d augmentation for P2 (A splits 1/3 via
+/// B, 2/3 via R1; B splits evenly R2/R3). Optimizer or compiler refactors
+/// that change any field of the emitted lie set -- metric, target cost or
+/// forwarding address -- fail here, not silently in paper fidelity.
+TEST(Augment, GoldenFig1dLieSetForP2) {
+  const PaperTopology p = make_paper_topology();
+  const auto result = compile_lies(p.topo, paper_requirement_p2(p));
+  ASSERT_TRUE(result.ok()) << result.error();
+  std::vector<std::string> got;
+  for (const Lie& lie : result.value().lies) {
+    got.push_back(lie.prefix.to_string() + " " + p.topo.node(lie.attach).name +
+                  "->" + p.topo.node(lie.via).name +
+                  " ext=" + std::to_string(lie.ext_metric) +
+                  " target=" + std::to_string(lie.target_cost) +
+                  " fa=" + lie.forwarding_address.to_string());
+  }
+  std::sort(got.begin(), got.end());
+  const std::vector<std::string> golden{
+      "203.0.113.128/25 A->B ext=3 target=5 fa=10.0.0.2",
+      "203.0.113.128/25 A->R1 ext=1 target=5 fa=10.0.0.6",
+      "203.0.113.128/25 A->R1 ext=1 target=5 fa=10.0.0.6",
+      "203.0.113.128/25 B->R3 ext=0 target=4 fa=10.0.0.14",
+  };
+  EXPECT_EQ(got, golden);
+}
+
 TEST(Augment, FullPaperSceneBothPrefixes) {
   const PaperTopology p = make_paper_topology();
   // P1: even split at B. P2: the Fig. 1d requirement.
@@ -256,7 +286,9 @@ TEST(Augment, StrictModeExcludesRealPath) {
   EXPECT_TRUE(verify_augmentation(fresh, req, result.value().lies).ok());
   // Strict: target below B's real cost 14 (4 + attachment metric 10).
   for (const Lie& lie : result.value().lies) {
-    if (lie.attach == p.b) EXPECT_LT(lie.target_cost, 14u);
+    if (lie.attach == p.b) {
+      EXPECT_LT(lie.target_cost, 14u);
+    }
   }
 }
 

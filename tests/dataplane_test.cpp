@@ -10,6 +10,7 @@
 #include "dataplane/rate_solver.hpp"
 #include "igp/spf.hpp"
 #include "igp/view.hpp"
+#include "support/scenario.hpp"
 #include "topo/generators.hpp"
 #include "util/event_queue.hpp"
 
@@ -17,37 +18,15 @@ namespace fibbing::dataplane {
 namespace {
 
 using igp::NetworkView;
+using support::paper_lie_externals;
 using topo::make_paper_topology;
 using topo::NodeId;
 using topo::PaperTopology;
 
-net::Ipv4 fwd_addr(const topo::Topology& t, NodeId from, NodeId to) {
-  return t.link(t.link(t.link_between(from, to)).reverse).local_addr;
-}
-
-/// The paper's five-lie augmentation (see igp_test FullPaperLieSetMatchesFig1d).
-std::vector<NetworkView::External> paper_lies(const PaperTopology& p) {
-  const net::Ipv4 to_r3 = fwd_addr(p.topo, p.b, p.r3);
-  const net::Ipv4 to_r1 = fwd_addr(p.topo, p.a, p.r1);
-  const net::Ipv4 to_b = fwd_addr(p.topo, p.a, p.b);
-  return {{1, p.p1, 0, to_r3},
-          {2, p.p2, 0, to_r3},
-          {9, p.p2, 3, to_b},
-          {10, p.p2, 1, to_r1},
-          {11, p.p2, 1, to_r1}};
-}
-
-Flow make_flow(const PaperTopology& p, NodeId ingress, net::Ipv4 dst,
-               std::uint16_t sport, double demand = 1e6) {
-  Flow f;
-  f.src = net::Ipv4(198, 18, static_cast<std::uint8_t>(ingress), 1);
-  f.dst = dst;
-  f.src_port = sport;
-  f.dst_port = 80;
-  f.ingress = ingress;
-  f.demand_bps = demand;
-  (void)p;
-  return f;
+/// Plain web traffic (dport 80) entering at `ingress`.
+Flow make_flow(NodeId ingress, net::Ipv4 dst, std::uint16_t sport,
+               double demand = 1e6) {
+  return support::make_flow(ingress, dst, sport, demand, /*dport=*/80);
 }
 
 // ------------------------------------------------------------------ Fib
@@ -86,7 +65,7 @@ TEST(Fib, LpmPrefersLongerPrefix) {
 
 TEST(Ecmp, DeterministicPerFlow) {
   const PaperTopology p = make_paper_topology();
-  const Flow f = make_flow(p, p.b, p.p1.host(7), 1234);
+  const Flow f = make_flow(p.b, p.p1.host(7), 1234);
   FibEntry entry{false,
                  {FibNextHop{0, 1, 1}, FibNextHop{1, 2, 1}, FibNextHop{2, 3, 1}}};
   const std::size_t pick = select_next_hop(entry, f, 42);
@@ -100,7 +79,7 @@ TEST(Ecmp, WeightsBiasBucketShares) {
   int slot0 = 0;
   const int n = 3000;
   for (int i = 0; i < n; ++i) {
-    const Flow f = make_flow(p, p.b, p.p1.host(static_cast<std::uint32_t>(i % 120)),
+    const Flow f = make_flow(p.b, p.p1.host(static_cast<std::uint32_t>(i % 120)),
                              static_cast<std::uint16_t>(1000 + i));
     if (select_next_hop(entry, f, 7) == 0) ++slot0;
   }
@@ -114,7 +93,7 @@ TEST(Ecmp, EvenWeightsSplitEvenly) {
   int slot0 = 0;
   const int n = 3000;
   for (int i = 0; i < n; ++i) {
-    const Flow f = make_flow(p, p.b, p.p1.host(static_cast<std::uint32_t>(i % 120)),
+    const Flow f = make_flow(p.b, p.p1.host(static_cast<std::uint32_t>(i % 120)),
                              static_cast<std::uint16_t>(2000 + i));
     if (select_next_hop(entry, f, 7) == 0) ++slot0;
   }
@@ -127,7 +106,7 @@ TEST(Ecmp, DifferentSaltsDecorrelate) {
   int agree = 0;
   const int n = 2000;
   for (int i = 0; i < n; ++i) {
-    const Flow f = make_flow(p, p.b, p.p1.host(static_cast<std::uint32_t>(i % 120)),
+    const Flow f = make_flow(p.b, p.p1.host(static_cast<std::uint32_t>(i % 120)),
                              static_cast<std::uint16_t>(3000 + i));
     if (select_next_hop(entry, f, 1) == select_next_hop(entry, f, 2)) ++agree;
   }
@@ -144,7 +123,7 @@ TEST(Forwarding, WalksShortestPathOnPaperTopology) {
   for (NodeId n = 0; n < p.topo.node_count(); ++n) {
     fibs.push_back(Fib::from_routing_table(p.topo, n, tables[n]));
   }
-  const Flow f = make_flow(p, p.a, p.p1.host(3), 5555);
+  const Flow f = make_flow(p.a, p.p1.host(3), 5555);
   const FlowPath path = walk_flow(p.topo, fibs, f);
   ASSERT_TRUE(path.delivered());
   EXPECT_EQ(path.egress, p.c);
@@ -157,7 +136,7 @@ TEST(Forwarding, WalksShortestPathOnPaperTopology) {
 TEST(Forwarding, BlackholeWhenNoRoute) {
   const PaperTopology p = make_paper_topology();
   std::vector<Fib> fibs(p.topo.node_count());  // all FIBs empty
-  const Flow f = make_flow(p, p.a, p.p1.host(3), 5555);
+  const Flow f = make_flow(p.a, p.p1.host(3), 5555);
   EXPECT_EQ(walk_flow(p.topo, fibs, f).outcome, FlowPath::Outcome::kBlackhole);
 }
 
@@ -169,8 +148,62 @@ TEST(Forwarding, DetectsLoop) {
   FibEntry b_entry{false, {FibNextHop{p.topo.link_between(p.b, p.a), p.a, 1}}};
   fibs[p.a].set(p.p1, a_entry);
   fibs[p.b].set(p.p1, b_entry);
-  const Flow f = make_flow(p, p.a, p.p1.host(3), 5555);
+  const Flow f = make_flow(p.a, p.p1.host(3), 5555);
   EXPECT_EQ(walk_flow(p.topo, fibs, f).outcome, FlowPath::Outcome::kLoop);
+}
+
+TEST(Forwarding, DownLinkBlackholesSelectedFlows) {
+  const PaperTopology p = make_paper_topology();
+  const auto tables = igp::compute_all_routes(NetworkView::from_topology(p.topo));
+  std::vector<Fib> fibs;
+  for (NodeId n = 0; n < p.topo.node_count(); ++n) {
+    fibs.push_back(Fib::from_routing_table(p.topo, n, tables[n]));
+  }
+  std::vector<bool> down(p.topo.link_count(), false);
+  const topo::LinkId br2 = p.topo.link_between(p.b, p.r2);
+  down[br2] = true;
+  down[p.topo.link(br2).reverse] = true;
+
+  // B's FIB still points at R2 (no reconvergence yet): the packet drops at
+  // the dead interface instead of looping.
+  const Flow f = make_flow(p.b, p.p1.host(3), 5555);
+  EXPECT_EQ(walk_flow(p.topo, fibs, f, down).outcome, FlowPath::Outcome::kBlackhole);
+  // Unaffected destinations still deliver.
+  const Flow via_r1 = make_flow(p.r1, p.p1.host(3), 5555);
+  EXPECT_TRUE(walk_flow(p.topo, fibs, via_r1, down).delivered());
+}
+
+TEST(NetworkSim, FailLinkDropsThenReroutesAfterNewTables) {
+  support::PaperSimHarness fx;
+  const FlowId f = fx.sim.add_flow(make_flow(fx.p.b, fx.p.p1.host(1), 4000, 8e6));
+  ASSERT_DOUBLE_EQ(fx.sim.flow_rate(f), 8e6);
+
+  const topo::LinkId dead = fx.p.topo.link_between(fx.p.b, fx.p.r2);
+  fx.sim.fail_link(dead);
+  EXPECT_TRUE(fx.sim.link_is_down(dead));
+  EXPECT_TRUE(fx.sim.link_is_down(fx.p.topo.link(dead).reverse));
+  EXPECT_EQ(fx.sim.blackholed_flows(), 1u);
+  EXPECT_DOUBLE_EQ(fx.sim.flow_rate(f), 0.0);
+
+  // IGP reconvergence delivers fresh tables computed without the dead link;
+  // the flow comes back via R3.
+  topo::Topology reduced;
+  for (NodeId n = 0; n < fx.p.topo.node_count(); ++n) {
+    reduced.add_node(fx.p.topo.node(n).name);
+  }
+  for (topo::LinkId l = 0; l < fx.p.topo.link_count(); ++l) {
+    const topo::Link& link = fx.p.topo.link(l);
+    if (l == dead || link.reverse == dead || link.from > link.to) continue;
+    reduced.add_link(link.from, link.to, link.metric, link.capacity_bps);
+  }
+  reduced.attach_prefix(fx.p.c, fx.p.p1, 0);
+  const auto tables = igp::compute_all_routes(NetworkView::from_topology(reduced));
+  for (NodeId n = 0; n < fx.p.topo.node_count(); ++n) {
+    fx.sim.set_fib(n, Fib::from_routing_table(fx.p.topo, n, tables[n]));
+  }
+  EXPECT_EQ(fx.sim.blackholed_flows(), 0u);
+  EXPECT_DOUBLE_EQ(fx.sim.flow_rate(f), 8e6);
+  EXPECT_NEAR(fx.sim.link_rate(fx.p.topo.link_between(fx.p.b, fx.p.r3)), 8e6, 1e-6);
 }
 
 /// With the paper's lie set installed, many flows from A to P2 split about
@@ -179,7 +212,7 @@ TEST(Forwarding, DetectsLoop) {
 TEST(Forwarding, UnevenSplitMatchesWeights) {
   const PaperTopology p = make_paper_topology();
   const auto tables =
-      igp::compute_all_routes(NetworkView::from_topology(p.topo, paper_lies(p)));
+      igp::compute_all_routes(NetworkView::from_topology(p.topo, paper_lie_externals(p)));
   std::vector<Fib> fibs;
   for (NodeId n = 0; n < p.topo.node_count(); ++n) {
     fibs.push_back(Fib::from_routing_table(p.topo, n, tables[n]));
@@ -187,7 +220,7 @@ TEST(Forwarding, UnevenSplitMatchesWeights) {
   int via_r1 = 0;
   const int n = 3000;
   for (int i = 0; i < n; ++i) {
-    const Flow f = make_flow(p, p.a, p.p2.host(static_cast<std::uint32_t>(i % 120)),
+    const Flow f = make_flow(p.a, p.p2.host(static_cast<std::uint32_t>(i % 120)),
                              static_cast<std::uint16_t>(1000 + i));
     const FlowPath path = walk_flow(p.topo, fibs, f);
     ASSERT_TRUE(path.delivered());
@@ -277,7 +310,7 @@ TEST(RateSolver, CapacityAndSaturationProperty) {
   for (int i = 0; i < 60; ++i) {
     const NodeId ingress = (i % 2 == 0) ? p.a : p.b;
     const net::Prefix& prefix = (i % 3 == 0) ? p.p2 : p.p1;
-    Flow f = make_flow({}, ingress, prefix.host(static_cast<std::uint32_t>(i % 100)),
+    Flow f = make_flow(ingress, prefix.host(static_cast<std::uint32_t>(i % 100)),
                        static_cast<std::uint16_t>(1000 + i),
                        /*demand=*/1e6 * (1 + i % 4));
     defs.push_back(f);
@@ -318,7 +351,7 @@ TEST(NetworkSim, CountersIntegrateRatesOverTime) {
   NetworkSim sim(p.topo, events);
   sim.install_tables(igp::compute_all_routes(NetworkView::from_topology(p.topo)));
 
-  sim.add_flow(make_flow(p, p.b, p.p1.host(1), 4000, /*demand=*/8e6));
+  sim.add_flow(make_flow(p.b, p.p1.host(1), 4000, /*demand=*/8e6));
   events.schedule_at(10.0, [] {});
   events.run();
   // 8 Mb/s for 10 s = 10 MB on each link of the B-R2-C path.
@@ -336,7 +369,7 @@ TEST(NetworkSim, FibChangeMovesTraffic) {
 
   // 30 flows B->P1: all on B-R2 under plain IGP.
   for (int i = 0; i < 30; ++i) {
-    sim.add_flow(make_flow(p, p.b, p.p1.host(static_cast<std::uint32_t>(i)),
+    sim.add_flow(make_flow(p.b, p.p1.host(static_cast<std::uint32_t>(i)),
                            static_cast<std::uint16_t>(1000 + i)));
   }
   const topo::LinkId br2 = p.topo.link_between(p.b, p.r2);
@@ -346,7 +379,7 @@ TEST(NetworkSim, FibChangeMovesTraffic) {
 
   // Install the fB lie: traffic splits about evenly.
   sim.install_tables(
-      igp::compute_all_routes(NetworkView::from_topology(p.topo, paper_lies(p))));
+      igp::compute_all_routes(NetworkView::from_topology(p.topo, paper_lie_externals(p))));
   EXPECT_GT(sim.link_rate(br3), 10e6);
   EXPECT_LT(sim.link_rate(br2), 20e6);
   EXPECT_NEAR(sim.link_rate(br2) + sim.link_rate(br3), 30e6, 1e-6);
@@ -361,9 +394,9 @@ TEST(NetworkSim, RateListenersFireOnChange) {
   std::map<FlowId, double> latest;
   sim.subscribe_rates([&](FlowId id, double rate) { latest[id] = rate; });
 
-  const FlowId f1 = sim.add_flow(make_flow(p, p.b, p.p1.host(1), 4001, 8e6));
+  const FlowId f1 = sim.add_flow(make_flow(p.b, p.p1.host(1), 4001, 8e6));
   EXPECT_DOUBLE_EQ(latest[f1], 8e6);
-  const FlowId f2 = sim.add_flow(make_flow(p, p.b, p.p1.host(2), 4002, 8e6));
+  const FlowId f2 = sim.add_flow(make_flow(p.b, p.p1.host(2), 4002, 8e6));
   // Both now squeezed to 5 Mb/s on the 10 Mb/s bottleneck.
   EXPECT_DOUBLE_EQ(latest[f1], 5e6);
   EXPECT_DOUBLE_EQ(latest[f2], 5e6);
@@ -376,8 +409,8 @@ TEST(NetworkSim, RemoveFlowFreesCapacity) {
   util::EventQueue events;
   NetworkSim sim(p.topo, events);
   sim.install_tables(igp::compute_all_routes(NetworkView::from_topology(p.topo)));
-  const FlowId f1 = sim.add_flow(make_flow(p, p.b, p.p1.host(1), 4001, 20e6));
-  const FlowId f2 = sim.add_flow(make_flow(p, p.b, p.p1.host(2), 4002, 20e6));
+  const FlowId f1 = sim.add_flow(make_flow(p.b, p.p1.host(1), 4001, 20e6));
+  const FlowId f2 = sim.add_flow(make_flow(p.b, p.p1.host(2), 4002, 20e6));
   EXPECT_DOUBLE_EQ(sim.flow_rate(f1), 5e6);
   sim.remove_flow(f2);
   EXPECT_DOUBLE_EQ(sim.flow_rate(f1), 10e6);
@@ -394,7 +427,7 @@ TEST(NetworkSim, LoopAccountingIsolatesBrokenState) {
   fib_b.set(p.p1, FibEntry{false, {FibNextHop{p.topo.link_between(p.b, p.a), p.a, 1}}});
   sim.set_fib(p.a, std::move(fib_a));
   sim.set_fib(p.b, std::move(fib_b));
-  const FlowId f = sim.add_flow(make_flow(p, p.a, p.p1.host(1), 4000));
+  const FlowId f = sim.add_flow(make_flow(p.a, p.p1.host(1), 4000));
   EXPECT_EQ(sim.looping_flows(), 1u);
   EXPECT_DOUBLE_EQ(sim.flow_rate(f), 0.0);
 }

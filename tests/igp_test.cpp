@@ -7,6 +7,7 @@
 #include "igp/lsdb.hpp"
 #include "igp/spf.hpp"
 #include "igp/view.hpp"
+#include "support/scenario.hpp"
 #include "topo/generators.hpp"
 #include "util/event_queue.hpp"
 #include "util/rng.hpp"
@@ -14,16 +15,10 @@
 namespace fibbing::igp {
 namespace {
 
+using support::fwd_addr;
 using topo::make_paper_topology;
 using topo::NodeId;
 using topo::PaperTopology;
-
-/// Forwarding address of `to`'s interface on the to<->from link: a lie with
-/// this FA makes `from` send matched traffic to `to`.
-net::Ipv4 fwd_addr(const topo::Topology& t, NodeId from, NodeId to) {
-  const topo::LinkId from_to = t.link_between(from, to);
-  return t.link(t.link(from_to).reverse).local_addr;
-}
 
 std::map<std::string, std::uint32_t> named_hops(const topo::Topology& t,
                                                 const RouteEntry& entry) {
@@ -386,6 +381,51 @@ TEST(Domain, LsaFloodCountIsBounded) {
   // One LSA flooded once per directed link is the upper bound.
   EXPECT_LE(delta, p.topo.link_count());
   EXPECT_GE(delta, p.topo.node_count() - 1);  // must have reached everyone
+}
+
+TEST(Domain, LinkFailureReconvergesToReducedTopology) {
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  IgpDomain domain(p.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+  ASSERT_EQ(domain.table(p.b).at(p.p1).cost, 4u);  // B-R2-C
+
+  domain.fail_link(p.topo.link_between(p.b, p.r2));
+  domain.run_to_convergence();
+
+  // B lost its best path: R3 takes over at cost 6 (B-R3-C).
+  EXPECT_EQ(domain.table(p.b).at(p.p1).cost, 6u);
+  EXPECT_EQ(named_hops(p.topo, domain.table(p.b).at(p.p1)),
+            (std::map<std::string, std::uint32_t>{{"R3", 1}}));
+  // R2 still reaches the prefix directly through C.
+  EXPECT_EQ(named_hops(p.topo, domain.table(p.r2).at(p.p1)),
+            (std::map<std::string, std::uint32_t>{{"C", 1}}));
+}
+
+TEST(Domain, LinkFailureKillsLieForwardingAddress) {
+  // A lie whose forwarding address lives on the failed link must stop
+  // steering: its /30 disappears from both Router-LSAs, the FA dangles and
+  // routes fall back to the intra path.
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  IgpDomain domain(p.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+
+  ExternalLsa fb;
+  fb.lie_id = 1;
+  fb.prefix = p.p1;
+  fb.ext_metric = 0;
+  fb.forwarding_address = fwd_addr(p.topo, p.b, p.r3);
+  domain.inject_external(p.r3, fb);
+  domain.run_to_convergence();
+  ASSERT_EQ(domain.table(p.b).at(p.p1).next_hops.size(), 2u);
+
+  domain.fail_link(p.topo.link_between(p.b, p.r3));
+  domain.run_to_convergence();
+  EXPECT_EQ(named_hops(p.topo, domain.table(p.b).at(p.p1)),
+            (std::map<std::string, std::uint32_t>{{"R2", 1}}));
 }
 
 /// Property: on random graphs, protocol-computed tables equal direct

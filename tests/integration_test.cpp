@@ -1,15 +1,17 @@
 // Whole-system integration sweeps beyond the scripted Fig. 2 scenario:
-// random workloads, multi-prefix isolation under a live controller, and a
-// WAN-scale run. The invariants checked here are the ones that make or
-// break a production deployment: no forwarding loops or blackholes ever,
-// conservation of delivered traffic, and untouched state for uninvolved
-// destinations.
+// random workloads, multi-prefix isolation under a live controller, WAN
+// scale, link failure during active lies, and repeated surge cycles. The
+// invariants checked here are the ones that make or break a production
+// deployment: no forwarding loops or blackholes ever, conservation of
+// delivered traffic, and untouched state for uninvolved destinations.
 
 #include <gtest/gtest.h>
 
 #include "core/service.hpp"
 #include "igp/spf.hpp"
 #include "igp/view.hpp"
+#include "support/probes.hpp"
+#include "support/scenario.hpp"
 #include "topo/generators.hpp"
 #include "util/rng.hpp"
 #include "video/flash_crowd.hpp"
@@ -17,77 +19,45 @@
 namespace fibbing::core {
 namespace {
 
-using topo::make_paper_topology;
+using support::demo_config;
+using support::HealthProbe;
+using support::PaperScenario;
+using support::RouteSnapshot;
 using topo::PaperTopology;
 using video::VideoAsset;
 
-ServiceConfig demo_config() {
-  ServiceConfig config;
-  config.controller.high_watermark = 0.7;
-  config.controller.low_watermark = 0.4;
-  config.controller.session_router = 4;  // R3
-  return config;
-}
-
-/// Sample the data plane's health at several instants: under a correct
-/// controller, no flow may ever loop or blackhole.
-struct HealthProbe {
-  std::size_t loop_observations = 0;
-  std::size_t blackhole_observations = 0;
-
-  void install(FibbingService& service, double until, double step = 0.5) {
-    for (double t = step; t <= until; t += step) {
-      service.events().schedule_at(t, [this, &service] {
-        loop_observations += service.sim().looping_flows();
-        blackhole_observations += service.sim().blackholed_flows();
-      });
-    }
-  }
-};
-
 TEST(Integration, PoissonCrowdStaysLoopFreeAndSmooth) {
-  const PaperTopology p = make_paper_topology();
-  FibbingService service(p.topo, demo_config());
-  service.boot();
-  const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
-  const auto s2 = service.video().add_server({"S2", p.a, net::Ipv4(198, 18, 2, 1)});
+  PaperScenario run;
 
   util::Rng rng(99);
   auto batches = video::poisson_crowd(rng, /*rate=*/1.5, /*start=*/1.0,
-                                      /*duration=*/30.0, s1, p.p1,
+                                      /*duration=*/30.0, run.s1, run.p.p1,
                                       VideoAsset{1e6, 45.0});
-  const auto more = video::poisson_crowd(rng, 1.0, 10.0, 25.0, s2, p.p2,
+  const auto more = video::poisson_crowd(rng, 1.0, 10.0, 25.0, run.s2, run.p.p2,
                                          VideoAsset{1e6, 45.0}, 1);
   batches.insert(batches.end(), more.begin(), more.end());
-  const int total = video::schedule_requests(service.video(), service.events(),
-                                             batches);
+  const int total = run.schedule(batches);
   ASSERT_GT(total, 20);
 
   HealthProbe probe;
-  probe.install(service, 90.0);
-  service.run_until(90.0);
+  probe.install(run.service, 90.0);
+  run.run_until(90.0);
 
-  EXPECT_EQ(probe.loop_observations, 0u);
-  EXPECT_EQ(probe.blackhole_observations, 0u);
+  EXPECT_TRUE(probe.healthy());
   // Arrivals are spread out, so the controller keeps everything smooth.
-  for (const auto& q : service.video().all_qoe()) {
-    EXPECT_EQ(q.stall_count, 0);
-  }
+  EXPECT_EQ(run.stalled_sessions(), 0);
 }
 
 TEST(Integration, UninvolvedPrefixIsBitIdenticalThroughoutMitigation) {
   // A third prefix at R4 never sees demand; its routes must stay identical
   // on every router while the controller fibs for P1 and P2.
-  PaperTopology p = make_paper_topology();
+  PaperTopology p = topo::make_paper_topology();
   const net::Prefix bystander(net::Ipv4(198, 51, 100, 0), 24);
   p.topo.attach_prefix(p.r4, bystander, 0);
 
   FibbingService service(p.topo, demo_config());
   service.boot();
-  std::vector<igp::RouteEntry> before;
-  for (topo::NodeId n = 0; n < p.topo.node_count(); ++n) {
-    before.push_back(service.domain().table(n).at(bystander));
-  }
+  const RouteSnapshot before(service, bystander);
 
   const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
   const auto s2 = service.video().add_server({"S2", p.a, net::Ipv4(198, 18, 2, 1)});
@@ -97,9 +67,7 @@ TEST(Integration, UninvolvedPrefixIsBitIdenticalThroughoutMitigation) {
   service.run_until(55.0);
   ASSERT_GT(service.controller().active_lie_count(), 0u);
 
-  for (topo::NodeId n = 0; n < p.topo.node_count(); ++n) {
-    EXPECT_EQ(service.domain().table(n).at(bystander), before[n]) << "router " << n;
-  }
+  EXPECT_TRUE(before.unchanged(service));
 }
 
 TEST(Integration, AbileneWanSurgeIsMitigated) {
@@ -128,8 +96,7 @@ TEST(Integration, AbileneWanSurgeIsMitigated) {
   probe.install(service, 40.0);
   service.run_until(40.0);
 
-  EXPECT_EQ(probe.loop_observations, 0u);
-  EXPECT_EQ(probe.blackhole_observations, 0u);
+  EXPECT_TRUE(probe.healthy());
   EXPECT_GE(service.controller().mitigations(), 1);
   // No directed link above 90% and all 80 sessions smooth.
   for (topo::LinkId l = 0; l < wan.link_count(); ++l) {
@@ -144,48 +111,124 @@ TEST(Integration, ControllerSurvivesUnannouncedPrefixDemand) {
   // Demand toward a prefix nobody announces: the data plane blackholes it
   // (no route) and the controller must log-and-continue, not crash, and
   // must still fix the legitimate surge.
-  const PaperTopology p = make_paper_topology();
-  FibbingService service(p.topo, demo_config());
-  service.boot();
-  const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
+  PaperScenario run;
 
   const net::Prefix ghost(net::Ipv4(192, 0, 2, 0), 24);
-  std::vector<video::RequestBatch> batches{
-      video::RequestBatch{1.0, s1, ghost, 1, 40, VideoAsset{1e6, 120.0}},
-      video::RequestBatch{5.0, s1, p.p1, 1, 31, VideoAsset{1e6, 120.0}},
-  };
-  video::schedule_requests(service.video(), service.events(), batches);
-  service.run_until(30.0);
+  run.schedule({
+      video::RequestBatch{1.0, run.s1, ghost, 1, 40, VideoAsset{1e6, 120.0}},
+      video::RequestBatch{5.0, run.s1, run.p.p1, 1, 31, VideoAsset{1e6, 120.0}},
+  });
+
+  HealthProbe probe;
+  probe.install(run.service, 30.0, /*step=*/1.0);
+  run.run_until(30.0);
 
   // Ghost traffic is blackholed (rate 0) but P1 is split as usual.
-  EXPECT_EQ(service.sim().blackholed_flows(), 40u);
-  EXPECT_GE(service.controller().mitigations(), 1);
-  const auto& entry = service.domain().table(p.b).at(p.p1);
+  EXPECT_EQ(run.service.sim().blackholed_flows(), 40u);
+  EXPECT_TRUE(probe.healthy(/*tolerated_blackholes=*/40));
+  EXPECT_GE(run.service.controller().mitigations(), 1);
+  const auto& entry = run.service.domain().table(run.p.b).at(run.p.p1);
   EXPECT_EQ(entry.next_hops.size(), 2u);
 }
 
 TEST(Integration, RepeatedSurgeCyclesInjectAndRetractCleanly) {
-  const PaperTopology p = make_paper_topology();
-  FibbingService service(p.topo, demo_config());
-  service.boot();
-  const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
+  PaperScenario run;
 
   // Three surge waves of short videos with idle gaps between them.
   std::vector<video::RequestBatch> batches;
   for (int wave = 0; wave < 3; ++wave) {
-    batches.push_back(video::RequestBatch{5.0 + wave * 40.0, s1, p.p1, 1, 31,
-                                          VideoAsset{1e6, 15.0}});
+    const auto surge = support::subsiding_surge_schedule(
+        run.s1, run.p.p1, 31, 5.0 + wave * 40.0, /*video_s=*/15.0);
+    batches.insert(batches.end(), surge.begin(), surge.end());
   }
-  video::schedule_requests(service.video(), service.events(), batches);
-  service.run_until(130.0);
+  run.schedule(batches);
+  run.run_until(130.0);
 
-  EXPECT_GE(service.controller().mitigations(), 3);
-  EXPECT_GE(service.controller().retractions(), 3);
-  EXPECT_EQ(service.controller().active_lie_count(), 0u);  // idle at the end
+  EXPECT_GE(run.service.controller().mitigations(), 3);
+  EXPECT_GE(run.service.controller().retractions(), 3);
+  EXPECT_EQ(run.service.controller().active_lie_count(), 0u);  // idle at the end
   // Plain IGP restored.
-  const auto& entry = service.domain().table(p.b).at(p.p1);
+  const auto& entry = run.service.domain().table(run.p.b).at(run.p.p1);
   ASSERT_EQ(entry.next_hops.size(), 1u);
-  EXPECT_EQ(entry.next_hops[0].via, p.r2);
+  EXPECT_EQ(entry.next_hops[0].via, run.p.r2);
+}
+
+// ------------------------------------------------------- new scenario sweeps
+
+TEST(Integration, DoubleSurgeSplitsBothPrefixesAtOnce) {
+  // Multi-prefix double surge: P1 and P2 surge in the same instant. The
+  // controller must place both (coalesced into one decision round), keep
+  // the data plane healthy and conserve all delivered traffic.
+  PaperScenario run;
+  const int total = run.schedule(support::double_surge_schedule(
+      run.s1, run.s2, run.p.p1, run.p.p2, /*count=*/31, /*at_s=*/5.0));
+  ASSERT_EQ(total, 62);
+
+  HealthProbe probe;
+  probe.install(run.service, 40.0);
+  run.run_until(40.0);
+
+  EXPECT_TRUE(probe.healthy());
+  EXPECT_GE(run.service.controller().mitigations(), 1);
+  ASSERT_TRUE(run.service.controller().active_lies().contains(run.p.p1));
+  ASSERT_TRUE(run.service.controller().active_lies().contains(run.p.p2));
+  // Both surges are steered off the naive B-R2 pile-up...
+  EXPECT_LT(run.rate(run.p.b, run.p.r2), 40e6 * 0.8);
+  // ...and everything still arrives at C: 62 Mb/s total.
+  EXPECT_TRUE(support::traffic_conserved(run.service, run.p.c, 62e6));
+  EXPECT_EQ(run.stalled_sessions(), 0);
+}
+
+TEST(Integration, LinkFailureDuringActiveLiesHealsAfterReconvergence) {
+  // Fail A-R1 while A's 2/3-via-R1 lies for P2 are standing. The lies'
+  // forwarding addresses die with the link; after reconvergence routes must
+  // fall back toward B with no loops and no lingering blackholes.
+  PaperScenario run;
+  run.schedule_fig2();
+  run.run_until(55.0);
+  ASSERT_GE(run.service.controller().mitigations(), 2);
+  ASSERT_GT(run.rate(run.p.a, run.p.r1), 10e6);  // lies are steering via R1
+
+  const topo::LinkId dead = run.service.fail_link(run.p.a, run.p.r1);
+  // Both layers agree the link is gone.
+  EXPECT_TRUE(run.service.sim().link_is_down(dead));
+  EXPECT_TRUE(run.service.domain().link_is_down(dead));
+  // Give the IGP a moment to reflood and rerun SPF everywhere.
+  run.run_until(56.0);
+
+  // Every flow is delivered again: A's P2 traffic fell back through B.
+  EXPECT_EQ(run.service.sim().looping_flows(), 0u);
+  EXPECT_EQ(run.service.sim().blackholed_flows(), 0u);
+  EXPECT_DOUBLE_EQ(run.rate(run.p.a, run.p.r1), 0.0);
+  EXPECT_GT(run.rate(run.p.a, run.p.b), 30e6);
+  EXPECT_TRUE(support::traffic_conserved(run.service, run.p.c, 62e6));
+
+  HealthProbe probe;
+  probe.install(run.service, 70.0);
+  run.run_until(70.0);
+  EXPECT_TRUE(probe.healthy());
+}
+
+TEST(Integration, SurgeSubsidingBelowLowWatermarkRetractsAllLies) {
+  // A surge of short videos ends; demand crosses the low watermark and the
+  // controller must retract the entire lie set, restoring plain IGP state
+  // byte-for-byte.
+  PaperScenario run;
+  const RouteSnapshot pristine_p1(run.service, run.p.p1);
+
+  run.schedule(support::subsiding_surge_schedule(run.s1, run.p.p1, /*count=*/31,
+                                                 /*at_s=*/5.0, /*video_s=*/20.0));
+  run.run_until(15.0);
+  ASSERT_GE(run.service.controller().mitigations(), 1);
+  ASSERT_GT(run.service.controller().active_lie_count(), 0u);
+
+  // Videos end around t=27 (2 s startup + 20 s playout); demand drops to
+  // zero, far below the 0.4 low watermark: full retraction.
+  run.run_until(40.0);
+  EXPECT_EQ(run.service.controller().active_lie_count(), 0u);
+  EXPECT_GE(run.service.controller().retractions(), 1);
+  EXPECT_DOUBLE_EQ(run.service.controller().demand_for(run.p.p1), 0.0);
+  EXPECT_TRUE(pristine_p1.unchanged(run.service));
 }
 
 }  // namespace

@@ -1,49 +1,26 @@
 #include <gtest/gtest.h>
 
 #include "dataplane/network_sim.hpp"
-#include "igp/spf.hpp"
-#include "igp/view.hpp"
 #include "monitor/bus.hpp"
 #include "monitor/detector.hpp"
 #include "monitor/poller.hpp"
+#include "support/scenario.hpp"
 #include "topo/generators.hpp"
 #include "util/event_queue.hpp"
 
 namespace fibbing::monitor {
 namespace {
 
+using support::make_flow;
+using support::PaperSimHarness;
 using topo::make_paper_topology;
 using topo::PaperTopology;
-
-dataplane::Flow video_flow(const PaperTopology& p, topo::NodeId ingress, net::Ipv4 dst,
-                           std::uint16_t sport, double demand = 1e6) {
-  dataplane::Flow f;
-  f.src = net::Ipv4(198, 18, 0, 1);
-  f.dst = dst;
-  f.src_port = sport;
-  f.dst_port = 8554;
-  f.ingress = ingress;
-  f.demand_bps = demand;
-  (void)p;
-  return f;
-}
-
-struct SimFixture {
-  PaperTopology p = make_paper_topology();
-  util::EventQueue events;
-  dataplane::NetworkSim sim{p.topo, events};
-
-  SimFixture() {
-    sim.install_tables(
-        igp::compute_all_routes(igp::NetworkView::from_topology(p.topo)));
-  }
-};
 
 // -------------------------------------------------------------------- poller
 
 TEST(Poller, EstimatesRateFromCounters) {
-  SimFixture fx;
-  fx.sim.add_flow(video_flow(fx.p, fx.p.b, fx.p.p1.host(1), 1000, 8e6));
+  PaperSimHarness fx;
+  fx.sim.add_flow(make_flow(fx.p.b, fx.p.p1.host(1), 1000, 8e6));
   LinkLoadPoller poller(fx.p.topo, fx.sim, fx.events, /*interval=*/1.0,
                         /*alpha=*/1.0);
   poller.start();
@@ -55,12 +32,12 @@ TEST(Poller, EstimatesRateFromCounters) {
 }
 
 TEST(Poller, SeesRateChangeOnlyAtNextPoll) {
-  SimFixture fx;
+  PaperSimHarness fx;
   LinkLoadPoller poller(fx.p.topo, fx.sim, fx.events, 1.0, 1.0);
   poller.start();
   // Flow starts mid-interval at t=2.5.
   fx.events.schedule_at(2.5, [&] {
-    fx.sim.add_flow(video_flow(fx.p, fx.p.b, fx.p.p1.host(1), 1000, 8e6));
+    fx.sim.add_flow(make_flow(fx.p.b, fx.p.p1.host(1), 1000, 8e6));
   });
   const topo::LinkId br2 = fx.p.topo.link_between(fx.p.b, fx.p.r2);
   fx.events.run_until(2.9);
@@ -73,11 +50,11 @@ TEST(Poller, SeesRateChangeOnlyAtNextPoll) {
 }
 
 TEST(Poller, EwmaSmoothsSteps) {
-  SimFixture fx;
+  PaperSimHarness fx;
   LinkLoadPoller poller(fx.p.topo, fx.sim, fx.events, 1.0, /*alpha=*/0.5);
   poller.start();
   fx.events.run_until(3.0);  // establish 0 baseline
-  fx.sim.add_flow(video_flow(fx.p, fx.p.b, fx.p.p1.host(1), 1000, 8e6));
+  fx.sim.add_flow(make_flow(fx.p.b, fx.p.p1.host(1), 1000, 8e6));
   fx.events.run_until(4.05);
   const topo::LinkId br2 = fx.p.topo.link_between(fx.p.b, fx.p.r2);
   // One post-step poll: EWMA at half the new rate.
@@ -87,7 +64,7 @@ TEST(Poller, EwmaSmoothsSteps) {
 }
 
 TEST(Poller, StopCancelsFuturePolls) {
-  SimFixture fx;
+  PaperSimHarness fx;
   LinkLoadPoller poller(fx.p.topo, fx.sim, fx.events, 1.0);
   poller.start();
   fx.events.run_until(2.5);
@@ -97,7 +74,7 @@ TEST(Poller, StopCancelsFuturePolls) {
 }
 
 TEST(Poller, SubscribersGetSnapshots) {
-  SimFixture fx;
+  PaperSimHarness fx;
   LinkLoadPoller poller(fx.p.topo, fx.sim, fx.events, 1.0);
   int calls = 0;
   poller.subscribe([&](const std::vector<LinkLoad>& loads) {

@@ -81,6 +81,31 @@ TEST(Prefix, ZeroLengthMatchesEverything) {
   EXPECT_TRUE(any.contains(Ipv4(0)));
 }
 
+TEST(Prefix, ParseBoundaryLengths) {
+  // /0 and /32 are legal corner lengths and must round-trip.
+  const auto def = Prefix::parse("0.0.0.0/0");
+  ASSERT_TRUE(def.ok()) << def.error();
+  EXPECT_EQ(def.value().length(), 0);
+  EXPECT_EQ(def.value().to_string(), "0.0.0.0/0");
+  const auto host = Prefix::parse("255.255.255.255/32");
+  ASSERT_TRUE(host.ok()) << host.error();
+  EXPECT_EQ(host.value().length(), 32);
+  EXPECT_EQ(host.value().network(), Ipv4(255, 255, 255, 255));
+}
+
+TEST(Prefix, ParseMalformedReturnsErrorNotAssert) {
+  // Every malformed input comes back as a util::Result error with a
+  // diagnostic; none may crash the process.
+  for (const char* bad : {"", "/", "/24", "10.0.0.0/", "10.0.0.0//24",
+                          "10.0.0.0/24/8", "10.0.0.0/ 24", "10.0.0.0/+4",
+                          "10.0.0.0/-1", "10.0.0.0/33", "10.0.0.0/x",
+                          "256.0.0.0/8", "10.0.0/8", "a.b.c.d/8"}) {
+    const auto r = Prefix::parse(bad);
+    EXPECT_FALSE(r.ok()) << bad;
+    EXPECT_NE(r.error().find("malformed"), std::string::npos) << bad << ": " << r.error();
+  }
+}
+
 // ------------------------------------------------------------------- LpmTrie
 
 TEST(LpmTrie, ExactInsertLookupErase) {
@@ -158,6 +183,40 @@ TEST(LpmTrie, EraseLeavesSiblingsIntact) {
   EXPECT_EQ(trie.size(), 1u);
   EXPECT_EQ(*trie.lookup(Ipv4(10, 200, 0, 1))->value, 2);
   EXPECT_FALSE(trie.lookup(Ipv4(10, 1, 0, 1)).has_value());
+}
+
+TEST(LpmTrie, ZeroAndFullLengthCoexist) {
+  // The default route (/0) and host routes (/32) are the trie's two corner
+  // depths; both must be insertable, matchable and erasable independently.
+  LpmTrie<int> trie;
+  trie.insert(Prefix(Ipv4(0), 0), 0);
+  trie.insert(Prefix(Ipv4(10, 0, 0, 7), 32), 32);
+  trie.insert(Prefix(Ipv4(255, 255, 255, 255), 32), 99);
+
+  EXPECT_EQ(*trie.lookup(Ipv4(10, 0, 0, 7))->value, 32);
+  EXPECT_EQ(*trie.lookup(Ipv4(255, 255, 255, 255))->value, 99);
+  EXPECT_EQ(*trie.lookup(Ipv4(10, 0, 0, 8))->value, 0);  // falls to default
+  EXPECT_EQ(*trie.lookup(Ipv4(0))->value, 0);
+
+  // Erasing the default must not disturb the host routes, and vice versa.
+  EXPECT_TRUE(trie.erase(Prefix(Ipv4(0), 0)));
+  EXPECT_FALSE(trie.lookup(Ipv4(10, 0, 0, 8)).has_value());
+  EXPECT_EQ(*trie.lookup(Ipv4(10, 0, 0, 7))->value, 32);
+  EXPECT_TRUE(trie.erase(Prefix(Ipv4(10, 0, 0, 7), 32)));
+  EXPECT_FALSE(trie.lookup(Ipv4(10, 0, 0, 7)).has_value());
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(LpmTrie, ExactDistinguishesLengthsOnSameBits) {
+  // 10.0.0.0/8 vs /9 vs /32 share leading bits; exact() must not conflate.
+  LpmTrie<int> trie;
+  trie.insert(Prefix(Ipv4(10, 0, 0, 0), 8), 8);
+  trie.insert(Prefix(Ipv4(10, 0, 0, 0), 9), 9);
+  trie.insert(Prefix(Ipv4(10, 0, 0, 0), 32), 32);
+  EXPECT_EQ(*trie.exact(Prefix(Ipv4(10, 0, 0, 0), 8)), 8);
+  EXPECT_EQ(*trie.exact(Prefix(Ipv4(10, 0, 0, 0), 9)), 9);
+  EXPECT_EQ(*trie.exact(Prefix(Ipv4(10, 0, 0, 0), 32)), 32);
+  EXPECT_EQ(trie.exact(Prefix(Ipv4(10, 0, 0, 0), 16)), nullptr);
 }
 
 /// Property sweep: a trie with /8, /16, /24 nested prefixes answers every

@@ -15,6 +15,7 @@
 #include "igp/spf.hpp"
 #include "igp/view.hpp"
 #include "net/lpm_trie.hpp"
+#include "support/scenario.hpp"
 #include "te/kshortest.hpp"
 #include "te/maxflow.hpp"
 #include "te/minmax.hpp"
@@ -380,11 +381,9 @@ TEST_P(EcmpShareProperty, FlowSharesTrackFibWeights) {
   int first = 0;
   const int n = 4000;
   for (int i = 0; i < n; ++i) {
-    dataplane::Flow f;
-    f.src = net::Ipv4(198, 18, 0, 1);
-    f.dst = p.p1.host(static_cast<std::uint32_t>(1 + i % 120));
-    f.src_port = static_cast<std::uint16_t>(1024 + i);
-    f.dst_port = 8554;
+    const dataplane::Flow f =
+        support::make_flow(0, p.p1.host(static_cast<std::uint32_t>(1 + i % 120)),
+                           static_cast<std::uint16_t>(1024 + i));
     if (dataplane::select_next_hop(entry, f, 99) == 0) ++first;
   }
   EXPECT_NEAR(static_cast<double>(first) / n, target, 0.035)
@@ -426,7 +425,9 @@ TEST_P(KShortestProperty, PathsAreSimpleOrderedAndDistinct) {
     }
     EXPECT_EQ(at, dst);
     EXPECT_EQ(cost, paths[i].cost);
-    if (i > 0) EXPECT_GE(paths[i].cost, paths[i - 1].cost);
+    if (i > 0) {
+      EXPECT_GE(paths[i].cost, paths[i - 1].cost);
+    }
     for (std::size_t j = 0; j < i; ++j) EXPECT_NE(paths[i].links, paths[j].links);
   }
   // First path is the true shortest.

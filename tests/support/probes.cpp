@@ -1,0 +1,76 @@
+#include "support/probes.hpp"
+
+namespace fibbing::support {
+
+void HealthProbe::install(core::FibbingService& service, double until, double step) {
+  for (double t = service.events().now() + step; t <= until; t += step) {
+    service.events().schedule_at(t, [this, &service] {
+      ++samples;
+      loop_observations += service.sim().looping_flows();
+      blackhole_observations += service.sim().blackholed_flows();
+    });
+  }
+}
+
+::testing::AssertionResult HealthProbe::healthy(
+    std::size_t tolerated_blackholes) const {
+  if (samples == 0) {
+    return ::testing::AssertionFailure() << "HealthProbe never sampled";
+  }
+  if (loop_observations > 0) {
+    return ::testing::AssertionFailure()
+           << loop_observations << " forwarding-loop observations across "
+           << samples << " samples";
+  }
+  const std::size_t budget = tolerated_blackholes * samples;
+  if (blackhole_observations > budget) {
+    return ::testing::AssertionFailure()
+           << blackhole_observations << " blackhole observations across " << samples
+           << " samples (tolerated " << budget << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+RouteSnapshot::RouteSnapshot(core::FibbingService& service, const net::Prefix& prefix)
+    : prefix_(prefix) {
+  for (topo::NodeId n = 0; n < service.topology().node_count(); ++n) {
+    const igp::RoutingTable& table = service.domain().table(n);
+    const auto it = table.find(prefix);
+    entries_.push_back(it != table.end() ? it->second : igp::RouteEntry{});
+  }
+}
+
+::testing::AssertionResult RouteSnapshot::unchanged(
+    core::FibbingService& service) const {
+  const topo::Topology& topo = service.topology();
+  for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
+    const igp::RoutingTable& table = service.domain().table(n);
+    const auto it = table.find(prefix_);
+    const igp::RouteEntry now = it != table.end() ? it->second : igp::RouteEntry{};
+    if (now != entries_[n]) {
+      return ::testing::AssertionFailure()
+             << "route for " << prefix_.to_string() << " changed at router "
+             << topo.node(n).name << ": was " << to_string(entries_[n], topo)
+             << ", now " << to_string(now, topo);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult traffic_conserved(core::FibbingService& service,
+                                             topo::NodeId egress, double expected_bps,
+                                             double tol_bps) {
+  const topo::Topology& topo = service.topology();
+  double into = 0.0;
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    if (topo.link(l).to == egress) into += service.sim().link_rate(l);
+  }
+  if (into < expected_bps - tol_bps || into > expected_bps + tol_bps) {
+    return ::testing::AssertionFailure()
+           << "traffic into " << topo.node(egress).name << " is " << into
+           << " b/s, expected " << expected_bps << " +/- " << tol_bps;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace fibbing::support

@@ -1,0 +1,102 @@
+#include "support/scenario.hpp"
+
+#include "igp/spf.hpp"
+
+namespace fibbing::support {
+
+core::ServiceConfig demo_config(bool enabled, bool proactive) {
+  core::ServiceConfig config;
+  config.controller.enabled = enabled;
+  config.controller.proactive = proactive;
+  config.controller.high_watermark = 0.7;
+  config.controller.low_watermark = 0.4;
+  config.controller.max_stretch = 1.5;
+  config.controller.session_router = 4;  // R3, as in the paper's setup
+  config.poll_interval_s = 1.0;
+  return config;
+}
+
+net::Ipv4 fwd_addr(const topo::Topology& t, topo::NodeId from, topo::NodeId to) {
+  const topo::LinkId from_to = t.link_between(from, to);
+  return t.link(t.link(from_to).reverse).local_addr;
+}
+
+std::vector<igp::NetworkView::External> paper_lie_externals(
+    const topo::PaperTopology& p) {
+  const net::Ipv4 to_r3 = fwd_addr(p.topo, p.b, p.r3);
+  const net::Ipv4 to_r1 = fwd_addr(p.topo, p.a, p.r1);
+  const net::Ipv4 to_b = fwd_addr(p.topo, p.a, p.b);
+  // A's targets: total 5 (real cost 6, strict). dist(A,S_AB)=2 -> ext 3;
+  // dist(A,S_AR1)=4 -> ext 1. B's target: total 4 (tie) -> ext 0.
+  return {{1, p.p1, 0, to_r3},
+          {2, p.p2, 0, to_r3},
+          {9, p.p2, 3, to_b},
+          {10, p.p2, 1, to_r1},
+          {11, p.p2, 1, to_r1}};
+}
+
+dataplane::Flow make_flow(topo::NodeId ingress, net::Ipv4 dst, std::uint16_t sport,
+                          double demand_bps, std::uint16_t dport) {
+  dataplane::Flow f;
+  f.src = net::Ipv4(198, 18, static_cast<std::uint8_t>(ingress), 1);
+  f.dst = dst;
+  f.src_port = sport;
+  f.dst_port = dport;
+  f.ingress = ingress;
+  f.demand_bps = demand_bps;
+  return f;
+}
+
+PaperScenario::PaperScenario(const core::ServiceConfig& config)
+    : service(p.topo, config) {
+  service.boot();
+  s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
+  s2 = service.video().add_server({"S2", p.a, net::Ipv4(198, 18, 2, 1)});
+}
+
+int PaperScenario::schedule(const std::vector<video::RequestBatch>& batches) {
+  return video::schedule_requests(service.video(), service.events(), batches);
+}
+
+int PaperScenario::schedule_fig2(video::VideoAsset asset) {
+  return schedule(video::fig2_schedule(s1, s2, p.p1, p.p2, asset));
+}
+
+double PaperScenario::rate(topo::NodeId a, topo::NodeId b) {
+  return service.sim().link_rate(p.topo.link_between(a, b));
+}
+
+int PaperScenario::stalled_sessions() {
+  int n = 0;
+  for (const auto& q : service.video().all_qoe()) {
+    if (q.stall_count > 0) ++n;
+  }
+  return n;
+}
+
+PaperSimHarness::PaperSimHarness(double capacity_bps)
+    : p(topo::make_paper_topology(capacity_bps)), sim(p.topo, events) {
+  sim.install_tables(
+      igp::compute_all_routes(igp::NetworkView::from_topology(p.topo)));
+}
+
+PaperVideoHarness::PaperVideoHarness() : system(p.topo, sim, events, bus) {
+  s1 = system.add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
+  s2 = system.add_server({"S2", p.a, net::Ipv4(198, 18, 2, 1)});
+}
+
+std::vector<video::RequestBatch> double_surge_schedule(
+    video::ServerId s1, video::ServerId s2, const net::Prefix& p1,
+    const net::Prefix& p2, int count, double at_s, video::VideoAsset asset) {
+  return {video::RequestBatch{at_s, s1, p1, 1, count, asset},
+          video::RequestBatch{at_s, s2, p2, 1, count, asset}};
+}
+
+std::vector<video::RequestBatch> subsiding_surge_schedule(
+    video::ServerId server, const net::Prefix& prefix, int count, double at_s,
+    double video_s) {
+  return {video::RequestBatch{at_s, server, prefix, 1, count,
+                              video::VideoAsset{1e6, video_s}}};
+}
+
+}  // namespace fibbing::support

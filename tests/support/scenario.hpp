@@ -1,0 +1,106 @@
+#pragma once
+
+// Shared scenario-building vocabulary for the suites that exercise the
+// whole service (controller, integration, video) and the ones that need
+// the paper's canonical lie set or synthetic flows (igp, dataplane,
+// monitor, property). Everything here is deterministic: same inputs, same
+// event order, same outcomes.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/service.hpp"
+#include "dataplane/flow.hpp"
+#include "igp/view.hpp"
+#include "topo/generators.hpp"
+#include "video/flash_crowd.hpp"
+
+namespace fibbing::support {
+
+/// Demo-tuned service configuration: 1 s SNMP polls and a 0.7 watermark so
+/// the 31 Mb/s surge on the 40 Mb/s bottleneck counts as "hot", as in the
+/// paper's demo setup (controller session at R3).
+[[nodiscard]] core::ServiceConfig demo_config(bool enabled = true,
+                                              bool proactive = true);
+
+/// Forwarding address of `to`'s interface on the from<->to link: a lie with
+/// this FA makes `from` send matched traffic to `to`.
+[[nodiscard]] net::Ipv4 fwd_addr(const topo::Topology& t, topo::NodeId from,
+                                 topo::NodeId to);
+
+/// The paper's five-lie augmentation (Fig. 1c/1d): fB about both halves of
+/// the blue prefix, plus the strict triple at A for P2 (one lie toward B,
+/// two toward R1).
+[[nodiscard]] std::vector<igp::NetworkView::External> paper_lie_externals(
+    const topo::PaperTopology& p);
+
+/// A synthetic flow entering at `ingress` toward `dst` (video-shaped
+/// defaults; pass dport 80 for plain web traffic).
+[[nodiscard]] dataplane::Flow make_flow(topo::NodeId ingress, net::Ipv4 dst,
+                                        std::uint16_t sport, double demand_bps = 1e6,
+                                        std::uint16_t dport = 8554);
+
+/// The full demo stack on the paper topology: a booted FibbingService with
+/// S1 at B and S2 at A, plus the accessors every scenario test repeats.
+/// Declared field order matters: `p` must outlive `service` (the service
+/// keeps a reference to the topology).
+struct PaperScenario {
+  topo::PaperTopology p = topo::make_paper_topology();
+  core::FibbingService service;
+  video::ServerId s1 = 0;
+  video::ServerId s2 = 0;
+
+  explicit PaperScenario(const core::ServiceConfig& config = demo_config());
+
+  /// Schedule request batches; returns the number of sessions to start.
+  int schedule(const std::vector<video::RequestBatch>& batches);
+  /// Schedule the paper's Fig. 2 flash-crowd experiment.
+  int schedule_fig2(video::VideoAsset asset = {1e6, 300.0});
+  void run_until(double t) { service.run_until(t); }
+
+  /// Current rate on the directed a->b link (bits/s).
+  [[nodiscard]] double rate(topo::NodeId a, topo::NodeId b);
+  /// Sessions that have stalled at least once so far.
+  [[nodiscard]] int stalled_sessions();
+};
+
+/// Paper topology + event queue + fluid data plane with plain-IGP FIBs
+/// installed: the lightweight harness for suites below the service layer
+/// (monitor, dataplane).
+struct PaperSimHarness {
+  topo::PaperTopology p;
+  util::EventQueue events;
+  dataplane::NetworkSim sim;
+
+  explicit PaperSimHarness(double capacity_bps = 40e6);
+};
+
+/// PaperSimHarness plus the video layer: notification bus, VideoSystem and
+/// the demo's two servers (S1 at B, S2 at A).
+struct PaperVideoHarness : PaperSimHarness {
+  monitor::NotificationBus bus;
+  video::VideoSystem system;
+  video::ServerId s1 = 0;
+  video::ServerId s2 = 0;
+
+  PaperVideoHarness();
+};
+
+// ------------------------------------------------- deterministic scenarios
+
+/// Multi-prefix double surge: `count` clients hit P1 (from S1) and P2
+/// (from S2) at the same instant -- both prefixes must be placed in one
+/// coalesced controller decision.
+[[nodiscard]] std::vector<video::RequestBatch> double_surge_schedule(
+    video::ServerId s1, video::ServerId s2, const net::Prefix& p1,
+    const net::Prefix& p2, int count = 31, double at_s = 5.0,
+    video::VideoAsset asset = {1e6, 300.0});
+
+/// A surge that subsides: `count` clients of a short `video_s`-second video
+/// arrive at `at_s`, then leave. Demand drops to zero, crossing the low
+/// watermark, and the controller must fully retract its lies.
+[[nodiscard]] std::vector<video::RequestBatch> subsiding_surge_schedule(
+    video::ServerId server, const net::Prefix& prefix, int count = 31,
+    double at_s = 5.0, double video_s = 20.0);
+
+}  // namespace fibbing::support

@@ -1,9 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "dataplane/network_sim.hpp"
-#include "igp/spf.hpp"
-#include "igp/view.hpp"
-#include "monitor/bus.hpp"
+#include "support/scenario.hpp"
 #include "topo/generators.hpp"
 #include "util/event_queue.hpp"
 #include "video/client.hpp"
@@ -13,6 +10,7 @@
 namespace fibbing::video {
 namespace {
 
+using support::PaperVideoHarness;
 using topo::make_paper_topology;
 using topo::PaperTopology;
 
@@ -104,24 +102,8 @@ TEST(VideoClient, StallRatioReflectsStarvation) {
 
 // ------------------------------------------------------------- VideoSystem
 
-struct SystemFixture {
-  PaperTopology p = make_paper_topology();
-  util::EventQueue events;
-  dataplane::NetworkSim sim{p.topo, events};
-  monitor::NotificationBus bus;
-  VideoSystem system{p.topo, sim, events, bus};
-  ServerId s1, s2;
-
-  SystemFixture() {
-    sim.install_tables(
-        igp::compute_all_routes(igp::NetworkView::from_topology(p.topo)));
-    s1 = system.add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
-    s2 = system.add_server({"S2", p.a, net::Ipv4(198, 18, 2, 1)});
-  }
-};
-
 TEST(VideoSystem, SessionCreatesFlowAndNotice) {
-  SystemFixture fx;
+  PaperVideoHarness fx;
   int notices = 0;
   topo::NodeId noticed_ingress = topo::kInvalidNode;
   fx.bus.subscribe([&](const monitor::DemandNotice& n) {
@@ -140,7 +122,7 @@ TEST(VideoSystem, SessionCreatesFlowAndNotice) {
 }
 
 TEST(VideoSystem, FinishedSessionRemovesFlowAndPublishes) {
-  SystemFixture fx;
+  PaperVideoHarness fx;
   int active = 0;
   fx.bus.subscribe([&](const monitor::DemandNotice& n) { active += n.delta_sessions; });
   fx.system.start_session(fx.s1, fx.p.p1, fx.p.p1.host(1), VideoAsset{1e6, 5.0});
@@ -151,7 +133,7 @@ TEST(VideoSystem, FinishedSessionRemovesFlowAndPublishes) {
 }
 
 TEST(VideoSystem, StopSessionAborts) {
-  SystemFixture fx;
+  PaperVideoHarness fx;
   const SessionId id =
       fx.system.start_session(fx.s1, fx.p.p1, fx.p.p1.host(1), VideoAsset{1e6, 600.0});
   fx.events.run_until(3.0);
@@ -161,7 +143,7 @@ TEST(VideoSystem, StopSessionAborts) {
 }
 
 TEST(VideoSystem, CongestionStallsClientsWithoutController) {
-  SystemFixture fx;
+  PaperVideoHarness fx;
   // 50 concurrent 1 Mb/s sessions through the 40 Mb/s B-R2 bottleneck:
   // everyone is squeezed to 0.8 Mb/s and stalls repeatedly.
   for (int i = 0; i < 50; ++i) {
@@ -195,7 +177,7 @@ TEST(FlashCrowd, Fig2ScheduleShape) {
 }
 
 TEST(FlashCrowd, ScheduleRequestsStartsSessionsAtTimes) {
-  SystemFixture fx;
+  PaperVideoHarness fx;
   const int total = schedule_requests(
       fx.system, fx.events, fig2_schedule(fx.s1, fx.s2, fx.p.p1, fx.p.p2));
   EXPECT_EQ(total, 62);

@@ -35,7 +35,8 @@ Result<Augmentation> compile_lies(const topo::Topology& topo,
     return R::failure(valid.error());
   }
 
-  const igp::NetworkView view = igp::NetworkView::from_topology(topo);
+  const igp::NetworkView view =
+      igp::NetworkView::from_topology(topo, {}, config.link_state);
   const std::vector<igp::RoutingTable> baseline = igp::compute_all_routes(view);
 
   // Cache one SPF per router we plan lies at.
@@ -163,7 +164,8 @@ Result<Augmentation> compile_lies(const topo::Topology& topo,
       }
     }
 
-    const VerifyReport report = verify_augmentation(topo, req, out.lies);
+    const VerifyReport report =
+        verify_augmentation(topo, req, out.lies, config.link_state);
     if (report.ok()) {
       out.naive_lie_count = out.lies.size();
       break;
@@ -210,7 +212,7 @@ Result<Augmentation> compile_lies(const topo::Topology& topo,
     for (std::size_t i = out.lies.size(); i-- > 0;) {
       std::vector<Lie> candidate = out.lies;
       candidate.erase(candidate.begin() + static_cast<long>(i));
-      if (verify_augmentation(topo, req, candidate).ok()) {
+      if (verify_augmentation(topo, req, candidate, config.link_state).ok()) {
         out.lies = std::move(candidate);
       }
     }

@@ -6,6 +6,7 @@
 
 #include "core/lie.hpp"
 #include "core/requirements.hpp"
+#include "topo/link_state.hpp"
 #include "topo/topology.hpp"
 #include "util/result.hpp"
 
@@ -22,6 +23,11 @@ struct AugmentConfig {
   /// whose removal keeps the augmentation correct). The Simple/reduced
   /// difference is measured by bench_lies.
   bool reduce = true;
+  /// Live topology state (optional, not owned): compile and verify on the
+  /// degraded topology instead of the pristine static one. A lie that would
+  /// steer over a down link cannot compile -- its transfer /30 is absent
+  /// from the degraded view.
+  const topo::LinkStateMask* link_state = nullptr;
 };
 
 /// A compiled augmentation for one destination prefix.

@@ -23,6 +23,8 @@ Controller::Controller(const topo::Topology& topo, igp::IgpDomain& domain,
   FIB_ASSERT(config.session_router < topo.node_count(),
              "Controller: bad session router");
   bus.subscribe([this](const monitor::DemandNotice& notice) { on_notice_(notice); });
+  domain_.link_state().subscribe(
+      [this](topo::LinkId, bool) { on_topology_change_(); });
   detector_.subscribe([this](const monitor::CongestionDetector::Event& event) {
     if (!config_.enabled) return;
     if (event.state == monitor::CongestionDetector::LinkState::kCongested) {
@@ -69,17 +71,58 @@ void Controller::on_notice_(const monitor::DemandNotice& notice) {
   dirty_.insert(notice.prefix);
   if (!config_.enabled) return;
   if (config_.proactive) {
-    // Coalesce same-instant notices (a request batch) into one decision.
-    if (eval_pending_) return;
-    eval_pending_ = true;
-    events_.schedule_in(0.0, [this] {
-      eval_pending_ = false;
-      evaluate_();
-    });
+    schedule_evaluate_();
   } else if (notice.delta_sessions < 0) {
     // Even in reactive mode, departures may allow retraction.
     maybe_retract_();
   }
+}
+
+void Controller::schedule_evaluate_() {
+  // Coalesce same-instant triggers (a request batch, a flapping link) into
+  // one decision.
+  if (eval_pending_) return;
+  eval_pending_ = true;
+  events_.schedule_in(0.0, [this] {
+    eval_pending_ = false;
+    evaluate_();
+  });
+}
+
+void Controller::on_topology_change_() {
+  ++topology_events_;
+  if (!config_.enabled) return;
+  const topo::LinkStateMask& mask = domain_.link_state();
+  // Every standing placement was solved on a topology that no longer
+  // exists, and every ledger prefix may now have a better (or the only)
+  // placement: re-plan them all. Placements whose lies steer over a link
+  // that just died, or whose realized forwarding graph now loops (lie costs
+  // shift with the topology), are stranded -- they must be re-placed or
+  // retracted even if nothing is predicted hot, instead of limping on the
+  // dangling-FA fallback.
+  std::vector<igp::RoutingTable> lie_tables;
+  if (!active_.empty()) {
+    lie_tables = igp::compute_all_routes(
+        igp::NetworkView::from_topology(topo_, to_externals(all_lies_()), &mask));
+  }
+  for (const auto& [prefix, lies] : active_) {
+    dirty_.insert(prefix);
+    if (forwarding_loops(topo_, lie_tables, prefix)) {
+      stranded_.insert(prefix);
+      continue;
+    }
+    for (const Lie& lie : lies) {
+      const topo::LinkId l = topo_.link_between(lie.attach, lie.via);
+      if (l != topo::kInvalidLink && mask.is_down(l)) {
+        stranded_.insert(prefix);
+        break;
+      }
+    }
+  }
+  for (const auto& [prefix, ingresses] : ledger_) dirty_.insert(prefix);
+  // A placement that failed on the old topology may succeed on the new one.
+  placement_failed_.clear();
+  schedule_evaluate_();
 }
 
 std::vector<te::Demand> Controller::demands_of_(const net::Prefix& prefix) const {
@@ -111,9 +154,10 @@ std::vector<Lie> Controller::all_lies_except_(const net::Prefix& prefix) const {
 
 void Controller::evaluate_() {
   // Predict per-link utilization with the ledger demand on the *current*
-  // forwarding state (lies included); mitigate if anything would run hot.
-  const auto tables = igp::compute_all_routes(
-      igp::NetworkView::from_topology(topo_, to_externals(all_lies_())));
+  // forwarding state (lies included) over the *live* topology; mitigate if
+  // anything would run hot. Stranded placements are re-planned regardless.
+  const auto tables = igp::compute_all_routes(igp::NetworkView::from_topology(
+      topo_, to_externals(all_lies_()), &domain_.link_state()));
   std::vector<double> load(topo_.link_count(), 0.0);
   for (const auto& [prefix, ingresses] : ledger_) {
     const auto prefix_load = loads_from_routes(topo_, tables, prefix,
@@ -130,7 +174,7 @@ void Controller::evaluate_() {
       break;
     }
   }
-  if (hot) {
+  if (hot || !stranded_.empty()) {
     mitigate_();
   } else {
     maybe_retract_();
@@ -138,6 +182,23 @@ void Controller::evaluate_() {
 }
 
 void Controller::mitigate_() {
+  const topo::LinkStateMask& mask = domain_.link_state();
+
+  // Stranded placements with no remaining demand have nothing to re-place:
+  // retract them outright instead of leaving lies that steer at dead links.
+  std::vector<net::Prefix> stranded_idle;
+  for (const net::Prefix& prefix : stranded_) {
+    if (demands_of_(prefix).empty()) stranded_idle.push_back(prefix);
+  }
+  for (const net::Prefix& prefix : stranded_idle) {
+    stranded_.erase(prefix);
+    if (!active_.contains(prefix)) continue;
+    FIB_LOG(kInfo, "controller")
+        << "retracting stranded lies for " << prefix.to_string();
+    apply_lies_(prefix, {});
+    ++retractions_;
+  }
+
   // Incremental, churn-minimizing placement: only prefixes whose demand
   // changed since their last placement are re-optimized (heaviest first);
   // all standing placements are background the optimizer must respect.
@@ -164,21 +225,34 @@ void Controller::mitigate_() {
   bool batch_failed = false;
   std::vector<net::Prefix> attempted_ok;
 
+  // A stranded prefix whose re-placement fails must not keep its old lies
+  // (they steer at a dead link): retract, then record the failure.
+  const auto fail_placement = [&](const net::Prefix& prefix) {
+    batch_failed |= placement_failed_.insert(prefix).second;
+    if (stranded_.erase(prefix) > 0 && active_.contains(prefix)) {
+      FIB_LOG(kWarn, "controller") << "retracting stranded lies for "
+                                   << prefix.to_string() << " (re-placement failed)";
+      apply_lies_(prefix, {});
+      ++retractions_;
+    }
+  };
+
   for (const net::Prefix& prefix : prefixes) {
     unattempted.erase(prefix);
     const auto announcers = topo_.attachments_for(prefix);
     if (announcers.empty()) {
       FIB_LOG(kWarn, "controller") << "no announcer for " << prefix.to_string();
-      batch_failed |= placement_failed_.insert(prefix).second;
+      fail_placement(prefix);
       continue;
     }
     const topo::NodeId dest = announcers.front().node;
     const std::vector<te::Demand> demands = demands_of_(prefix);
 
-    // Background: every *other* prefix's demand on its current routes.
+    // Background: every *other* prefix's demand on its current routes over
+    // the live topology.
     const std::vector<Lie> other_lies = all_lies_except_(prefix);
     const auto other_tables = igp::compute_all_routes(
-        igp::NetworkView::from_topology(topo_, to_externals(other_lies)));
+        igp::NetworkView::from_topology(topo_, to_externals(other_lies), &mask));
     std::vector<double> background(topo_.link_count(), 0.0);
     for (const auto& [q, ingresses] : ledger_) {
       if (q == prefix || (unattempted.contains(q) && !placement_failed_.contains(q))) {
@@ -189,10 +263,10 @@ void Controller::mitigate_() {
     }
 
     const auto solution = te::solve_min_max(topo_, dest, demands, background, 1e-4,
-                                            config_.max_stretch);
+                                            config_.max_stretch, &mask);
     if (!solution.ok()) {
       FIB_LOG(kWarn, "controller") << "optimizer failed: " << solution.error();
-      batch_failed |= placement_failed_.insert(prefix).second;
+      fail_placement(prefix);
       continue;
     }
     const DestRequirement req = requirement_from_splits(
@@ -200,10 +274,11 @@ void Controller::mitigate_() {
 
     AugmentConfig aug_config;
     aug_config.first_lie_id = next_lie_id_;
+    aug_config.link_state = &mask;
     auto compiled = compile_lies(topo_, req, aug_config);
     if (!compiled.ok()) {
       FIB_LOG(kWarn, "controller") << "augmentation failed: " << compiled.error();
-      batch_failed |= placement_failed_.insert(prefix).second;
+      fail_placement(prefix);
       continue;
     }
 
@@ -223,6 +298,7 @@ void Controller::mitigate_() {
       if (signature(old_lies) == signature(new_lies)) {
         dirty_.erase(prefix);
         placement_failed_.erase(prefix);
+        stranded_.erase(prefix);
         attempted_ok.push_back(prefix);
         continue;
       }
@@ -248,8 +324,10 @@ void Controller::mitigate_() {
 
 void Controller::maybe_retract_() {
   // A prefix's lies retract when its demand would fit on plain shortest
-  // paths with comfortable margin (below the low watermark), given the
-  // other prefixes' current placements as background.
+  // paths -- over the topology that actually exists -- with comfortable
+  // margin (below the low watermark), given the other prefixes' current
+  // placements as background.
+  const topo::LinkStateMask& mask = domain_.link_state();
   std::vector<net::Prefix> to_retract;
   for (const auto& [prefix, lies] : active_) {
     if (lies.empty()) continue;
@@ -259,7 +337,7 @@ void Controller::maybe_retract_() {
 
     const std::vector<Lie> other_lies = all_lies_except_(prefix);
     const auto other_tables = igp::compute_all_routes(
-        igp::NetworkView::from_topology(topo_, to_externals(other_lies)));
+        igp::NetworkView::from_topology(topo_, to_externals(other_lies), &mask));
     std::vector<double> background(topo_.link_count(), 0.0);
     for (const auto& [q, ingresses] : ledger_) {
       if (q == prefix) continue;
@@ -267,7 +345,7 @@ void Controller::maybe_retract_() {
       for (topo::LinkId l = 0; l < topo_.link_count(); ++l) background[l] += q_load[l];
     }
     const double spf_util = te::shortest_path_max_utilization(
-        topo_, announcers.front().node, demands, background);
+        topo_, announcers.front().node, demands, background, &mask);
     if (spf_util < config_.low_watermark) to_retract.push_back(prefix);
   }
   for (const net::Prefix& prefix : to_retract) {
@@ -279,6 +357,8 @@ void Controller::maybe_retract_() {
 }
 
 void Controller::apply_lies_(const net::Prefix& prefix, std::vector<Lie> lies) {
+  // Any deliberate rewrite of the prefix's lie set resolves strandedness.
+  stranded_.erase(prefix);
   const auto it = active_.find(prefix);
   if (it != active_.end()) {
     for (const Lie& old_lie : it->second) {

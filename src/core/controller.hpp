@@ -49,6 +49,16 @@ struct ControllerConfig {
 /// standing lies, which yields exactly Fig. 1d) and avoids gratuitous
 /// route churn. Demand notices arriving at the same instant (a request
 /// batch) coalesce into a single placement decision.
+///
+/// The controller is *topology-state-aware*: every view it plans on, every
+/// optimizer run and every compiled/verified lie set uses the domain's live
+/// LinkStateMask, so placements are solved on the topology that actually
+/// exists. It subscribes to the mask, so on any topology-change event
+/// (failure or restoration, through whichever layer's API) it re-evaluates
+/// all standing placements: stranded lies (a lie whose forwarding link
+/// died, or a lie set whose realized forwarding graph now loops) are
+/// re-placed on the changed topology, or retracted when their demand is
+/// gone or no placement exists.
 class Controller {
  public:
   Controller(const topo::Topology& topo, igp::IgpDomain& domain,
@@ -65,6 +75,9 @@ class Controller {
   [[nodiscard]] std::size_t active_lie_count() const;
   [[nodiscard]] int mitigations() const { return mitigations_; }
   [[nodiscard]] int retractions() const { return retractions_; }
+  /// Topology-change events (failures + restorations) the controller has
+  /// re-planned for.
+  [[nodiscard]] int topology_events() const { return topology_events_; }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
 
   /// Registered demand toward a prefix (bps), for tests and benches.
@@ -72,6 +85,12 @@ class Controller {
 
  private:
   void on_notice_(const monitor::DemandNotice& notice);
+  /// Mask-subscription reaction: a link failed or was restored. Every
+  /// standing placement and every prefix with demand is re-planned on the
+  /// new topology at the next event-queue step; stranded lies are re-placed
+  /// or retracted deliberately.
+  void on_topology_change_();
+  void schedule_evaluate_();
   void evaluate_();
   void mitigate_();
   void maybe_retract_();
@@ -97,11 +116,15 @@ class Controller {
   /// optimizer or compiler error): their traffic is immovable background
   /// for batch placement until an attempt succeeds or demand drains.
   std::set<net::Prefix> placement_failed_;
+  /// Prefixes whose standing lie set traverses a link that has since gone
+  /// down: they must be re-placed or retracted even if nothing is hot.
+  std::set<net::Prefix> stranded_;
   bool eval_pending_ = false;
   std::map<net::Prefix, std::vector<Lie>> active_;
   std::uint64_t next_lie_id_ = 1;
   int mitigations_ = 0;
   int retractions_ = 0;
+  int topology_events_ = 0;
 };
 
 }  // namespace fibbing::core

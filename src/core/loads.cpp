@@ -3,26 +3,20 @@
 #include <algorithm>
 
 #include "util/assert.hpp"
+#include "util/logging.hpp"
 
 namespace fibbing::core {
 
-std::vector<double> loads_from_routes(const topo::Topology& topo,
-                                      const std::vector<igp::RoutingTable>& tables,
-                                      const net::Prefix& prefix,
-                                      const std::vector<te::Demand>& demands) {
-  FIB_ASSERT(tables.size() == topo.node_count(), "loads_from_routes: table mismatch");
-  std::vector<double> load(topo.link_count(), 0.0);
-  std::vector<double> node_in(topo.node_count(), 0.0);
-  for (const te::Demand& d : demands) {
-    FIB_ASSERT(d.ingress < topo.node_count(), "loads_from_routes: bad ingress");
-    node_in[d.ingress] += d.rate_bps;
-  }
+namespace {
 
-  // Topological order of the forwarding graph (Kahn). Verified
-  // augmentations are loop-free; any residual cycle would strand its
-  // inflow, which the assert below rejects.
+/// Topological order of the forwarding graph for `prefix` (Kahn). Nodes on
+/// a directed cycle never enter the order; a complete order (size ==
+/// node_count) certifies loop freedom.
+std::vector<topo::NodeId> forwarding_order(
+    const topo::Topology& topo, const std::vector<igp::RoutingTable>& tables,
+    const net::Prefix& prefix) {
   std::vector<int> indegree(topo.node_count(), 0);
-  auto entry_of = [&](topo::NodeId n) -> const igp::RouteEntry* {
+  const auto entry_of = [&](topo::NodeId n) -> const igp::RouteEntry* {
     const auto it = tables[n].find(prefix);
     return it == tables[n].end() ? nullptr : &it->second;
   };
@@ -43,9 +37,42 @@ std::vector<double> loads_from_routes(const topo::Topology& topo,
       if (--indegree[nh.via] == 0) order.push_back(nh.via);
     }
   }
-  FIB_ASSERT(order.size() == topo.node_count(),
-             "loads_from_routes: forwarding graph has a cycle");
+  return order;
+}
 
+}  // namespace
+
+bool forwarding_loops(const topo::Topology& topo,
+                      const std::vector<igp::RoutingTable>& tables,
+                      const net::Prefix& prefix) {
+  FIB_ASSERT(tables.size() == topo.node_count(), "forwarding_loops: table mismatch");
+  return forwarding_order(topo, tables, prefix).size() != topo.node_count();
+}
+
+std::vector<double> loads_from_routes(const topo::Topology& topo,
+                                      const std::vector<igp::RoutingTable>& tables,
+                                      const net::Prefix& prefix,
+                                      const std::vector<te::Demand>& demands) {
+  FIB_ASSERT(tables.size() == topo.node_count(), "loads_from_routes: table mismatch");
+  std::vector<double> load(topo.link_count(), 0.0);
+  std::vector<double> node_in(topo.node_count(), 0.0);
+  for (const te::Demand& d : demands) {
+    FIB_ASSERT(d.ingress < topo.node_count(), "loads_from_routes: bad ingress");
+    node_in[d.ingress] += d.rate_bps;
+  }
+
+  // Verified augmentations are loop-free, but the controller also predicts
+  // loads on *transient* state -- e.g. right after a topology change,
+  // before stale lies are re-placed -- where the graph may contain a
+  // cycle. Traffic entering a cycle is stranded (it would die to TTL
+  // expiry in reality): cycle nodes are absent from `order` and their
+  // inflow is not propagated. Logged so a steady-state loop (a compiler or
+  // verifier bug, not a transient) stays visible.
+  const std::vector<topo::NodeId> order = forwarding_order(topo, tables, prefix);
+  if (order.size() != topo.node_count()) {
+    FIB_LOG(kWarn, "loads") << "forwarding graph for " << prefix.to_string()
+                            << " has a cycle; stranding its inflow";
+  }
   for (const topo::NodeId u : order) {
     if (node_in[u] <= 0.0) continue;
     const auto it = tables[u].find(prefix);

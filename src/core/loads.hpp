@@ -13,8 +13,19 @@ namespace fibbing::core {
 /// given routing tables, splitting at every hop proportionally to FIB
 /// weights (the fluid expectation of hash-based splitting). Used by the
 /// controller to account for traffic it is not currently re-optimizing.
+/// Transient forwarding cycles (stale lies right after a topology change)
+/// strand their inflow -- traffic entering a cycle dies to TTL expiry --
+/// and are logged; the controller re-places such lie sets immediately.
 [[nodiscard]] std::vector<double> loads_from_routes(
     const topo::Topology& topo, const std::vector<igp::RoutingTable>& tables,
     const net::Prefix& prefix, const std::vector<te::Demand>& demands);
+
+/// True when the forwarding graph the routing tables realize for `prefix`
+/// contains a directed cycle. The controller uses this to detect lie sets
+/// that a topology change has turned into loops (they must be re-placed or
+/// retracted, never left standing).
+[[nodiscard]] bool forwarding_loops(const topo::Topology& topo,
+                                    const std::vector<igp::RoutingTable>& tables,
+                                    const net::Prefix& prefix);
 
 }  // namespace fibbing::core

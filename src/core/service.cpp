@@ -7,8 +7,9 @@ namespace fibbing::core {
 
 FibbingService::FibbingService(const topo::Topology& topo, ServiceConfig config)
     : topo_(topo),
-      domain_(topo, events_, config.igp_timing),
-      sim_(topo, events_),
+      link_state_(std::make_shared<topo::LinkStateMask>(topo)),
+      domain_(topo, events_, config.igp_timing, link_state_),
+      sim_(topo, events_, link_state_),
       poller_(topo, sim_, events_, config.poll_interval_s, config.poll_ewma_alpha),
       video_(topo, sim_, events_, bus_) {
   // Router control planes program the data plane.
@@ -23,12 +24,38 @@ FibbingService::FibbingService(const topo::Topology& topo, ServiceConfig config)
   });
 }
 
-topo::LinkId FibbingService::fail_link(topo::NodeId a, topo::NodeId b) {
+util::Result<topo::LinkId> FibbingService::change_link_(topo::NodeId a,
+                                                        topo::NodeId b,
+                                                        LinkEvent event) {
+  using R = util::Result<topo::LinkId>;
+  const char* const verb = event == LinkEvent::kFail ? "fail_link" : "restore_link";
+  if (a >= topo_.node_count() || b >= topo_.node_count()) {
+    return R::failure(std::string(verb) + ": unknown node id");
+  }
   const topo::LinkId link = topo_.link_between(a, b);
-  FIB_ASSERT(link != topo::kInvalidLink, "fail_link: nodes not adjacent");
-  sim_.fail_link(link);
-  domain_.fail_link(link);
+  if (link == topo::kInvalidLink) {
+    return R::failure(std::string(verb) + ": " + topo_.node(a).name + " and " +
+                      topo_.node(b).name + " are not adjacent");
+  }
+  // One mask mutation; every subscribed layer (IGP adjacency teardown or
+  // re-formation, data-plane flow re-walk, controller re-planning) reacts
+  // through its subscription. A repeated fail (or a restore of a healthy
+  // link) changes nothing and is an idempotent success.
+  if (event == LinkEvent::kFail) {
+    link_state_->fail(link);
+  } else {
+    link_state_->restore(link);
+  }
   return link;
+}
+
+util::Result<topo::LinkId> FibbingService::fail_link(topo::NodeId a, topo::NodeId b) {
+  return change_link_(a, b, LinkEvent::kFail);
+}
+
+util::Result<topo::LinkId> FibbingService::restore_link(topo::NodeId a,
+                                                        topo::NodeId b) {
+  return change_link_(a, b, LinkEvent::kRestore);
 }
 
 void FibbingService::boot() {

@@ -7,8 +7,10 @@
 #include "igp/domain.hpp"
 #include "monitor/bus.hpp"
 #include "monitor/poller.hpp"
+#include "topo/link_state.hpp"
 #include "topo/topology.hpp"
 #include "util/event_queue.hpp"
+#include "util/result.hpp"
 #include "video/system.hpp"
 
 namespace fibbing::core {
@@ -41,11 +43,23 @@ class FibbingService {
   /// Advance simulated time (events fire along the way).
   void run_until(util::SimTime t) { events_.run_until(t); }
 
-  /// Fail the bidirectional link between `a` and `b`: the data plane drops
-  /// traffic hashed onto it immediately, both endpoint routers re-originate
-  /// their Router-LSAs, and the domain reconverges as events run. Returns
-  /// the failed (a->b) link id.
-  topo::LinkId fail_link(topo::NodeId a, topo::NodeId b);
+  /// Fail the bidirectional link between `a` and `b`: the shared link-state
+  /// mask is marked once and every subscribed layer reacts -- the data
+  /// plane drops traffic hashed onto the link immediately, both endpoint
+  /// routers re-originate their Router-LSAs, and the controller re-plans
+  /// every standing placement on the degraded topology as events run.
+  /// Returns the failed (a->b) link id; failing an already-down link is an
+  /// idempotent success. Non-adjacent or unknown nodes report an error
+  /// instead of asserting.
+  util::Result<topo::LinkId> fail_link(topo::NodeId a, topo::NodeId b);
+
+  /// Restore the bidirectional link between `a` and `b`: the adjacency
+  /// re-forms (with an LSDB exchange between the endpoints), FIBs converge
+  /// back, and the controller re-optimizes onto the recovered link.
+  /// Restoring a link that is not down is an idempotent success.
+  util::Result<topo::LinkId> restore_link(topo::NodeId a, topo::NodeId b);
+
+  [[nodiscard]] const topo::LinkStateMask& link_state() const { return *link_state_; }
 
   [[nodiscard]] util::EventQueue& events() { return events_; }
   [[nodiscard]] const topo::Topology& topology() const { return topo_; }
@@ -57,7 +71,14 @@ class FibbingService {
   [[nodiscard]] Controller& controller() { return *controller_; }
 
  private:
+  enum class LinkEvent { kFail, kRestore };
+  util::Result<topo::LinkId> change_link_(topo::NodeId a, topo::NodeId b,
+                                          LinkEvent event);
+
   const topo::Topology& topo_;
+  /// The one live up/down mask every layer consumes (declared before the
+  /// layers so it outlives their construction).
+  std::shared_ptr<topo::LinkStateMask> link_state_;
   util::EventQueue events_;
   igp::IgpDomain domain_;
   dataplane::NetworkSim sim_;

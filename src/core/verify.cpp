@@ -58,7 +58,8 @@ std::string VerifyReport::to_string(const topo::Topology& topo) const {
 
 VerifyReport verify_augmentation(const topo::Topology& topo,
                                  const DestRequirement& req,
-                                 const std::vector<Lie>& lies) {
+                                 const std::vector<Lie>& lies,
+                                 const topo::LinkStateMask* link_state) {
   VerifyReport report;
 
   // Split lies: those for req.prefix shape the target; all others belong to
@@ -69,10 +70,10 @@ VerifyReport verify_augmentation(const topo::Topology& topo,
     (lie.prefix == req.prefix ? own : other).push_back(lie);
   }
 
-  const auto baseline =
-      igp::compute_all_routes(igp::NetworkView::from_topology(topo, to_externals(other)));
-  const auto augmented =
-      igp::compute_all_routes(igp::NetworkView::from_topology(topo, to_externals(lies)));
+  const auto baseline = igp::compute_all_routes(
+      igp::NetworkView::from_topology(topo, to_externals(other), link_state));
+  const auto augmented = igp::compute_all_routes(
+      igp::NetworkView::from_topology(topo, to_externals(lies), link_state));
 
   for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
     // --- requirement / pollution for req.prefix --------------------------

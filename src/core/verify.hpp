@@ -7,6 +7,7 @@
 #include "core/lie.hpp"
 #include "core/requirements.hpp"
 #include "igp/routes.hpp"
+#include "topo/link_state.hpp"
 #include "topo/topology.hpp"
 
 namespace fibbing::core {
@@ -40,8 +41,12 @@ struct VerifyReport {
 ///   4. the achieved forwarding graph for req.prefix is loop-free.
 /// `lies` may contain lies for other prefixes (they are installed too, and
 /// property 3 is then asserted against a baseline that includes them).
-[[nodiscard]] VerifyReport verify_augmentation(const topo::Topology& topo,
-                                               const DestRequirement& req,
-                                               const std::vector<Lie>& lies);
+/// `link_state` (optional) verifies on the degraded topology: baseline and
+/// augmented routes are both computed without the down links, exactly what
+/// converged routers would hold.
+[[nodiscard]] VerifyReport verify_augmentation(
+    const topo::Topology& topo, const DestRequirement& req,
+    const std::vector<Lie>& lies,
+    const topo::LinkStateMask* link_state = nullptr);
 
 }  // namespace fibbing::core

@@ -6,13 +6,18 @@
 
 namespace fibbing::dataplane {
 
-NetworkSim::NetworkSim(const topo::Topology& topo, util::EventQueue& events)
+NetworkSim::NetworkSim(const topo::Topology& topo, util::EventQueue& events,
+                       std::shared_ptr<topo::LinkStateMask> link_state)
     : topo_(topo),
       events_(events),
       fibs_(topo.node_count()),
-      link_down_(topo.link_count(), false),
+      link_state_(link_state != nullptr
+                      ? std::move(link_state)
+                      : std::make_shared<topo::LinkStateMask>(topo)),
       link_rates_(topo.link_count(), 0.0),
-      link_bytes_(topo.link_count(), 0.0) {}
+      link_bytes_(topo.link_count(), 0.0) {
+  link_state_->subscribe([this](topo::LinkId, bool) { reallocate_(); });
+}
 
 void NetworkSim::set_fib(topo::NodeId node, Fib fib) {
   FIB_ASSERT(node < fibs_.size(), "set_fib: node out of range");
@@ -34,16 +39,18 @@ const Fib& NetworkSim::fib(topo::NodeId node) const {
 }
 
 void NetworkSim::fail_link(topo::LinkId id) {
-  FIB_ASSERT(id < link_down_.size(), "fail_link: link out of range");
-  if (link_down_[id]) return;
-  link_down_[id] = true;
-  link_down_[topo_.link(id).reverse] = true;
-  reallocate_();
+  FIB_ASSERT(id < topo_.link_count(), "fail_link: link out of range");
+  link_state_->fail(id);  // reactions run via the mask subscriptions
+}
+
+void NetworkSim::restore_link(topo::LinkId id) {
+  FIB_ASSERT(id < topo_.link_count(), "restore_link: link out of range");
+  link_state_->restore(id);
 }
 
 bool NetworkSim::link_is_down(topo::LinkId id) const {
-  FIB_ASSERT(id < link_down_.size(), "link_is_down: link out of range");
-  return link_down_[id];
+  FIB_ASSERT(id < topo_.link_count(), "link_is_down: link out of range");
+  return link_state_->is_down(id);
 }
 
 FlowId NetworkSim::add_flow(Flow flow) {
@@ -123,7 +130,7 @@ void NetworkSim::reallocate_() {
   std::vector<FlowState*> order;
   rated.reserve(flows_.size());
   for (auto& [id, state] : flows_) {
-    state.path = walk_flow(topo_, fibs_, state.flow, link_down_);
+    state.path = walk_flow(topo_, fibs_, state.flow, link_state_->bits());
     order.push_back(&state);
   }
   for (FlowState* state : order) {

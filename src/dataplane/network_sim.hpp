@@ -5,10 +5,13 @@
 #include <map>
 #include <vector>
 
+#include <memory>
+
 #include "dataplane/fib.hpp"
 #include "dataplane/flow.hpp"
 #include "dataplane/forwarding.hpp"
 #include "igp/routes.hpp"
+#include "topo/link_state.hpp"
 #include "topo/topology.hpp"
 #include "util/event_queue.hpp"
 
@@ -24,7 +27,11 @@ namespace fibbing::dataplane {
 /// listener is notified.
 class NetworkSim {
  public:
-  NetworkSim(const topo::Topology& topo, util::EventQueue& events);
+  /// `link_state` is the live up/down mask consulted on every flow walk;
+  /// pass a shared instance to keep the data plane, IGP and controller in
+  /// agreement (FibbingService does). When null the sim makes its own.
+  NetworkSim(const topo::Topology& topo, util::EventQueue& events,
+             std::shared_ptr<topo::LinkStateMask> link_state = nullptr);
 
   // -- forwarding state ------------------------------------------------------
   /// Replace one router's FIB (e.g. after an IGP SPF run).
@@ -35,8 +42,15 @@ class NetworkSim {
 
   /// Take a bidirectional link down (`id` may be either direction): flows
   /// whose hash bucket crosses it drop until fresh FIBs route around it.
+  /// Failing an already-down link is a no-op. (Equivalent to mutating the
+  /// mask directly: the sim re-walks flows through its mask subscription
+  /// either way, as do all other layers sharing the mask.)
   void fail_link(topo::LinkId id);
+  /// Bring a failed link back: flows rehash onto it as FIBs allow.
+  /// Restoring a link that is not down is a no-op.
+  void restore_link(topo::LinkId id);
   [[nodiscard]] bool link_is_down(topo::LinkId id) const;
+  [[nodiscard]] const topo::LinkStateMask& link_state() const { return *link_state_; }
 
   // -- flows -----------------------------------------------------------------
   /// Register a flow; if flow.id is 0 a fresh id is assigned. Returns the id.
@@ -72,7 +86,7 @@ class NetworkSim {
   const topo::Topology& topo_;
   util::EventQueue& events_;
   std::vector<Fib> fibs_;
-  std::vector<bool> link_down_;
+  std::shared_ptr<topo::LinkStateMask> link_state_;
 
   struct FlowState {
     Flow flow;

@@ -6,12 +6,21 @@
 namespace fibbing::igp {
 
 IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
-                     IgpTiming timing)
+                     IgpTiming timing, std::shared_ptr<topo::LinkStateMask> link_state)
     : topo_(topo),
       events_(events),
       timing_(timing),
       router_seq_(topo.node_count(), 1),
-      link_down_(topo.link_count(), false) {
+      link_state_(link_state != nullptr
+                      ? std::move(link_state)
+                      : std::make_shared<topo::LinkStateMask>(topo)) {
+  link_state_->subscribe([this](topo::LinkId id, bool down) {
+    if (down) {
+      on_link_failed_(id);
+    } else {
+      on_link_restored_(id);
+    }
+  });
   routers_.reserve(topo.node_count());
   for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
     routers_.push_back(
@@ -33,16 +42,23 @@ IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
 
 void IgpDomain::start() {
   for (topo::NodeId n = 0; n < topo_.node_count(); ++n) {
-    routers_[n]->originate(make_router_lsa(topo_, n, router_seq_[n], link_down_));
+    routers_[n]->originate(
+        make_router_lsa(topo_, n, router_seq_[n], link_state_->bits()));
   }
 }
 
 void IgpDomain::fail_link(topo::LinkId id) {
-  FIB_ASSERT(id < link_down_.size(), "fail_link: link out of range");
-  if (link_down_[id]) return;
+  FIB_ASSERT(id < topo_.link_count(), "fail_link: link out of range");
+  link_state_->fail(id);  // reactions run via the mask subscriptions
+}
+
+void IgpDomain::restore_link(topo::LinkId id) {
+  FIB_ASSERT(id < topo_.link_count(), "restore_link: link out of range");
+  link_state_->restore(id);
+}
+
+void IgpDomain::on_link_failed_(topo::LinkId id) {
   const topo::Link& link = topo_.link(id);
-  link_down_[id] = true;
-  link_down_[link.reverse] = true;
   FIB_LOG(kInfo, "igp") << "link " << topo_.link_name(id) << " down";
   // Both endpoints tear down the adjacency (no further flooding toward the
   // dead peer) and re-originate without it.
@@ -50,13 +66,33 @@ void IgpDomain::fail_link(topo::LinkId id) {
   routers_[link.to]->remove_neighbor(link.from);
   for (const topo::NodeId endpoint : {link.from, link.to}) {
     routers_[endpoint]->originate(
-        make_router_lsa(topo_, endpoint, ++router_seq_[endpoint], link_down_));
+        make_router_lsa(topo_, endpoint, ++router_seq_[endpoint], link_state_->bits()));
+  }
+}
+
+void IgpDomain::on_link_restored_(topo::LinkId id) {
+  const topo::Link& link = topo_.link(id);
+  FIB_LOG(kInfo, "igp") << "link " << topo_.link_name(id) << " up";
+  routers_[link.from]->add_neighbor(link.to);
+  routers_[link.to]->add_neighbor(link.from);
+  // Database exchange on adjacency formation: while the link was down the
+  // domain may have been partitioned, leaving either side with LSAs
+  // (including withdrawal tombstones) the other never saw. Each endpoint
+  // offers its full LSDB to the re-formed adjacency; sequence-number
+  // freshness checks drop everything already known, and anything genuinely
+  // new refloods onward into the peer's side.
+  routers_[link.from]->sync_neighbor(link.to);
+  routers_[link.to]->sync_neighbor(link.from);
+  // Both endpoints advertise the interface again.
+  for (const topo::NodeId endpoint : {link.from, link.to}) {
+    routers_[endpoint]->originate(
+        make_router_lsa(topo_, endpoint, ++router_seq_[endpoint], link_state_->bits()));
   }
 }
 
 bool IgpDomain::link_is_down(topo::LinkId id) const {
-  FIB_ASSERT(id < link_down_.size(), "link_is_down: link out of range");
-  return link_down_[id];
+  FIB_ASSERT(id < topo_.link_count(), "link_is_down: link out of range");
+  return link_state_->is_down(id);
 }
 
 void IgpDomain::inject_external(topo::NodeId at, const ExternalLsa& ext) {
@@ -128,11 +164,11 @@ void IgpDomain::deliver_(topo::NodeId from, topo::NodeId to, const Lsa& lsa) {
   // floods everywhere via the surviving links. Checked again at delivery
   // time: an LSA in flight when the link dies is lost with it.
   const topo::LinkId via = topo_.link_between(from, to);
-  if (via != topo::kInvalidLink && link_down_[via]) return;
+  if (via != topo::kInvalidLink && link_state_->is_down(via)) return;
   ++in_flight_;
   events_.schedule_in(timing_.flood_delay_s, [this, from, to, via, lsa] {
     --in_flight_;
-    if (via != topo::kInvalidLink && link_down_[via]) return;
+    if (via != topo::kInvalidLink && link_state_->is_down(via)) return;
     routers_[to]->receive(from, lsa);
   });
 }

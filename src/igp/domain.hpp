@@ -8,6 +8,7 @@
 
 #include "igp/lsa.hpp"
 #include "igp/router_process.hpp"
+#include "topo/link_state.hpp"
 #include "topo/topology.hpp"
 #include "util/event_queue.hpp"
 
@@ -20,7 +21,11 @@ namespace fibbing::igp {
 /// one router, and the protocol floods them domain-wide.
 class IgpDomain {
  public:
-  IgpDomain(const topo::Topology& topo, util::EventQueue& events, IgpTiming timing = {});
+  /// `link_state` is the live up/down mask the domain consults and mutates;
+  /// pass a shared instance to keep the IGP, data plane and controller in
+  /// agreement (FibbingService does). When null the domain makes its own.
+  IgpDomain(const topo::Topology& topo, util::EventQueue& events, IgpTiming timing = {},
+            std::shared_ptr<topo::LinkStateMask> link_state = nullptr);
 
   /// Originate every router's Router-LSA (network boot). Call once, then
   /// run the event queue (or run_to_convergence) to flood and compute.
@@ -36,9 +41,23 @@ class IgpDomain {
   /// Take a bidirectional link down: both endpoints re-originate their
   /// Router-LSAs without the adjacency and the flooding graph stops using
   /// it. Run the event queue (or run_to_convergence) to settle. `id` may be
-  /// either direction of the adjacency.
+  /// either direction of the adjacency. Failing a link that is already down
+  /// is a no-op. (Equivalent to mutating the mask directly: the domain
+  /// reacts through its mask subscription either way, as do all other
+  /// layers sharing the mask.)
   void fail_link(topo::LinkId id);
+
+  /// Bring a failed link back: the adjacency re-forms, both sides exchange
+  /// their full LSDBs (OSPF database-exchange analogue -- a partition may
+  /// have left either side with LSAs the other never saw) and re-originate
+  /// Router-LSAs advertising the interface again. After convergence, routes
+  /// are bit-identical to a domain in which the link never failed.
+  /// Restoring a link that is not down is a no-op.
+  void restore_link(topo::LinkId id);
+
   [[nodiscard]] bool link_is_down(topo::LinkId id) const;
+  [[nodiscard]] topo::LinkStateMask& link_state() { return *link_state_; }
+  [[nodiscard]] const topo::LinkStateMask& link_state() const { return *link_state_; }
 
   /// True when no LSA is in flight and no SPF is pending anywhere.
   [[nodiscard]] bool converged() const;
@@ -62,13 +81,16 @@ class IgpDomain {
 
  private:
   void deliver_(topo::NodeId from, topo::NodeId to, const Lsa& lsa);
+  // Mask-subscription reactions (fired on every effective fail/restore).
+  void on_link_failed_(topo::LinkId id);
+  void on_link_restored_(topo::LinkId id);
 
   const topo::Topology& topo_;
   util::EventQueue& events_;
   IgpTiming timing_;
   std::vector<std::unique_ptr<RouterProcess>> routers_;
   std::vector<SeqNum> router_seq_;
-  std::vector<bool> link_down_;
+  std::shared_ptr<topo::LinkStateMask> link_state_;
   std::unordered_map<std::uint64_t, SeqNum> lie_seq_;
   std::uint64_t in_flight_ = 0;
   TableChangeFn on_table_change_;

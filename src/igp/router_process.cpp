@@ -16,6 +16,14 @@ void RouterProcess::remove_neighbor(topo::NodeId peer) {
   std::erase(neighbors_, peer);
 }
 
+void RouterProcess::sync_neighbor(topo::NodeId peer) {
+  FIB_ASSERT(send_ != nullptr, "RouterProcess: transport not wired");
+  for (const Lsa* lsa : lsdb_.all()) {
+    ++lsas_sent_;
+    send_(self_, peer, *lsa);
+  }
+}
+
 void RouterProcess::originate(const Lsa& lsa) {
   const auto result = lsdb_.install(lsa);
   if (result != Lsdb::InstallResult::kNewer) return;

@@ -35,6 +35,10 @@ class RouterProcess {
   void add_neighbor(topo::NodeId peer);
   /// Drop a dead adjacency: the router stops flooding toward `peer`.
   void remove_neighbor(topo::NodeId peer);
+  /// Offer the entire LSDB (including withdrawal tombstones) to `peer`:
+  /// the database-exchange step of (re-)forming an adjacency. The peer's
+  /// freshness checks discard everything it already holds.
+  void sync_neighbor(topo::NodeId peer);
 
   /// Install a self/controller-originated LSA and flood it to all neighbors.
   void originate(const Lsa& lsa);

@@ -8,17 +8,23 @@
 namespace fibbing::igp {
 
 NetworkView NetworkView::from_topology(const topo::Topology& topo,
-                                       std::vector<External> externals) {
+                                       std::vector<External> externals,
+                                       const topo::LinkStateMask* link_state) {
+  const auto down = [&](topo::LinkId lid) {
+    return link_state != nullptr && link_state->is_down(lid);
+  };
   NetworkView view;
   view.adj_.resize(topo.node_count());
   for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
     for (const topo::LinkId lid : topo.out_links(n)) {
+      if (down(lid)) continue;
       const topo::Link& link = topo.link(lid);
       view.adj_[n].push_back(Edge{link.to, link.metric});
     }
   }
   // One Subnet per bidirectional pair: take the direction with from < to.
   for (topo::LinkId lid = 0; lid < topo.link_count(); ++lid) {
+    if (down(lid)) continue;
     const topo::Link& link = topo.link(lid);
     if (link.from < link.to) {
       const topo::Link& rev = topo.link(link.reverse);

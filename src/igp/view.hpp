@@ -8,6 +8,7 @@
 #include "igp/lsdb.hpp"
 #include "net/ipv4.hpp"
 #include "net/prefix.hpp"
+#include "topo/link_state.hpp"
 #include "topo/topology.hpp"
 
 namespace fibbing::igp {
@@ -50,8 +51,15 @@ class NetworkView {
     net::Ipv4 forwarding_address;
   };
 
+  /// Build the graph a converged IGP would compute on. When `link_state` is
+  /// given, links it marks down are omitted -- adjacency *and* transfer /30
+  /// (so forwarding addresses on a dead link dangle, as in a real LSDB after
+  /// the endpoints re-originate without the interface). This is what makes
+  /// every consumer (optimizer, compiler, verifier, controller) plan on the
+  /// topology that actually exists instead of the pristine static one.
   static NetworkView from_topology(const topo::Topology& topo,
-                                   std::vector<External> externals = {});
+                                   std::vector<External> externals = {},
+                                   const topo::LinkStateMask* link_state = nullptr);
   static NetworkView from_lsdb(const Lsdb& lsdb, std::size_t node_count);
 
   [[nodiscard]] std::size_t node_count() const { return adj_.size(); }

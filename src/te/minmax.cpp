@@ -13,9 +13,11 @@ namespace {
 
 constexpr double kThetaCeiling = 1e9;
 
-/// Metric distance of every node toward `dest` (reverse Dijkstra).
+/// Metric distance of every node toward `dest` (reverse Dijkstra), over the
+/// links `link_state` leaves up.
 std::vector<topo::Metric> dist_to_node(const topo::Topology& topo,
-                                       topo::NodeId dest) {
+                                       topo::NodeId dest,
+                                       const topo::LinkStateMask* link_state) {
   const std::size_t n = topo.node_count();
   std::vector<topo::Metric> dist(n, igp::kInfMetric);
   using Item = std::pair<topo::Metric, topo::NodeId>;
@@ -28,6 +30,7 @@ std::vector<topo::Metric> dist_to_node(const topo::Topology& topo,
     if (d > dist[v]) continue;
     for (const topo::LinkId vl : topo.out_links(v)) {
       const topo::LinkId ul = topo.link(vl).reverse;  // u -> v
+      if (link_state != nullptr && link_state->is_down(ul)) continue;
       const topo::NodeId u = topo.link(ul).from;
       const topo::Metric nd = d + topo.link(ul).metric;
       if (nd < dist[u]) {
@@ -149,7 +152,8 @@ util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
                                          topo::NodeId dest,
                                          const std::vector<Demand>& demands,
                                          const std::vector<double>& background_bps,
-                                         double precision, double max_stretch) {
+                                         double precision, double max_stretch,
+                                         const topo::LinkStateMask* link_state) {
   using R = util::Result<MinMaxResult>;
   if (dest >= topo.node_count()) return R::failure("min-max: unknown destination");
   if (!background_bps.empty() && background_bps.size() != topo.link_count()) {
@@ -165,19 +169,30 @@ util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
   result.link_flow.assign(topo.link_count(), 0.0);
   if (total <= 0.0) return result;  // nothing to place
 
-  // Bounded-detour filter: usable links lie on paths within max_stretch of
-  // the shortest metric toward dest.
+  // Usable links: up (per the live mask) and -- when a stretch bound is set
+  // -- on paths within max_stretch of the shortest metric toward dest, with
+  // the detour distances themselves computed on the degraded topology.
   std::vector<bool> allowed;
-  if (max_stretch > 0.0) {
-    const std::vector<topo::Metric> dist = dist_to_node(topo, dest);
-    allowed.assign(topo.link_count(), false);
-    for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
-      const topo::Link& link = topo.link(l);
-      if (dist[link.from] >= igp::kInfMetric || dist[link.to] >= igp::kInfMetric) {
-        continue;
+  const bool masked = link_state != nullptr && link_state->any_down();
+  if (max_stretch > 0.0 || masked) {
+    allowed.assign(topo.link_count(), true);
+    if (masked) {
+      for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+        if (link_state->is_down(l)) allowed[l] = false;
       }
-      allowed[l] = link.metric + dist[link.to] <=
-                   max_stretch * static_cast<double>(dist[link.from]) + 1e-9;
+    }
+    if (max_stretch > 0.0) {
+      const std::vector<topo::Metric> dist = dist_to_node(topo, dest, link_state);
+      for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+        if (!allowed[l]) continue;
+        const topo::Link& link = topo.link(l);
+        if (dist[link.from] >= igp::kInfMetric || dist[link.to] >= igp::kInfMetric) {
+          allowed[l] = false;
+          continue;
+        }
+        allowed[l] = link.metric + dist[link.to] <=
+                     max_stretch * static_cast<double>(dist[link.from]) + 1e-9;
+      }
     }
   }
 
@@ -236,31 +251,13 @@ util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
 }
 
 std::vector<double> shortest_path_loads(const topo::Topology& topo, topo::NodeId dest,
-                                        const std::vector<Demand>& demands) {
+                                        const std::vector<Demand>& demands,
+                                        const topo::LinkStateMask* link_state) {
   FIB_ASSERT(dest < topo.node_count(), "shortest_path_loads: bad destination");
   const std::size_t n = topo.node_count();
 
-  // Distance of every node *to* dest: Dijkstra over reversed edges.
-  std::vector<topo::Metric> dist(n, igp::kInfMetric);
-  using Item = std::pair<topo::Metric, topo::NodeId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  dist[dest] = 0;
-  heap.emplace(0, dest);
-  while (!heap.empty()) {
-    const auto [d, v] = heap.top();
-    heap.pop();
-    if (d > dist[v]) continue;
-    // Relax incoming edges (u -> v): iterate v's out-links and use reverses.
-    for (const topo::LinkId vl : topo.out_links(v)) {
-      const topo::LinkId ul = topo.link(vl).reverse;  // u -> v
-      const topo::NodeId u = topo.link(ul).from;
-      const topo::Metric nd = d + topo.link(ul).metric;
-      if (nd < dist[u]) {
-        dist[u] = nd;
-        heap.emplace(nd, u);
-      }
-    }
-  }
+  // Distance of every node *to* dest over the surviving links.
+  const std::vector<topo::Metric> dist = dist_to_node(topo, dest, link_state);
 
   std::vector<double> node_in(n, 0.0);
   for (const Demand& d : demands) {
@@ -280,6 +277,7 @@ std::vector<double> shortest_path_loads(const topo::Topology& topo, topo::NodeId
     if (u == dest || node_in[u] <= 0.0 || dist[u] >= igp::kInfMetric) continue;
     std::vector<topo::LinkId> dag_links;
     for (const topo::LinkId l : topo.out_links(u)) {
+      if (link_state != nullptr && link_state->is_down(l)) continue;
       const topo::Link& link = topo.link(l);
       if (dist[link.to] < igp::kInfMetric && link.metric + dist[link.to] == dist[u]) {
         dag_links.push_back(l);
@@ -297,8 +295,9 @@ std::vector<double> shortest_path_loads(const topo::Topology& topo, topo::NodeId
 
 double shortest_path_max_utilization(const topo::Topology& topo, topo::NodeId dest,
                                      const std::vector<Demand>& demands,
-                                     const std::vector<double>& background_bps) {
-  const std::vector<double> load = shortest_path_loads(topo, dest, demands);
+                                     const std::vector<double>& background_bps,
+                                     const topo::LinkStateMask* link_state) {
+  const std::vector<double> load = shortest_path_loads(topo, dest, demands, link_state);
   double theta = 0.0;
   for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
     const double bg = background_bps.empty() ? 0.0 : background_bps[l];

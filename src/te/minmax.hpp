@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "topo/link_state.hpp"
 #include "topo/topology.hpp"
 #include "util/result.hpp"
 
@@ -50,23 +51,34 @@ struct MinMaxResult {
 /// network for a marginally lower maximum; operators bound the detour.
 /// On the demo topology, stretch 1.35 yields exactly the paper's DAG
 /// (B: R2/R3 evenly, A: 1/3 via B, 2/3 via R1).
+///
+/// `link_state` (optional) restricts placement to links that are currently
+/// up: down links carry zero capacity and are excluded from the detour
+/// distances, so the optimum is solved on the degraded topology that
+/// actually exists -- no returned split ever crosses a down link.
 util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
                                          topo::NodeId dest,
                                          const std::vector<Demand>& demands,
                                          const std::vector<double>& background_bps = {},
                                          double precision = 1e-4,
-                                         double max_stretch = 0.0);
+                                         double max_stretch = 0.0,
+                                         const topo::LinkStateMask* link_state = nullptr);
 
 /// Maximum link utilization if the same demands follow plain IGP shortest
 /// paths with even ECMP splitting (the no-Fibbing baseline of Fig. 1b).
-/// Background load is added per link when provided.
+/// Background load is added per link when provided. `link_state` (optional)
+/// computes the baseline on the degraded topology.
 double shortest_path_max_utilization(const topo::Topology& topo, topo::NodeId dest,
                                      const std::vector<Demand>& demands,
-                                     const std::vector<double>& background_bps = {});
+                                     const std::vector<double>& background_bps = {},
+                                     const topo::LinkStateMask* link_state = nullptr);
 
 /// Per-link loads for demands routed on the plain IGP shortest-path DAG
-/// with even splits (helper shared by baselines and benches).
+/// with even splits (helper shared by baselines and benches). Down links
+/// (per `link_state`) carry nothing; demand from an ingress the degraded
+/// topology disconnects from `dest` is dropped (it blackholes in reality).
 std::vector<double> shortest_path_loads(const topo::Topology& topo, topo::NodeId dest,
-                                        const std::vector<Demand>& demands);
+                                        const std::vector<Demand>& demands,
+                                        const topo::LinkStateMask* link_state = nullptr);
 
 }  // namespace fibbing::te

@@ -1,0 +1,46 @@
+#include "topo/link_state.hpp"
+
+#include "util/assert.hpp"
+
+namespace fibbing::topo {
+
+bool LinkStateMask::fail(LinkId id) {
+  FIB_ASSERT(id < down_.size(), "LinkStateMask::fail: link out of range");
+  if (down_[id]) return false;
+  down_[id] = true;
+  down_[topo_->link(id).reverse] = true;
+  ++down_pairs_;
+  ++version_;
+  notify_(id, /*down=*/true);
+  return true;
+}
+
+bool LinkStateMask::restore(LinkId id) {
+  FIB_ASSERT(id < down_.size(), "LinkStateMask::restore: link out of range");
+  if (!down_[id]) return false;
+  down_[id] = false;
+  down_[topo_->link(id).reverse] = false;
+  --down_pairs_;
+  ++version_;
+  notify_(id, /*down=*/false);
+  return true;
+}
+
+void LinkStateMask::notify_(LinkId id, bool down) {
+  for (const Listener& listener : listeners_) listener(id, down);
+}
+
+bool LinkStateMask::is_down(LinkId id) const {
+  FIB_ASSERT(id < down_.size(), "LinkStateMask::is_down: link out of range");
+  return down_[id];
+}
+
+std::vector<LinkId> LinkStateMask::down_links() const {
+  std::vector<LinkId> out;
+  for (LinkId l = 0; l < down_.size(); ++l) {
+    if (down_[l]) out.push_back(l);
+  }
+  return out;
+}
+
+}  // namespace fibbing::topo

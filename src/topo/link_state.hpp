@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace fibbing::topo {
+
+/// Live up/down state of a Topology's links: the one place where "which part
+/// of the static topology currently exists" is recorded. The IGP domain, the
+/// data-plane simulator and the Fibbing controller all consume the same mask
+/// (FibbingService shares a single instance across the layers), so a failure
+/// or restoration is visible everywhere at once instead of each layer keeping
+/// a private copy that can drift.
+///
+/// Links fail and recover as bidirectional adjacencies: marking either
+/// directed half marks both, mirroring an interface going down.
+///
+/// Consumers subscribe reactions (adjacency teardown, flow re-walks,
+/// controller re-planning) and every effective mutation notifies all of
+/// them, so mutating the mask through *any* layer's API keeps every layer
+/// that shares it in sync -- there is no way to fail a link "only in the
+/// data plane" while the IGP keeps advertising it.
+class LinkStateMask {
+ public:
+  explicit LinkStateMask(const Topology& topo)
+      : topo_(&topo), down_(topo.link_count(), false) {}
+
+  /// Take the adjacency of `id` down (both directions) and notify
+  /// listeners. Returns true when the state changed; false when the link
+  /// was already down (idempotent, no notification).
+  bool fail(LinkId id);
+
+  /// Bring the adjacency of `id` back up (both directions) and notify
+  /// listeners. Returns true when the state changed; false when the link
+  /// was not down (restoring a healthy link is a no-op, no notification).
+  bool restore(LinkId id);
+
+  /// Reaction to an effective state change: (directed link id as passed to
+  /// fail/restore, true = went down, false = came back up). Listeners fire
+  /// in subscription order, after the mask already reflects the new state.
+  /// Subscribers must outlive the mask's last mutation (the layers of one
+  /// FibbingService are constructed and destroyed together).
+  using Listener = std::function<void(LinkId, bool down)>;
+  void subscribe(Listener listener) { listeners_.push_back(std::move(listener)); }
+
+  [[nodiscard]] bool is_down(LinkId id) const;
+  [[nodiscard]] bool any_down() const { return down_pairs_ > 0; }
+  /// Number of bidirectional adjacencies currently down.
+  [[nodiscard]] std::size_t down_count() const { return down_pairs_; }
+
+  /// Directed link ids currently down, ascending (both halves listed).
+  [[nodiscard]] std::vector<LinkId> down_links() const;
+
+  /// Per-directed-link down bits (index = LinkId), the representation the
+  /// flow walker and Router-LSA builder consume.
+  [[nodiscard]] const std::vector<bool>& bits() const { return down_; }
+
+  /// Monotonic change counter: bumps on every effective fail/restore.
+  /// Consumers may key caches of derived state (views, SPF results) on it.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+
+ private:
+  void notify_(LinkId id, bool down);
+
+  const Topology* topo_;
+  std::vector<bool> down_;
+  std::size_t down_pairs_ = 0;
+  std::uint64_t version_ = 0;
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace fibbing::topo

@@ -206,6 +206,37 @@ TEST(NetworkSim, FailLinkDropsThenReroutesAfterNewTables) {
   EXPECT_NEAR(fx.sim.link_rate(fx.p.topo.link_between(fx.p.b, fx.p.r3)), 8e6, 1e-6);
 }
 
+TEST(NetworkSim, RestoreLinkRehashesFlowsBackBitIdentical) {
+  // A flow pinned to B-R2 blackholes while the link is down (FIBs still
+  // point at it) and comes back on the identical path -- same links, same
+  // rate -- the moment the link is restored. Double fail/restore are no-ops.
+  support::PaperSimHarness fx;
+  const FlowId f = fx.sim.add_flow(make_flow(fx.p.b, fx.p.p1.host(1), 4000, 8e6));
+  const std::vector<topo::LinkId> path_before = fx.sim.flow_path(f).links;
+  ASSERT_DOUBLE_EQ(fx.sim.flow_rate(f), 8e6);
+
+  const topo::LinkId dead = fx.p.topo.link_between(fx.p.b, fx.p.r2);
+  fx.sim.fail_link(dead);
+  fx.sim.fail_link(fx.p.topo.link(dead).reverse);  // idempotent
+  EXPECT_EQ(fx.sim.blackholed_flows(), 1u);
+  EXPECT_DOUBLE_EQ(fx.sim.flow_rate(f), 0.0);
+
+  fx.sim.restore_link(dead);
+  fx.sim.restore_link(dead);  // idempotent
+  EXPECT_FALSE(fx.sim.link_is_down(dead));
+  EXPECT_EQ(fx.sim.blackholed_flows(), 0u);
+  EXPECT_DOUBLE_EQ(fx.sim.flow_rate(f), 8e6);
+  EXPECT_EQ(fx.sim.flow_path(f).links, path_before);
+}
+
+TEST(NetworkSim, RestoreOfNeverFailedLinkIsNoOp) {
+  support::PaperSimHarness fx;
+  const FlowId f = fx.sim.add_flow(make_flow(fx.p.b, fx.p.p1.host(1), 4000, 8e6));
+  fx.sim.restore_link(fx.p.topo.link_between(fx.p.b, fx.p.r2));
+  EXPECT_DOUBLE_EQ(fx.sim.flow_rate(f), 8e6);
+  EXPECT_FALSE(fx.sim.link_state().any_down());
+}
+
 /// With the paper's lie set installed, many flows from A to P2 split about
 /// 1/3 : 2/3 between next hops B and R1 -- Fibbing's uneven ECMP realized by
 /// hash buckets.

@@ -447,5 +447,92 @@ TEST(Domain, RandomGraphsConvergeToDirectTables) {
   }
 }
 
+// ------------------------------------------------------------ link recovery
+
+TEST(Domain, RestoreLinkRoundTripsTablesBitIdentical) {
+  // Fail B-R2 with a standing lie, restore it: every router's table must be
+  // bit-identical to before the failure, and the shared mask must be clean.
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  IgpDomain domain(p.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+
+  ExternalLsa fb;
+  fb.lie_id = 1;
+  fb.prefix = p.p1;
+  fb.ext_metric = 0;
+  fb.forwarding_address = fwd_addr(p.topo, p.b, p.r3);
+  domain.inject_external(p.r3, fb);
+  domain.run_to_convergence();
+
+  std::vector<RoutingTable> before;
+  for (NodeId n = 0; n < p.topo.node_count(); ++n) before.push_back(domain.table(n));
+
+  const topo::LinkId dead = p.topo.link_between(p.b, p.r2);
+  domain.fail_link(dead);
+  domain.run_to_convergence();
+  ASSERT_NE(domain.table(p.b), before[p.b]);  // the failure really moved routes
+  ASSERT_TRUE(domain.link_is_down(dead));
+
+  domain.restore_link(dead);
+  domain.run_to_convergence();
+  EXPECT_FALSE(domain.link_is_down(dead));
+  EXPECT_FALSE(domain.link_state().any_down());
+  for (NodeId n = 0; n < p.topo.node_count(); ++n) {
+    EXPECT_EQ(domain.table(n), before[n]) << "router " << p.topo.node(n).name;
+  }
+}
+
+TEST(Domain, RestoreOfNeverFailedLinkIsNoOp) {
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  IgpDomain domain(p.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+  const std::uint64_t lsas = domain.total_lsas_sent();
+  domain.restore_link(p.topo.link_between(p.a, p.b));
+  EXPECT_TRUE(domain.converged());  // nothing scheduled
+  EXPECT_EQ(domain.total_lsas_sent(), lsas);
+}
+
+TEST(Domain, RestoreHealsPartitionThroughDatabaseExchange) {
+  // Isolate A (fail A-B and A-R1), inject a lie while A is cut off, then
+  // restore one link: the adjacency's database exchange must deliver the
+  // missed External-LSA to A, not just the two fresh Router-LSAs.
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  IgpDomain domain(p.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+
+  domain.fail_link(p.topo.link_between(p.a, p.b));
+  domain.fail_link(p.topo.link_between(p.a, p.r1));
+  domain.run_to_convergence();
+  {
+    const auto marooned = domain.table(p.a).find(p.p1);
+    ASSERT_TRUE(marooned == domain.table(p.a).end() ||
+                !marooned->second.reachable());
+  }
+
+  ExternalLsa fb;
+  fb.lie_id = 7;
+  fb.prefix = p.p1;
+  fb.ext_metric = 0;
+  fb.forwarding_address = fwd_addr(p.topo, p.b, p.r3);
+  domain.inject_external(p.r3, fb);
+  domain.run_to_convergence();
+  ASSERT_EQ(domain.router(p.a).lsdb().find(LsaKey{LsaType::kExternal, 7}), nullptr);
+
+  domain.restore_link(p.topo.link_between(p.a, p.b));
+  domain.run_to_convergence();
+  // A holds the lie it never heard, and its routes match direct computation
+  // on the degraded topology (A-R1 still down) with the lie installed.
+  EXPECT_NE(domain.router(p.a).lsdb().find(LsaKey{LsaType::kExternal, 7}), nullptr);
+  EXPECT_TRUE(domain.table(p.a).at(p.p1).reachable());
+  EXPECT_EQ(named_hops(p.topo, domain.table(p.b).at(p.p1)),
+            (std::map<std::string, std::uint32_t>{{"R2", 1}, {"R3", 1}}));
+}
+
 }  // namespace
 }  // namespace fibbing::igp

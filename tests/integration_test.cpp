@@ -189,7 +189,9 @@ TEST(Integration, LinkFailureDuringActiveLiesHealsAfterReconvergence) {
   ASSERT_GE(run.service.controller().mitigations(), 2);
   ASSERT_GT(run.rate(run.p.a, run.p.r1), 10e6);  // lies are steering via R1
 
-  const topo::LinkId dead = run.service.fail_link(run.p.a, run.p.r1);
+  const auto failed = run.service.fail_link(run.p.a, run.p.r1);
+  ASSERT_TRUE(failed.ok()) << failed.error();
+  const topo::LinkId dead = failed.value();
   // Both layers agree the link is gone.
   EXPECT_TRUE(run.service.sim().link_is_down(dead));
   EXPECT_TRUE(run.service.domain().link_is_down(dead));

@@ -15,13 +15,16 @@
 #include "igp/spf.hpp"
 #include "igp/view.hpp"
 #include "net/lpm_trie.hpp"
+#include "support/probes.hpp"
 #include "support/scenario.hpp"
 #include "te/kshortest.hpp"
 #include "te/maxflow.hpp"
 #include "te/minmax.hpp"
 #include "te/ratio.hpp"
 #include "topo/generators.hpp"
+#include "topo/link_state.hpp"
 #include "util/rng.hpp"
+#include "video/system.hpp"
 
 namespace fibbing {
 namespace {
@@ -397,6 +400,145 @@ INSTANTIATE_TEST_SUITE_P(Weights, EcmpShareProperty,
                                            std::pair<std::uint32_t, std::uint32_t>{2, 3},
                                            std::pair<std::uint32_t, std::uint32_t>{3, 5},
                                            std::pair<std::uint32_t, std::uint32_t>{1, 7}));
+
+// ----------------------------- churn: interleaved fail/restore/surge/subside
+
+/// True when every node can still reach every other over the links that
+/// would remain up if `candidate`'s adjacency also went down.
+bool stays_connected_without(const topo::Topology& t,
+                             const topo::LinkStateMask& mask,
+                             topo::LinkId candidate) {
+  const topo::LinkId cand_rev = t.link(candidate).reverse;
+  std::vector<bool> seen(t.node_count(), false);
+  std::vector<topo::NodeId> queue{0};
+  seen[0] = true;
+  while (!queue.empty()) {
+    const topo::NodeId u = queue.back();
+    queue.pop_back();
+    for (const topo::LinkId l : t.out_links(u)) {
+      if (mask.is_down(l) || l == candidate || l == cand_rev) continue;
+      const topo::NodeId v = t.link(l).to;
+      if (!seen[v]) {
+        seen[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool s) { return s; });
+}
+
+class ChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// ~200 random interleaved fail / restore / surge / subside steps. After
+/// every step settles, the run must preserve traffic conservation (transit
+/// nodes forward exactly what they receive), never hold a lie that steers
+/// over a down link, and never loop or blackhole a flow (failures keep the
+/// graph connected; partition blackholes are exercised elsewhere). Once all
+/// links are restored and load subsides, the whole system must reconverge
+/// to the no-lie full-topology routes of a pristine boot.
+TEST_P(ChurnProperty, InterleavedChurnPreservesInvariantsAndReconverges) {
+  util::Rng rng(GetParam());
+  support::PaperScenario run;
+  core::FibbingService& service = run.service;
+  const topo::Topology& t = run.p.topo;
+  const video::VideoAsset asset{1e6, 3600.0};  // only churn ends sessions
+
+  std::vector<topo::LinkId> adjacencies;  // one id per pair (from < to)
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    if (t.link(l).from < t.link(l).to) adjacencies.push_back(l);
+  }
+  const std::vector<topo::NodeId> transit{run.p.r1, run.p.r2, run.p.r3, run.p.r4};
+
+  std::vector<video::SessionId> sessions;
+  std::uint32_t next_host = 1;
+  double now = 0.0;
+  for (int step = 0; step < 200; ++step) {
+    const auto kind = rng.uniform_int(0, 3);
+    if (kind == 0) {
+      // Fail a random up adjacency whose loss keeps the graph connected.
+      std::vector<topo::LinkId> candidates;
+      for (const topo::LinkId l : adjacencies) {
+        if (!service.link_state().is_down(l) &&
+            stays_connected_without(t, service.link_state(), l)) {
+          candidates.push_back(l);
+        }
+      }
+      if (!candidates.empty()) {
+        const topo::LinkId l = candidates[rng.pick_index(candidates.size())];
+        ASSERT_TRUE(service.fail_link(t.link(l).from, t.link(l).to).ok());
+      }
+    } else if (kind == 1) {
+      // Restore a random down adjacency (no-op when nothing is down).
+      std::vector<topo::LinkId> downs;
+      for (const topo::LinkId l : adjacencies) {
+        if (service.link_state().is_down(l)) downs.push_back(l);
+      }
+      if (!downs.empty()) {
+        const topo::LinkId l = downs[rng.pick_index(downs.size())];
+        ASSERT_TRUE(service.restore_link(t.link(l).from, t.link(l).to).ok());
+      }
+    } else if (kind == 2 && sessions.size() < 45) {
+      // Surge: a batch of sessions toward P1 (from S1) or P2 (from S2).
+      const bool p1 = rng.chance(0.5);
+      const auto count = rng.uniform_int(3, 8);
+      for (std::int64_t i = 0; i < count; ++i) {
+        const net::Prefix& prefix = p1 ? run.p.p1 : run.p.p2;
+        sessions.push_back(service.video().start_session(
+            p1 ? run.s1 : run.s2, prefix, prefix.host(1 + next_host++ % 120),
+            asset));
+      }
+    } else if (kind == 3 && !sessions.empty()) {
+      // Subside: a few clients leave.
+      const auto count =
+          std::min<std::size_t>(sessions.size(),
+                                static_cast<std::size_t>(rng.uniform_int(1, 8)));
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t pick = rng.pick_index(sessions.size());
+        service.video().stop_session(sessions[pick]);
+        sessions[pick] = sessions.back();
+        sessions.pop_back();
+      }
+    }
+    now += 2.0;  // IGP floods, SPF holds and the controller all settle
+    run.run_until(now);
+
+    ASSERT_TRUE(support::lies_respect_link_state(service)) << "step " << step;
+    ASSERT_EQ(service.sim().looping_flows(), 0u) << "step " << step;
+    ASSERT_EQ(service.sim().blackholed_flows(), 0u) << "step " << step;
+    for (const topo::NodeId n : transit) {
+      ASSERT_TRUE(support::transit_conserved(service, n))
+          << "step " << step << " at " << t.node(n).name;
+    }
+  }
+
+  // Drain: all links back up, all clients gone.
+  for (const topo::LinkId l : adjacencies) {
+    if (service.link_state().is_down(l)) {
+      ASSERT_TRUE(service.restore_link(t.link(l).from, t.link(l).to).ok());
+    }
+  }
+  for (const video::SessionId id : sessions) service.video().stop_session(id);
+  now += 30.0;
+  run.run_until(now);
+
+  // The run must actually have exercised the failure-aware loop: plenty of
+  // topology events and at least one mitigation and retraction.
+  EXPECT_GT(service.controller().topology_events(), 20);
+  EXPECT_GE(service.controller().mitigations(), 1);
+  EXPECT_GE(service.controller().retractions(), 1);
+
+  EXPECT_FALSE(service.link_state().any_down());
+  EXPECT_EQ(service.controller().active_lie_count(), 0u);
+  EXPECT_EQ(service.sim().flow_count(), 0u);
+  // Bit-identical to a freshly booted, never-failed service.
+  support::PaperScenario pristine;
+  for (topo::NodeId n = 0; n < t.node_count(); ++n) {
+    EXPECT_EQ(service.domain().table(n), pristine.service.domain().table(n))
+        << "router " << t.node(n).name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnProperty, ::testing::Range<std::uint64_t>(1, 4));
 
 // ------------------------------------------- k-shortest paths: order & validity
 

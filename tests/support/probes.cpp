@@ -73,4 +73,42 @@ RouteSnapshot::RouteSnapshot(core::FibbingService& service, const net::Prefix& p
   return ::testing::AssertionSuccess();
 }
 
+::testing::AssertionResult lies_respect_link_state(core::FibbingService& service) {
+  const topo::Topology& topo = service.topology();
+  const topo::LinkStateMask& mask = service.link_state();
+  for (const auto& [prefix, lies] : service.controller().active_lies()) {
+    for (const core::Lie& lie : lies) {
+      const topo::LinkId link = topo.link_between(lie.attach, lie.via);
+      if (link == topo::kInvalidLink) {
+        return ::testing::AssertionFailure()
+               << "lie " << lie.name << " for " << prefix.to_string()
+               << " steers between non-adjacent routers";
+      }
+      if (mask.is_down(link)) {
+        return ::testing::AssertionFailure()
+               << "lie " << lie.name << " for " << prefix.to_string()
+               << " steers over down link " << topo.link_name(link);
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult transit_conserved(core::FibbingService& service,
+                                             topo::NodeId node, double tol_bps) {
+  const topo::Topology& topo = service.topology();
+  double in = 0.0;
+  double out = 0.0;
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    if (topo.link(l).to == node) in += service.sim().link_rate(l);
+    if (topo.link(l).from == node) out += service.sim().link_rate(l);
+  }
+  if (in < out - tol_bps || in > out + tol_bps) {
+    return ::testing::AssertionFailure()
+           << "transit node " << topo.node(node).name << " receives " << in
+           << " b/s but forwards " << out << " b/s";
+  }
+  return ::testing::AssertionSuccess();
+}
+
 }  // namespace fibbing::support

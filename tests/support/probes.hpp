@@ -55,4 +55,16 @@ class RouteSnapshot {
     core::FibbingService& service, topo::NodeId egress, double expected_bps,
     double tol_bps = 1e4);
 
+/// Every active lie must steer over a link that is currently up: once the
+/// controller has reacted to a topology change, no compiled lie may point
+/// its forwarding address at a dead interface.
+[[nodiscard]] ::testing::AssertionResult lies_respect_link_state(
+    core::FibbingService& service);
+
+/// Fluid-flow conservation at a pure transit node (no prefix attached, no
+/// traffic source): rate in equals rate out, within `tol_bps` -- the data
+/// plane may not lose or duplicate traffic crossing `node`.
+[[nodiscard]] ::testing::AssertionResult transit_conserved(
+    core::FibbingService& service, topo::NodeId node, double tol_bps = 1e3);
+
 }  // namespace fibbing::support

@@ -99,4 +99,28 @@ std::vector<video::RequestBatch> subsiding_surge_schedule(
                               video::VideoAsset{1e6, video_s}}};
 }
 
+void schedule_link_failure(core::FibbingService& service, double at_s,
+                           topo::NodeId a, topo::NodeId b) {
+  service.events().schedule_at(at_s, [&service, a, b] {
+    const topo::LinkId link = service.fail_link(a, b).value();  // asserts adjacency
+    (void)link;
+  });
+}
+
+void schedule_link_restore(core::FibbingService& service, double at_s,
+                           topo::NodeId a, topo::NodeId b) {
+  service.events().schedule_at(at_s, [&service, a, b] {
+    const topo::LinkId link = service.restore_link(a, b).value();
+    (void)link;
+  });
+}
+
+void schedule_link_flap(core::FibbingService& service, topo::NodeId a,
+                        topo::NodeId b, double fail_s, double restore_s,
+                        double refail_s) {
+  schedule_link_failure(service, fail_s, a, b);
+  schedule_link_restore(service, restore_s, a, b);
+  schedule_link_failure(service, refail_s, a, b);
+}
+
 }  // namespace fibbing::support

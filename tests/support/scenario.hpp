@@ -103,4 +103,22 @@ struct PaperVideoHarness : PaperSimHarness {
     video::ServerId server, const net::Prefix& prefix, int count = 31,
     double at_s = 5.0, double video_s = 20.0);
 
+// ----------------------------------------------------- link-lifecycle events
+
+/// Schedule the a<->b adjacency to fail at absolute simulation time `at_s`
+/// (asserts the nodes are adjacent when the event fires).
+void schedule_link_failure(core::FibbingService& service, double at_s,
+                           topo::NodeId a, topo::NodeId b);
+
+/// Schedule the a<->b adjacency to be restored at absolute time `at_s`.
+void schedule_link_restore(core::FibbingService& service, double at_s,
+                           topo::NodeId a, topo::NodeId b);
+
+/// Schedule a full flap sequence: fail at `fail_s`, restore at `restore_s`,
+/// fail again at `refail_s` (the scenario a correct controller must survive
+/// without stale lies or blackholed flows).
+void schedule_link_flap(core::FibbingService& service, topo::NodeId a,
+                        topo::NodeId b, double fail_s, double restore_s,
+                        double refail_s);
+
 }  // namespace fibbing::support

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "topo/generators.hpp"
+#include "topo/link_state.hpp"
 #include "topo/parser.hpp"
 #include "topo/topology.hpp"
 #include "util/rng.hpp"
@@ -185,6 +186,51 @@ TEST(Parser, RejectsBadDirective) {
 
 TEST(Parser, RejectsDisconnectedResult) {
   EXPECT_FALSE(parse_topology("node A\nnode B").ok());
+}
+
+// -------------------------------------------------------------- LinkStateMask
+
+TEST(LinkStateMask, FailAndRestoreMarkBothDirections) {
+  const PaperTopology p = make_paper_topology();
+  LinkStateMask mask(p.topo);
+  EXPECT_FALSE(mask.any_down());
+  EXPECT_EQ(mask.version(), 0u);
+
+  const LinkId ab = p.topo.link_between(p.a, p.b);
+  const LinkId ba = p.topo.link(ab).reverse;
+  EXPECT_TRUE(mask.fail(ab));
+  EXPECT_TRUE(mask.is_down(ab));
+  EXPECT_TRUE(mask.is_down(ba));
+  EXPECT_TRUE(mask.any_down());
+  EXPECT_EQ(mask.down_count(), 1u);
+  EXPECT_EQ(mask.version(), 1u);
+  EXPECT_EQ(mask.down_links(), (std::vector<LinkId>{std::min(ab, ba),
+                                                    std::max(ab, ba)}));
+
+  // Failing the reverse half changes nothing.
+  EXPECT_FALSE(mask.fail(ba));
+  EXPECT_EQ(mask.version(), 1u);
+
+  EXPECT_TRUE(mask.restore(ba));  // either direction restores the adjacency
+  EXPECT_FALSE(mask.is_down(ab));
+  EXPECT_FALSE(mask.any_down());
+  EXPECT_EQ(mask.version(), 2u);
+  // Restoring a healthy link is a no-op.
+  EXPECT_FALSE(mask.restore(ab));
+  EXPECT_EQ(mask.version(), 2u);
+}
+
+TEST(LinkStateMask, BitsTrackEveryDirectedHalf) {
+  const PaperTopology p = make_paper_topology();
+  LinkStateMask mask(p.topo);
+  const LinkId br2 = p.topo.link_between(p.b, p.r2);
+  ASSERT_TRUE(mask.fail(br2));
+  const std::vector<bool>& bits = mask.bits();
+  ASSERT_EQ(bits.size(), p.topo.link_count());
+  for (LinkId l = 0; l < p.topo.link_count(); ++l) {
+    EXPECT_EQ(bits[l], l == br2 || l == p.topo.link(br2).reverse)
+        << p.topo.link_name(l);
+  }
 }
 
 }  // namespace

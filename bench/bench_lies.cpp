@@ -1,84 +1,107 @@
-// Ablation A2: augmentation size. The naive Simple algorithm emits one
-// External-LSA per required (router, next hop, replica) plus pins for
-// pollution victims; the verification-driven reduction pass then drops
-// every lie whose removal keeps the augmentation correct (Merger-style).
+// Ablation A2: augmentation size and compile cost. The naive Simple
+// algorithm emits one External-LSA per required (router, next hop, replica)
+// plus pins for pollution victims; the verification-driven reduction pass
+// then drops every lie whose removal keeps the augmentation correct
+// (Merger-style).
 //
-// Measures both counts, repair rounds, and pinned routers across random
-// min-max requirements on random graphs.
+// google-benchmark form so CI records a perf baseline per commit
+// (--benchmark_format=json artifacts). Counters in the same JSON carry the
+// historical A2 table: naive vs reduced lie counts, repair rounds, pinned
+// routers, and the required-router count of the compiled requirement.
 
-#include <cstdio>
+#include <benchmark/benchmark.h>
 
 #include "core/augment.hpp"
 #include "core/requirements.hpp"
 #include "te/minmax.hpp"
 #include "topo/generators.hpp"
 #include "util/rng.hpp"
-#include "util/stats.hpp"
 
 using namespace fibbing;
 
-int main() {
-  util::Rng rng(7777);
-  util::RunningStats naive;
-  util::RunningStats reduced;
-  util::RunningStats rounds;
-  util::RunningStats pinned;
-  util::RunningStats required_nodes;
+namespace {
 
-  std::printf("=== A2: lie count, Simple vs reduction pass ===\n");
-  std::printf("%5s %6s %9s %7s %8s %7s %7s\n", "trial", "nodes", "required",
-              "naive", "reduced", "rounds", "pinned");
-  int done = 0;
-  for (int trial = 0; trial < 15 && done < 10; ++trial) {
-    const std::size_t n = 14 + 2 * (trial % 4);
-    topo::Topology base = topo::make_waxman(n, rng, 0.5, 0.5, 6, 80.0, 250.0);
-    topo::Topology t;
-    for (topo::NodeId v = 0; v < base.node_count(); ++v) t.add_node(base.node(v).name);
-    for (topo::LinkId l = 0; l < base.link_count(); ++l) {
-      const topo::Link& link = base.link(l);
-      if (link.from < link.to) {
-        t.add_link(link.from, link.to, link.metric * 4, link.capacity_bps);
-      }
-    }
-    const topo::NodeId dest = static_cast<topo::NodeId>(rng.pick_index(n));
-    const net::Prefix prefix(net::Ipv4(198, 51, static_cast<std::uint8_t>(trial), 0),
-                             24);
-    t.attach_prefix(dest, prefix, 16);
-    std::vector<te::Demand> demands;
-    for (int d = 0; d < 4; ++d) {
-      topo::NodeId ingress = static_cast<topo::NodeId>(rng.pick_index(n));
-      if (ingress == dest) ingress = (ingress + 1) % static_cast<topo::NodeId>(n);
-      demands.push_back(te::Demand{ingress, rng.uniform(60.0, 220.0)});
-    }
-    const auto opt = te::solve_min_max(t, dest, demands, {}, 1e-4, 2.5);
-    if (!opt.ok()) continue;
-    const auto req = core::requirement_from_splits(prefix, opt.value().splits, 8);
-    if (req.nodes.empty()) continue;
+struct Instance {
+  topo::Topology topo;
+  core::DestRequirement req;
+};
 
-    // Reduced (default) and naive (reduction disabled) runs.
-    core::AugmentConfig cfg;
-    const auto with_reduce = core::compile_lies(t, req, cfg);
-    cfg.reduce = false;
-    const auto without = core::compile_lies(t, req, cfg);
-    if (!with_reduce.ok() || !without.ok()) continue;
-    ++done;
-
-    naive.add(static_cast<double>(without.value().lies.size()));
-    reduced.add(static_cast<double>(with_reduce.value().lies.size()));
-    rounds.add(with_reduce.value().repair_rounds);
-    pinned.add(static_cast<double>(with_reduce.value().pinned_nodes));
-    required_nodes.add(static_cast<double>(req.nodes.size()));
-    std::printf("%5d %6zu %9zu %7zu %8zu %7d %7zu\n", trial, n, req.nodes.size(),
-                without.value().lies.size(), with_reduce.value().lies.size(),
-                with_reduce.value().repair_rounds, with_reduce.value().pinned_nodes);
+/// Same instance family as the historical A2 table: a random min-max
+/// requirement on a Waxman graph with x4 metrics and announcer headroom.
+Instance make_instance(std::size_t n) {
+  util::Rng rng(7777 + n);
+  topo::Topology base = topo::make_waxman(n, rng, 0.5, 0.5, 6, 80.0, 250.0);
+  Instance inst;
+  for (topo::NodeId v = 0; v < base.node_count(); ++v) {
+    inst.topo.add_node(base.node(v).name);
   }
-  std::printf("\nmeans over %zu instances: %.1f required routers -> %.1f naive "
-              "lies, %.1f after reduction (%.0f%% saved), %.1f repair rounds, "
-              "%.1f pinned routers\n",
-              naive.count(), required_nodes.mean(), naive.mean(), reduced.mean(),
-              100.0 * (1.0 - reduced.mean() / std::max(naive.mean(), 1e-9)),
-              rounds.mean(), pinned.mean());
-  std::printf("reading: most transit routers already route as required (tie mode "
-              "emits nothing); reduction prunes redundant pins.\n");
-  return 0;
+  for (topo::LinkId l = 0; l < base.link_count(); ++l) {
+    const topo::Link& link = base.link(l);
+    if (link.from < link.to) {
+      inst.topo.add_link(link.from, link.to, link.metric * 4, link.capacity_bps);
+    }
+  }
+  const topo::NodeId dest = static_cast<topo::NodeId>(rng.pick_index(n));
+  const net::Prefix prefix(net::Ipv4(198, 51, static_cast<std::uint8_t>(n), 0), 24);
+  inst.topo.attach_prefix(dest, prefix, 16);
+  std::vector<te::Demand> demands;
+  for (int d = 0; d < 4; ++d) {
+    topo::NodeId ingress = static_cast<topo::NodeId>(rng.pick_index(n));
+    if (ingress == dest) ingress = (ingress + 1) % static_cast<topo::NodeId>(n);
+    demands.push_back(te::Demand{ingress, rng.uniform(60.0, 220.0)});
+  }
+  const auto opt = te::solve_min_max(inst.topo, dest, demands, {}, 1e-4, 2.5);
+  if (opt.ok()) {
+    inst.req = core::requirement_from_splits(prefix, opt.value().splits, 8);
+  }
+  return inst;
 }
+
+void BM_A2_CompileNaive(benchmark::State& state) {
+  const Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  if (inst.req.nodes.empty()) {
+    state.SkipWithError("no requirement for this instance");
+    return;
+  }
+  core::AugmentConfig cfg;
+  cfg.reduce = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile_lies(inst.topo, inst.req, cfg));
+  }
+  const auto aug = core::compile_lies(inst.topo, inst.req, cfg);
+  state.counters["compiled"] = aug.ok() ? 1.0 : 0.0;
+  if (aug.ok()) {
+    state.counters["naive_lies"] = static_cast<double>(aug.value().lies.size());
+    state.counters["required_routers"] = static_cast<double>(inst.req.nodes.size());
+  }
+}
+BENCHMARK(BM_A2_CompileNaive)->Arg(14)->Arg(16)->Arg(18)->Arg(20);
+
+void BM_A2_CompileReduced(benchmark::State& state) {
+  // The default path: Simple + repair loop + reduction pass (the pass is
+  // O(lies^2) verifications -- the gap to BM_A2_CompileNaive is its price).
+  const Instance inst = make_instance(static_cast<std::size_t>(state.range(0)));
+  if (inst.req.nodes.empty()) {
+    state.SkipWithError("no requirement for this instance");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile_lies(inst.topo, inst.req));
+  }
+  const auto aug = core::compile_lies(inst.topo, inst.req);
+  state.counters["compiled"] = aug.ok() ? 1.0 : 0.0;
+  if (aug.ok()) {
+    state.counters["reduced_lies"] = static_cast<double>(aug.value().lies.size());
+    state.counters["naive_lies"] =
+        static_cast<double>(aug.value().naive_lie_count);
+    state.counters["repair_rounds"] =
+        static_cast<double>(aug.value().repair_rounds);
+    state.counters["pinned_routers"] =
+        static_cast<double>(aug.value().pinned_nodes);
+  }
+}
+BENCHMARK(BM_A2_CompileReduced)->Arg(14)->Arg(16)->Arg(18)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,6 +9,17 @@
 
 namespace fibbing::core {
 
+const char* to_string(CompileErrorKind kind) {
+  switch (kind) {
+    case CompileErrorKind::kBadRequirement: return "bad-requirement";
+    case CompileErrorKind::kGranularity: return "granularity";
+    case CompileErrorKind::kUnreachable: return "unreachable";
+    case CompileErrorKind::kWrongInterface: return "wrong-interface";
+    case CompileErrorKind::kUnrepairable: return "unrepairable";
+  }
+  return "unknown";
+}
+
 namespace {
 
 using util::Result;
@@ -27,12 +38,13 @@ std::string node_name(const topo::Topology& topo, topo::NodeId n) {
 
 }  // namespace
 
-Result<Augmentation> compile_lies(const topo::Topology& topo,
-                                  const DestRequirement& req,
-                                  const AugmentConfig& config) {
-  using R = Result<Augmentation>;
+CompileResult compile_lies(const topo::Topology& topo,
+                           const DestRequirement& req,
+                           const AugmentConfig& config) {
+  using R = CompileResult;
+  using K = CompileErrorKind;
   if (const auto valid = validate_requirement(topo, req); !valid.ok()) {
-    return R::failure(valid.error());
+    return R::failure(K::kBadRequirement, valid.error());
   }
 
   const igp::NetworkView view =
@@ -48,8 +60,16 @@ Result<Augmentation> compile_lies(const topo::Topology& topo,
   };
   // Distance from u to the transfer subnet of link u<->via, and the check
   // that the subnet route actually steers out of that interface.
-  const auto subnet_route = [&](topo::NodeId u, topo::NodeId via)
-      -> Result<topo::Metric> {
+  struct SubnetCost {
+    explicit SubnetCost(topo::Metric c) : cost(c) {}
+    SubnetCost(CompileErrorKind k, std::string w)
+        : kind(k), why(std::move(w)) {}
+    [[nodiscard]] bool ok() const { return why.empty(); }
+    topo::Metric cost = 0;
+    CompileErrorKind kind = CompileErrorKind::kUnreachable;
+    std::string why;
+  };
+  const auto subnet_route = [&](topo::NodeId u, topo::NodeId via) -> SubnetCost {
     const topo::LinkId l = topo.link_between(u, via);
     FIB_ASSERT(l != topo::kInvalidLink, "compile: non-adjacent (validated before)");
     const net::Prefix& subnet = topo.link(l).subnet;
@@ -57,14 +77,18 @@ Result<Augmentation> compile_lies(const topo::Topology& topo,
       if (s.prefix != subnet) continue;
       const igp::SubnetRoute route = igp::route_to_subnet(view, spf_at(u), s);
       if (route.first_hops != std::vector<topo::NodeId>{via}) {
-        return Result<topo::Metric>::failure(
-            "lie at " + node_name(topo, u) + " toward " + node_name(topo, via) +
-            " would not steer out of the intended interface (shorter detour to the "
-            "transfer subnet exists)");
+        return SubnetCost{CompileErrorKind::kWrongInterface,
+                          "lie at " + node_name(topo, u) + " toward " +
+                              node_name(topo, via) +
+                              " would not steer out of the intended interface "
+                              "(shorter detour to the transfer subnet exists)"};
       }
-      return route.cost;
+      return SubnetCost{route.cost};
     }
-    return Result<topo::Metric>::failure("transfer subnet not in view");
+    return SubnetCost{CompileErrorKind::kUnreachable,
+                      "transfer subnet of " + node_name(topo, u) + "<->" +
+                          node_name(topo, via) +
+                          " not in the (degraded) view; lie cannot steer there"};
   };
 
   // The plan starts from the requirement; repair rounds add pins and
@@ -87,13 +111,17 @@ Result<Augmentation> compile_lies(const topo::Topology& topo,
     for (auto& [u, node_plan] : plan) {
       const auto base_it = baseline[u].find(req.prefix);
       if (base_it == baseline[u].end() || !base_it->second.reachable()) {
-        return R::failure("prefix " + req.prefix.to_string() + " unreachable at " +
-                          node_name(topo, u));
+        return R::failure(K::kUnreachable,
+                          "prefix " + req.prefix.to_string() + " unreachable at " +
+                              node_name(topo, u),
+                          u);
       }
       const igp::RouteEntry& base = base_it->second;
       if (base.local) {
-        return R::failure("cannot place next-hop requirements at " +
-                          node_name(topo, u) + ": it announces the prefix");
+        return R::failure(K::kBadRequirement,
+                          "cannot place next-hop requirements at " +
+                              node_name(topo, u) + ": it announces the prefix",
+                          u);
       }
 
       // Decide mode: tie keeps the real route in the ECMP set, so it only
@@ -128,26 +156,30 @@ Result<Augmentation> compile_lies(const topo::Topology& topo,
         }
       } else {
         if (base.cost <= 1 + node_plan.extra) {
-          return R::failure("insufficient metric granularity at " +
-                            node_name(topo, u) +
-                            " (target cost would be non-positive); scale the IGP "
-                            "metrics");
+          return R::failure(K::kGranularity,
+                            "insufficient metric granularity at " +
+                                node_name(topo, u) +
+                                " (target cost would be non-positive); scale the "
+                                "IGP metrics",
+                            u);
         }
         target = base.cost - 1 - node_plan.extra;
         lies_needed = node_plan.hops;
       }
 
       for (const auto& [via, copies] : lies_needed) {
-        auto sub = subnet_route(u, via);
-        if (!sub.ok()) return R::failure(sub.error());
-        if (target < sub.value()) {
+        const auto sub = subnet_route(u, via);
+        if (!sub.ok()) return R::failure(sub.kind, sub.why, u);
+        if (target < sub.cost) {
           return R::failure(
+              K::kGranularity,
               "insufficient metric granularity at " + node_name(topo, u) +
-              " toward " + node_name(topo, via) + ": target " +
-              std::to_string(target) + " below interface distance " +
-              std::to_string(sub.value()) + "; scale the IGP metrics");
+                  " toward " + node_name(topo, via) + ": target " +
+                  std::to_string(target) + " below interface distance " +
+                  std::to_string(sub.cost) + "; scale the IGP metrics",
+              u);
         }
-        const topo::Metric ext = target - sub.value();
+        const topo::Metric ext = target - sub.cost;
         for (std::uint32_t c = 0; c < copies; ++c) {
           Lie lie;
           lie.id = next_id++;
@@ -171,16 +203,17 @@ Result<Augmentation> compile_lies(const topo::Topology& topo,
       break;
     }
     if (round == config.max_repair_rounds) {
-      return R::failure("augmentation did not verify after " +
-                        std::to_string(round) + " repair rounds: " +
-                        report.to_string(topo));
+      return R::failure(K::kUnrepairable,
+                        "augmentation did not verify after " +
+                            std::to_string(round) + " repair rounds: " +
+                            report.to_string(topo));
     }
 
     // Repair: pin polluted routers to their baseline behaviour (strict
     // mode), escalate required routers whose realization was undercut.
     bool adjusted = false;
     for (const VerifyIssue& issue : report.issues) {
-      if (issue.node == topo::kInvalidNode) continue;  // loop issue: fixed by pins
+      if (issue.kind == VerifyIssueKind::kLoop) continue;  // fixed by pins
       const auto plan_it = plan.find(issue.node);
       if (plan_it == plan.end()) {
         const auto base_it = baseline[issue.node].find(req.prefix);
@@ -202,7 +235,8 @@ Result<Augmentation> compile_lies(const topo::Topology& topo,
       }
     }
     if (!adjusted) {
-      return R::failure("augmentation cannot be repaired: " + report.to_string(topo));
+      return R::failure(K::kUnrepairable, "augmentation cannot be repaired: " +
+                                              report.to_string(topo));
     }
   }
 

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/lie.hpp"
@@ -42,6 +44,82 @@ struct Augmentation {
   int repair_rounds = 0;
 };
 
+/// Why a requirement could not be compiled into lies. Callers branch on
+/// this (the controller's fallback ladder re-solves on kGranularity and
+/// gives up on the rest), so the kinds are part of the API -- the message
+/// is diagnostics only.
+enum class CompileErrorKind {
+  /// Structurally invalid requirement (unknown/non-adjacent hops, cycles,
+  /// zero copies, or a requirement at a router that announces the prefix).
+  kBadRequirement,
+  /// The IGP's integer metrics leave no room for the needed target cost
+  /// (strict-mode undercutting at coarse metrics). The remedies are the
+  /// optimizer-side tie-preserving refinement, the controller's theta
+  /// fallback ladder, or scaling the real metrics.
+  kGranularity,
+  /// The prefix -- or the lie's transfer subnet -- is absent from the
+  /// (possibly degraded) view: no lie can steer traffic there.
+  kUnreachable,
+  /// The lie's forwarding address would not steer out of the intended
+  /// interface (a shorter detour to the transfer subnet exists).
+  kWrongInterface,
+  /// Verification kept failing after the repair-round budget.
+  kUnrepairable,
+};
+
+[[nodiscard]] const char* to_string(CompileErrorKind kind);
+
+/// util::Result<Augmentation> with a typed error channel: ok() / value() /
+/// error() keep the Result idiom (callers that only propagate or log need
+/// no changes), while error_kind() / error_node() expose the structured
+/// cause to callers that branch, like the controller's fallback ladder.
+class [[nodiscard]] CompileResult {
+ public:
+  CompileResult(Augmentation value)  // NOLINT: implicit by design
+      : value_(std::move(value)) {}
+  static CompileResult failure(CompileErrorKind kind, std::string why,
+                               topo::NodeId node = topo::kInvalidNode) {
+    CompileResult out;
+    out.kind_ = kind;
+    out.node_ = node;
+    out.why_ = std::move(why);
+    return out;
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Augmentation& value() const& {
+    FIB_ASSERT(ok(), why_.c_str());
+    return *value_;
+  }
+  [[nodiscard]] Augmentation&& value() && {
+    FIB_ASSERT(ok(), why_.c_str());
+    return std::move(*value_);
+  }
+  [[nodiscard]] const std::string& error() const {
+    FIB_ASSERT(!ok(), "CompileResult::error() called on success");
+    return why_;
+  }
+  [[nodiscard]] CompileErrorKind error_kind() const {
+    FIB_ASSERT(!ok(), "CompileResult::error_kind() called on success");
+    return kind_;
+  }
+  /// Offending router when the failure is attributable to one.
+  [[nodiscard]] topo::NodeId error_node() const {
+    FIB_ASSERT(!ok(), "CompileResult::error_node() called on success");
+    return node_;
+  }
+
+ private:
+  CompileResult() = default;
+
+  std::optional<Augmentation> value_;
+  CompileErrorKind kind_ = CompileErrorKind::kUnrepairable;
+  topo::NodeId node_ = topo::kInvalidNode;
+  std::string why_;
+};
+
 /// Compile a per-destination forwarding requirement into a set of lies.
 ///
 /// The algorithm (the paper's "Simple" augmentation with a verification
@@ -58,11 +136,13 @@ struct Augmentation {
 ///      lie-free baseline. Pollution victims get pinned (explicit lies
 ///      strictly preferring their original next hops) and the loop repeats.
 ///
-/// Fails (Result) when the requirement needs a negative external metric --
-/// i.e. the IGP's integer metrics leave no room between two path costs; the
-/// fix is scaling the real metrics, see make_paper_topology().
-util::Result<Augmentation> compile_lies(const topo::Topology& topo,
-                                        const DestRequirement& req,
-                                        const AugmentConfig& config = {});
+/// Fails (CompileResult with a structured kind) when the requirement cannot
+/// be realized -- most commonly kGranularity: the IGP's integer metrics
+/// leave no room between two path costs. The fixes are the optimizer-side
+/// refinement / fallback ladder, or scaling the real metrics, see
+/// make_paper_topology().
+CompileResult compile_lies(const topo::Topology& topo,
+                           const DestRequirement& req,
+                           const AugmentConfig& config = {});
 
 }  // namespace fibbing::core

@@ -255,29 +255,71 @@ void Controller::mitigate_() {
         igp::NetworkView::from_topology(topo_, to_externals(other_lies), &mask));
     std::vector<double> background(topo_.link_count(), 0.0);
     for (const auto& [q, ingresses] : ledger_) {
-      if (q == prefix || (unattempted.contains(q) && !placement_failed_.contains(q))) {
+      if (q == prefix || (config_.joint_batch_placement && unattempted.contains(q) &&
+                          !placement_failed_.contains(q))) {
         continue;
       }
       const auto q_load = loads_from_routes(topo_, other_tables, q, demands_of_(q));
       for (topo::LinkId l = 0; l < topo_.link_count(); ++l) background[l] += q_load[l];
     }
 
-    const auto solution = te::solve_min_max(topo_, dest, demands, background, 1e-4,
-                                            config_.max_stretch, &mask);
+    te::MinMaxConfig mm;
+    mm.max_stretch = config_.max_stretch;
+    mm.link_state = &mask;
+    mm.granularity_floor = 1.0 / std::max<std::uint32_t>(config_.max_replicas, 2);
+    const auto solution = te::solve_min_max(topo_, dest, demands, background, mm);
     if (!solution.ok()) {
       FIB_LOG(kWarn, "controller") << "optimizer failed: " << solution.error();
       fail_placement(prefix);
       continue;
     }
-    const DestRequirement req = requirement_from_splits(
-        prefix, solution.value().splits, config_.max_replicas);
 
-    AugmentConfig aug_config;
-    aug_config.first_lie_id = next_lie_id_;
-    aug_config.link_state = &mask;
-    auto compiled = compile_lies(topo_, req, aug_config);
+    const auto attempt = [&](const te::MinMaxResult& sol) {
+      const DestRequirement req = requirement_from_splits(
+          prefix, sol.splits, config_.max_replicas);
+      AugmentConfig aug_config;
+      aug_config.first_lie_id = next_lie_id_;
+      aug_config.link_state = &mask;
+      return compile_lies(topo_, req, aug_config);
+    };
+    CompileResult compiled = attempt(solution.value());
+
+    // Fallback ladder: a granularity failure means this theta*-optimal DAG
+    // is not expressible at the IGP's metric scale. Re-solve with theta
+    // relaxed to theta* * (1 + eps) -- restricted to the compilable support
+    // (the links the optimum already used, plus the shortest-path DAG the
+    // lie compiler can always tie onto) -- escalating eps before declaring
+    // the prefix unmitigable. Any other failure kind ends the ladder: more
+    // headroom cannot fix an unreachable subnet or a broken requirement.
+    if (!compiled.ok() && compiled.error_kind() == CompileErrorKind::kGranularity &&
+        !config_.theta_relax_schedule.empty()) {
+      mm.support = te::shortest_path_dag(topo_, dest, &mask);
+      const double flow_eps = std::max(demand_for(prefix), 1.0) * 1e-7;
+      for (topo::LinkId l = 0; l < topo_.link_count(); ++l) {
+        if (solution.value().link_flow[l] > flow_eps) mm.support[l] = true;
+      }
+      for (const double relax : config_.theta_relax_schedule) {
+        mm.theta_relax = relax;
+        const auto relaxed = te::solve_min_max(topo_, dest, demands, background, mm);
+        if (!relaxed.ok()) break;
+        CompileResult retry = attempt(relaxed.value());
+        const bool granular =
+            !retry.ok() && retry.error_kind() == CompileErrorKind::kGranularity;
+        compiled = std::move(retry);
+        if (compiled.ok()) {
+          ++relaxed_placements_;
+          FIB_LOG(kInfo, "controller")
+              << "granularity fallback for " << prefix.to_string()
+              << ": placed at theta " << relaxed.value().theta << " (optimum "
+              << relaxed.value().theta_opt << ", relax " << relax << ")";
+        }
+        if (!granular) break;
+      }
+    }
     if (!compiled.ok()) {
-      FIB_LOG(kWarn, "controller") << "augmentation failed: " << compiled.error();
+      FIB_LOG(kWarn, "controller")
+          << "augmentation failed (" << to_string(compiled.error_kind())
+          << "): " << compiled.error();
       fail_placement(prefix);
       continue;
     }

@@ -34,6 +34,20 @@ struct ControllerConfig {
   double max_stretch = 1.5;
   /// Router hosting the controller's IGP session (paper: R3).
   topo::NodeId session_router = 0;
+  /// Fallback ladder for granularity-kind compile failures: the placement
+  /// is re-solved with theta relaxed to theta* * (1 + eps), restricted to
+  /// the compilable support (previous flow links + the shortest-path DAG),
+  /// for each eps in turn; only when the schedule is exhausted is the
+  /// prefix declared unmitigable. Empty disables the ladder.
+  std::vector<double> theta_relax_schedule{0.02, 0.05, 0.10, 0.25};
+  /// Plan coalesced same-batch dirty prefixes jointly (each successful
+  /// placement joins the background of the ones after it) instead of
+  /// planning every prefix around the others' stale shortest-path load.
+  /// Kept on for placement quality and churn; compilability no longer
+  /// depends on it -- with it off, degenerate all-or-nothing optima are
+  /// compiled via the tie-preserving refinement and the fallback ladder
+  /// (the regression suite runs that configuration to prove it).
+  bool joint_batch_placement = true;
 };
 
 /// The Fibbing controller of the demo: learns demand from server notices,
@@ -75,6 +89,9 @@ class Controller {
   [[nodiscard]] std::size_t active_lie_count() const;
   [[nodiscard]] int mitigations() const { return mitigations_; }
   [[nodiscard]] int retractions() const { return retractions_; }
+  /// Placements that needed the granularity fallback ladder (theta relaxed
+  /// above the optimum to reach a compilable split set).
+  [[nodiscard]] int relaxed_placements() const { return relaxed_placements_; }
   /// Topology-change events (failures + restorations) the controller has
   /// re-planned for.
   [[nodiscard]] int topology_events() const { return topology_events_; }
@@ -124,6 +141,7 @@ class Controller {
   std::uint64_t next_lie_id_ = 1;
   int mitigations_ = 0;
   int retractions_ = 0;
+  int relaxed_placements_ = 0;
   int topology_events_ = 0;
 };
 

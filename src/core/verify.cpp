@@ -82,14 +82,16 @@ VerifyReport verify_augmentation(const topo::Topology& topo,
     const auto req_it = req.nodes.find(n);
     if (req_it != req.nodes.end()) {
       if (aug_it == augmented[n].end()) {
-        report.issues.push_back({n, "required prefix has no route"});
+        report.issues.push_back(
+            {VerifyIssueKind::kNoRoute, n, "required prefix has no route"});
       } else {
         const Distribution want = normalize(req_it->second);
         const Distribution got = normalize(aug_it->second);
         if (want != got) {
           report.issues.push_back(
-              {n, "requirement not met: want " + format_distribution(want, topo) +
-                      ", got " + format_distribution(got, topo)});
+              {VerifyIssueKind::kRequirementNotMet, n,
+               "requirement not met: want " + format_distribution(want, topo) +
+                   ", got " + format_distribution(got, topo)});
         }
       }
     } else {
@@ -101,9 +103,9 @@ VerifyReport verify_augmentation(const topo::Topology& topo,
       const bool is_local = aug_it != augmented[n].end() && aug_it->second.local;
       if (before != after || was_local != is_local) {
         report.issues.push_back(
-            {n, "polluted: forwarding changed from " +
-                    format_distribution(before, topo) + " to " +
-                    format_distribution(after, topo)});
+            {VerifyIssueKind::kPolluted, n,
+             "polluted: forwarding changed from " + format_distribution(before, topo) +
+                 " to " + format_distribution(after, topo)});
       }
     }
 
@@ -113,7 +115,8 @@ VerifyReport verify_augmentation(const topo::Topology& topo,
       const auto other_it = augmented[n].find(prefix);
       if (other_it == augmented[n].end() || !(other_it->second == entry)) {
         report.issues.push_back(
-            {n, "isolation violated: route for " + prefix.to_string() + " changed"});
+            {VerifyIssueKind::kIsolationViolated, n,
+             "isolation violated: route for " + prefix.to_string() + " changed"});
       }
     }
   }
@@ -139,7 +142,8 @@ VerifyReport verify_augmentation(const topo::Topology& topo,
   }
   if (order.size() != topo.node_count()) {
     report.issues.push_back(
-        {topo::kInvalidNode, "forwarding loop detected for " + req.prefix.to_string()});
+        {VerifyIssueKind::kLoop, topo::kInvalidNode,
+         "forwarding loop detected for " + req.prefix.to_string()});
   }
   return report;
 }

@@ -20,8 +20,21 @@ using Distribution = std::map<topo::NodeId, std::uint32_t>;
 [[nodiscard]] Distribution normalize(const igp::RouteEntry& entry);
 [[nodiscard]] Distribution normalize(const std::vector<NextHopReq>& hops);
 
+/// What went wrong at one verification site. The repair loop branches on
+/// this (loops are fixed by the pins the other kinds request; they carry no
+/// node to pin), and compile_lies maps terminal reports into its own
+/// structured failure kinds.
+enum class VerifyIssueKind {
+  kNoRoute,            ///< required router has no route to the prefix at all
+  kRequirementNotMet,  ///< realized distribution differs from the requirement
+  kPolluted,           ///< non-required router's forwarding changed
+  kIsolationViolated,  ///< a route for a *different* prefix changed
+  kLoop,               ///< achieved forwarding graph has a directed cycle
+};
+
 /// One discrepancy found by the verifier.
 struct VerifyIssue {
+  VerifyIssueKind kind = VerifyIssueKind::kRequirementNotMet;
   topo::NodeId node = topo::kInvalidNode;
   std::string what;
 };

@@ -6,6 +6,7 @@
 #include "igp/routes.hpp"
 #include "te/maxflow.hpp"
 #include "util/assert.hpp"
+#include "util/logging.hpp"
 
 namespace fibbing::te {
 
@@ -42,39 +43,56 @@ std::vector<topo::Metric> dist_to_node(const topo::Topology& topo,
   return dist;
 }
 
-struct Feasibility {
-  bool feasible = false;
-  std::vector<double> link_flow;
+/// Numerical slack for "the max flow carried the whole demand": relative to
+/// the demand magnitude (Dinic's floating-point error grows with the
+/// numbers it pushes -- a fixed 1e-6 bps term is invisible against
+/// multi-Gbps totals and would misclassify them), with an absolute floor
+/// for near-zero totals.
+double feasibility_slack(double total_demand, double scale) {
+  return scale * std::max(total_demand * 1e-9, 1e-6);
+}
+
+/// One solved feasibility instance at a fixed theta: the Dinic state is kept
+/// so the degeneracy-breaking refinement can reroute over its residual
+/// graph instead of re-deriving it.
+struct ThetaOracle {
+  MaxFlow mf;
+  std::vector<std::size_t> edge_of_link;
+  std::vector<std::size_t> source_edges;
+  double pushed = 0.0;
+
+  [[nodiscard]] bool feasible(double total_demand, double slack_scale = 1.0) const {
+    return pushed >= total_demand - feasibility_slack(total_demand, slack_scale);
+  }
 };
 
-Feasibility check_theta(const topo::Topology& topo, topo::NodeId dest,
-                        const std::vector<Demand>& demands,
-                        const std::vector<double>& background, double theta,
-                        double total_demand, const std::vector<bool>& allowed) {
+/// Capacity a directed link offers at utilization bound `theta`, after the
+/// background load and the allowed-link pruning.
+double link_cap_at(const topo::Link& link, double bg, double theta, bool allowed) {
+  if (!allowed) return 0.0;
+  return std::max(theta * link.capacity_bps - bg, 0.0);
+}
+
+ThetaOracle solve_at_theta(const topo::Topology& topo, topo::NodeId dest,
+                           const std::vector<Demand>& demands,
+                           const std::vector<double>& background, double theta,
+                           const std::vector<bool>& allowed) {
   const std::size_t n = topo.node_count();
   const std::size_t super = n;
-  MaxFlow mf(n + 1);
-  std::vector<std::size_t> edge_of_link(topo.link_count());
+  ThetaOracle oracle{MaxFlow(n + 1), {}, {}, 0.0};
+  oracle.edge_of_link.resize(topo.link_count());
   for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
     const topo::Link& link = topo.link(l);
     const double bg = background.empty() ? 0.0 : background[l];
-    double cap = std::max(theta * link.capacity_bps - bg, 0.0);
-    if (!allowed.empty() && !allowed[l]) cap = 0.0;
-    edge_of_link[l] = mf.add_edge(link.from, link.to, cap);
+    const double cap = link_cap_at(link, bg, theta, allowed.empty() || allowed[l]);
+    oracle.edge_of_link[l] = oracle.mf.add_edge(link.from, link.to, cap);
   }
+  oracle.source_edges.reserve(demands.size());
   for (const Demand& d : demands) {
-    mf.add_edge(super, d.ingress, d.rate_bps);
+    oracle.source_edges.push_back(oracle.mf.add_edge(super, d.ingress, d.rate_bps));
   }
-  const double got = mf.solve(super, dest);
-  Feasibility out;
-  out.feasible = got >= total_demand * (1.0 - 1e-9) - 1e-6;
-  if (out.feasible) {
-    out.link_flow.resize(topo.link_count());
-    for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
-      out.link_flow[l] = mf.flow_on(edge_of_link[l]);
-    }
-  }
-  return out;
+  oracle.pushed = oracle.mf.solve(super, dest);
+  return oracle;
 }
 
 /// Remove circulations from a feasible flow: repeatedly locate a cycle among
@@ -146,18 +164,153 @@ void cancel_cycles(const topo::Topology& topo, std::vector<double>& flow,
   }
 }
 
+/// Degeneracy-breaking refinement over the oracle's residual graph. Every
+/// move is a circulation (a targeted edge push plus a residual return
+/// path), so feasibility at the oracle's capacities -- theta* widened by
+/// config.theta_relax -- and the total routed demand are both invariants.
+///
+/// Tie pass: a flow-carrying node whose baseline shortest-path next hop
+/// carries nothing forces the lie compiler into strict undercutting, which
+/// coarse IGP metrics often cannot express. Where the residual graph
+/// permits, exactly granularity_floor of the node's outflow is moved onto
+/// each excluded shortest-path link (that fraction is one FIB slot, so the
+/// bounded-denominator rounding downstream represents it exactly).
+///
+/// Sliver pass: a split fraction below the floor cannot survive FIB-slot
+/// rounding; its flow is rerouted over the residual graph so the advertised
+/// splits match what the mechanism can actually install.
+void refine_flow(const topo::Topology& topo, topo::NodeId dest,
+                 ThetaOracle& oracle, const std::vector<bool>& spf_dag,
+                 const std::vector<topo::Metric>& dist,
+                 const MinMaxConfig& config, double eps, MinMaxResult& result) {
+  const std::size_t n = topo.node_count();
+  result.refined = true;
+
+  // Reroutes must never touch the super-source edges: their residual slack
+  // is oracle noise, not link capacity.
+  const std::vector<std::size_t>& sources = oracle.source_edges;
+
+  const auto flow_of = [&](topo::LinkId l) {
+    return oracle.mf.flow_on(oracle.edge_of_link[l]);
+  };
+  const auto outflow_of = [&](topo::NodeId u) {
+    double out = 0.0;
+    for (const topo::LinkId l : topo.out_links(u)) {
+      const double f = flow_of(l);
+      if (f > eps) out += f;
+    }
+    return out;
+  };
+
+  // Far-from-dest nodes first, like the load propagation order.
+  std::vector<topo::NodeId> order(n);
+  for (topo::NodeId i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](topo::NodeId a, topo::NodeId b) { return dist[a] > dist[b]; });
+
+  const double floor = std::clamp(config.granularity_floor, 0.0, 0.5);
+  for (int round = 0; round < std::max(config.refine_rounds, 1); ++round) {
+    bool changed = false;
+
+    // --- tie pass: re-include excluded shortest-path next hops ------------
+    for (const topo::NodeId u : order) {
+      if (u == dest) continue;
+      for (const topo::LinkId l : topo.out_links(u)) {
+        if (!spf_dag[l] || flow_of(l) > eps) continue;
+        const double out = outflow_of(u);
+        if (out <= eps) break;  // node carries nothing; skip its links
+        const double delta = floor * out;
+        if (delta <= eps) continue;
+        const std::size_t edge = oracle.edge_of_link[l];
+        if (oracle.mf.residual_on(edge) < delta) continue;
+        std::vector<std::size_t> banned = sources;
+        banned.push_back(edge);
+        const topo::LinkId rev = topo.link(l).reverse;
+        if (rev != topo::kInvalidLink) banned.push_back(oracle.edge_of_link[rev]);
+        if (oracle.mf.push_residual(topo.link(l).to, u, delta, banned)) {
+          oracle.mf.push_on_edge(edge, delta);
+          ++result.spf_ties_added;
+          changed = true;
+        }
+      }
+    }
+
+    // --- sliver pass: reroute sub-floor fractions -------------------------
+    for (const topo::NodeId u : order) {
+      if (u == dest) continue;
+      for (const topo::LinkId l : topo.out_links(u)) {
+        const double f = flow_of(l);
+        if (f <= eps) continue;
+        const double out = outflow_of(u);
+        if (f >= floor * out * (1.0 - 1e-9)) continue;
+        std::vector<std::size_t> banned = sources;
+        banned.push_back(oracle.edge_of_link[l]);
+        const topo::LinkId rev = topo.link(l).reverse;
+        if (rev != topo::kInvalidLink) banned.push_back(oracle.edge_of_link[rev]);
+        if (oracle.mf.push_residual(u, topo.link(l).to, f, banned)) {
+          oracle.mf.push_on_edge(oracle.edge_of_link[l], -f);
+          ++result.slivers_removed;
+          changed = true;
+        }
+      }
+    }
+
+    if (!changed) break;
+  }
+
+  // Tie-compilability verdict: every flow-carrying node's split set covers
+  // all of its baseline shortest-path next hops.
+  result.tie_complete = true;
+  for (topo::NodeId u = 0; u < n && result.tie_complete; ++u) {
+    if (u == dest || outflow_of(u) <= eps) continue;
+    for (const topo::LinkId l : topo.out_links(u)) {
+      if (spf_dag[l] && flow_of(l) <= eps) {
+        result.tie_complete = false;
+        break;
+      }
+    }
+  }
+}
+
+/// shortest_path_dag over an already-computed distance vector (the solver
+/// shares one reverse Dijkstra between stretch pruning, refinement ordering
+/// and DAG membership).
+std::vector<bool> dag_from_dist(const topo::Topology& topo,
+                                const std::vector<topo::Metric>& dist,
+                                const topo::LinkStateMask* link_state) {
+  std::vector<bool> dag(topo.link_count(), false);
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    if (link_state != nullptr && link_state->is_down(l)) continue;
+    const topo::Link& link = topo.link(l);
+    if (dist[link.from] >= igp::kInfMetric || dist[link.to] >= igp::kInfMetric) {
+      continue;
+    }
+    dag[l] = link.metric + dist[link.to] == dist[link.from];
+  }
+  return dag;
+}
+
 }  // namespace
+
+std::vector<bool> shortest_path_dag(const topo::Topology& topo, topo::NodeId dest,
+                                    const topo::LinkStateMask* link_state) {
+  FIB_ASSERT(dest < topo.node_count(), "shortest_path_dag: bad destination");
+  return dag_from_dist(topo, dist_to_node(topo, dest, link_state), link_state);
+}
 
 util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
                                          topo::NodeId dest,
                                          const std::vector<Demand>& demands,
                                          const std::vector<double>& background_bps,
-                                         double precision, double max_stretch,
-                                         const topo::LinkStateMask* link_state) {
+                                         const MinMaxConfig& config) {
   using R = util::Result<MinMaxResult>;
+  const topo::LinkStateMask* link_state = config.link_state;
   if (dest >= topo.node_count()) return R::failure("min-max: unknown destination");
   if (!background_bps.empty() && background_bps.size() != topo.link_count()) {
     return R::failure("min-max: background vector size mismatch");
+  }
+  if (!config.support.empty() && config.support.size() != topo.link_count()) {
+    return R::failure("min-max: support vector size mismatch");
   }
   double total = 0.0;
   for (const Demand& d : demands) {
@@ -167,22 +320,37 @@ util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
   }
   MinMaxResult result;
   result.link_flow.assign(topo.link_count(), 0.0);
-  if (total <= 0.0) return result;  // nothing to place
+  if (total <= 0.0) {
+    result.tie_complete = true;
+    return result;  // nothing to place
+  }
 
-  // Usable links: up (per the live mask) and -- when a stretch bound is set
-  // -- on paths within max_stretch of the shortest metric toward dest, with
-  // the detour distances themselves computed on the degraded topology.
+  // One reverse Dijkstra serves stretch pruning, refinement ordering and
+  // shortest-path-DAG membership alike.
+  std::vector<topo::Metric> dist;
+  if (config.max_stretch > 0.0 || config.refine) {
+    dist = dist_to_node(topo, dest, link_state);
+  }
+
+  // Usable links: up (per the live mask), inside the caller's support
+  // restriction, and -- when a stretch bound is set -- on paths within
+  // max_stretch of the shortest metric toward dest, with the detour
+  // distances themselves computed on the degraded topology.
   std::vector<bool> allowed;
   const bool masked = link_state != nullptr && link_state->any_down();
-  if (max_stretch > 0.0 || masked) {
+  if (config.max_stretch > 0.0 || masked || !config.support.empty()) {
     allowed.assign(topo.link_count(), true);
     if (masked) {
       for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
         if (link_state->is_down(l)) allowed[l] = false;
       }
     }
-    if (max_stretch > 0.0) {
-      const std::vector<topo::Metric> dist = dist_to_node(topo, dest, link_state);
+    if (!config.support.empty()) {
+      for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+        if (!config.support[l]) allowed[l] = false;
+      }
+    }
+    if (config.max_stretch > 0.0) {
       for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
         if (!allowed[l]) continue;
         const topo::Link& link = topo.link(l);
@@ -191,15 +359,15 @@ util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
           continue;
         }
         allowed[l] = link.metric + dist[link.to] <=
-                     max_stretch * static_cast<double>(dist[link.from]) + 1e-9;
+                     config.max_stretch * static_cast<double>(dist[link.from]) + 1e-9;
       }
     }
   }
 
   // Find a feasible upper bound by doubling, then binary search.
   double hi = 1.0;
-  while (!check_theta(topo, dest, demands, background_bps, hi, total, allowed)
-              .feasible) {
+  while (!solve_at_theta(topo, dest, demands, background_bps, hi, allowed)
+              .feasible(total)) {
     hi *= 2.0;
     if (hi > kThetaCeiling) {
       return R::failure(
@@ -207,47 +375,109 @@ util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
     }
   }
   double lo = 0.0;
-  while (hi - lo > precision * std::max(hi, 1.0)) {
+  while (hi - lo > config.precision * std::max(hi, 1.0)) {
     const double mid = 0.5 * (lo + hi);
-    if (check_theta(topo, dest, demands, background_bps, mid, total, allowed)
-            .feasible) {
+    if (solve_at_theta(topo, dest, demands, background_bps, mid, allowed)
+            .feasible(total)) {
       hi = mid;
     } else {
       lo = mid;
     }
   }
-  Feasibility final =
-      check_theta(topo, dest, demands, background_bps, hi, total, allowed);
-  FIB_ASSERT(final.feasible, "min-max: upper bound lost feasibility");
+  ThetaOracle oracle =
+      solve_at_theta(topo, dest, demands, background_bps, hi, allowed);
+  if (!oracle.feasible(total)) {
+    // The oracle is deterministic, so hi re-solves the way the search saw
+    // it; still, never abort on an input (controllers must fail soft). A
+    // widened slack absorbs boundary flips; past that the instance is
+    // numerically unsound and the caller gets a failure, not an abort.
+    if (!oracle.feasible(total, /*slack_scale=*/1e3)) {
+      return R::failure("min-max: upper bound lost feasibility at theta " +
+                        std::to_string(hi));
+    }
+    FIB_LOG(kDebug, "minmax") << "feasibility re-check at theta " << hi
+                              << " needed widened slack";
+  }
 
   const double eps = std::max(total, 1.0) * 1e-7;
-  cancel_cycles(topo, final.link_flow, eps);
+
+  if (config.refine) {
+    // The optimum before any refinement, cycles canceled (on the no-refine
+    // path the final flow *is* the optimum; see below).
+    std::vector<double> base_flow(topo.link_count(), 0.0);
+    for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+      base_flow[l] = oracle.mf.flow_on(oracle.edge_of_link[l]);
+    }
+    cancel_cycles(topo, base_flow, eps);
+    double theta_opt = 0.0;
+    for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+      const double bg = background_bps.empty() ? 0.0 : background_bps[l];
+      theta_opt = std::max(theta_opt, (base_flow[l] + bg) / topo.link(l).capacity_bps);
+    }
+    result.theta_opt = theta_opt;
+
+    // Relax the residual capacities from hi to hi * (1 + theta_relax): the
+    // refinement may use the headroom, the binary-search optimum does not.
+    if (config.theta_relax > 0.0) {
+      const double theta_ref = hi * (1.0 + config.theta_relax);
+      for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+        const topo::Link& link = topo.link(l);
+        const double bg = background_bps.empty() ? 0.0 : background_bps[l];
+        const bool ok = allowed.empty() || allowed[l];
+        const double extra = link_cap_at(link, bg, theta_ref, ok) -
+                             link_cap_at(link, bg, hi, ok);
+        if (extra > 0.0) oracle.mf.widen(oracle.edge_of_link[l], extra);
+      }
+    }
+    refine_flow(topo, dest, oracle, dag_from_dist(topo, dist, link_state), dist,
+                config, eps, result);
+  }
+
+  std::vector<double> final_flow(topo.link_count(), 0.0);
+  for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+    final_flow[l] = oracle.mf.flow_on(oracle.edge_of_link[l]);
+  }
+  cancel_cycles(topo, final_flow, eps);
 
   // Fractional splits from the flow DAG.
   for (topo::NodeId u = 0; u < topo.node_count(); ++u) {
     if (u == dest) continue;
     double out = 0.0;
     for (const topo::LinkId l : topo.out_links(u)) {
-      if (final.link_flow[l] > eps) out += final.link_flow[l];
+      if (final_flow[l] > eps) out += final_flow[l];
     }
     if (out <= eps) continue;
     std::vector<std::pair<topo::NodeId, double>> split;
     for (const topo::LinkId l : topo.out_links(u)) {
-      if (final.link_flow[l] > eps) {
-        split.emplace_back(topo.link(l).to, final.link_flow[l] / out);
+      if (final_flow[l] > eps) {
+        split.emplace_back(topo.link(l).to, final_flow[l] / out);
       }
     }
     result.splits.emplace(u, std::move(split));
   }
 
-  result.link_flow = final.link_flow;
+  result.link_flow = std::move(final_flow);
   double theta = 0.0;
   for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
     const double bg = background_bps.empty() ? 0.0 : background_bps[l];
     theta = std::max(theta, (result.link_flow[l] + bg) / topo.link(l).capacity_bps);
   }
   result.theta = theta;
+  if (!config.refine) result.theta_opt = result.theta;
   return result;
+}
+
+util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
+                                         topo::NodeId dest,
+                                         const std::vector<Demand>& demands,
+                                         const std::vector<double>& background_bps,
+                                         double precision, double max_stretch,
+                                         const topo::LinkStateMask* link_state) {
+  MinMaxConfig config;
+  config.precision = precision;
+  config.max_stretch = max_stretch;
+  config.link_state = link_state;
+  return solve_min_max(topo, dest, demands, background_bps, config);
 }
 
 std::vector<double> shortest_path_loads(const topo::Topology& topo, topo::NodeId dest,

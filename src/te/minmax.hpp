@@ -21,16 +21,72 @@ struct Demand {
 /// node's entries).
 using SplitMap = std::map<topo::NodeId, std::vector<std::pair<topo::NodeId, double>>>;
 
+/// Solver knobs beyond the plain optimization inputs. The defaults
+/// reproduce the classic solve plus the degeneracy-breaking refinement at
+/// the exact optimum (theta_relax = 0 never trades optimality away).
+struct MinMaxConfig {
+  /// Binary-search termination (relative on theta).
+  double precision = 1e-4;
+  /// Detour bound, 0 = unlimited (see solve_min_max()).
+  double max_stretch = 0.0;
+  /// Live topology state (optional, not owned): down links carry nothing.
+  const topo::LinkStateMask* link_state = nullptr;
+
+  /// Run the degeneracy-breaking refinement over the theta*-residual graph:
+  /// among all theta*-optimal flows, prefer ones whose per-node split sets
+  /// (a) keep every baseline shortest-path next hop that the IGP would use
+  /// (so the lie compiler can realize them in cheap tie mode instead of
+  /// strict undercutting) and (b) carry no sliver below granularity_floor
+  /// (a fraction too small for a FIB slot is a lie the compiler cannot
+  /// express). Both moves are circulations in the residual network, so the
+  /// refined flow stays feasible at the same theta.
+  bool refine = true;
+  /// Minimum per-node split fraction worth emitting: one FIB slot at the
+  /// default replica budget (see ControllerConfig::max_replicas). Splits
+  /// pushed onto shortest-path links are sized to exactly this fraction so
+  /// the bounded-denominator rounding represents them exactly.
+  double granularity_floor = 1.0 / 8.0;
+  /// Refinement rounds (tie pass + sliver pass each round).
+  int refine_rounds = 2;
+
+  /// Fallback-ladder knob: when > 0, the refinement reroutes inside
+  /// capacities relaxed to theta* * (1 + theta_relax), trading that much
+  /// optimality for tie-compatible, granularity-respecting splits. The
+  /// binary search itself still finds the exact theta*; only the refined
+  /// flow may use the extra headroom. No effect unless refine is set.
+  double theta_relax = 0.0;
+  /// Optional support restriction (size link_count when non-empty): only
+  /// links marked true may carry flow, on top of the stretch / link-state
+  /// pruning. The controller's fallback ladder re-solves restricted to the
+  /// compilable support (previous flow links + the shortest-path DAG).
+  std::vector<bool> support;
+};
+
 /// Output of the exact min-max link-utilization solver.
 struct MinMaxResult {
-  /// Optimal maximum link utilization (may exceed 1 when the demand simply
-  /// does not fit; the DAG is still the best possible placement).
+  /// Realized maximum link utilization of the returned flow (may exceed 1
+  /// when the demand simply does not fit; the DAG is still the best
+  /// possible placement). At theta_relax = 0 this equals theta_opt up to
+  /// solver precision; with relaxation it stays <= theta_opt * (1 + relax).
   double theta = 0.0;
+  /// Binary-search optimum before any refinement/relaxation.
+  double theta_opt = 0.0;
   /// Forwarding DAG with fractional splits, covering every node that
   /// carries positive flow.
   SplitMap splits;
   /// Flow placed on each directed link (bps).
   std::vector<double> link_flow;
+
+  // -- refinement diagnostics (see MinMaxConfig::refine) ------------------
+  /// The refinement ran (config.refine and the flow was non-trivial).
+  bool refined = false;
+  /// Sub-floor slivers rerouted away.
+  int slivers_removed = 0;
+  /// Baseline shortest-path next hops re-included into split sets.
+  int spf_ties_added = 0;
+  /// Every flow-carrying node's split set covers all its baseline
+  /// shortest-path next hops (every node is tie-compilable).
+  bool tie_complete = false;
 };
 
 /// Exactly minimize the maximum link utilization for routing all `demands`
@@ -59,10 +115,26 @@ struct MinMaxResult {
 util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
                                          topo::NodeId dest,
                                          const std::vector<Demand>& demands,
+                                         const std::vector<double>& background_bps,
+                                         const MinMaxConfig& config);
+
+/// Positional-knob convenience overload (precision / stretch / mask only;
+/// refinement at its defaults).
+util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
+                                         topo::NodeId dest,
+                                         const std::vector<Demand>& demands,
                                          const std::vector<double>& background_bps = {},
                                          double precision = 1e-4,
                                          double max_stretch = 0.0,
                                          const topo::LinkStateMask* link_state = nullptr);
+
+/// Per-directed-link membership in the shortest-path DAG toward `dest`
+/// (ECMP siblings included), over the links `link_state` leaves up. The
+/// refinement treats these as the tie-compilable links; the controller adds
+/// them to the fallback ladder's support restriction.
+[[nodiscard]] std::vector<bool> shortest_path_dag(
+    const topo::Topology& topo, topo::NodeId dest,
+    const topo::LinkStateMask* link_state = nullptr);
 
 /// Maximum link utilization if the same demands follow plain IGP shortest
 /// paths with even ECMP splitting (the no-Fibbing baseline of Fig. 1b).

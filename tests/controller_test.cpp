@@ -140,6 +140,49 @@ TEST(Controller, IdempotentUnderRepeatedCongestionSignals) {
   EXPECT_EQ(run.service.controller().mitigations(), mitigations);
 }
 
+/// Regression for the PR-1 degenerate optimum. With joint batch placement
+/// off, each coalesced prefix is planned around the other's stale
+/// shortest-path load; the min-max optimum for the first then excludes B's
+/// real next hop entirely ("all via R3 at B"), which strict lies cannot
+/// express at the demo metric scale. The seed controller looped on
+/// "insufficient metric granularity" forever (0 mitigations); PR 1 dodged
+/// the input by excluding same-batch prefixes from the background. The
+/// principled fix must compile it anyway: tie-preserving refinement plus
+/// the theta fallback ladder, with the realized theta inside the ladder's
+/// (1 + eps) bound.
+TEST(Controller, DegenerateOptimumCompilesViaFallbackLadder) {
+  core::ServiceConfig config = demo_config();
+  config.controller.joint_batch_placement = false;
+  PaperScenario run(config);
+  run.schedule(support::double_surge_schedule(run.s1, run.s2, run.p.p1, run.p.p2));
+  run.run_until(20.0);
+
+  // Both prefixes placed; at least one needed the granularity ladder.
+  const auto& active = run.service.controller().active_lies();
+  EXPECT_GE(run.service.controller().mitigations(), 2);
+  EXPECT_GE(run.service.controller().relaxed_placements(), 1);
+  ASSERT_TRUE(active.contains(run.p.p1));
+  ASSERT_TRUE(active.contains(run.p.p2));
+
+  // The ladder's contract: realized utilization stays within theta* times
+  // (1 + max scheduled eps). theta* for the first placement is 31/40 with
+  // the peer's 31 Mb/s as background; the schedule tops out at 0.25.
+  const double worst_allowed = (31e6 / 40e6) * 1.25 * 40e6;
+  for (topo::LinkId l = 0; l < run.p.topo.link_count(); ++l) {
+    EXPECT_LE(run.service.sim().link_rate(l), worst_allowed + 1e4)
+        << run.p.topo.link_name(l);
+  }
+
+  // No endless granularity loop: once placed, continued polling against
+  // steady demand leaves the lie sets alone.
+  const int placed = run.service.controller().mitigations();
+  const std::size_t lies = run.service.controller().active_lie_count();
+  run.run_until(35.0);
+  EXPECT_EQ(run.service.controller().mitigations(), placed);
+  EXPECT_EQ(run.service.controller().active_lie_count(), lies);
+  EXPECT_EQ(run.stalled_sessions(), 0);
+}
+
 TEST(Controller, DoubleSurgePlacesBothPrefixesWithoutChurn) {
   // The coalesced double surge must not see-saw: after the initial
   // placement round settles, continued polling leaves the lie sets alone.

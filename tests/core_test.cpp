@@ -323,7 +323,105 @@ TEST(Augment, RequirementAtAnnouncerFails) {
   DestRequirement req;
   req.prefix = p.p1;
   req.nodes[p.c] = {NextHopReq{p.r2, 1}};
-  EXPECT_FALSE(compile_lies(p.topo, req).ok());
+  const auto result = compile_lies(p.topo, req);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error_kind(), CompileErrorKind::kBadRequirement);
+  EXPECT_EQ(result.error_node(), p.c);
+}
+
+// ------------------------------------------------- structured failure kinds
+
+TEST(CompileErrorKinds, GranularityAtCoarseMetrics) {
+  // Strict exclusion of B's real next hop with no metric headroom: the
+  // target cost lands below the interface distance.
+  const PaperTopology p = make_paper_topology();
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.b] = {NextHopReq{p.r3, 1}};
+  const auto result = compile_lies(p.topo, req);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error_kind(), CompileErrorKind::kGranularity);
+  EXPECT_EQ(result.error_node(), p.b);
+  EXPECT_STREQ(to_string(result.error_kind()), "granularity");
+}
+
+TEST(CompileErrorKinds, GranularityAtUnitMetrics) {
+  // The unscaled paper topology leaves no room for strict lies at B -- the
+  // repair loop escalates until a target cost would go non-positive or
+  // under the interface distance; either way the kind is granularity.
+  const PaperTopology p = make_paper_topology(40e6, /*metric_scale=*/1);
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.b] = {NextHopReq{p.r3, 1}};
+  const auto result = compile_lies(p.topo, req);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error_kind(), CompileErrorKind::kGranularity);
+}
+
+TEST(CompileErrorKinds, UnreachablePrefixAtPartitionedRouter) {
+  // A loses both adjacencies: the prefix has no route at A on the degraded
+  // view, so a requirement there is unreachable, not a granularity problem.
+  const PaperTopology p = make_paper_topology();
+  topo::LinkStateMask mask(p.topo);
+  ASSERT_TRUE(mask.fail(p.topo.link_between(p.a, p.b)));
+  ASSERT_TRUE(mask.fail(p.topo.link_between(p.a, p.r1)));
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.a] = {NextHopReq{p.b, 1}};
+  AugmentConfig config;
+  config.link_state = &mask;
+  const auto result = compile_lies(p.topo, req, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error_kind(), CompileErrorKind::kUnreachable);
+  EXPECT_EQ(result.error_node(), p.a);
+}
+
+TEST(CompileErrorKinds, UnreachableTransferSubnetOverDownLink) {
+  // The lie's forwarding link is down: its transfer /30 left the view.
+  const PaperTopology p = make_paper_topology();
+  topo::LinkStateMask mask(p.topo);
+  ASSERT_TRUE(mask.fail(p.topo.link_between(p.b, p.r3)));
+  DestRequirement req;
+  req.prefix = p.p1;
+  req.nodes[p.b] = {NextHopReq{p.r2, 1}, NextHopReq{p.r3, 1}};
+  AugmentConfig config;
+  config.link_state = &mask;
+  const auto result = compile_lies(p.topo, req, config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error_kind(), CompileErrorKind::kUnreachable);
+}
+
+TEST(CompileErrorKinds, WrongInterfaceWhenDetourUndercutsTheLie) {
+  // X-Y is so expensive that X's route to the X-Y transfer subnet also goes
+  // through W: a forwarding-address lie toward Y cannot steer out of the
+  // intended interface.
+  topo::Topology t;
+  const topo::NodeId x = t.add_node("X");
+  const topo::NodeId w = t.add_node("W");
+  const topo::NodeId y = t.add_node("Y");
+  t.add_link_asymmetric(x, y, 14, 10, 100.0);
+  t.add_link(x, w, 2, 100.0);
+  t.add_link(w, y, 2, 100.0);
+  const net::Prefix prefix(net::Ipv4(203, 0, 113, 0), 25);
+  t.attach_prefix(y, prefix);
+  DestRequirement req;
+  req.prefix = prefix;
+  req.nodes[x] = {NextHopReq{y, 1}};
+  const auto result = compile_lies(t, req);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error_kind(), CompileErrorKind::kWrongInterface);
+  EXPECT_EQ(result.error_node(), x);
+}
+
+TEST(CompileErrorKinds, UnrepairableWhenRepairBudgetExhausted) {
+  // The paper P2 requirement needs at least one repair round (the tie-mode
+  // first attempt pollutes); a zero budget must fail as unrepairable.
+  const PaperTopology p = make_paper_topology();
+  AugmentConfig config;
+  config.max_repair_rounds = 0;
+  const auto result = compile_lies(p.topo, paper_requirement_p2(p), config);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error_kind(), CompileErrorKind::kUnrepairable);
 }
 
 TEST(Augment, ReductionDropsRedundantLies) {

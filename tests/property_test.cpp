@@ -436,9 +436,9 @@ class ChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
 /// graph connected; partition blackholes are exercised elsewhere). Once all
 /// links are restored and load subsides, the whole system must reconverge
 /// to the no-lie full-topology routes of a pristine boot.
-TEST_P(ChurnProperty, InterleavedChurnPreservesInvariantsAndReconverges) {
-  util::Rng rng(GetParam());
-  support::PaperScenario run;
+void run_churn_scenario(std::uint64_t seed, const core::ServiceConfig& config) {
+  util::Rng rng(seed);
+  support::PaperScenario run(config);
   core::FibbingService& service = run.service;
   const topo::Topology& t = run.p.topo;
   const video::VideoAsset asset{1e6, 3600.0};  // only churn ends sessions
@@ -538,7 +538,22 @@ TEST_P(ChurnProperty, InterleavedChurnPreservesInvariantsAndReconverges) {
   }
 }
 
+TEST_P(ChurnProperty, InterleavedChurnPreservesInvariantsAndReconverges) {
+  run_churn_scenario(GetParam(), support::demo_config());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ChurnProperty, ::testing::Range<std::uint64_t>(1, 4));
+
+/// The PR-1 batch-background workaround (joint same-batch placement) is no
+/// longer load-bearing for compilability: with it disabled, the same churn
+/// must hold every invariant -- degenerate all-or-nothing optima compile
+/// through the tie-preserving refinement and the theta fallback ladder
+/// instead of looping on granularity failures.
+TEST(ChurnWithoutJointBatchPlacement, InvariantsHoldViaFallbackLadder) {
+  core::ServiceConfig config = support::demo_config();
+  config.controller.joint_batch_placement = false;
+  run_churn_scenario(1, config);
+}
 
 // ------------------------------------------- k-shortest paths: order & validity
 

@@ -65,6 +65,74 @@ TEST(MaxFlow, FlowOnReportsPerEdge) {
   EXPECT_DOUBLE_EQ(mf.flow_on(b), 3.0);
 }
 
+TEST(MaxFlow, ResidualAndBulkFlowAccessors) {
+  MaxFlow mf(3);
+  const std::size_t a = mf.add_edge(0, 1, 5.0);
+  const std::size_t b = mf.add_edge(1, 2, 3.0);
+  mf.solve(0, 2);
+  EXPECT_DOUBLE_EQ(mf.residual_on(a), 2.0);
+  EXPECT_DOUBLE_EQ(mf.residual_on(b), 0.0);
+  const std::vector<double> flows = mf.flows();
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_DOUBLE_EQ(flows[a], 3.0);
+  EXPECT_DOUBLE_EQ(flows[b], 3.0);
+}
+
+TEST(MaxFlow, WidenGrowsCapacityWithoutDisturbingFlow) {
+  MaxFlow mf(3);
+  mf.add_edge(0, 1, 5.0);
+  const std::size_t b = mf.add_edge(1, 2, 3.0);
+  mf.solve(0, 2);
+  mf.widen(b, 4.0);
+  EXPECT_DOUBLE_EQ(mf.flow_on(b), 3.0);
+  EXPECT_DOUBLE_EQ(mf.residual_on(b), 4.0);
+}
+
+TEST(MaxFlow, PushResidualReroutesOntoParallelPath) {
+  // Two disjoint 0->1->3 / 0->2->3 paths; saturate the first, then move
+  // 2 units onto the second via a residual path that cancels on the first.
+  MaxFlow mf(4);
+  const std::size_t top_a = mf.add_edge(0, 1, 5.0);
+  mf.add_edge(1, 3, 5.0);
+  const std::size_t bot_a = mf.add_edge(0, 2, 4.0);
+  const std::size_t bot_b = mf.add_edge(2, 3, 4.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 9.0);
+  EXPECT_DOUBLE_EQ(mf.flow_on(top_a), 5.0);
+  // Move 2 units off the top path: push 2 along the residual 1 -> 0 -> 2 -> 3
+  // ... -> back is implicit: cancel on top_a, forward on bottom -- but the
+  // bottom is saturated, so the push must fail and leave the flow intact.
+  EXPECT_FALSE(mf.push_residual(1, 0, 2.0, {top_a}));
+  EXPECT_DOUBLE_EQ(mf.flow_on(top_a), 5.0);
+  EXPECT_DOUBLE_EQ(mf.flow_on(bot_a), 4.0);
+  EXPECT_DOUBLE_EQ(mf.flow_on(bot_b), 4.0);
+}
+
+TEST(MaxFlow, TargetedCyclePushMovesFlowBetweenBranches) {
+  // The refinement's composition: a diamond whose max flow lands entirely
+  // on the top branch; push_residual (return path, cancellation-preferring)
+  // plus push_on_edge (targeted edge) move 2 units to the bottom branch
+  // without changing the flow value.
+  MaxFlow mf(5);
+  const std::size_t top_a = mf.add_edge(0, 1, 4.0);
+  const std::size_t top_b = mf.add_edge(1, 3, 4.0);
+  const std::size_t bot_a = mf.add_edge(0, 2, 4.0);
+  const std::size_t bot_b = mf.add_edge(2, 3, 4.0);
+  const std::size_t src = mf.add_edge(4, 0, 4.0);
+  EXPECT_DOUBLE_EQ(mf.solve(4, 3), 4.0);
+  ASSERT_DOUBLE_EQ(mf.flow_on(top_a), 4.0);  // insertion order: top first
+  EXPECT_DOUBLE_EQ(mf.flow_on(bot_a), 0.0);
+
+  // Return path 2 -> 3 (forward) -> 1 (cancel top_b) -> 0 (cancel top_a),
+  // then the targeted push onto bot_a closes the cycle.
+  ASSERT_TRUE(mf.push_residual(2, 0, 2.0, {bot_a, src}));
+  mf.push_on_edge(bot_a, 2.0);
+  EXPECT_DOUBLE_EQ(mf.flow_on(top_a), 2.0);
+  EXPECT_DOUBLE_EQ(mf.flow_on(top_b), 2.0);
+  EXPECT_DOUBLE_EQ(mf.flow_on(bot_a), 2.0);
+  EXPECT_DOUBLE_EQ(mf.flow_on(bot_b), 2.0);
+  EXPECT_DOUBLE_EQ(mf.flow_on(src), 4.0);
+}
+
 // -------------------------------------------------------------------- minmax
 
 TEST(MinMax, PaperSurgeOptimum) {
@@ -129,6 +197,123 @@ TEST(MinMax, RespectsBackgroundLoad) {
   EXPECT_GT(with_bg.value().theta, without.value().theta);
   // The new flow must mostly avoid B-R2.
   EXPECT_LT(with_bg.value().link_flow[p.topo.link_between(p.b, p.r2)], 50.0);
+}
+
+TEST(MinMax, RefinementNeverTradesOptimalityAtZeroRelax) {
+  const PaperTopology p = make_paper_topology(100.0);
+  const std::vector<Demand> demands{{p.a, 100.0}, {p.b, 100.0}};
+  MinMaxConfig refined;
+  MinMaxConfig plain;
+  plain.refine = false;
+  const auto with = solve_min_max(p.topo, p.c, demands, {}, refined);
+  const auto without = solve_min_max(p.topo, p.c, demands, {}, plain);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_NEAR(with.value().theta, without.value().theta, 1e-3);
+  EXPECT_NEAR(with.value().theta, with.value().theta_opt, 1e-3);
+  EXPECT_TRUE(with.value().refined);
+  EXPECT_FALSE(without.value().refined);
+}
+
+TEST(MinMax, FeasibilitySlackScalesToMultiGbpsDemand) {
+  // At multi-Gbps magnitudes a fixed 1e-6 bps slack term is numerically
+  // invisible; the scale-aware slack must keep the oracle's verdict stable.
+  const PaperTopology p = make_paper_topology(100e9);
+  const std::vector<Demand> demands{{p.a, 100e9}, {p.b, 100e9}};
+  const auto result = solve_min_max(p.topo, p.c, demands);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_NEAR(result.value().theta, 2.0 / 3.0, 1e-3);
+}
+
+/// The PR-1 degenerate optimum: background load saturating B's shortest
+/// path makes every theta*-optimal flow exclude R2 at B entirely ("all via
+/// R3"), which strict-mode lies cannot express at the demo metric scale.
+/// At theta_relax = 0 the solver must not trade optimality (the exclusion
+/// stays); with the fallback ladder's relaxation it must re-include the
+/// shortest-path next hop at exactly the granularity floor.
+TEST(MinMax, TiePreservingRefinementUnderThetaRelax) {
+  const PaperTopology p = make_paper_topology();  // 40 Mb/s links
+  // P2-like 31 Mb/s of untouchable traffic on A-B, B-R2, R2-C.
+  std::vector<double> background(p.topo.link_count(), 0.0);
+  background[p.topo.link_between(p.a, p.b)] = 31e6;
+  background[p.topo.link_between(p.b, p.r2)] = 31e6;
+  background[p.topo.link_between(p.r2, p.c)] = 31e6;
+  const std::vector<Demand> demands{{p.b, 31e6}};
+
+  MinMaxConfig config;
+  config.max_stretch = 1.5;
+  config.granularity_floor = 1.0 / 8.0;
+
+  const auto exact = solve_min_max(p.topo, p.c, demands, background, config);
+  ASSERT_TRUE(exact.ok()) << exact.error();
+  EXPECT_NEAR(exact.value().theta_opt, 31e6 / 40e6, 1e-3);
+  // theta* admits no flow on B-R2: the optimum is the all-or-nothing split.
+  EXPECT_NEAR(exact.value().link_flow[p.topo.link_between(p.b, p.r2)], 0.0, 1.0);
+  EXPECT_FALSE(exact.value().tie_complete);
+
+  config.theta_relax = 0.25;
+  const auto relaxed = solve_min_max(p.topo, p.c, demands, background, config);
+  ASSERT_TRUE(relaxed.ok()) << relaxed.error();
+  const auto& r = relaxed.value();
+  EXPECT_LE(r.theta, r.theta_opt * 1.25 + 1e-6);
+  EXPECT_TRUE(r.tie_complete);
+  EXPECT_GE(r.spf_ties_added, 1);
+  // Exactly one FIB slot's worth of flow moved onto the shortest-path hop.
+  ASSERT_TRUE(r.splits.contains(p.b));
+  double r2_frac = 0.0;
+  for (const auto& [via, frac] : r.splits.at(p.b)) {
+    if (via == p.r2) r2_frac = frac;
+  }
+  EXPECT_NEAR(r2_frac, 1.0 / 8.0, 1e-6);
+}
+
+TEST(MinMax, SliverRemovalRefinement) {
+  // Two parallel paths where the exact optimum puts an inexpressible ~9.5%
+  // sliver on the long path; with relaxation headroom the refinement folds
+  // it onto the main path.
+  topo::Topology t;
+  const NodeId s = t.add_node("S");
+  const NodeId m = t.add_node("M");
+  const NodeId q = t.add_node("Q");
+  const NodeId d = t.add_node("D");
+  t.add_link(s, m, 1, 95.0);
+  t.add_link(m, d, 1, 95.0);
+  t.add_link(s, q, 5, 10.0);
+  t.add_link(q, d, 5, 10.0);
+  const std::vector<Demand> demands{{s, 100.0}};
+
+  MinMaxConfig config;
+  config.granularity_floor = 1.0 / 8.0;
+  const auto exact = solve_min_max(t, d, demands, {}, config);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(exact.value().splits.contains(s));
+  EXPECT_EQ(exact.value().splits.at(s).size(), 2u);  // sliver survives at theta*
+
+  config.theta_relax = 0.15;
+  const auto relaxed = solve_min_max(t, d, demands, {}, config);
+  ASSERT_TRUE(relaxed.ok());
+  const auto& r = relaxed.value();
+  EXPECT_GE(r.slivers_removed, 1);
+  ASSERT_TRUE(r.splits.contains(s));
+  ASSERT_EQ(r.splits.at(s).size(), 1u);
+  EXPECT_EQ(r.splits.at(s).front().first, m);
+  EXPECT_NEAR(r.theta, 100.0 / 95.0, 1e-6);
+  EXPECT_LE(r.theta, r.theta_opt * 1.15 + 1e-6);
+}
+
+TEST(MinMax, SupportRestrictionLimitsPlacement) {
+  const PaperTopology p = make_paper_topology(100.0);
+  const std::vector<Demand> demands{{p.b, 100.0}};
+  // Restrict B's placement to the shortest-path DAG: no spreading over R3.
+  MinMaxConfig config;
+  config.support = shortest_path_dag(p.topo, p.c);
+  const auto result = solve_min_max(p.topo, p.c, demands, {}, config);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_NEAR(result.value().theta, 1.0, 1e-3);  // all on B-R2-C
+  EXPECT_NEAR(result.value().link_flow[p.topo.link_between(p.b, p.r3)], 0.0, 1e-6);
+  // A malformed support vector is a soft failure, not an abort.
+  config.support.assign(3, true);
+  EXPECT_FALSE(solve_min_max(p.topo, p.c, demands, {}, config).ok());
 }
 
 TEST(MinMax, ZeroDemandIsTrivial) {

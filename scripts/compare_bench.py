@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Diff two google-benchmark JSON files and flag perf regressions.
+
+Usage:
+  compare_bench.py --baseline OLD.json --current NEW.json \
+      [--threshold 0.10] [--fail-on-regression]
+
+Benchmarks are matched by name. Two kinds of findings:
+  * time regression  -- real_time grew by more than the threshold
+    (lower is better; improvements are reported but never flagged);
+  * counter drift    -- a tracked counter (any user counter in the JSON,
+    e.g. claim aggregates like `verified` or cache work like `spf_full`)
+    moved by more than the threshold in either direction. Counters encode
+    claims, so *any* large move deserves eyes, not only increases.
+
+Output is plain text plus GitHub annotation lines (::warning) so findings
+surface on the workflow summary. Exit status is 0 unless
+--fail-on-regression is given and at least one finding was flagged:
+baseline machines in shared CI are noisy, so the default is to warn, not
+to break the build; the uploaded artifacts keep the full history.
+"""
+
+import argparse
+import json
+import sys
+
+# Keys of a benchmark entry that are not user counters.
+STANDARD_KEYS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "aggregate_name", "aggregate_unit",
+    "label", "error_occurred", "error_message", "big_o", "rms",
+    "items_per_second", "bytes_per_second",
+}
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue  # compare raw runs; aggregates would double-count
+        out[bench["name"]] = bench
+    return out
+
+
+def real_time_ns(bench):
+    return bench["real_time"] * TIME_UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+
+
+def counters(bench):
+    return {
+        key: value
+        for key, value in bench.items()
+        if key not in STANDARD_KEYS and isinstance(value, (int, float))
+    }
+
+
+def rel_change(old, new):
+    if old == 0:
+        return float("inf") if new != 0 else 0.0
+    return (new - old) / abs(old)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--threshold", type=float, default=0.10)
+    parser.add_argument("--fail-on-regression", action="store_true")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    flagged = []
+
+    for name in sorted(current):
+        if name not in baseline:
+            print(f"NEW       {name} (no baseline entry)")
+            continue
+        old, new = baseline[name], current[name]
+
+        change = rel_change(real_time_ns(old), real_time_ns(new))
+        status = "ok"
+        if change > args.threshold:
+            status = "REGRESSION"
+            flagged.append(
+                f"{name}: real_time {change:+.1%} "
+                f"({real_time_ns(old):.0f}ns -> {real_time_ns(new):.0f}ns)")
+        elif change < -args.threshold:
+            status = "improved"
+        print(f"{status:10} {name} real_time {change:+.1%}")
+
+        old_counters = counters(old)
+        for key, new_value in sorted(counters(new).items()):
+            if key not in old_counters:
+                continue
+            drift = rel_change(old_counters[key], new_value)
+            if abs(drift) > args.threshold:
+                flagged.append(
+                    f"{name}: counter {key} {drift:+.1%} "
+                    f"({old_counters[key]:g} -> {new_value:g})")
+                print(f"{'DRIFT':10} {name} counter {key} {drift:+.1%}")
+
+    for name in sorted(set(baseline) - set(current)):
+        print(f"GONE      {name} (present in baseline only)")
+
+    if flagged:
+        print(f"\n{len(flagged)} finding(s) above the {args.threshold:.0%} threshold:")
+        for finding in flagged:
+            print(f"  {finding}")
+            print(f"::warning title=perf regression::{finding}")
+    else:
+        print(f"\nno findings above the {args.threshold:.0%} threshold")
+
+    return 1 if (flagged and args.fail_on_regression) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

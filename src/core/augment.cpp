@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
 #include "core/verify.hpp"
 #include "igp/spf.hpp"
@@ -47,13 +48,29 @@ CompileResult compile_lies(const topo::Topology& topo,
     return R::failure(K::kBadRequirement, valid.error());
   }
 
-  const igp::NetworkView view =
-      igp::NetworkView::from_topology(topo, {}, config.link_state);
-  const std::vector<igp::RoutingTable> baseline = igp::compute_all_routes(view);
+  // The shared route cache serves the view, the baseline tables and the
+  // per-router SPFs when it describes this exact topology state; otherwise
+  // (standalone callers, mismatched mask) everything is computed locally.
+  igp::RouteCache* cache = config.route_cache;
+  if (cache != nullptr && (&cache->topology() != &topo ||
+                           config.link_state != &cache->link_state())) {
+    cache = nullptr;
+  }
+  std::optional<igp::NetworkView> local_view;
+  if (cache == nullptr) {
+    local_view = igp::NetworkView::from_topology(topo, {}, config.link_state);
+  }
+  const igp::NetworkView& view = cache != nullptr ? cache->view() : *local_view;
+  const igp::RouteCache::TablesPtr baseline_ptr =
+      cache != nullptr ? cache->baseline()
+                       : std::make_shared<const std::vector<igp::RoutingTable>>(
+                             igp::compute_all_routes(view));
+  const std::vector<igp::RoutingTable>& baseline = *baseline_ptr;
 
   // Cache one SPF per router we plan lies at.
   std::map<topo::NodeId, igp::SpfResult> spf_cache;
   const auto spf_at = [&](topo::NodeId u) -> const igp::SpfResult& {
+    if (cache != nullptr) return cache->spf(u);
     auto it = spf_cache.find(u);
     if (it == spf_cache.end()) it = spf_cache.emplace(u, igp::run_spf(view, u)).first;
     return it->second;
@@ -197,7 +214,7 @@ CompileResult compile_lies(const topo::Topology& topo,
     }
 
     const VerifyReport report =
-        verify_augmentation(topo, req, out.lies, config.link_state);
+        verify_augmentation(topo, req, out.lies, config.link_state, cache);
     if (report.ok()) {
       out.naive_lie_count = out.lies.size();
       break;
@@ -246,7 +263,7 @@ CompileResult compile_lies(const topo::Topology& topo,
     for (std::size_t i = out.lies.size(); i-- > 0;) {
       std::vector<Lie> candidate = out.lies;
       candidate.erase(candidate.begin() + static_cast<long>(i));
-      if (verify_augmentation(topo, req, candidate, config.link_state).ok()) {
+      if (verify_augmentation(topo, req, candidate, config.link_state, cache).ok()) {
         out.lies = std::move(candidate);
       }
     }

@@ -8,6 +8,7 @@
 
 #include "core/lie.hpp"
 #include "core/requirements.hpp"
+#include "igp/route_cache.hpp"
 #include "topo/link_state.hpp"
 #include "topo/topology.hpp"
 #include "util/result.hpp"
@@ -30,6 +31,14 @@ struct AugmentConfig {
   /// steer over a down link cannot compile -- its transfer /30 is absent
   /// from the degraded view.
   const topo::LinkStateMask* link_state = nullptr;
+  /// Shared route-computation cache (optional, not owned): the baseline
+  /// tables, the per-router SPFs and every verification round's table sets
+  /// are served from it instead of fresh all-pairs runs. Used only when it
+  /// describes the same topology and the same mask as `link_state`; the
+  /// compiled output is bit-identical either way. The controller passes its
+  /// own instance so a mitigation's solve -> compile -> verify pipeline
+  /// computes each baseline exactly once.
+  igp::RouteCache* route_cache = nullptr;
 };
 
 /// A compiled augmentation for one destination prefix.

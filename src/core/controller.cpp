@@ -5,8 +5,6 @@
 #include <tuple>
 
 #include "core/loads.hpp"
-#include "igp/spf.hpp"
-#include "igp/view.hpp"
 #include "util/logging.hpp"
 
 namespace fibbing::core {
@@ -19,12 +17,13 @@ Controller::Controller(const topo::Topology& topo, igp::IgpDomain& domain,
       events_(events),
       config_(config),
       detector_(topo, config.high_watermark, config.low_watermark,
-                config.hold_rounds) {
+                config.hold_rounds),
+      cache_(topo, domain.link_state()) {
   FIB_ASSERT(config.session_router < topo.node_count(),
              "Controller: bad session router");
   bus.subscribe([this](const monitor::DemandNotice& notice) { on_notice_(notice); });
   domain_.link_state().subscribe(
-      [this](topo::LinkId, bool) { on_topology_change_(); });
+      [this](topo::LinkId link, bool down) { on_topology_change_(link, down); });
   detector_.subscribe([this](const monitor::CongestionDetector::Event& event) {
     if (!config_.enabled) return;
     if (event.state == monitor::CongestionDetector::LinkState::kCongested) {
@@ -89,40 +88,109 @@ void Controller::schedule_evaluate_() {
   });
 }
 
-void Controller::on_topology_change_() {
+void Controller::on_topology_change_(topo::LinkId link, bool down) {
   ++topology_events_;
   if (!config_.enabled) return;
   const topo::LinkStateMask& mask = domain_.link_state();
-  // Every standing placement was solved on a topology that no longer
-  // exists, and every ledger prefix may now have a better (or the only)
-  // placement: re-plan them all. Placements whose lies steer over a link
-  // that just died, or whose realized forwarding graph now loops (lie costs
-  // shift with the topology), are stranded -- they must be re-placed or
-  // retracted even if nothing is predicted hot, instead of limping on the
-  // dangling-FA fallback.
-  std::vector<igp::RoutingTable> lie_tables;
-  if (!active_.empty()) {
-    lie_tables = igp::compute_all_routes(
-        igp::NetworkView::from_topology(topo_, to_externals(all_lies_()), &mask));
-  }
+  (void)link;  // the forwarding diff below localizes the event more
+               // precisely than the link id alone could
+
+  // Placements whose lies steer over a link that just died, or whose
+  // realized forwarding graph now loops (lie costs shift with the
+  // topology), are stranded -- they must be re-placed or retracted even if
+  // nothing is predicted hot, instead of limping on the dangling-FA
+  // fallback.
+  const igp::RouteCache::TablesPtr new_tables =
+      cache_.tables(to_externals(all_lies_()));
   for (const auto& [prefix, lies] : active_) {
-    dirty_.insert(prefix);
-    if (forwarding_loops(topo_, lie_tables, prefix)) {
+    if (forwarding_loops(topo_, *new_tables, prefix)) {
       stranded_.insert(prefix);
+      dirty_.insert(prefix);
       continue;
     }
     for (const Lie& lie : lies) {
       const topo::LinkId l = topo_.link_between(lie.attach, lie.via);
       if (l != topo::kInvalidLink && mask.is_down(l)) {
         stranded_.insert(prefix);
+        dirty_.insert(prefix);
         break;
       }
     }
   }
-  for (const auto& [prefix, ingresses] : ledger_) dirty_.insert(prefix);
-  // A placement that failed on the old topology may succeed on the new one.
-  placement_failed_.clear();
+
+  if (down && last_tables_ != nullptr) {
+    // Failure: re-planning is scoped to the prefixes whose realized
+    // forwarding actually shifted (routes differ from the pre-event
+    // snapshot). A prefix whose traffic never crossed the dead link keeps
+    // its placement and costs no optimizer work; if displaced traffic later
+    // overloads one of its links, the ordinary congestion path re-plans the
+    // displaced (dirty) prefixes around it.
+    std::set<net::Prefix> candidates;
+    for (const auto& [prefix, lies] : active_) candidates.insert(prefix);
+    for (const auto& [prefix, ingresses] : ledger_) candidates.insert(prefix);
+    for (const net::Prefix& prefix : candidates) {
+      if (dirty_.contains(prefix)) continue;  // already slated for re-plan
+      if (forwarding_changed_(prefix, *last_tables_, *new_tables)) {
+        dirty_.insert(prefix);
+      }
+    }
+  } else {
+    // Restoration (or no snapshot yet): every standing placement was solved
+    // without the recovered link and every ledger prefix may now have a
+    // better placement -- one global re-optimize pass.
+    for (const auto& [prefix, lies] : active_) dirty_.insert(prefix);
+    for (const auto& [prefix, ingresses] : ledger_) dirty_.insert(prefix);
+    // A placement that failed on the old topology may succeed on the new
+    // one (a failure only removes options, so scoped events keep the set).
+    placement_failed_.clear();
+  }
   schedule_evaluate_();
+}
+
+bool Controller::forwarding_changed_(const net::Prefix& prefix,
+                                     const igp::RouteCache::Tables& before,
+                                     const igp::RouteCache::Tables& after) const {
+  // Only the nodes the prefix's traffic traverses matter for its placement:
+  // walk the old forwarding graph from the demand ingresses, diffing each
+  // visited node's entry. If every traffic-carrying node forwards exactly
+  // as before, the realized loads are unchanged (propagation from the same
+  // ingresses over identical entries) and the placement needs no re-solve;
+  // route shifts at nodes that carry none of this prefix's traffic are the
+  // other prefixes' problem. Loops in transient state are handled by the
+  // stranded check, and the visited-set here makes the walk cycle-safe.
+  std::vector<char> seen(topo_.node_count(), 0);
+  std::vector<topo::NodeId> queue;
+  const auto ledger_it = ledger_.find(prefix);
+  if (ledger_it != ledger_.end()) {
+    for (const auto& [ingress, demand] : ledger_it->second) {
+      if (demand.rate_bps > 0.0 && !seen[ingress]) {
+        seen[ingress] = 1;
+        queue.push_back(ingress);
+      }
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const topo::NodeId n = queue[head];
+    const auto was = before[n].find(prefix);
+    const auto now = after[n].find(prefix);
+    const bool had = was != before[n].end();
+    const bool has = now != after[n].end();
+    if (had != has) return true;
+    if (!had) continue;  // blackholed before and after: nothing moved
+    if (!(was->second == now->second)) return true;
+    if (was->second.local) continue;  // delivered here
+    for (const auto& nh : was->second.next_hops) {
+      if (!seen[nh.via]) {
+        seen[nh.via] = 1;
+        queue.push_back(nh.via);
+      }
+    }
+  }
+  return false;
+}
+
+void Controller::refresh_forwarding_snapshot_() {
+  last_tables_ = cache_.tables(to_externals(all_lies_()));
 }
 
 std::vector<te::Demand> Controller::demands_of_(const net::Prefix& prefix) const {
@@ -156,11 +224,12 @@ void Controller::evaluate_() {
   // Predict per-link utilization with the ledger demand on the *current*
   // forwarding state (lies included) over the *live* topology; mitigate if
   // anything would run hot. Stranded placements are re-planned regardless.
-  const auto tables = igp::compute_all_routes(igp::NetworkView::from_topology(
-      topo_, to_externals(all_lies_()), &domain_.link_state()));
+  const igp::RouteCache::TablesPtr tables =
+      cache_.tables(to_externals(all_lies_()));
+  last_tables_ = tables;  // the snapshot topology events diff against
   std::vector<double> load(topo_.link_count(), 0.0);
   for (const auto& [prefix, ingresses] : ledger_) {
-    const auto prefix_load = loads_from_routes(topo_, tables, prefix,
+    const auto prefix_load = loads_from_routes(topo_, *tables, prefix,
                                                demands_of_(prefix));
     for (topo::LinkId l = 0; l < topo_.link_count(); ++l) load[l] += prefix_load[l];
   }
@@ -251,15 +320,15 @@ void Controller::mitigate_() {
     // Background: every *other* prefix's demand on its current routes over
     // the live topology.
     const std::vector<Lie> other_lies = all_lies_except_(prefix);
-    const auto other_tables = igp::compute_all_routes(
-        igp::NetworkView::from_topology(topo_, to_externals(other_lies), &mask));
+    const igp::RouteCache::TablesPtr other_tables =
+        cache_.tables(to_externals(other_lies));
     std::vector<double> background(topo_.link_count(), 0.0);
     for (const auto& [q, ingresses] : ledger_) {
       if (q == prefix || (config_.joint_batch_placement && unattempted.contains(q) &&
                           !placement_failed_.contains(q))) {
         continue;
       }
-      const auto q_load = loads_from_routes(topo_, other_tables, q, demands_of_(q));
+      const auto q_load = loads_from_routes(topo_, *other_tables, q, demands_of_(q));
       for (topo::LinkId l = 0; l < topo_.link_count(); ++l) background[l] += q_load[l];
     }
 
@@ -267,6 +336,7 @@ void Controller::mitigate_() {
     mm.max_stretch = config_.max_stretch;
     mm.link_state = &mask;
     mm.granularity_floor = 1.0 / std::max<std::uint32_t>(config_.max_replicas, 2);
+    ++placement_solves_;
     const auto solution = te::solve_min_max(topo_, dest, demands, background, mm);
     if (!solution.ok()) {
       FIB_LOG(kWarn, "controller") << "optimizer failed: " << solution.error();
@@ -280,6 +350,7 @@ void Controller::mitigate_() {
       AugmentConfig aug_config;
       aug_config.first_lie_id = next_lie_id_;
       aug_config.link_state = &mask;
+      aug_config.route_cache = &cache_;
       return compile_lies(topo_, req, aug_config);
     };
     CompileResult compiled = attempt(solution.value());
@@ -298,9 +369,15 @@ void Controller::mitigate_() {
       for (topo::LinkId l = 0; l < topo_.link_count(); ++l) {
         if (solution.value().link_flow[l] > flow_eps) mm.support[l] = true;
       }
+      // One search serves every rung: the binary-search bound is identical
+      // per rung (only the refinement headroom differs), so each re-solve
+      // costs a single feasibility max-flow plus the refinement.
+      te::MinMaxSearch ladder_search;
       for (const double relax : config_.theta_relax_schedule) {
         mm.theta_relax = relax;
-        const auto relaxed = te::solve_min_max(topo_, dest, demands, background, mm);
+        ++placement_solves_;
+        const auto relaxed =
+            te::solve_min_max(topo_, dest, demands, background, mm, &ladder_search);
         if (!relaxed.ok()) break;
         CompileResult retry = attempt(relaxed.value());
         const bool granular =
@@ -362,6 +439,7 @@ void Controller::mitigate_() {
   if (batch_failed) {
     for (const net::Prefix& prefix : attempted_ok) dirty_.insert(prefix);
   }
+  refresh_forwarding_snapshot_();
 }
 
 void Controller::maybe_retract_() {
@@ -378,12 +456,12 @@ void Controller::maybe_retract_() {
     const std::vector<te::Demand> demands = demands_of_(prefix);
 
     const std::vector<Lie> other_lies = all_lies_except_(prefix);
-    const auto other_tables = igp::compute_all_routes(
-        igp::NetworkView::from_topology(topo_, to_externals(other_lies), &mask));
+    const igp::RouteCache::TablesPtr other_tables =
+        cache_.tables(to_externals(other_lies));
     std::vector<double> background(topo_.link_count(), 0.0);
     for (const auto& [q, ingresses] : ledger_) {
       if (q == prefix) continue;
-      const auto q_load = loads_from_routes(topo_, other_tables, q, demands_of_(q));
+      const auto q_load = loads_from_routes(topo_, *other_tables, q, demands_of_(q));
       for (topo::LinkId l = 0; l < topo_.link_count(); ++l) background[l] += q_load[l];
     }
     const double spf_util = te::shortest_path_max_utilization(
@@ -396,6 +474,7 @@ void Controller::maybe_retract_() {
     dirty_.insert(prefix);  // any future demand re-places from scratch
     ++retractions_;
   }
+  if (!to_retract.empty()) refresh_forwarding_snapshot_();
 }
 
 void Controller::apply_lies_(const net::Prefix& prefix, std::vector<Lie> lies) {

@@ -8,6 +8,7 @@
 #include "core/augment.hpp"
 #include "core/lie.hpp"
 #include "igp/domain.hpp"
+#include "igp/route_cache.hpp"
 #include "monitor/bus.hpp"
 #include "monitor/detector.hpp"
 #include "monitor/poller.hpp"
@@ -95,22 +96,38 @@ class Controller {
   /// Topology-change events (failures + restorations) the controller has
   /// re-planned for.
   [[nodiscard]] int topology_events() const { return topology_events_; }
+  /// Min-max optimizer invocations (initial solves + fallback-ladder rungs)
+  /// -- the unit of work the scoped topology-change re-planning saves.
+  [[nodiscard]] int placement_solves() const { return placement_solves_; }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
+
+  /// The shared route-computation cache the whole control loop plans on
+  /// (solve -> compile -> verify -> ledger all hit the same instance).
+  [[nodiscard]] igp::RouteCache& route_cache() { return cache_; }
 
   /// Registered demand toward a prefix (bps), for tests and benches.
   [[nodiscard]] double demand_for(const net::Prefix& prefix) const;
 
  private:
   void on_notice_(const monitor::DemandNotice& notice);
-  /// Mask-subscription reaction: a link failed or was restored. Every
-  /// standing placement and every prefix with demand is re-planned on the
-  /// new topology at the next event-queue step; stranded lies are re-placed
-  /// or retracted deliberately.
-  void on_topology_change_();
+  /// Mask-subscription reaction: a link failed or was restored. Re-planning
+  /// is *scoped*: on a failure only the prefixes whose forwarding actually
+  /// shifted (their routes differ from the pre-event snapshot) plus any
+  /// stranded placements are re-planned; a restoration triggers one global
+  /// re-optimize pass (every active/ledger prefix may now have a better
+  /// placement). Stranded lies are re-placed or retracted deliberately.
+  void on_topology_change_(topo::LinkId link, bool down);
   void schedule_evaluate_();
   void evaluate_();
   void mitigate_();
   void maybe_retract_();
+  /// Did `prefix`'s realized forwarding change between two table sets?
+  [[nodiscard]] bool forwarding_changed_(const net::Prefix& prefix,
+                                         const igp::RouteCache::Tables& before,
+                                         const igp::RouteCache::Tables& after) const;
+  /// Re-snapshot the realized forwarding of the current lie set (consulted
+  /// by the next topology event to scope re-planning).
+  void refresh_forwarding_snapshot_();
   [[nodiscard]] std::vector<te::Demand> demands_of_(const net::Prefix& prefix) const;
   [[nodiscard]] std::vector<Lie> all_lies_except_(const net::Prefix& prefix) const;
   [[nodiscard]] std::vector<Lie> all_lies_() const;
@@ -121,6 +138,14 @@ class Controller {
   util::EventQueue& events_;
   ControllerConfig config_;
   monitor::CongestionDetector detector_;
+  /// Versioned route-computation cache over the domain's live mask: every
+  /// table set the controller (and the compile/verify pipeline it invokes)
+  /// plans on comes from here instead of a fresh all-pairs SPF.
+  igp::RouteCache cache_;
+  /// Realized forwarding of the current lie set as of the last evaluation /
+  /// placement change; the shared_ptr keeps the snapshot alive across cache
+  /// generations so a topology event can diff against it.
+  igp::RouteCache::TablesPtr last_tables_;
 
   struct IngressDemand {
     double rate_bps = 0.0;
@@ -143,6 +168,7 @@ class Controller {
   int retractions_ = 0;
   int relaxed_placements_ = 0;
   int topology_events_ = 0;
+  int placement_solves_ = 0;
 };
 
 }  // namespace fibbing::core

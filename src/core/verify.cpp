@@ -59,7 +59,8 @@ std::string VerifyReport::to_string(const topo::Topology& topo) const {
 VerifyReport verify_augmentation(const topo::Topology& topo,
                                  const DestRequirement& req,
                                  const std::vector<Lie>& lies,
-                                 const topo::LinkStateMask* link_state) {
+                                 const topo::LinkStateMask* link_state,
+                                 igp::RouteCache* cache) {
   VerifyReport report;
 
   // Split lies: those for req.prefix shape the target; all others belong to
@@ -70,10 +71,20 @@ VerifyReport verify_augmentation(const topo::Topology& topo,
     (lie.prefix == req.prefix ? own : other).push_back(lie);
   }
 
-  const auto baseline = igp::compute_all_routes(
-      igp::NetworkView::from_topology(topo, to_externals(other), link_state));
-  const auto augmented = igp::compute_all_routes(
-      igp::NetworkView::from_topology(topo, to_externals(lies), link_state));
+  if (cache != nullptr && (&cache->topology() != &topo ||
+                           link_state != &cache->link_state())) {
+    cache = nullptr;  // describes some other topology state: fresh path
+  }
+  const auto compute = [&](const std::vector<Lie>& with) -> igp::RouteCache::TablesPtr {
+    if (cache != nullptr) return cache->tables(to_externals(with));
+    return std::make_shared<const std::vector<igp::RoutingTable>>(
+        igp::compute_all_routes(
+            igp::NetworkView::from_topology(topo, to_externals(with), link_state)));
+  };
+  const auto baseline_ptr = compute(other);
+  const auto augmented_ptr = compute(lies);
+  const auto& baseline = *baseline_ptr;
+  const auto& augmented = *augmented_ptr;
 
   for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
     // --- requirement / pollution for req.prefix --------------------------

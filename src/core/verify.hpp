@@ -6,6 +6,7 @@
 
 #include "core/lie.hpp"
 #include "core/requirements.hpp"
+#include "igp/route_cache.hpp"
 #include "igp/routes.hpp"
 #include "topo/link_state.hpp"
 #include "topo/topology.hpp"
@@ -57,9 +58,15 @@ struct VerifyReport {
 /// `link_state` (optional) verifies on the degraded topology: baseline and
 /// augmented routes are both computed without the down links, exactly what
 /// converged routers would hold.
+/// `cache` (optional, not owned) serves both route-table sets from the
+/// shared route-computation cache instead of fresh all-pairs SPF runs. It
+/// is consulted only when it describes the same topology and the same live
+/// mask as `link_state` (cache-served tables are bit-identical to fresh
+/// ones, so the verdict cannot differ); otherwise the fresh path runs.
 [[nodiscard]] VerifyReport verify_augmentation(
     const topo::Topology& topo, const DestRequirement& req,
     const std::vector<Lie>& lies,
-    const topo::LinkStateMask* link_state = nullptr);
+    const topo::LinkStateMask* link_state = nullptr,
+    igp::RouteCache* cache = nullptr);
 
 }  // namespace fibbing::core

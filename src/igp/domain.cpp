@@ -31,7 +31,7 @@ IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
     for (const topo::LinkId lid : topo.out_links(n)) {
       router.add_neighbor(topo.link(lid).to);
     }
-    router.set_send([this](topo::NodeId from, topo::NodeId to, const Lsa& lsa) {
+    router.set_send([this](topo::NodeId from, topo::NodeId to, const LsaPtr& lsa) {
       deliver_(from, to, lsa);
     });
     router.set_on_table([this](topo::NodeId self, const RoutingTable& table) {
@@ -103,7 +103,7 @@ void IgpDomain::inject_external(topo::NodeId at, const ExternalLsa& ext) {
   // The controller session behaves like an adjacency: the session router
   // installs the LSA and floods it onward (`from == at` excludes no real
   // neighbor, mirroring an LSA learned from outside the flooding graph).
-  routers_[at]->receive(at, make_external_lsa(ext, seq));
+  routers_[at]->receive(at, std::make_shared<const Lsa>(make_external_lsa(ext, seq)));
 }
 
 void IgpDomain::withdraw_external(topo::NodeId at, std::uint64_t lie_id) {
@@ -113,7 +113,8 @@ void IgpDomain::withdraw_external(topo::NodeId at, std::uint64_t lie_id) {
   ExternalLsa tombstone;
   tombstone.lie_id = lie_id;
   tombstone.withdrawn = true;
-  routers_[at]->receive(at, make_external_lsa(tombstone, ++it->second));
+  routers_[at]->receive(
+      at, std::make_shared<const Lsa>(make_external_lsa(tombstone, ++it->second)));
 }
 
 bool IgpDomain::converged() const {
@@ -158,11 +159,12 @@ std::uint64_t IgpDomain::total_spf_runs() const {
   return sum;
 }
 
-void IgpDomain::deliver_(topo::NodeId from, topo::NodeId to, const Lsa& lsa) {
+void IgpDomain::deliver_(topo::NodeId from, topo::NodeId to, const LsaPtr& lsa) {
   FIB_ASSERT(to < routers_.size(), "deliver: unknown destination");
   // LSAs cannot cross a failed adjacency; a connected remainder still
   // floods everywhere via the surviving links. Checked again at delivery
-  // time: an LSA in flight when the link dies is lost with it.
+  // time: an LSA in flight when the link dies is lost with it. The queued
+  // hop shares the pool handle -- no per-hop copy of the LSA body.
   const topo::LinkId via = topo_.link_between(from, to);
   if (via != topo::kInvalidLink && link_state_->is_down(via)) return;
   ++in_flight_;

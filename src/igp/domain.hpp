@@ -80,7 +80,7 @@ class IgpDomain {
   [[nodiscard]] std::uint64_t total_spf_runs() const;
 
  private:
-  void deliver_(topo::NodeId from, topo::NodeId to, const Lsa& lsa);
+  void deliver_(topo::NodeId from, topo::NodeId to, const LsaPtr& lsa);
   // Mask-subscription reactions (fired on every effective fail/restore).
   void on_link_failed_(topo::LinkId id);
   void on_link_restored_(topo::LinkId id);

@@ -2,6 +2,7 @@
 
 #include <compare>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -69,6 +70,12 @@ struct Lsa {
   SeqNum seq = 1;
   LsaBody body;
 };
+
+/// Shared-ownership handle to an immutable LSA instance. Flooding an LSA
+/// across the domain touches O(links) hops; with a shared pool every hop
+/// (and every LSDB replica holding the instance) shares one allocation
+/// instead of deep-copying the variant body per hop.
+using LsaPtr = std::shared_ptr<const Lsa>;
 
 /// Build `node`'s Router-LSA from the topology. Links whose id is marked in
 /// `down_links` (when non-empty) are omitted, as after an interface failure.

@@ -2,46 +2,53 @@
 
 #include <algorithm>
 
+#include "util/assert.hpp"
+
 namespace fibbing::igp {
 
-Lsdb::InstallResult Lsdb::install(const Lsa& lsa) {
-  auto it = entries_.find(lsa.id);
+Lsdb::InstallResult Lsdb::install(LsaPtr lsa) {
+  FIB_ASSERT(lsa != nullptr, "Lsdb::install: null LSA");
+  auto it = entries_.find(lsa->id);
   if (it == entries_.end()) {
-    entries_.emplace(lsa.id, lsa);
+    entries_.emplace(lsa->id, std::move(lsa));
     return InstallResult::kNewer;
   }
-  if (lsa.seq > it->second.seq) {
-    it->second = lsa;
+  if (lsa->seq > it->second->seq) {
+    it->second = std::move(lsa);
     return InstallResult::kNewer;
   }
-  if (lsa.seq == it->second.seq) return InstallResult::kDuplicate;
+  if (lsa->seq == it->second->seq) return InstallResult::kDuplicate;
   return InstallResult::kStale;
+}
+
+Lsdb::InstallResult Lsdb::install(const Lsa& lsa) {
+  return install(std::make_shared<const Lsa>(lsa));
 }
 
 const Lsa* Lsdb::find(const LsaKey& key) const {
   const auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
+  return it == entries_.end() ? nullptr : it->second.get();
 }
 
 std::vector<const Lsa*> Lsdb::live() const {
   std::vector<const Lsa*> out;
   out.reserve(entries_.size());
   for (const auto& [key, lsa] : entries_) {
-    const auto* ext = std::get_if<ExternalLsa>(&lsa.body);
+    const auto* ext = std::get_if<ExternalLsa>(&lsa->body);
     if (ext != nullptr && ext->withdrawn) continue;
-    out.push_back(&lsa);
+    out.push_back(lsa.get());
   }
   std::sort(out.begin(), out.end(),
             [](const Lsa* a, const Lsa* b) { return a->id < b->id; });
   return out;
 }
 
-std::vector<const Lsa*> Lsdb::all() const {
-  std::vector<const Lsa*> out;
+std::vector<LsaPtr> Lsdb::all() const {
+  std::vector<LsaPtr> out;
   out.reserve(entries_.size());
-  for (const auto& [key, lsa] : entries_) out.push_back(&lsa);
+  for (const auto& [key, lsa] : entries_) out.push_back(lsa);
   std::sort(out.begin(), out.end(),
-            [](const Lsa* a, const Lsa* b) { return a->id < b->id; });
+            [](const LsaPtr& a, const LsaPtr& b) { return a->id < b->id; });
   return out;
 }
 
@@ -49,7 +56,7 @@ bool Lsdb::same_content(const Lsdb& other) const {
   if (entries_.size() != other.entries_.size()) return false;
   for (const auto& [key, lsa] : entries_) {
     const Lsa* theirs = other.find(key);
-    if (theirs == nullptr || theirs->seq != lsa.seq) return false;
+    if (theirs == nullptr || theirs->seq != lsa->seq) return false;
   }
   return true;
 }

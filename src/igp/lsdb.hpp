@@ -9,13 +9,18 @@ namespace fibbing::igp {
 
 /// Link-state database: the per-router replica of all flooded LSAs.
 /// Sequence numbers decide freshness, exactly as in OSPF: an instance
-/// replaces a stored one iff its seq is strictly newer.
+/// replaces a stored one iff its seq is strictly newer. Instances are held
+/// through the shared LSA pool (LsaPtr), so the N replicas of one flooded
+/// instance across the domain share a single allocation.
 class Lsdb {
  public:
   enum class InstallResult { kNewer, kDuplicate, kStale };
 
   /// Install an LSA instance. kNewer means the database changed (and the
   /// caller should re-flood and schedule SPF).
+  InstallResult install(LsaPtr lsa);
+  /// Convenience for callers holding a plain value (tests, one-off
+  /// construction): wraps into the pool once.
   InstallResult install(const Lsa& lsa);
 
   [[nodiscard]] const Lsa* find(const LsaKey& key) const;
@@ -24,15 +29,16 @@ class Lsdb {
   /// All live (non-withdrawn) LSAs, deterministic order (sorted by key).
   [[nodiscard]] std::vector<const Lsa*> live() const;
 
-  /// All entries including withdrawal tombstones (for flooding sync).
-  [[nodiscard]] std::vector<const Lsa*> all() const;
+  /// All entries including withdrawal tombstones (for flooding sync),
+  /// shared handles so re-flooding does not copy.
+  [[nodiscard]] std::vector<LsaPtr> all() const;
 
   /// Two databases are equivalent when they hold the same keys at the same
   /// sequence numbers (the convergence criterion for the flooding tests).
   [[nodiscard]] bool same_content(const Lsdb& other) const;
 
  private:
-  std::unordered_map<LsaKey, Lsa> entries_;
+  std::unordered_map<LsaKey, LsaPtr> entries_;
 };
 
 }  // namespace fibbing::igp

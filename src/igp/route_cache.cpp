@@ -1,0 +1,199 @@
+#include "igp/route_cache.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace fibbing::igp {
+
+namespace {
+
+/// Exact-memo capacity. The controller's steady state needs one entry per
+/// distinct lie-set variant it evaluates per topology version (all lies,
+/// all-except-p for each hot prefix, verify candidates); 64 covers that
+/// with room, and FIFO eviction keeps a pathological verify/reduce sweep
+/// from growing the map without bound.
+constexpr std::size_t kMemoCapacity = 64;
+
+}  // namespace
+
+RouteCache::RouteCache(const topo::Topology& topo, const topo::LinkStateMask& mask)
+    : topo_(&topo),
+      mask_(&mask),
+      version_seen_(mask.version()),
+      bits_(mask.bits()),
+      spf_(topo.node_count()) {
+  FIB_ASSERT(&mask.topology() == &topo, "RouteCache: mask for a different topology");
+}
+
+void RouteCache::refresh_() {
+  if (mask_->version() == version_seen_) return;
+  version_seen_ = mask_->version();
+
+  const std::vector<bool>& live = mask_->bits();
+  FIB_ASSERT(live.size() == bits_.size(), "RouteCache: mask size changed");
+  // Net change since the snapshot, grouped into bidirectional adjacencies
+  // (the mask flips both halves together).
+  std::vector<topo::LinkId> changed_adjacencies;
+  bool mixed_halves = false;
+  for (topo::LinkId l = 0; l < bits_.size(); ++l) {
+    if (bits_[l] == live[l]) continue;
+    const topo::LinkId rev = topo_->link(l).reverse;
+    const topo::LinkId pair_id = rev == topo::kInvalidLink ? l : std::min(l, rev);
+    if (rev != topo::kInvalidLink && bits_[rev] == live[rev]) mixed_halves = true;
+    if (std::find(changed_adjacencies.begin(), changed_adjacencies.end(), pair_id) ==
+        changed_adjacencies.end()) {
+      changed_adjacencies.push_back(pair_id);
+    }
+  }
+  if (changed_adjacencies.empty()) {
+    // e.g. a fail/restore pair between queries: the version moved but the
+    // topology state did not -- everything cached is still exact.
+    return;
+  }
+
+  ++stats_.generations;
+  if (changed_adjacencies.size() == 1 && !mixed_halves) {
+    // Single-adjacency delta: the previous generation's SPFs can be
+    // repaired incrementally on demand.
+    const topo::LinkId link = changed_adjacencies.front();
+    prev_spf_ = std::move(spf_);
+    delta_ = LinkDelta{link, /*removed=*/live[link]};
+  } else {
+    prev_spf_.clear();
+    delta_.reset();
+  }
+  spf_.assign(topo_->node_count(), nullptr);
+  bits_ = live;
+  view_.reset();
+  rin_.reset();
+  baseline_.reset();
+  memo_.clear();
+  memo_order_.clear();
+  attachments_.clear();
+}
+
+const NetworkView& RouteCache::view() {
+  refresh_();
+  if (!view_) {
+    view_ = NetworkView::from_topology(*topo_, {}, mask_);
+    for (const NetworkView::Attachment& att : view_->attachments()) {
+      attachments_[att.prefix].push_back(&att);
+    }
+  }
+  return *view_;
+}
+
+const SpfResult& RouteCache::spf(topo::NodeId source) {
+  refresh_();
+  FIB_ASSERT(source < spf_.size(), "RouteCache::spf: source out of range");
+  if (spf_[source] != nullptr) return *spf_[source];
+
+  const NetworkView& current = view();
+  std::shared_ptr<const SpfResult> prev =
+      source < prev_spf_.size() ? prev_spf_[source] : nullptr;
+  if (delta_ && prev != nullptr) {
+    const topo::Link& link = topo_->link(delta_->link);
+    const topo::Metric w_ba = link.reverse != topo::kInvalidLink
+                                  ? topo_->link(link.reverse).metric
+                                  : link.metric;
+    if (!rin_) rin_ = reverse_adjacency(current);
+    SpfUpdate update = update_spf(current, *prev, link.from, link.to, link.metric,
+                                  w_ba, delta_->removed, &*rin_);
+    switch (update.mode) {
+      case SpfUpdate::Mode::kUnchanged:
+        ++stats_.spf_unchanged;
+        spf_[source] = std::move(prev);  // share: content already exact
+        break;
+      case SpfUpdate::Mode::kIncremental:
+        ++stats_.spf_incremental;
+        spf_[source] = std::make_shared<const SpfResult>(std::move(update.result));
+        break;
+      case SpfUpdate::Mode::kFull:
+        ++stats_.spf_full;
+        spf_[source] = std::make_shared<const SpfResult>(std::move(update.result));
+        break;
+    }
+  } else {
+    ++stats_.spf_full;
+    spf_[source] = std::make_shared<const SpfResult>(run_spf(current, source));
+  }
+  return *spf_[source];
+}
+
+RouteCache::TablesPtr RouteCache::baseline() {
+  refresh_();
+  if (baseline_ == nullptr) {
+    const NetworkView& current = view();
+    auto tables = std::make_shared<Tables>();
+    tables->reserve(topo_->node_count());
+    for (topo::NodeId n = 0; n < topo_->node_count(); ++n) {
+      tables->push_back(compute_routes(current, spf(n)));
+    }
+    baseline_ = std::move(tables);
+    ++stats_.baseline_builds;
+  }
+  return baseline_;
+}
+
+RouteCache::TablesPtr RouteCache::tables(
+    const std::vector<NetworkView::External>& externals) {
+  refresh_();
+  if (externals.empty()) return baseline();
+
+  Fingerprint key;
+  key.reserve(externals.size());
+  for (const NetworkView::External& ext : externals) {
+    key.emplace_back(ext.prefix, ext.ext_metric, ext.forwarding_address);
+  }
+  std::sort(key.begin(), key.end());
+
+  if (const auto it = memo_.find(key); it != memo_.end()) {
+    ++stats_.table_hits;
+    return it->second;
+  }
+
+  TablesPtr built = build_(externals);
+  if (memo_.size() >= kMemoCapacity) {
+    memo_.erase(memo_order_.front());
+    memo_order_.pop_front();
+  }
+  memo_.emplace(key, built);
+  memo_order_.push_back(std::move(key));
+  return built;
+}
+
+RouteCache::TablesPtr RouteCache::build_(
+    const std::vector<NetworkView::External>& externals) {
+  // Lie-delta recomputation: externals for prefix p only influence routes
+  // for p, so start from the externals-free baseline and rewrite exactly
+  // the affected prefixes' entries from the memoized SPFs.
+  const NetworkView& current = view();
+  auto tables = std::make_shared<Tables>(*baseline());
+
+  std::map<net::Prefix, std::vector<const NetworkView::External*>> by_prefix;
+  for (const NetworkView::External& ext : externals) {
+    by_prefix[ext.prefix].push_back(&ext);
+  }
+  static const std::vector<const NetworkView::Attachment*> kNoAttachments;
+
+  for (topo::NodeId n = 0; n < topo_->node_count(); ++n) {
+    const SpfResult& source_spf = spf(n);
+    RoutingTable& table = (*tables)[n];
+    for (const auto& [prefix, exts] : by_prefix) {
+      const auto att_it = attachments_.find(prefix);
+      const auto& atts = att_it == attachments_.end() ? kNoAttachments : att_it->second;
+      RouteEntry entry = compute_route_entry(current, source_spf, atts, exts);
+      ++stats_.entries_patched;
+      if (entry.cost >= kInfMetric) {
+        table.erase(prefix);
+      } else {
+        table.insert_or_assign(prefix, std::move(entry));
+      }
+    }
+  }
+  ++stats_.table_builds;
+  return tables;
+}
+
+}  // namespace fibbing::igp

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "igp/routes.hpp"
+#include "igp/spf.hpp"
+#include "igp/view.hpp"
+#include "topo/link_state.hpp"
+#include "topo/topology.hpp"
+
+namespace fibbing::igp {
+
+/// Work accounting for the cache (benchmarks and tests read these).
+struct RouteCacheStats {
+  // -- table level --------------------------------------------------------
+  std::uint64_t table_hits = 0;      ///< exact (version, lie-set) memo hits
+  std::uint64_t table_builds = 0;    ///< misses patched from the baseline
+  std::uint64_t baseline_builds = 0; ///< externals-free table sets derived
+  std::uint64_t entries_patched = 0; ///< per-(node, prefix) entries rewritten
+  // -- SPF level ----------------------------------------------------------
+  std::uint64_t spf_full = 0;         ///< fresh Dijkstras (cold or fallback)
+  std::uint64_t spf_incremental = 0;  ///< affected-region repairs
+  std::uint64_t spf_unchanged = 0;    ///< link events proven no-ops per source
+  // -- lifecycle ----------------------------------------------------------
+  std::uint64_t generations = 0;      ///< effective topology-state refreshes
+};
+
+/// Versioned route-computation cache: the controller hot path's replacement
+/// for computing full all-pairs route tables from scratch at every step.
+///
+/// Layering (all keyed on the LinkStateMask's version):
+///   1. Exact memo -- a repeated query for the same lie set on the same
+///      topology state returns the same immutable table set in O(1). The
+///      key is the canonical lie-set fingerprint (sorted (prefix, metric,
+///      forwarding address) tuples; External-LSA ids do not influence
+///      routes, so re-injected lies still hit).
+///   2. Lie-delta patching -- an External-LSA for prefix p can only change
+///      routes *for p*, so a miss copies the memoized externals-free
+///      baseline and recomputes only the affected prefixes' entries from
+///      the memoized per-source SPFs (no Dijkstra at all).
+///   3. Incremental SPF -- on a link fail/restore the per-source SPFs are
+///      repaired from the affected subtree (igp::update_spf), falling back
+///      to a full Dijkstra when the change is non-local. A fail/restore
+///      pair that nets out to no change revalidates everything in O(links).
+///
+/// Everything returned is bit-identical to a fresh
+/// igp::compute_all_routes(NetworkView::from_topology(topo, externals,
+/// &mask)) -- the ChurnProperty suite asserts exactly that across random
+/// fail/restore/inject/retract interleavings.
+///
+/// The cache only ever *reads* the mask (version + bits); it subscribes to
+/// nothing, so its lifetime is independent of the mask's listener list. One
+/// instance is shared across a mitigation's whole solve -> compile ->
+/// verify -> ledger pipeline (Controller owns it and hands it to
+/// compile_lies and verify_augmentation), so each baseline is computed
+/// exactly once per topology version.
+class RouteCache {
+ public:
+  RouteCache(const topo::Topology& topo, const topo::LinkStateMask& mask);
+
+  using Tables = std::vector<RoutingTable>;
+  using TablesPtr = std::shared_ptr<const Tables>;
+
+  /// Routing tables of every router for the current topology state plus
+  /// `externals`. Immutable and shared: callers may hold the pointer across
+  /// later topology changes (it stays internally consistent; it just no
+  /// longer describes the live state).
+  [[nodiscard]] TablesPtr tables(const std::vector<NetworkView::External>& externals);
+
+  /// Externals-free tables for the current topology state.
+  [[nodiscard]] TablesPtr baseline();
+
+  /// Memoized SPF from `source` over the current (degraded) topology.
+  [[nodiscard]] const SpfResult& spf(topo::NodeId source);
+
+  /// The externals-free NetworkView of the current topology state. Valid
+  /// until the next call that observes a newer mask version.
+  [[nodiscard]] const NetworkView& view();
+
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
+  [[nodiscard]] const topo::LinkStateMask& link_state() const { return *mask_; }
+  [[nodiscard]] const RouteCacheStats& stats() const { return stats_; }
+
+ private:
+  /// One external's route-relevant identity (lie ids excluded: they never
+  /// influence the computed routes).
+  using ExtId = std::tuple<net::Prefix, topo::Metric, net::Ipv4>;
+  using Fingerprint = std::vector<ExtId>;
+
+  /// Catch up with the mask: diff the stored bit snapshot against the live
+  /// one and invalidate (or incrementally carry over) the derived state.
+  void refresh_();
+  [[nodiscard]] TablesPtr build_(const std::vector<NetworkView::External>& externals);
+
+  const topo::Topology* topo_;
+  const topo::LinkStateMask* mask_;
+
+  std::uint64_t version_seen_;
+  std::vector<bool> bits_;  ///< mask snapshot the cached state describes
+  std::optional<NetworkView> view_;  ///< lazily built per generation
+
+  /// Per-source SPFs for the current generation (null until queried).
+  std::vector<std::shared_ptr<const SpfResult>> spf_;
+  /// Previous generation's SPFs, kept only while `delta_` records the one
+  /// adjacency separating it from the current generation.
+  std::vector<std::shared_ptr<const SpfResult>> prev_spf_;
+  struct LinkDelta {
+    topo::LinkId link = topo::kInvalidLink;  // lower-id directed half
+    bool removed = false;
+  };
+  std::optional<LinkDelta> delta_;
+  /// Reverse adjacency of the current view, built once per generation the
+  /// first time an incremental SPF update needs it (shared by all sources).
+  std::optional<ReverseAdjacency> rin_;
+
+  TablesPtr baseline_;
+  std::map<Fingerprint, TablesPtr> memo_;
+  std::deque<Fingerprint> memo_order_;  ///< FIFO eviction
+  /// Attachments of the current view bucketed by prefix (patch helper).
+  std::map<net::Prefix, std::vector<const NetworkView::Attachment*>> attachments_;
+
+  RouteCacheStats stats_;
+};
+
+}  // namespace fibbing::igp

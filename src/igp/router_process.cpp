@@ -18,20 +18,21 @@ void RouterProcess::remove_neighbor(topo::NodeId peer) {
 
 void RouterProcess::sync_neighbor(topo::NodeId peer) {
   FIB_ASSERT(send_ != nullptr, "RouterProcess: transport not wired");
-  for (const Lsa* lsa : lsdb_.all()) {
+  for (const LsaPtr& lsa : lsdb_.all()) {
     ++lsas_sent_;
-    send_(self_, peer, *lsa);
+    send_(self_, peer, lsa);
   }
 }
 
-void RouterProcess::originate(const Lsa& lsa) {
-  const auto result = lsdb_.install(lsa);
+void RouterProcess::originate(Lsa lsa) {
+  auto shared = std::make_shared<const Lsa>(std::move(lsa));
+  const auto result = lsdb_.install(shared);
   if (result != Lsdb::InstallResult::kNewer) return;
-  flood_(lsa, /*except=*/self_);
+  flood_(shared, /*except=*/self_);
   schedule_spf_();
 }
 
-void RouterProcess::receive(topo::NodeId from, const Lsa& lsa) {
+void RouterProcess::receive(topo::NodeId from, LsaPtr lsa) {
   ++lsas_received_;
   const auto result = lsdb_.install(lsa);
   if (result != Lsdb::InstallResult::kNewer) return;  // duplicate/stale: drop
@@ -39,7 +40,7 @@ void RouterProcess::receive(topo::NodeId from, const Lsa& lsa) {
   schedule_spf_();
 }
 
-void RouterProcess::flood_(const Lsa& lsa, topo::NodeId except) {
+void RouterProcess::flood_(const LsaPtr& lsa, topo::NodeId except) {
   FIB_ASSERT(send_ != nullptr, "RouterProcess: transport not wired");
   for (const topo::NodeId peer : neighbors_) {
     if (peer == except) continue;

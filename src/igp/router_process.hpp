@@ -22,8 +22,11 @@ struct IgpTiming {
 /// the shared event queue), which keeps this class testable in isolation.
 class RouterProcess {
  public:
-  /// (from, to, lsa): deliver `lsa` from this router to neighbor `to`.
-  using SendFn = std::function<void(topo::NodeId from, topo::NodeId to, const Lsa&)>;
+  /// (from, to, lsa): deliver `lsa` from this router to neighbor `to`. The
+  /// handle is shared -- transports queue it without copying the LSA body
+  /// (one allocation per instance domain-wide, not one per hop).
+  using SendFn =
+      std::function<void(topo::NodeId from, topo::NodeId to, const LsaPtr&)>;
   /// Fired after each SPF run with the fresh routing table.
   using TableFn = std::function<void(topo::NodeId self, const RoutingTable&)>;
 
@@ -40,12 +43,15 @@ class RouterProcess {
   /// freshness checks discard everything it already holds.
   void sync_neighbor(topo::NodeId peer);
 
-  /// Install a self/controller-originated LSA and flood it to all neighbors.
-  void originate(const Lsa& lsa);
+  /// Install a self/controller-originated LSA and flood it to all
+  /// neighbors. The instance enters the shared pool here (the one deep copy
+  /// in its domain-wide lifetime).
+  void originate(Lsa lsa);
 
   /// Handle an LSA arriving from `from` (a neighbor, or the controller
-  /// session when from == self).
-  void receive(topo::NodeId from, const Lsa& lsa);
+  /// session when from == self). Installing and re-flooding share the
+  /// handle; nothing is copied.
+  void receive(topo::NodeId from, LsaPtr lsa);
 
   [[nodiscard]] topo::NodeId id() const { return self_; }
   [[nodiscard]] const Lsdb& lsdb() const { return lsdb_; }
@@ -58,7 +64,7 @@ class RouterProcess {
   [[nodiscard]] std::uint64_t spf_runs() const { return spf_runs_; }
 
  private:
-  void flood_(const Lsa& lsa, topo::NodeId except);
+  void flood_(const LsaPtr& lsa, topo::NodeId except);
   void schedule_spf_();
   void run_spf_now_();
 

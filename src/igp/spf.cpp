@@ -98,62 +98,307 @@ SubnetRoute route_to_subnet(const NetworkView& view, const SpfResult& spf,
   return out;
 }
 
-RoutingTable compute_routes(const NetworkView& view, topo::NodeId source) {
-  const SpfResult spf = run_spf(view, source);
-
+RouteEntry compute_route_entry(
+    const NetworkView& view, const SpfResult& spf,
+    const std::vector<const NetworkView::Attachment*>& attachments,
+    const std::vector<const NetworkView::External*>& externals) {
   struct Candidate {
     topo::Metric cost = kInfMetric;
     bool local = false;
     std::vector<topo::NodeId> first_hops;  // each contributes weight 1
   };
-  std::map<net::Prefix, std::vector<Candidate>> candidates;
+  std::vector<Candidate> cands;
 
-  for (const NetworkView::Attachment& att : view.attachments()) {
-    if (!spf.reaches(att.node)) continue;
+  for (const NetworkView::Attachment* att : attachments) {
+    if (!spf.reaches(att->node)) continue;
     Candidate cand;
-    cand.cost = spf.dist[att.node] + att.metric;
-    if (att.node == source) {
+    cand.cost = spf.dist[att->node] + att->metric;
+    if (att->node == spf.source) {
       cand.local = true;
     } else {
-      cand.first_hops = spf.first_hops[att.node];
+      cand.first_hops = spf.first_hops[att->node];
     }
-    candidates[att.prefix].push_back(std::move(cand));
+    cands.push_back(std::move(cand));
   }
 
-  for (const NetworkView::External& ext : view.externals()) {
-    const auto match = view.resolve_forwarding_address(ext.forwarding_address);
+  for (const NetworkView::External* ext : externals) {
+    const auto match = view.resolve_forwarding_address(ext->forwarding_address);
     if (!match) continue;  // dangling forwarding address: route unusable
     // A lie whose forwarding address belongs to this very router would make
     // it forward to itself; routers ignore such self-pointing externals.
-    if (match->pointed_router == source) continue;
+    if (match->pointed_router == spf.source) continue;
     const SubnetRoute sub = route_to_subnet(view, spf, *match->subnet);
     if (sub.cost >= kInfMetric) continue;
     Candidate cand;
-    cand.cost = sub.cost + ext.ext_metric;
+    cand.cost = sub.cost + ext->ext_metric;
     cand.first_hops = sub.first_hops;
-    candidates[ext.prefix].push_back(std::move(cand));
+    cands.push_back(std::move(cand));
+  }
+
+  RouteEntry entry;
+  for (const Candidate& cand : cands) entry.cost = std::min(entry.cost, cand.cost);
+  if (entry.cost >= kInfMetric) return entry;
+  std::map<topo::NodeId, std::uint32_t> weights;
+  for (const Candidate& cand : cands) {
+    if (cand.cost != entry.cost) continue;
+    if (cand.local) entry.local = true;
+    // Every minimal candidate (intra route or individual lie) contributes
+    // one FIB slot per first hop; replicated lies therefore accumulate
+    // weight on their shared physical next hop -- uneven splitting.
+    for (const topo::NodeId hop : cand.first_hops) weights[hop] += 1;
+  }
+  for (const auto& [via, weight] : weights) {
+    entry.next_hops.push_back(WeightedNextHop{via, weight});
+  }
+  return entry;
+}
+
+RoutingTable compute_routes(const NetworkView& view, const SpfResult& spf) {
+  struct Sources {
+    std::vector<const NetworkView::Attachment*> attachments;
+    std::vector<const NetworkView::External*> externals;
+  };
+  std::map<net::Prefix, Sources> by_prefix;
+  for (const NetworkView::Attachment& att : view.attachments()) {
+    by_prefix[att.prefix].attachments.push_back(&att);
+  }
+  for (const NetworkView::External& ext : view.externals()) {
+    by_prefix[ext.prefix].externals.push_back(&ext);
   }
 
   RoutingTable table;
-  for (auto& [prefix, cands] : candidates) {
-    RouteEntry entry;
-    for (const Candidate& cand : cands) entry.cost = std::min(entry.cost, cand.cost);
+  for (const auto& [prefix, sources] : by_prefix) {
+    RouteEntry entry =
+        compute_route_entry(view, spf, sources.attachments, sources.externals);
     if (entry.cost >= kInfMetric) continue;
-    std::map<topo::NodeId, std::uint32_t> weights;
-    for (const Candidate& cand : cands) {
-      if (cand.cost != entry.cost) continue;
-      if (cand.local) entry.local = true;
-      // Every minimal candidate (intra route or individual lie) contributes
-      // one FIB slot per first hop; replicated lies therefore accumulate
-      // weight on their shared physical next hop -- uneven splitting.
-      for (const topo::NodeId hop : cand.first_hops) weights[hop] += 1;
-    }
-    for (const auto& [via, weight] : weights) {
-      entry.next_hops.push_back(WeightedNextHop{via, weight});
-    }
     table.emplace(prefix, std::move(entry));
   }
   return table;
+}
+
+RoutingTable compute_routes(const NetworkView& view, topo::NodeId source) {
+  return compute_routes(view, run_spf(view, source));
+}
+
+ReverseAdjacency reverse_adjacency(const NetworkView& view) {
+  ReverseAdjacency rin;
+  rin.in.resize(view.node_count());
+  for (topo::NodeId u = 0; u < view.node_count(); ++u) {
+    for (const NetworkView::Edge& e : view.edges_from(u)) {
+      rin.in[e.to].push_back(ReverseAdjacency::InEdge{u, e.metric});
+    }
+  }
+  return rin;
+}
+
+SpfUpdate update_spf(const NetworkView& new_view, const SpfResult& old,
+                     topo::NodeId a, topo::NodeId b, topo::Metric w_ab,
+                     topo::Metric w_ba, bool removed, const ReverseAdjacency* rin_in) {
+  const std::size_t n = new_view.node_count();
+  FIB_ASSERT(old.dist.size() == n, "update_spf: view/result size mismatch");
+  FIB_ASSERT(a < n && b < n, "update_spf: endpoint out of range");
+  SpfUpdate out;
+
+  const auto reach_old = [&](topo::NodeId v) { return old.dist[v] < kInfMetric; };
+  // Tightness of the flipped halves under the *old* distances: only tight
+  // edges carry shortest paths (and therefore first hops).
+  const bool tight_ab =
+      reach_old(a) && reach_old(b) && old.dist[a] + w_ab == old.dist[b];
+  const bool tight_ba =
+      reach_old(a) && reach_old(b) && old.dist[b] + w_ba == old.dist[a];
+  const bool improves_b =
+      !removed && reach_old(a) && (!reach_old(b) || old.dist[a] + w_ab < old.dist[b]);
+  const bool improves_a =
+      !removed && reach_old(b) && (!reach_old(a) || old.dist[b] + w_ba < old.dist[a]);
+
+  if (removed ? (!tight_ab && !tight_ba)
+              : (!tight_ab && !tight_ba && !improves_a && !improves_b)) {
+    out.mode = SpfUpdate::Mode::kUnchanged;
+    return out;
+  }
+
+  // Reverse adjacency of the new view (the update consults in-edges both
+  // for support checks and for first-hop reconstruction). Borrowed from
+  // the caller when provided -- one build can serve every source.
+  using InEdge = ReverseAdjacency::InEdge;
+  ReverseAdjacency local_rin;
+  if (rin_in == nullptr) {
+    local_rin = reverse_adjacency(new_view);
+  } else {
+    FIB_ASSERT(rin_in->in.size() == n, "update_spf: reverse adjacency mismatch");
+  }
+  const std::vector<std::vector<InEdge>>& rin =
+      rin_in == nullptr ? local_rin.in : rin_in->in;
+
+  SpfResult res = old;
+  std::vector<char> changed(n, 0);  // nodes whose distance was repaired
+  std::vector<topo::NodeId> changed_list;
+  using Item = std::pair<topo::Metric, topo::NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+
+  if (removed) {
+    // Affected region: nodes whose every tight in-edge (in the new view)
+    // comes from another affected node. Worklist with re-checks -- marking
+    // a node affected re-enqueues its tight children, so a node supported
+    // only by later casualties is eventually caught.
+    const auto has_support = [&](topo::NodeId v) {
+      if (v == old.source) return true;
+      for (const InEdge& e : rin[v]) {
+        if (!changed[e.from] && reach_old(e.from) &&
+            old.dist[e.from] + e.metric == old.dist[v]) {
+          return true;
+        }
+      }
+      return false;
+    };
+    std::vector<topo::NodeId> worklist;
+    if (tight_ab) worklist.push_back(b);
+    if (tight_ba) worklist.push_back(a);
+    for (std::size_t head = 0; head < worklist.size(); ++head) {
+      const topo::NodeId v = worklist[head];
+      if (changed[v] || has_support(v)) continue;
+      changed[v] = 1;
+      changed_list.push_back(v);
+      for (const NetworkView::Edge& e : new_view.edges_from(v)) {
+        if (!changed[e.to] && reach_old(e.to) &&
+            old.dist[v] + e.metric == old.dist[e.to]) {
+          worklist.push_back(e.to);
+        }
+      }
+    }
+
+    // Non-local change: repairing most of the graph costs more than a fresh
+    // Dijkstra (and the repair's bookkeeping); fall back.
+    if (changed_list.size() > std::max<std::size_t>(4, n / 4)) {
+      out.mode = SpfUpdate::Mode::kFull;
+      out.result = run_spf(new_view, old.source);
+      return out;
+    }
+
+    // Repair: seed every affected node with its best distance through the
+    // unaffected frontier, then run Dijkstra restricted to the region.
+    for (const topo::NodeId v : changed_list) res.dist[v] = kInfMetric;
+    for (const topo::NodeId v : changed_list) {
+      for (const InEdge& e : rin[v]) {
+        if (changed[e.from] || !reach_old(e.from)) continue;
+        const topo::Metric nd = old.dist[e.from] + e.metric;
+        if (nd < res.dist[v]) {
+          res.dist[v] = nd;
+          heap.emplace(nd, v);
+        }
+      }
+    }
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d > res.dist[v]) continue;
+      for (const NetworkView::Edge& e : new_view.edges_from(v)) {
+        if (!changed[e.to]) continue;
+        const topo::Metric nd = d + e.metric;
+        if (nd < res.dist[e.to]) {
+          res.dist[e.to] = nd;
+          heap.emplace(nd, e.to);
+        }
+      }
+    }
+  } else {
+    // Insertion only shortens paths: seed the improved endpoints and let the
+    // decreases propagate (standard incremental Dijkstra).
+    const auto improve = [&](topo::NodeId v, topo::Metric nd) {
+      if (nd >= res.dist[v]) return;
+      res.dist[v] = nd;
+      if (!changed[v]) {
+        changed[v] = 1;
+        changed_list.push_back(v);
+      }
+      heap.emplace(nd, v);
+    };
+    if (improves_b) improve(b, old.dist[a] + w_ab);
+    if (improves_a) improve(a, old.dist[b] + w_ba);
+    while (!heap.empty()) {
+      const auto [d, v] = heap.top();
+      heap.pop();
+      if (d > res.dist[v]) continue;
+      for (const NetworkView::Edge& e : new_view.edges_from(v)) {
+        improve(e.to, d + e.metric);
+      }
+    }
+  }
+
+  // First-hop sets can differ exactly where (a) the distance changed, (b) a
+  // tight parent was gained or lost, or (c) an upstream set in (a)/(b)
+  // feeds through a tight edge. Seed with the distance-changed nodes, the
+  // old-tight children they abandoned, and the flipped edge's own heads,
+  // then close over new-tight out-edges.
+  std::vector<char> dirty(n, 0);
+  std::vector<topo::NodeId> dirty_list;
+  const auto mark_dirty = [&](topo::NodeId v) {
+    if (!dirty[v]) {
+      dirty[v] = 1;
+      dirty_list.push_back(v);
+    }
+  };
+  for (const topo::NodeId v : changed_list) {
+    mark_dirty(v);
+    // Old-tight children of a node whose distance moved lost it as a
+    // parent; if the edge is no longer tight the closure below would never
+    // reach them, so seed them explicitly.
+    for (const NetworkView::Edge& e : new_view.edges_from(v)) {
+      if (reach_old(v) && reach_old(e.to) &&
+          old.dist[v] + e.metric == old.dist[e.to]) {
+        mark_dirty(e.to);
+      }
+    }
+  }
+  const auto reach_new = [&](topo::NodeId v) { return res.dist[v] < kInfMetric; };
+  if (removed) {
+    if (tight_ab) mark_dirty(b);
+    if (tight_ba) mark_dirty(a);
+  } else {
+    if (reach_new(a) && reach_new(b) && res.dist[a] + w_ab == res.dist[b]) {
+      mark_dirty(b);
+    }
+    if (reach_new(a) && reach_new(b) && res.dist[b] + w_ba == res.dist[a]) {
+      mark_dirty(a);
+    }
+  }
+  for (std::size_t head = 0; head < dirty_list.size(); ++head) {
+    const topo::NodeId v = dirty_list[head];
+    if (!reach_new(v)) continue;
+    for (const NetworkView::Edge& e : new_view.edges_from(v)) {
+      if (reach_new(e.to) && res.dist[v] + e.metric == res.dist[e.to]) {
+        mark_dirty(e.to);
+      }
+    }
+  }
+
+  // Rebuild the dirty sets in increasing-distance order: every tight parent
+  // is strictly closer (metrics are positive), so parents -- dirty ones
+  // rebuilt earlier, clean ones untouched -- are final when consumed.
+  std::sort(dirty_list.begin(), dirty_list.end(),
+            [&](topo::NodeId x, topo::NodeId y) { return res.dist[x] < res.dist[y]; });
+  for (const topo::NodeId v : dirty_list) {
+    if (v == res.source) continue;
+    std::vector<topo::NodeId> hops;
+    if (reach_new(v)) {
+      for (const InEdge& e : rin[v]) {
+        if (!reach_new(e.from) || res.dist[e.from] + e.metric != res.dist[v]) {
+          continue;
+        }
+        if (e.from == res.source) {
+          merge_sorted(hops, {v});
+        } else {
+          merge_sorted(hops, res.first_hops[e.from]);
+        }
+      }
+    }
+    res.first_hops[v] = std::move(hops);
+  }
+
+  out.mode = SpfUpdate::Mode::kIncremental;
+  out.affected = changed_list.size();
+  out.result = std::move(res);
+  return out;
 }
 
 std::vector<RoutingTable> compute_all_routes(const NetworkView& view) {

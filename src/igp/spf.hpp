@@ -39,7 +39,66 @@ struct SubnetRoute {
 [[nodiscard]] RoutingTable compute_routes(const NetworkView& view,
                                           topo::NodeId source);
 
+/// Same, over an already-computed SPF for `spf.source` (the route cache
+/// memoizes SPFs per topology version and derives tables from them).
+[[nodiscard]] RoutingTable compute_routes(const NetworkView& view,
+                                          const SpfResult& spf);
+
+/// The route entry `spf.source` would install for one prefix given exactly
+/// these candidate sources (all must announce the same prefix). This is the
+/// per-prefix kernel of compute_routes, exposed so the route cache's
+/// lie-delta patching produces bit-identical entries by construction.
+/// The result is unreachable (cost >= kInfMetric, no next hops) when no
+/// candidate qualifies -- such entries are omitted from routing tables.
+[[nodiscard]] RouteEntry compute_route_entry(
+    const NetworkView& view, const SpfResult& spf,
+    const std::vector<const NetworkView::Attachment*>& attachments,
+    const std::vector<const NetworkView::External*>& externals);
+
 /// Convenience: routing tables for every router in the view.
 [[nodiscard]] std::vector<RoutingTable> compute_all_routes(const NetworkView& view);
+
+/// Outcome of an incremental SPF update after one adjacency flip.
+struct SpfUpdate {
+  enum class Mode {
+    kUnchanged,    ///< the flipped adjacency was not on any shortest path
+    kIncremental,  ///< distances repaired from the affected region only
+    kFull,         ///< change was non-local; fell back to a fresh Dijkstra
+  };
+  Mode mode = Mode::kFull;
+  /// Valid for kIncremental and kFull; for kUnchanged the caller keeps the
+  /// old result (its content is already exact for the new view).
+  SpfResult result;
+  /// Nodes whose distance had to be repaired (kIncremental only).
+  std::size_t affected = 0;
+};
+
+/// Reverse adjacency (in-edges per node) of a view. update_spf consults it
+/// for support checks and first-hop reconstruction; it depends only on the
+/// view, so callers updating many sources against one view (the route
+/// cache refreshing a generation) build it once and pass it in.
+struct ReverseAdjacency {
+  struct InEdge {
+    topo::NodeId from;
+    topo::Metric metric;
+  };
+  std::vector<std::vector<InEdge>> in;  // index: edge head
+};
+[[nodiscard]] ReverseAdjacency reverse_adjacency(const NetworkView& view);
+
+/// Update `old` -- valid for the view *before* the adjacency between `a`
+/// and `b` flipped -- to the view *after* (`new_view`). `removed` says which
+/// way the adjacency flipped; `w_ab` / `w_ba` are its directed metrics.
+/// When the flipped adjacency touches no shortest path the old result is
+/// certified unchanged in O(1); otherwise distances are repaired outward
+/// from the affected region (Ramalingam-Reps style) and first-hop sets are
+/// rebuilt only where they can differ, falling back to a full Dijkstra when
+/// more than a quarter of the nodes are affected. Results are bit-identical
+/// to run_spf on the new view in every mode. `rin` (optional) must be
+/// reverse_adjacency(new_view); when null it is built internally.
+[[nodiscard]] SpfUpdate update_spf(const NetworkView& new_view, const SpfResult& old,
+                                   topo::NodeId a, topo::NodeId b, topo::Metric w_ab,
+                                   topo::Metric w_ba, bool removed,
+                                   const ReverseAdjacency* rin = nullptr);
 
 }  // namespace fibbing::igp

@@ -1,6 +1,7 @@
 #include "te/minmax.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "igp/routes.hpp"
@@ -303,6 +304,15 @@ util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
                                          const std::vector<Demand>& demands,
                                          const std::vector<double>& background_bps,
                                          const MinMaxConfig& config) {
+  return solve_min_max(topo, dest, demands, background_bps, config, nullptr);
+}
+
+util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
+                                         topo::NodeId dest,
+                                         const std::vector<Demand>& demands,
+                                         const std::vector<double>& background_bps,
+                                         const MinMaxConfig& config,
+                                         MinMaxSearch* search) {
   using R = util::Result<MinMaxResult>;
   const topo::LinkStateMask* link_state = config.link_state;
   if (dest >= topo.node_count()) return R::failure("min-max: unknown destination");
@@ -325,63 +335,90 @@ util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
     return result;  // nothing to place
   }
 
-  // One reverse Dijkstra serves stretch pruning, refinement ordering and
-  // shortest-path-DAG membership alike.
   std::vector<topo::Metric> dist;
-  if (config.max_stretch > 0.0 || config.refine) {
-    dist = dist_to_node(topo, dest, link_state);
-  }
-
-  // Usable links: up (per the live mask), inside the caller's support
-  // restriction, and -- when a stretch bound is set -- on paths within
-  // max_stretch of the shortest metric toward dest, with the detour
-  // distances themselves computed on the degraded topology.
   std::vector<bool> allowed;
-  const bool masked = link_state != nullptr && link_state->any_down();
-  if (config.max_stretch > 0.0 || masked || !config.support.empty()) {
-    allowed.assign(topo.link_count(), true);
-    if (masked) {
-      for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
-        if (link_state->is_down(l)) allowed[l] = false;
-      }
-    }
-    if (!config.support.empty()) {
-      for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
-        if (!config.support[l]) allowed[l] = false;
-      }
-    }
-    if (config.max_stretch > 0.0) {
-      for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
-        if (!allowed[l]) continue;
-        const topo::Link& link = topo.link(l);
-        if (dist[link.from] >= igp::kInfMetric || dist[link.to] >= igp::kInfMetric) {
-          allowed[l] = false;
-          continue;
-        }
-        allowed[l] = link.metric + dist[link.to] <=
-                     config.max_stretch * static_cast<double>(dist[link.from]) + 1e-9;
-      }
-    }
-  }
-
-  // Find a feasible upper bound by doubling, then binary search.
   double hi = 1.0;
-  while (!solve_at_theta(topo, dest, demands, background_bps, hi, allowed)
-              .feasible(total)) {
-    hi *= 2.0;
-    if (hi > kThetaCeiling) {
-      return R::failure(
-          "min-max: destination unreachable from some ingress (check stretch bound)");
+  if (search != nullptr && search->solved_) {
+    // Ladder-rung reuse: the pruning and the binary search depend only on
+    // inputs the contract fixes, so pick up the solved bound directly. The
+    // total-demand tripwire catches accidental reuse across instances.
+    if (std::abs(search->total_ - total) >
+        1e-9 * std::max({search->total_, total, 1.0})) {
+      return R::failure("min-max: MinMaxSearch reused with different demands");
     }
-  }
-  double lo = 0.0;
-  while (hi - lo > config.precision * std::max(hi, 1.0)) {
-    const double mid = 0.5 * (lo + hi);
-    if (solve_at_theta(topo, dest, demands, background_bps, mid, allowed)
-            .feasible(total)) {
-      hi = mid;
-    } else {
-      lo = mid;
+    dist = search->dist_;
+    allowed = search->allowed_;
+    hi = search->hi_;
+    if (dist.empty() && (config.max_stretch > 0.0 || config.refine)) {
+      // The populating call ran without refinement; this rung wants it.
+      dist = dist_to_node(topo, dest, link_state);
+    }
+  } else {
+    // One reverse Dijkstra serves stretch pruning, refinement ordering and
+    // shortest-path-DAG membership alike.
+    if (config.max_stretch > 0.0 || config.refine) {
+      dist = dist_to_node(topo, dest, link_state);
+    }
+
+    // Usable links: up (per the live mask), inside the caller's support
+    // restriction, and -- when a stretch bound is set -- on paths within
+    // max_stretch of the shortest metric toward dest, with the detour
+    // distances themselves computed on the degraded topology.
+    const bool masked = link_state != nullptr && link_state->any_down();
+    if (config.max_stretch > 0.0 || masked || !config.support.empty()) {
+      allowed.assign(topo.link_count(), true);
+      if (masked) {
+        for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+          if (link_state->is_down(l)) allowed[l] = false;
+        }
+      }
+      if (!config.support.empty()) {
+        for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+          if (!config.support[l]) allowed[l] = false;
+        }
+      }
+      if (config.max_stretch > 0.0) {
+        for (topo::LinkId l = 0; l < topo.link_count(); ++l) {
+          if (!allowed[l]) continue;
+          const topo::Link& link = topo.link(l);
+          if (dist[link.from] >= igp::kInfMetric ||
+              dist[link.to] >= igp::kInfMetric) {
+            allowed[l] = false;
+            continue;
+          }
+          allowed[l] = link.metric + dist[link.to] <=
+                       config.max_stretch * static_cast<double>(dist[link.from]) +
+                           1e-9;
+        }
+      }
+    }
+
+    // Find a feasible upper bound by doubling, then binary search.
+    while (!solve_at_theta(topo, dest, demands, background_bps, hi, allowed)
+                .feasible(total)) {
+      hi *= 2.0;
+      if (hi > kThetaCeiling) {
+        return R::failure(
+            "min-max: destination unreachable from some ingress (check stretch "
+            "bound)");
+      }
+    }
+    double lo = 0.0;
+    while (hi - lo > config.precision * std::max(hi, 1.0)) {
+      const double mid = 0.5 * (lo + hi);
+      if (solve_at_theta(topo, dest, demands, background_bps, mid, allowed)
+              .feasible(total)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    if (search != nullptr) {
+      search->solved_ = true;
+      search->hi_ = hi;
+      search->total_ = total;
+      search->allowed_ = allowed;
+      search->dist_ = dist;
     }
   }
   ThetaOracle oracle =

@@ -118,6 +118,48 @@ util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
                                          const std::vector<double>& background_bps,
                                          const MinMaxConfig& config);
 
+/// Cached binary-search state of one min-max instance: the pruned usable
+/// link set, the shared reverse Dijkstra and the solved feasibility bound.
+/// The controller's theta fallback ladder re-solves the *same* instance at
+/// escalating theta_relax values; the search result is identical per rung,
+/// so passing one MinMaxSearch across the rungs reduces each re-solve to a
+/// single feasibility max-flow plus the refinement instead of repeating
+/// the doubling + binary search (~log(1/precision) max-flows).
+///
+/// Contract: a search is only meaningful for fixed (topo, dest, demands,
+/// background, stretch, link-state, support); of the config knobs, only
+/// theta_relax / refine / granularity_floor / refine_rounds may vary
+/// between calls that share an instance. Total demand is checked (a cheap
+/// tripwire for accidental reuse across instances); the rest is on the
+/// caller.
+class MinMaxSearch {
+ public:
+  /// A prior call has populated this search (reusing it skips the search).
+  [[nodiscard]] bool solved() const { return solved_; }
+
+ private:
+  friend util::Result<MinMaxResult> solve_min_max(
+      const topo::Topology& topo, topo::NodeId dest,
+      const std::vector<Demand>& demands, const std::vector<double>& background_bps,
+      const MinMaxConfig& config, MinMaxSearch* search);
+
+  bool solved_ = false;
+  double hi_ = 0.0;            ///< feasible theta upper bound of the search
+  double total_ = 0.0;         ///< total demand (reuse tripwire)
+  std::vector<bool> allowed_;  ///< mask/support/stretch-pruned usable links
+  std::vector<topo::Metric> dist_;  ///< reverse Dijkstra toward dest
+};
+
+/// solve_min_max with search reuse: when `search` is already solved the
+/// binary search is skipped and its bound re-used; when it is fresh (or
+/// null) the full solve runs and (if non-null) populates it.
+util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
+                                         topo::NodeId dest,
+                                         const std::vector<Demand>& demands,
+                                         const std::vector<double>& background_bps,
+                                         const MinMaxConfig& config,
+                                         MinMaxSearch* search);
+
 /// Positional-knob convenience overload (precision / stretch / mask only;
 /// refinement at its defaults).
 util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,

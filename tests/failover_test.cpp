@@ -230,6 +230,44 @@ TEST(Failover, FailLinkOnNonAdjacentNodesReportsError) {
 /// shortest path (B-R3-C) as background, and the optimizer must push P2's
 /// 31 Mb/s surge from A entirely through R1 -- realized by a single strict
 /// lie at A, compiled against the degraded view.
+TEST(Failover, UnrelatedLinkFailureDoesNotReplanUntouchedPlacement) {
+  // A P1-only surge is mitigated onto B -> {R2, R3} -> C. Failing R1-R4 --
+  // R1's route toward P1 shifts, but none of P1's traffic ever crosses R1
+  // -- must cost zero optimizer work: topology-change re-planning is scoped
+  // to prefixes whose *realized* forwarding shifted. A failure on a link
+  // the placement does ride (B-R3) must re-plan it.
+  PaperScenario run;
+  run.schedule({video::RequestBatch{15.0, run.s1, run.p.p1, /*first_host=*/1,
+                                    /*count=*/31, video::VideoAsset{1e6, 300.0}}});
+  run.run_until(30.0);
+  ASSERT_GE(run.service.controller().mitigations(), 1);
+  const int solves_before = run.service.controller().placement_solves();
+  const auto signature = [](const std::map<net::Prefix, std::vector<Lie>>& all) {
+    std::vector<std::tuple<topo::NodeId, topo::NodeId, topo::Metric>> sig;
+    for (const auto& [prefix, lies] : all) {
+      for (const Lie& lie : lies) sig.emplace_back(lie.attach, lie.via, lie.ext_metric);
+    }
+    return sig;
+  };
+  const auto lies_before = signature(run.service.controller().active_lies());
+  const int events_before = run.service.controller().topology_events();
+
+  ASSERT_TRUE(run.service.fail_link(run.p.r1, run.p.r4).ok());
+  run.run_until(40.0);
+  EXPECT_GT(run.service.controller().topology_events(), events_before);
+  EXPECT_EQ(run.service.controller().placement_solves(), solves_before)
+      << "untouched placement was re-solved on an unrelated failure";
+  EXPECT_EQ(signature(run.service.controller().active_lies()), lies_before);
+
+  ASSERT_TRUE(run.service.fail_link(run.p.b, run.p.r3).ok());
+  run.run_until(50.0);
+  EXPECT_GT(run.service.controller().placement_solves(), solves_before)
+      << "placement riding the failed link was not re-planned";
+  EXPECT_TRUE(support::lies_respect_link_state(run.service));
+  EXPECT_EQ(run.service.sim().looping_flows(), 0u);
+  EXPECT_EQ(run.service.sim().blackholed_flows(), 0u);
+}
+
 TEST(DegradedGolden, Fig1PlacementWithCoreLinkDown) {
   const PaperTopology p = topo::make_paper_topology();
   topo::LinkStateMask mask(p.topo);

@@ -9,6 +9,7 @@
 
 #include "core/augment.hpp"
 #include "core/verify.hpp"
+#include "igp/route_cache.hpp"
 #include "dataplane/ecmp.hpp"
 #include "dataplane/forwarding.hpp"
 #include "dataplane/rate_solver.hpp"
@@ -509,6 +510,19 @@ void run_churn_scenario(std::uint64_t seed, const core::ServiceConfig& config) {
       ASSERT_TRUE(support::transit_conserved(service, n))
           << "step " << step << " at " << t.node(n).name;
     }
+
+    // Cache/fresh equivalence under churn: the controller's shared route
+    // cache must serve tables bit-identical to a from-scratch all-pairs
+    // computation for the live topology state and the live lie set.
+    std::vector<core::Lie> lies;
+    for (const auto& [prefix, placed] : service.controller().active_lies()) {
+      lies.insert(lies.end(), placed.begin(), placed.end());
+    }
+    const auto cached =
+        service.controller().route_cache().tables(core::to_externals(lies));
+    const auto fresh = igp::compute_all_routes(igp::NetworkView::from_topology(
+        t, core::to_externals(lies), &service.link_state()));
+    ASSERT_EQ(*cached, fresh) << "cache diverged from fresh routes at step " << step;
   }
 
   // Drain: all links back up, all clients gone.
@@ -554,6 +568,73 @@ TEST(ChurnWithoutJointBatchPlacement, InvariantsHoldViaFallbackLadder) {
   config.controller.joint_batch_placement = false;
   run_churn_scenario(1, config);
 }
+
+// --------------------------------------- route cache vs fresh, direct churn
+
+/// Controller-free interleaving check: drive a RouteCache directly with
+/// random fail / restore / inject / retract steps (including disconnecting
+/// failures and dangling forwarding addresses the controller would never
+/// produce) and assert bit-identity with fresh compute_all_routes after
+/// every step.
+class RouteCacheChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouteCacheChurnProperty, CacheMatchesFreshAcrossInterleavings) {
+  util::Rng rng(GetParam());
+  topo::Topology t = topo::make_waxman(22, rng, 0.5, 0.5, 8);
+  for (int i = 0; i < 3; ++i) {
+    t.attach_prefix(static_cast<topo::NodeId>(rng.pick_index(t.node_count())),
+                    net::Prefix(net::Ipv4(203, 0, static_cast<std::uint8_t>(i), 0),
+                                24));
+  }
+  topo::LinkStateMask mask(t);
+  igp::RouteCache cache(t, mask);
+
+  std::vector<igp::NetworkView::External> externals;
+  std::uint64_t next_lie_id = 1;
+  for (int step = 0; step < 120; ++step) {
+    const auto kind = rng.uniform_int(0, 3);
+    if (kind == 0) {
+      // Fail any up adjacency -- disconnection is fair game for the cache.
+      std::vector<topo::LinkId> up;
+      for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+        if (t.link(l).from < t.link(l).to && !mask.is_down(l)) up.push_back(l);
+      }
+      if (!up.empty()) mask.fail(up[rng.pick_index(up.size())]);
+    } else if (kind == 1) {
+      const std::vector<topo::LinkId> down = mask.down_links();
+      if (!down.empty()) mask.restore(down[rng.pick_index(down.size())]);
+    } else if (kind == 2 && externals.size() < 24) {
+      // Inject: a lie steering into a random link (possibly a down one --
+      // its forwarding address then dangles, which must also match fresh).
+      const topo::LinkId l =
+          static_cast<topo::LinkId>(rng.pick_index(t.link_count()));
+      const bool attached = rng.chance(0.5);
+      const net::Prefix prefix =
+          attached ? t.prefixes()[rng.pick_index(t.prefixes().size())].prefix
+                   : net::Prefix(net::Ipv4(198, 51, 100, 0), 24);
+      externals.push_back(igp::NetworkView::External{
+          next_lie_id++, prefix,
+          static_cast<topo::Metric>(rng.uniform_int(0, 6)),
+          t.link(t.link(l).reverse).local_addr});
+    } else if (kind == 3 && !externals.empty()) {
+      const std::size_t pick = rng.pick_index(externals.size());
+      externals[pick] = externals.back();
+      externals.pop_back();
+    }
+
+    const auto cached = cache.tables(externals);
+    const auto fresh = igp::compute_all_routes(
+        igp::NetworkView::from_topology(t, externals, &mask));
+    ASSERT_EQ(*cached, fresh) << "step " << step;
+  }
+  // The run must have exercised every cache layer.
+  EXPECT_GT(cache.stats().table_builds, 0u);
+  EXPECT_GT(cache.stats().generations, 0u);
+  EXPECT_GT(cache.stats().spf_incremental + cache.stats().spf_unchanged, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouteCacheChurnProperty,
+                         ::testing::Range<std::uint64_t>(1, 7));
 
 // ------------------------------------------- k-shortest paths: order & validity
 

@@ -1,0 +1,167 @@
+// Wire-format southbound costs: raw codec throughput (encode/decode of the
+// packets the domain actually exchanges) and the control-plane price of a
+// link restoration under DD-based database synchronization at 60 and 200
+// routers. The restoration benches carry the sync-economy evidence as JSON
+// counters: `dd_headers` (summaries exchanged on the restored adjacency),
+// `ls_requests` and `sync_lsas` (full instances that crossed it) against
+// `full_copy_lsas` -- the 2 x database instances the pre-DD sync_neighbor
+// path copied on every restoration.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "igp/domain.hpp"
+#include "igp/lsa.hpp"
+#include "proto/codec.hpp"
+#include "proto/neighbor.hpp"
+#include "proto/translate.hpp"
+#include "topo/generators.hpp"
+#include "util/event_queue.hpp"
+#include "util/rng.hpp"
+
+using namespace fibbing;
+
+namespace {
+
+// ------------------------------------------------------------- raw codec
+
+proto::Packet sample_update(std::size_t links) {
+  proto::WireLsa lsa;
+  lsa.header.type = proto::WireLsaType::kRouter;
+  lsa.header.link_state_id = 0xc0a80001u;
+  lsa.header.advertising_router = 0xc0a80001u;
+  proto::RouterLsaBody body;
+  for (std::size_t i = 0; i < links; ++i) {
+    const auto base = static_cast<std::uint32_t>(0x0a000000u + 4 * i);
+    body.links.push_back(proto::RouterLink{
+        static_cast<std::uint32_t>(0xc0a80002u + i), base + 1,
+        proto::RouterLinkType::kPointToPoint, 0, static_cast<std::uint16_t>(1 + i)});
+    body.links.push_back(proto::RouterLink{base, 0xfffffffcu,
+                                           proto::RouterLinkType::kStub, 0,
+                                           static_cast<std::uint16_t>(1 + i)});
+  }
+  lsa.body = std::move(body);
+  proto::LsUpdateBody lsu;
+  lsu.lsas.push_back(proto::finalize_lsa(std::move(lsa)));
+  return proto::Packet{0xc0a80001u, 0, std::move(lsu)};
+}
+
+proto::Packet sample_dd(std::size_t headers) {
+  proto::DatabaseDescriptionBody dd;
+  dd.dd_sequence = 7;
+  for (std::size_t i = 0; i < headers; ++i) {
+    proto::LsaHeader h;
+    h.link_state_id = static_cast<std::uint32_t>(0xc0a80001u + i);
+    h.advertising_router = h.link_state_id;
+    h.length = 48;
+    h.checksum = static_cast<std::uint16_t>(i * 257);
+    dd.headers.push_back(h);
+  }
+  return proto::Packet{0xc0a80001u, 0, std::move(dd)};
+}
+
+void BM_EncodeLsUpdate(benchmark::State& state) {
+  const proto::Packet packet = sample_update(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const proto::Buffer encoded = proto::encode_packet(packet);
+    bytes += encoded.size();
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_DecodeLsUpdate(benchmark::State& state) {
+  const proto::Buffer bytes =
+      proto::encode_packet(sample_update(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    const proto::Decoded<proto::Packet> decoded = proto::decode_packet(bytes);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes.size()) *
+                          state.iterations());
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EncodeDecodeDdPage(benchmark::State& state) {
+  const proto::Packet packet = sample_dd(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const proto::Buffer bytes = proto::encode_packet(packet);
+    const proto::Decoded<proto::Packet> decoded = proto::decode_packet(bytes);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+// ----------------------------------------------------- restoration economy
+
+struct Domain {
+  topo::Topology topo;
+  util::EventQueue events;
+  std::unique_ptr<igp::IgpDomain> igp;
+  topo::LinkId flapped = topo::kInvalidLink;
+};
+
+Domain* domain_for(std::size_t n) {
+  static std::map<std::size_t, std::unique_ptr<Domain>> cache;
+  auto& slot = cache[n];
+  if (slot == nullptr) {
+    slot = std::make_unique<Domain>();
+    util::Rng rng(1000 + n);
+    slot->topo = topo::make_waxman(n, rng, 0.25, 0.25, 10);
+    slot->topo.attach_prefix(0, net::Prefix(net::Ipv4(203, 0, 113, 0), 24), 0);
+    slot->igp = std::make_unique<igp::IgpDomain>(slot->topo, slot->events);
+    slot->igp->start();
+    slot->igp->run_to_convergence();
+    for (topo::LinkId l = 0; l < slot->topo.link_count(); ++l) {
+      if (slot->topo.out_links(slot->topo.link(l).from).size() >= 3 &&
+          slot->topo.out_links(slot->topo.link(l).to).size() >= 3) {
+        slot->flapped = l;
+        break;
+      }
+    }
+  }
+  return slot.get();
+}
+
+void BM_RestorationDdSync(benchmark::State& state) {
+  Domain* d = domain_for(static_cast<std::size_t>(state.range(0)));
+  const topo::NodeId a = d->topo.link(d->flapped).from;
+  const topo::NodeId b = d->topo.link(d->flapped).to;
+  const std::size_t db_size = d->igp->router(0).lsdb().size();
+
+  proto::SessionCounters adjacency;  // fresh-session counters, summed
+  for (auto _ : state) {
+    d->igp->fail_link(d->flapped);
+    d->igp->run_to_convergence();
+    d->igp->restore_link(d->flapped);
+    d->igp->run_to_convergence();
+    adjacency += d->igp->router(a).session(b)->counters();
+    adjacency += d->igp->router(b).session(a)->counters();
+  }
+
+  const auto per_restore = [&](std::uint64_t v) {
+    return benchmark::Counter(static_cast<double>(v),
+                              benchmark::Counter::kAvgIterations);
+  };
+  state.counters["dd_headers"] = per_restore(adjacency.dd_headers_sent);
+  state.counters["ls_requests"] = per_restore(adjacency.ls_requests_sent);
+  state.counters["sync_lsas"] = per_restore(adjacency.lsas_sent);
+  state.counters["sync_bytes"] = per_restore(adjacency.bytes_sent);
+  // What the pre-DD path moved per restoration: both full databases.
+  state.counters["full_copy_lsas"] =
+      benchmark::Counter(static_cast<double>(2 * db_size));
+}
+
+BENCHMARK(BM_EncodeLsUpdate)->Arg(4)->Arg(16);
+BENCHMARK(BM_DecodeLsUpdate)->Arg(4)->Arg(16);
+BENCHMARK(BM_EncodeDecodeDdPage)->Arg(72);
+BENCHMARK(BM_RestorationDdSync)->Arg(60)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -480,17 +480,22 @@ void Controller::maybe_retract_() {
 void Controller::apply_lies_(const net::Prefix& prefix, std::vector<Lie> lies) {
   // Any deliberate rewrite of the prefix's lie set resolves strandedness.
   stranded_.erase(prefix);
+  // All announcements leave through the controller's southbound OSPF
+  // session: wire-format External-LSA LS Updates over the adjacency with
+  // the session router, retractions as MaxAge tombstones (premature aging).
+  proto::ControllerSession& session =
+      domain_.controller_session(config_.session_router);
   const auto it = active_.find(prefix);
   if (it != active_.end()) {
     for (const Lie& old_lie : it->second) {
-      domain_.withdraw_external(config_.session_router, old_lie.id);
+      session.retract(old_lie.id);
     }
     active_.erase(it);
   }
   if (lies.empty()) return;
   for (const Lie& lie : lies) {
     FIB_LOG(kInfo, "controller") << "inject " << to_string(lie, topo_);
-    domain_.inject_external(config_.session_router, to_lsa(lie));
+    session.inject(to_lsa(lie));
   }
   active_.emplace(prefix, std::move(lies));
 }

@@ -99,6 +99,11 @@ class Controller {
   /// Min-max optimizer invocations (initial solves + fallback-ladder rungs)
   /// -- the unit of work the scoped topology-change re-planning saves.
   [[nodiscard]] int placement_solves() const { return placement_solves_; }
+  /// Wire traffic of the controller's southbound OSPF session (lie
+  /// injections/retractions as LS Updates, and the acks received back).
+  [[nodiscard]] const proto::ControllerSession::Counters& southbound_counters() {
+    return domain_.controller_session(config_.session_router).counters();
+  }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
 
   /// The shared route-computation cache the whole control loop plans on

@@ -10,6 +10,7 @@ IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
     : topo_(topo),
       events_(events),
       timing_(timing),
+      addrs_(topo),
       router_seq_(topo.node_count(), 1),
       link_state_(link_state != nullptr
                       ? std::move(link_state)
@@ -24,19 +25,32 @@ IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
   routers_.reserve(topo.node_count());
   for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
     routers_.push_back(
-        std::make_unique<RouterProcess>(n, topo.node_count(), events, timing));
+        std::make_unique<RouterProcess>(n, topo.node_count(), addrs_, events, timing));
   }
   for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
     RouterProcess& router = *routers_[n];
-    for (const topo::LinkId lid : topo.out_links(n)) {
-      router.add_neighbor(topo.link(lid).to);
-    }
-    router.set_send([this](topo::NodeId from, topo::NodeId to, const LsaPtr& lsa) {
-      deliver_(from, to, lsa);
+    router.set_send(
+        [this](topo::NodeId from, topo::NodeId to, const proto::BufferPtr& buffer) {
+          deliver_packet_(from, to, buffer);
+        });
+    router.set_controller_send([this, n](const proto::BufferPtr& buffer) {
+      // Acks ride back over the controller adjacency with the same channel
+      // delay as any packet; convergence waits for them.
+      const auto it = controller_sessions_.find(n);
+      if (it == controller_sessions_.end()) return;
+      proto::ControllerSession* session = it->second.get();
+      ++in_flight_;
+      events_.schedule_in(timing_.flood_delay_s, [this, session, buffer] {
+        --in_flight_;
+        session->receive(buffer);
+      });
     });
     router.set_on_table([this](topo::NodeId self, const RoutingTable& table) {
       if (on_table_change_) on_table_change_(self, table);
     });
+    for (const topo::LinkId lid : topo.out_links(n)) {
+      if (!link_state_->is_down(lid)) router.add_neighbor(topo.link(lid).to);
+    }
   }
 }
 
@@ -44,6 +58,7 @@ void IgpDomain::start() {
   for (topo::NodeId n = 0; n < topo_.node_count(); ++n) {
     routers_[n]->originate(
         make_router_lsa(topo_, n, router_seq_[n], link_state_->bits()));
+    routers_[n]->start();
   }
 }
 
@@ -60,8 +75,8 @@ void IgpDomain::restore_link(topo::LinkId id) {
 void IgpDomain::on_link_failed_(topo::LinkId id) {
   const topo::Link& link = topo_.link(id);
   FIB_LOG(kInfo, "igp") << "link " << topo_.link_name(id) << " down";
-  // Both endpoints tear down the adjacency (no further flooding toward the
-  // dead peer) and re-originate without it.
+  // Both endpoints tear down the neighbor session (no further packets
+  // toward the dead peer) and re-originate without the interface.
   routers_[link.from]->remove_neighbor(link.to);
   routers_[link.to]->remove_neighbor(link.from);
   for (const topo::NodeId endpoint : {link.from, link.to}) {
@@ -73,16 +88,13 @@ void IgpDomain::on_link_failed_(topo::LinkId id) {
 void IgpDomain::on_link_restored_(topo::LinkId id) {
   const topo::Link& link = topo_.link(id);
   FIB_LOG(kInfo, "igp") << "link " << topo_.link_name(id) << " up";
+  // Fresh sessions run the whole RFC 2328 bring-up over the message
+  // channel: Hello to 2-Way, DD negotiation and summary exchange, then LS
+  // Requests for exactly the instances the other side holds newer (stale
+  // partitions heal here, tombstones included). The re-originations below
+  // install *before* any DD snapshot is taken, so they ride the exchange.
   routers_[link.from]->add_neighbor(link.to);
   routers_[link.to]->add_neighbor(link.from);
-  // Database exchange on adjacency formation: while the link was down the
-  // domain may have been partitioned, leaving either side with LSAs
-  // (including withdrawal tombstones) the other never saw. Each endpoint
-  // offers its full LSDB to the re-formed adjacency; sequence-number
-  // freshness checks drop everything already known, and anything genuinely
-  // new refloods onward into the peer's side.
-  routers_[link.from]->sync_neighbor(link.to);
-  routers_[link.to]->sync_neighbor(link.from);
   // Both endpoints advertise the interface again.
   for (const topo::NodeId endpoint : {link.from, link.to}) {
     routers_[endpoint]->originate(
@@ -95,40 +107,49 @@ bool IgpDomain::link_is_down(topo::LinkId id) const {
   return link_state_->is_down(id);
 }
 
+proto::ControllerSession& IgpDomain::controller_session(topo::NodeId at) {
+  FIB_ASSERT(at < routers_.size(), "controller_session: unknown session router");
+  auto it = controller_sessions_.find(at);
+  if (it == controller_sessions_.end()) {
+    auto session = std::make_unique<proto::ControllerSession>(
+        addrs_, [this, at](const proto::BufferPtr& buffer) {
+          ++in_flight_;
+          events_.schedule_in(timing_.flood_delay_s, [this, at, buffer] {
+            --in_flight_;
+            routers_[at]->receive_controller_packet(buffer);
+          });
+        });
+    it = controller_sessions_.emplace(at, std::move(session)).first;
+  }
+  return *it->second;
+}
+
 void IgpDomain::inject_external(topo::NodeId at, const ExternalLsa& ext) {
-  FIB_ASSERT(at < routers_.size(), "inject_external: unknown session router");
-  const SeqNum seq = ++lie_seq_[ext.lie_id];
-  FIB_LOG(kDebug, "igp") << "inject lie " << ext.lie_id << " at router " << at
-                         << " seq " << seq;
-  // The controller session behaves like an adjacency: the session router
-  // installs the LSA and floods it onward (`from == at` excludes no real
-  // neighbor, mirroring an LSA learned from outside the flooding graph).
-  routers_[at]->receive(at, std::make_shared<const Lsa>(make_external_lsa(ext, seq)));
+  FIB_LOG(kDebug, "igp") << "inject lie " << ext.lie_id << " at router " << at;
+  controller_session(at).inject(ext);
 }
 
 void IgpDomain::withdraw_external(topo::NodeId at, std::uint64_t lie_id) {
   FIB_ASSERT(at < routers_.size(), "withdraw_external: unknown session router");
-  const auto it = lie_seq_.find(lie_id);
-  FIB_ASSERT(it != lie_seq_.end(), "withdraw_external: unknown lie id");
-  ExternalLsa tombstone;
-  tombstone.lie_id = lie_id;
-  tombstone.withdrawn = true;
-  routers_[at]->receive(
-      at, std::make_shared<const Lsa>(make_external_lsa(tombstone, ++it->second)));
+  controller_session(at).retract(lie_id);
 }
 
 bool IgpDomain::converged() const {
   if (in_flight_ > 0) return false;
   for (const auto& router : routers_) {
-    if (router->spf_pending()) return false;
+    if (router->spf_pending() || !router->synchronized()) return false;
+  }
+  for (const auto& [at, session] : controller_sessions_) {
+    if (!session->drained()) return false;
   }
   return true;
 }
 
 void IgpDomain::run_to_convergence() {
-  // Each LSA hop and SPF run consumes an event; a finite domain converges in
-  // finitely many steps unless flooding livelocks (which the seq-number
-  // freshness check prevents). The bound is generous for 500-node graphs.
+  // Each packet hop and SPF run consumes an event; a finite domain converges
+  // in finitely many steps unless flooding livelocks (which the
+  // sequence-number freshness check prevents). The bound is generous for
+  // 500-node graphs.
   const std::uint64_t kMaxSteps = 50'000'000;
   std::uint64_t steps = 0;
   while (!converged()) {
@@ -159,19 +180,26 @@ std::uint64_t IgpDomain::total_spf_runs() const {
   return sum;
 }
 
-void IgpDomain::deliver_(topo::NodeId from, topo::NodeId to, const LsaPtr& lsa) {
+proto::SessionCounters IgpDomain::total_proto_counters() const {
+  proto::SessionCounters total;
+  for (const auto& router : routers_) total += router->counters();
+  return total;
+}
+
+void IgpDomain::deliver_packet_(topo::NodeId from, topo::NodeId to,
+                                const proto::BufferPtr& buffer) {
   FIB_ASSERT(to < routers_.size(), "deliver: unknown destination");
-  // LSAs cannot cross a failed adjacency; a connected remainder still
+  // Packets cannot cross a failed adjacency; a connected remainder still
   // floods everywhere via the surviving links. Checked again at delivery
-  // time: an LSA in flight when the link dies is lost with it. The queued
-  // hop shares the pool handle -- no per-hop copy of the LSA body.
+  // time: a packet in flight when the link dies is lost with it. The queued
+  // hop shares the buffer -- no per-hop copy of the bytes.
   const topo::LinkId via = topo_.link_between(from, to);
   if (via != topo::kInvalidLink && link_state_->is_down(via)) return;
   ++in_flight_;
-  events_.schedule_in(timing_.flood_delay_s, [this, from, to, via, lsa] {
+  events_.schedule_in(timing_.flood_delay_s, [this, from, to, via, buffer] {
     --in_flight_;
     if (via != topo::kInvalidLink && link_state_->is_down(via)) return;
-    routers_[to]->receive(from, lsa);
+    routers_[to]->receive_packet(from, buffer);
   });
 }
 

@@ -2,12 +2,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "igp/lsa.hpp"
 #include "igp/router_process.hpp"
+#include "proto/controller_session.hpp"
 #include "topo/link_state.hpp"
 #include "topo/topology.hpp"
 #include "util/event_queue.hpp"
@@ -15,10 +16,14 @@
 namespace fibbing::igp {
 
 /// A running link-state routing domain: one RouterProcess per topology node,
-/// flooding over the topology's adjacencies through the shared event queue.
-/// The Fibbing controller talks to the domain exactly like the real one
-/// talks to OSPF: it injects/withdraws External-LSAs through a session with
-/// one router, and the protocol floods them domain-wide.
+/// exchanging encoded RFC 2328 packets over the topology's adjacencies
+/// through the shared event queue. Adjacency bring-up, database
+/// synchronization (DD summaries + LS requests), flooding and partition
+/// healing all run through the wire protocol -- no router ever touches
+/// another's Lsdb. The Fibbing controller talks to the domain exactly like
+/// the real one talks to OSPF: it injects/withdraws External-LSAs as LS
+/// Updates over a controller adjacency with one router, and the protocol
+/// floods them domain-wide.
 class IgpDomain {
  public:
   /// `link_state` is the live up/down mask the domain consults and mutates;
@@ -27,39 +32,53 @@ class IgpDomain {
   IgpDomain(const topo::Topology& topo, util::EventQueue& events, IgpTiming timing = {},
             std::shared_ptr<topo::LinkStateMask> link_state = nullptr);
 
-  /// Originate every router's Router-LSA (network boot). Call once, then
-  /// run the event queue (or run_to_convergence) to flood and compute.
+  /// Originate every router's Router-LSA and start the neighbor sessions
+  /// (network boot). Call once, then run the event queue (or
+  /// run_to_convergence) to form adjacencies, synchronize databases and
+  /// compute routes.
   void start();
 
-  /// Inject a lie through the session router `at`. Sequence numbers are
+  /// The controller's southbound session with router `at` (created on first
+  /// use). Lies injected through it travel as wire-format External-LSA LS
+  /// Updates over the message channel; the session router acknowledges and
+  /// floods them domain-wide.
+  [[nodiscard]] proto::ControllerSession& controller_session(topo::NodeId at);
+
+  /// Inject a lie through the session with router `at`. Sequence numbers are
   /// managed per lie_id so re-injection (updates) supersede older instances.
   void inject_external(topo::NodeId at, const ExternalLsa& ext);
 
-  /// Withdraw a previously injected lie (floods a MaxAge-like tombstone).
+  /// Withdraw a previously injected lie: the controller session floods its
+  /// MaxAge tombstone (premature aging).
   void withdraw_external(topo::NodeId at, std::uint64_t lie_id);
 
-  /// Take a bidirectional link down: both endpoints re-originate their
-  /// Router-LSAs without the adjacency and the flooding graph stops using
-  /// it. Run the event queue (or run_to_convergence) to settle. `id` may be
-  /// either direction of the adjacency. Failing a link that is already down
-  /// is a no-op. (Equivalent to mutating the mask directly: the domain
-  /// reacts through its mask subscription either way, as do all other
-  /// layers sharing the mask.)
+  /// Take a bidirectional link down: both endpoints drop the neighbor
+  /// session and re-originate their Router-LSAs without the adjacency, and
+  /// the flooding graph stops using it. Run the event queue (or
+  /// run_to_convergence) to settle. `id` may be either direction of the
+  /// adjacency. Failing a link that is already down is a no-op. (Equivalent
+  /// to mutating the mask directly: the domain reacts through its mask
+  /// subscription either way, as do all other layers sharing the mask.)
   void fail_link(topo::LinkId id);
 
-  /// Bring a failed link back: the adjacency re-forms, both sides exchange
-  /// their full LSDBs (OSPF database-exchange analogue -- a partition may
-  /// have left either side with LSAs the other never saw) and re-originate
-  /// Router-LSAs advertising the interface again. After convergence, routes
-  /// are bit-identical to a domain in which the link never failed.
-  /// Restoring a link that is not down is a no-op.
+  /// Bring a failed link back: the neighbor sessions re-form the adjacency
+  /// through the full RFC 2328 bring-up -- Hello, Database Description
+  /// *summaries*, then LS Requests for exactly the instances that are newer
+  /// on the other side (a partition may have left either side with LSAs,
+  /// including withdrawal tombstones, the other never saw) -- and both
+  /// sides re-originate Router-LSAs advertising the interface again. The
+  /// exchange moves O(changed) full LSAs, not O(database). After
+  /// convergence, routes are bit-identical to a domain in which the link
+  /// never failed. Restoring a link that is not down is a no-op.
   void restore_link(topo::LinkId id);
 
   [[nodiscard]] bool link_is_down(topo::LinkId id) const;
   [[nodiscard]] topo::LinkStateMask& link_state() { return *link_state_; }
   [[nodiscard]] const topo::LinkStateMask& link_state() const { return *link_state_; }
 
-  /// True when no LSA is in flight and no SPF is pending anywhere.
+  /// True when no packet is in flight, no SPF is pending anywhere, every
+  /// live adjacency is Full with nothing awaiting acknowledgment, and every
+  /// controller session has all its updates acked.
   [[nodiscard]] bool converged() const;
 
   /// Pump the event queue until converged (bounded; asserts on livelock).
@@ -68,6 +87,7 @@ class IgpDomain {
   [[nodiscard]] const RouterProcess& router(topo::NodeId id) const;
   [[nodiscard]] const RoutingTable& table(topo::NodeId id) const;
   [[nodiscard]] const topo::Topology& topology() const { return topo_; }
+  [[nodiscard]] const proto::AddressMap& addresses() const { return addrs_; }
   [[nodiscard]] std::size_t size() const { return routers_.size(); }
 
   /// Fired whenever any router installs a fresh routing table (dataplane
@@ -75,12 +95,15 @@ class IgpDomain {
   using TableChangeFn = std::function<void(topo::NodeId, const RoutingTable&)>;
   void set_on_table_change(TableChangeFn fn) { on_table_change_ = std::move(fn); }
 
-  /// Total LSA transmissions across all routers (control-plane overhead).
+  /// Control-plane overhead across all routers (the overhead benches and
+  /// the DD-economy tests read these).
   [[nodiscard]] std::uint64_t total_lsas_sent() const;
   [[nodiscard]] std::uint64_t total_spf_runs() const;
+  [[nodiscard]] proto::SessionCounters total_proto_counters() const;
 
  private:
-  void deliver_(topo::NodeId from, topo::NodeId to, const LsaPtr& lsa);
+  void deliver_packet_(topo::NodeId from, topo::NodeId to,
+                       const proto::BufferPtr& buffer);
   // Mask-subscription reactions (fired on every effective fail/restore).
   void on_link_failed_(topo::LinkId id);
   void on_link_restored_(topo::LinkId id);
@@ -88,10 +111,12 @@ class IgpDomain {
   const topo::Topology& topo_;
   util::EventQueue& events_;
   IgpTiming timing_;
+  proto::AddressMap addrs_;
   std::vector<std::unique_ptr<RouterProcess>> routers_;
   std::vector<SeqNum> router_seq_;
   std::shared_ptr<topo::LinkStateMask> link_state_;
-  std::unordered_map<std::uint64_t, SeqNum> lie_seq_;
+  std::map<topo::NodeId, std::unique_ptr<proto::ControllerSession>>
+      controller_sessions_;
   std::uint64_t in_flight_ = 0;
   TableChangeFn on_table_change_;
 };

@@ -6,24 +6,16 @@
 
 namespace fibbing::igp {
 
-namespace {
-
-/// Exact-memo capacity. The controller's steady state needs one entry per
-/// distinct lie-set variant it evaluates per topology version (all lies,
-/// all-except-p for each hot prefix, verify candidates); 64 covers that
-/// with room, and FIFO eviction keeps a pathological verify/reduce sweep
-/// from growing the map without bound.
-constexpr std::size_t kMemoCapacity = 64;
-
-}  // namespace
-
-RouteCache::RouteCache(const topo::Topology& topo, const topo::LinkStateMask& mask)
+RouteCache::RouteCache(const topo::Topology& topo, const topo::LinkStateMask& mask,
+                       std::size_t memo_capacity)
     : topo_(&topo),
       mask_(&mask),
       version_seen_(mask.version()),
       bits_(mask.bits()),
-      spf_(topo.node_count()) {
+      spf_(topo.node_count()),
+      memo_capacity_(memo_capacity) {
   FIB_ASSERT(&mask.topology() == &topo, "RouteCache: mask for a different topology");
+  FIB_ASSERT(memo_capacity_ > 0, "RouteCache: memo capacity must be positive");
 }
 
 void RouteCache::refresh_() {
@@ -69,7 +61,7 @@ void RouteCache::refresh_() {
   rin_.reset();
   baseline_.reset();
   memo_.clear();
-  memo_order_.clear();
+  lru_.clear();
   attachments_.clear();
 }
 
@@ -150,16 +142,20 @@ RouteCache::TablesPtr RouteCache::tables(
 
   if (const auto it = memo_.find(key); it != memo_.end()) {
     ++stats_.table_hits;
-    return it->second;
+    // Refresh recency: a hit moves the variant to the front of the LRU
+    // order without invalidating the stored iterator.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return it->second.tables;
   }
 
   TablesPtr built = build_(externals);
-  if (memo_.size() >= kMemoCapacity) {
-    memo_.erase(memo_order_.front());
-    memo_order_.pop_front();
+  if (memo_.size() >= memo_capacity_) {
+    ++stats_.memo_evictions;
+    memo_.erase(lru_.back());
+    lru_.pop_back();
   }
-  memo_.emplace(key, built);
-  memo_order_.push_back(std::move(key));
+  lru_.push_front(std::move(key));
+  memo_.emplace(lru_.front(), MemoEntry{built, lru_.begin()});
   return built;
 }
 

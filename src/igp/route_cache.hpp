@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <optional>
@@ -21,6 +21,7 @@ struct RouteCacheStats {
   // -- table level --------------------------------------------------------
   std::uint64_t table_hits = 0;      ///< exact (version, lie-set) memo hits
   std::uint64_t table_builds = 0;    ///< misses patched from the baseline
+  std::uint64_t memo_evictions = 0;  ///< LRU victims pushed out at capacity
   std::uint64_t baseline_builds = 0; ///< externals-free table sets derived
   std::uint64_t entries_patched = 0; ///< per-(node, prefix) entries rewritten
   // -- SPF level ----------------------------------------------------------
@@ -62,7 +63,14 @@ struct RouteCacheStats {
 /// exactly once per topology version.
 class RouteCache {
  public:
-  RouteCache(const topo::Topology& topo, const topo::LinkStateMask& mask);
+  /// `memo_capacity` bounds the exact memo (layer 1): at capacity the
+  /// least-recently-used lie-set variant is evicted. The default covers the
+  /// controller's steady state (one entry per variant it evaluates per
+  /// topology version) with room; tests shrink it to exercise eviction.
+  RouteCache(const topo::Topology& topo, const topo::LinkStateMask& mask,
+             std::size_t memo_capacity = kDefaultMemoCapacity);
+
+  static constexpr std::size_t kDefaultMemoCapacity = 64;
 
   using Tables = std::vector<RoutingTable>;
   using TablesPtr = std::shared_ptr<const Tables>;
@@ -120,8 +128,16 @@ class RouteCache {
   std::optional<ReverseAdjacency> rin_;
 
   TablesPtr baseline_;
-  std::map<Fingerprint, TablesPtr> memo_;
-  std::deque<Fingerprint> memo_order_;  ///< FIFO eviction
+  /// Exact memo with LRU keyed eviction: `lru_` orders fingerprints most-
+  /// recently-used first; each memo entry holds its list position so a hit
+  /// refreshes recency in O(1) (splice), and capacity evicts `lru_.back()`.
+  struct MemoEntry {
+    TablesPtr tables;
+    std::list<Fingerprint>::iterator lru_pos;
+  };
+  std::size_t memo_capacity_;
+  std::map<Fingerprint, MemoEntry> memo_;
+  std::list<Fingerprint> lru_;
   /// Attachments of the current view bucketed by prefix (patch helper).
   std::map<net::Prefix, std::vector<const NetworkView::Attachment*>> attachments_;
 

@@ -1,5 +1,7 @@
 #include "igp/router_process.hpp"
 
+#include <utility>
+
 #include "igp/spf.hpp"
 #include "igp/view.hpp"
 #include "util/logging.hpp"
@@ -7,46 +9,196 @@
 namespace fibbing::igp {
 
 RouterProcess::RouterProcess(topo::NodeId self, std::size_t node_count,
+                             const proto::AddressMap& addrs,
                              util::EventQueue& events, IgpTiming timing)
-    : self_(self), node_count_(node_count), events_(events), timing_(timing) {}
+    : self_(self),
+      node_count_(node_count),
+      addrs_(&addrs),
+      events_(events),
+      timing_(timing) {}
 
-void RouterProcess::add_neighbor(topo::NodeId peer) { neighbors_.push_back(peer); }
-
-void RouterProcess::remove_neighbor(topo::NodeId peer) {
-  std::erase(neighbors_, peer);
+void RouterProcess::add_neighbor(topo::NodeId peer) {
+  FIB_ASSERT(!sessions_.contains(peer), "add_neighbor: session already exists");
+  proto::SessionConfig config;
+  config.rxmt_interval_s = timing_.rxmt_interval_s;
+  auto session = std::make_unique<proto::NeighborSession>(
+      addrs_->router_id(self_), addrs_->router_id(peer),
+      static_cast<proto::DatabaseFacade&>(*this), events_, config,
+      [this, peer](const proto::BufferPtr& buffer) {
+        FIB_ASSERT(send_ != nullptr, "RouterProcess: transport not wired");
+        send_(self_, peer, buffer);
+      });
+  if (started_) session->start();
+  sessions_.emplace(peer, std::move(session));
 }
 
-void RouterProcess::sync_neighbor(topo::NodeId peer) {
-  FIB_ASSERT(send_ != nullptr, "RouterProcess: transport not wired");
-  for (const LsaPtr& lsa : lsdb_.all()) {
-    ++lsas_sent_;
-    send_(self_, peer, lsa);
+void RouterProcess::remove_neighbor(topo::NodeId peer) {
+  const auto it = sessions_.find(peer);
+  if (it == sessions_.end()) return;
+  it->second->shutdown();
+  retired_ += it->second->counters();
+  sessions_.erase(it);
+}
+
+void RouterProcess::start() {
+  FIB_ASSERT(!started_, "RouterProcess::start called twice");
+  started_ = true;
+  for (auto& [peer, session] : sessions_) session->start();
+}
+
+const proto::NeighborSession* RouterProcess::session(topo::NodeId peer) const {
+  const auto it = sessions_.find(peer);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+bool RouterProcess::synchronized() const {
+  for (const auto& [peer, session] : sessions_) {
+    if (!session->synchronized()) return false;
   }
+  return true;
+}
+
+proto::SessionCounters RouterProcess::counters() const {
+  proto::SessionCounters total = retired_;
+  total += controller_io_;
+  for (const auto& [peer, session] : sessions_) total += session->counters();
+  return total;
+}
+
+void RouterProcess::store_wire_(const LsaKey& key, proto::WireLsa wire) {
+  const proto::LsaIdentity id = proto::identity_of(wire.header);
+  if (const auto it = wire_cache_.find(key); it != wire_cache_.end()) {
+    // An update may move the wire identity (it never does today -- router
+    // ids and lie ids are stable -- but keep the index honest).
+    by_identity_.erase(proto::identity_of(it->second.header));
+  }
+  by_identity_[id] = key;
+  wire_cache_.insert_or_assign(key, std::move(wire));
 }
 
 void RouterProcess::originate(Lsa lsa) {
-  auto shared = std::make_shared<const Lsa>(std::move(lsa));
-  const auto result = lsdb_.install(shared);
+  proto::WireLsa wire = proto::to_wire(lsa, *addrs_);
+  const LsaKey key = lsa.id;
+  const auto result = lsdb_.install(std::make_shared<const Lsa>(std::move(lsa)));
   if (result != Lsdb::InstallResult::kNewer) return;
-  flood_(shared, /*except=*/self_);
+  store_wire_(key, wire);
+  flood_(wire, /*except_router_id=*/addrs_->router_id(self_));
   schedule_spf_();
 }
 
-void RouterProcess::receive(topo::NodeId from, LsaPtr lsa) {
-  ++lsas_received_;
-  const auto result = lsdb_.install(lsa);
-  if (result != Lsdb::InstallResult::kNewer) return;  // duplicate/stale: drop
-  flood_(lsa, /*except=*/from);
-  schedule_spf_();
-}
-
-void RouterProcess::flood_(const LsaPtr& lsa, topo::NodeId except) {
-  FIB_ASSERT(send_ != nullptr, "RouterProcess: transport not wired");
-  for (const topo::NodeId peer : neighbors_) {
-    if (peer == except) continue;
-    ++lsas_sent_;
-    send_(self_, peer, lsa);
+void RouterProcess::flood_(const proto::WireLsa& lsa,
+                           std::uint32_t except_router_id) {
+  // The LS Update is byte-identical toward every neighbor (same sender,
+  // same instance): encode once, share the buffer across the sessions.
+  proto::BufferPtr encoded;
+  for (auto& [peer, session] : sessions_) {
+    if (session->peer_id() == except_router_id) continue;
+    if (session->state() < proto::NeighborState::kExchange) continue;
+    if (encoded == nullptr) {
+      encoded = std::make_shared<const proto::Buffer>(
+          proto::NeighborSession::encode_flood(addrs_->router_id(self_), lsa));
+    }
+    session->flood_encoded(lsa, encoded);
   }
+}
+
+std::vector<proto::LsaHeader> RouterProcess::summarize() const {
+  std::vector<proto::LsaHeader> headers;
+  headers.reserve(wire_cache_.size());
+  for (const auto& [key, wire] : wire_cache_) headers.push_back(wire.header);
+  return headers;
+}
+
+const proto::WireLsa* RouterProcess::lookup(const proto::LsaIdentity& id) const {
+  const auto it = by_identity_.find(id);
+  if (it == by_identity_.end()) return nullptr;
+  const auto wire = wire_cache_.find(it->second);
+  FIB_ASSERT(wire != wire_cache_.end(), "lookup: identity index out of sync");
+  return &wire->second;
+}
+
+proto::DatabaseFacade::DeliverResult RouterProcess::deliver(
+    const proto::WireLsa& lsa, std::uint32_t from_router_id) {
+  ++lsas_received_;
+  // Flooding delivers most instances once per adjacency, so the common case
+  // is a copy we already hold: settle that from the stored wire header
+  // before paying for translation.
+  if (const proto::WireLsa* mine = lookup(proto::identity_of(lsa.header))) {
+    const int order = proto::compare_instances(lsa.header, mine->header);
+    if (order <= 0) {
+      return order == 0 ? DeliverResult::kDuplicate : DeliverResult::kStale;
+    }
+  }
+  proto::Decoded<Lsa> translated = proto::from_wire(lsa, *addrs_);
+  if (!translated) {
+    // The checksum held, so this is a structurally valid LSA referencing
+    // things this domain does not know -- drop it (and ack, so the sender
+    // stops retransmitting an instance we will never install).
+    ++decode_errors_;
+    FIB_LOG(kWarn, "igp") << "router " << self_ << ": untranslatable LSA ("
+                          << proto::to_string(translated.error().kind) << ": "
+                          << translated.error().detail << ")";
+    return DeliverResult::kDuplicate;
+  }
+  const LsaKey key = translated.value().id;
+  const auto result =
+      lsdb_.install(std::make_shared<const Lsa>(std::move(translated).value()));
+  switch (result) {
+    case Lsdb::InstallResult::kNewer:
+      store_wire_(key, lsa);
+      flood_(lsa, from_router_id);
+      schedule_spf_();
+      return DeliverResult::kNewer;
+    case Lsdb::InstallResult::kDuplicate:
+      return DeliverResult::kDuplicate;
+    case Lsdb::InstallResult::kStale:
+      return DeliverResult::kStale;
+  }
+  return DeliverResult::kDuplicate;
+}
+
+void RouterProcess::receive_packet(topo::NodeId from, const BufferPtr& buffer) {
+  ++packets_received_;
+  proto::Decoded<proto::Packet> decoded = proto::decode_packet(*buffer);
+  if (!decoded) {
+    ++decode_errors_;
+    FIB_LOG(kWarn, "igp") << "router " << self_ << ": undecodable packet from "
+                          << from << " (" << proto::to_string(decoded.error().kind)
+                          << ": " << decoded.error().detail << ")";
+    return;
+  }
+  const auto it = sessions_.find(from);
+  if (it == sessions_.end()) return;  // adjacency raced away: drop
+  it->second->receive(decoded.value());
+}
+
+void RouterProcess::receive_controller_packet(const BufferPtr& buffer) {
+  ++packets_received_;
+  proto::Decoded<proto::Packet> decoded = proto::decode_packet(*buffer);
+  if (!decoded) {
+    ++decode_errors_;
+    FIB_LOG(kWarn, "igp") << "router " << self_
+                          << ": undecodable controller packet ("
+                          << proto::to_string(decoded.error().kind) << ")";
+    return;
+  }
+  const auto* lsu = std::get_if<proto::LsUpdateBody>(&decoded.value().body);
+  if (lsu == nullptr) return;  // the controller only speaks LS Updates
+  proto::LsAckBody ack;
+  for (const proto::WireLsa& lsa : lsu->lsas) {
+    // The controller adjacency behaves like an always-Full neighbor outside
+    // the flooding graph: install and flood to every real adjacency.
+    deliver(lsa, proto::kControllerRouterId);
+    ack.headers.push_back(lsa.header);
+  }
+  if (ack.headers.empty() || controller_send_ == nullptr) return;
+  proto::Packet response{addrs_->router_id(self_), 0, std::move(ack)};
+  auto bytes =
+      std::make_shared<const proto::Buffer>(proto::encode_packet(response));
+  ++controller_io_.packets_sent;
+  ++controller_io_.lsacks_sent;
+  controller_io_.bytes_sent += bytes->size();
+  controller_send_(bytes);
 }
 
 void RouterProcess::schedule_spf_() {

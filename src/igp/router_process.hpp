@@ -2,10 +2,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "igp/lsdb.hpp"
 #include "igp/routes.hpp"
+#include "proto/neighbor.hpp"
+#include "proto/translate.hpp"
 #include "util/event_queue.hpp"
 
 namespace fibbing::igp {
@@ -13,73 +17,117 @@ namespace fibbing::igp {
 /// Protocol timers, loosely modelled on deployed OSPF defaults (scaled down
 /// to the demo's seconds-scale dynamics).
 struct IgpTiming {
-  double flood_delay_s = 0.001;  // per-hop LSA propagation + processing
+  double flood_delay_s = 0.001;  // per-hop packet propagation + processing
   double spf_delay_s = 0.05;     // SPF hold-down after an LSDB change
+  double rxmt_interval_s = 0.5;  // RFC RxmtInterval: unacked-LSU resend
 };
 
-/// One router's control plane: an LSDB replica, flooding behaviour and SPF
-/// scheduling. Transport is injected (the domain delivers messages through
-/// the shared event queue), which keeps this class testable in isolation.
-class RouterProcess {
+/// One router's control plane: an LSDB replica, a wire-format OSPF speaker
+/// (one proto::NeighborSession per adjacency) and SPF scheduling. Everything
+/// that leaves this router is an encoded RFC 2328 packet; everything that
+/// arrives is decoded, checksum-verified, and dispatched to the neighbor
+/// session (or, for the controller adjacency, handled as an LS Update from
+/// the Fibbing controller). Transport is injected (the domain delivers
+/// buffers through the shared event queue), which keeps the class testable
+/// in isolation.
+class RouterProcess final : private proto::DatabaseFacade {
  public:
-  /// (from, to, lsa): deliver `lsa` from this router to neighbor `to`. The
-  /// handle is shared -- transports queue it without copying the LSA body
-  /// (one allocation per instance domain-wide, not one per hop).
+  using BufferPtr = proto::BufferPtr;
+  /// (from, to, buffer): deliver an encoded packet from this router to
+  /// neighbor `to`. The buffer is shared -- transports queue it without
+  /// copying the bytes.
   using SendFn =
-      std::function<void(topo::NodeId from, topo::NodeId to, const LsaPtr&)>;
+      std::function<void(topo::NodeId from, topo::NodeId to, const BufferPtr&)>;
+  /// Encoded packets (LS Acks) back to the controller session.
+  using ControllerSendFn = std::function<void(const BufferPtr&)>;
   /// Fired after each SPF run with the fresh routing table.
   using TableFn = std::function<void(topo::NodeId self, const RoutingTable&)>;
 
-  RouterProcess(topo::NodeId self, std::size_t node_count, util::EventQueue& events,
+  RouterProcess(topo::NodeId self, std::size_t node_count,
+                const proto::AddressMap& addrs, util::EventQueue& events,
                 IgpTiming timing);
 
   void set_send(SendFn fn) { send_ = std::move(fn); }
   void set_on_table(TableFn fn) { on_table_ = std::move(fn); }
-  void add_neighbor(topo::NodeId peer);
-  /// Drop a dead adjacency: the router stops flooding toward `peer`.
-  void remove_neighbor(topo::NodeId peer);
-  /// Offer the entire LSDB (including withdrawal tombstones) to `peer`:
-  /// the database-exchange step of (re-)forming an adjacency. The peer's
-  /// freshness checks discard everything it already holds.
-  void sync_neighbor(topo::NodeId peer);
+  void set_controller_send(ControllerSendFn fn) {
+    controller_send_ = std::move(fn);
+  }
 
-  /// Install a self/controller-originated LSA and flood it to all
-  /// neighbors. The instance enters the shared pool here (the one deep copy
-  /// in its domain-wide lifetime).
+  /// The interface toward `peer` exists (and, once the protocol has
+  /// started, comes up: the session begins its Hello exchange and the
+  /// adjacency forms through DD-based database synchronization).
+  void add_neighbor(topo::NodeId peer);
+  /// The interface died: the session drops to Down and is discarded; its
+  /// traffic counters are retired into this router's totals.
+  void remove_neighbor(topo::NodeId peer);
+  /// Begin the protocol on every configured session (network boot).
+  void start();
+
+  /// Install a self-originated LSA and flood it (as LS Updates) to every
+  /// adjacency that is far enough along to flood (>= Exchange); everything
+  /// earlier learns it through its DD exchange instead.
   void originate(Lsa lsa);
 
-  /// Handle an LSA arriving from `from` (a neighbor, or the controller
-  /// session when from == self). Installing and re-flooding share the
-  /// handle; nothing is copied.
-  void receive(topo::NodeId from, LsaPtr lsa);
+  /// An encoded packet arriving from neighbor `from`.
+  void receive_packet(topo::NodeId from, const BufferPtr& buffer);
+  /// An encoded LS Update arriving over the controller adjacency: install,
+  /// flood domain-wide, and acknowledge back to the controller.
+  void receive_controller_packet(const BufferPtr& buffer);
 
   [[nodiscard]] topo::NodeId id() const { return self_; }
   [[nodiscard]] const Lsdb& lsdb() const { return lsdb_; }
   [[nodiscard]] const RoutingTable& table() const { return table_; }
   [[nodiscard]] bool spf_pending() const { return spf_pending_; }
+  /// The live session toward `peer`; null when no such adjacency exists.
+  [[nodiscard]] const proto::NeighborSession* session(topo::NodeId peer) const;
+  /// Every live adjacency Full with nothing awaiting acknowledgment.
+  [[nodiscard]] bool synchronized() const;
 
-  // Control-plane accounting for the overhead benches.
-  [[nodiscard]] std::uint64_t lsas_sent() const { return lsas_sent_; }
+  // Control-plane accounting for the overhead benches and the DD-economy
+  // tests. `counters()` aggregates live sessions, retired (torn-down)
+  // sessions and the controller-facing acks.
+  [[nodiscard]] proto::SessionCounters counters() const;
+  [[nodiscard]] std::uint64_t lsas_sent() const { return counters().lsas_sent; }
   [[nodiscard]] std::uint64_t lsas_received() const { return lsas_received_; }
+  [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
+  [[nodiscard]] std::uint64_t decode_errors() const { return decode_errors_; }
   [[nodiscard]] std::uint64_t spf_runs() const { return spf_runs_; }
 
  private:
-  void flood_(const LsaPtr& lsa, topo::NodeId except);
+  // -- proto::DatabaseFacade (what the neighbor sessions see) --------------
+  [[nodiscard]] std::vector<proto::LsaHeader> summarize() const override;
+  [[nodiscard]] const proto::WireLsa* lookup(
+      const proto::LsaIdentity& id) const override;
+  DeliverResult deliver(const proto::WireLsa& lsa,
+                        std::uint32_t from_router_id) override;
+
+  void flood_(const proto::WireLsa& lsa, std::uint32_t except_router_id);
+  void store_wire_(const LsaKey& key, proto::WireLsa wire);
   void schedule_spf_();
   void run_spf_now_();
 
   topo::NodeId self_;
   std::size_t node_count_;
+  const proto::AddressMap* addrs_;
   util::EventQueue& events_;
   IgpTiming timing_;
   Lsdb lsdb_;
   RoutingTable table_;
-  std::vector<topo::NodeId> neighbors_;
+  std::map<topo::NodeId, std::unique_ptr<proto::NeighborSession>> sessions_;
+  /// The finalized wire form of every LSDB entry: what DD summaries list,
+  /// LS Requests are answered from, and flooding re-sends byte-identical.
+  std::map<LsaKey, proto::WireLsa> wire_cache_;
+  std::map<proto::LsaIdentity, LsaKey> by_identity_;
   SendFn send_;
+  ControllerSendFn controller_send_;
   TableFn on_table_;
+  bool started_ = false;
   bool spf_pending_ = false;
-  std::uint64_t lsas_sent_ = 0;
+  proto::SessionCounters retired_;  ///< counters of torn-down sessions
+  proto::SessionCounters controller_io_;  ///< acks sent to the controller
   std::uint64_t lsas_received_ = 0;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t decode_errors_ = 0;
   std::uint64_t spf_runs_ = 0;
 };
 

@@ -36,6 +36,7 @@ NetworkView NetworkView::from_topology(const topo::Topology& topo,
     view.attachments_.push_back(Attachment{att.prefix, att.node, att.metric});
   }
   view.externals_ = std::move(externals);
+  view.index_subnet_addresses_();
   return view;
 }
 
@@ -77,7 +78,17 @@ NetworkView NetworkView::from_lsdb(const Lsdb& lsdb, std::size_t node_count) {
                                    b.link.metric, a.link.local_addr,
                                    b.link.local_addr});
   }
+  view.index_subnet_addresses_();
   return view;
+}
+
+void NetworkView::index_subnet_addresses_() {
+  fwd_index_.reserve(2 * subnets_.size());
+  for (std::uint32_t i = 0; i < subnets_.size(); ++i) {
+    const Subnet& subnet = subnets_[i];
+    fwd_index_.emplace(subnet.addr_a, std::pair{i, subnet.a});
+    fwd_index_.emplace(subnet.addr_b, std::pair{i, subnet.b});
+  }
 }
 
 const std::vector<NetworkView::Edge>& NetworkView::edges_from(topo::NodeId n) const {
@@ -96,11 +107,9 @@ std::vector<net::Prefix> NetworkView::known_prefixes() const {
 
 std::optional<NetworkView::FwdAddrMatch> NetworkView::resolve_forwarding_address(
     net::Ipv4 addr) const {
-  for (const Subnet& subnet : subnets_) {
-    if (subnet.addr_a == addr) return FwdAddrMatch{&subnet, subnet.a};
-    if (subnet.addr_b == addr) return FwdAddrMatch{&subnet, subnet.b};
-  }
-  return std::nullopt;
+  const auto it = fwd_index_.find(addr);
+  if (it == fwd_index_.end()) return std::nullopt;
+  return FwdAddrMatch{&subnets_[it->second.first], it->second.second};
 }
 
 }  // namespace fibbing::igp

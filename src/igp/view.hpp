@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "igp/lsa.hpp"
@@ -76,6 +77,8 @@ class NetworkView {
 
   /// The subnet owning an external forwarding address, with the pointed-to
   /// side resolved: `entry` is the router whose interface address matches.
+  /// O(1): served from an address-indexed map built once at construction
+  /// (i.e. once per RouteCache generation), not by scanning the subnets.
   struct FwdAddrMatch {
     const Subnet* subnet = nullptr;
     topo::NodeId pointed_router = topo::kInvalidNode;
@@ -86,10 +89,15 @@ class NetworkView {
   void add_external(const External& ext) { externals_.push_back(ext); }
 
  private:
+  void index_subnet_addresses_();
+
   std::vector<std::vector<Edge>> adj_;
   std::vector<Subnet> subnets_;
   std::vector<Attachment> attachments_;
   std::vector<External> externals_;
+  /// interface address -> (index into subnets_, owning router). Indices, not
+  /// pointers, so the default copy of a view stays self-contained.
+  std::unordered_map<net::Ipv4, std::pair<std::uint32_t, topo::NodeId>> fwd_index_;
 };
 
 }  // namespace fibbing::igp

@@ -1,0 +1,62 @@
+#include "proto/controller_session.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace fibbing::proto {
+
+ControllerSession::ControllerSession(const AddressMap& addrs, SendFn send)
+    : addrs_(addrs), send_(std::move(send)) {
+  FIB_ASSERT(send_ != nullptr, "ControllerSession: transport not wired");
+}
+
+void ControllerSession::send_update_(const igp::ExternalLsa& ext, igp::SeqNum seq) {
+  const WireLsa wire = to_wire(igp::make_external_lsa(ext, seq), addrs_);
+  unacked_[identity_of(wire.header)] = wire.header;
+  LsUpdateBody lsu;
+  lsu.lsas.push_back(wire);
+  const Buffer bytes =
+      encode_packet(Packet{kControllerRouterId, 0, std::move(lsu)});
+  ++counters_.packets_sent;
+  ++counters_.lsus_sent;
+  ++counters_.lsas_sent;
+  counters_.bytes_sent += bytes.size();
+  send_(std::make_shared<const Buffer>(bytes));
+}
+
+void ControllerSession::inject(const igp::ExternalLsa& ext) {
+  FIB_ASSERT(!ext.withdrawn, "ControllerSession::inject: use retract()");
+  const igp::SeqNum seq = ++lie_seq_[ext.lie_id];
+  last_[ext.lie_id] = ext;
+  send_update_(ext, seq);
+}
+
+void ControllerSession::retract(std::uint64_t lie_id) {
+  const auto it = last_.find(lie_id);
+  FIB_ASSERT(it != last_.end(), "ControllerSession::retract: unknown lie id");
+  igp::ExternalLsa tombstone = it->second;
+  tombstone.withdrawn = true;
+  send_update_(tombstone, ++lie_seq_[lie_id]);
+}
+
+void ControllerSession::receive(const BufferPtr& buffer) {
+  Decoded<Packet> decoded = decode_packet(*buffer);
+  if (!decoded) {
+    FIB_LOG(kWarn, "proto") << "controller session: undecodable packet ("
+                            << to_string(decoded.error().kind) << ": "
+                            << decoded.error().detail << ")";
+    return;
+  }
+  const auto* ack = std::get_if<LsAckBody>(&decoded.value().body);
+  if (ack == nullptr) return;  // the session router only acks us back
+  for (const LsaHeader& header : ack->headers) {
+    const auto it = unacked_.find(identity_of(header));
+    if (it == unacked_.end()) continue;
+    if (compare_instances(header, it->second) >= 0) {
+      unacked_.erase(it);
+      ++counters_.acks_received;
+    }
+  }
+}
+
+}  // namespace fibbing::proto

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "igp/lsa.hpp"
+#include "proto/codec.hpp"
+#include "proto/neighbor.hpp"
+#include "proto/translate.hpp"
+
+namespace fibbing::proto {
+
+/// The Fibbing controller's southbound adjacency: the paper's controller
+/// speaks just enough OSPF to a session router to inject and retract lies.
+/// Lies leave as wire-format AS-external LS Updates; retraction is premature
+/// aging (the same instance re-flooded at MaxAge). The session tracks LS
+/// acknowledgments from the session router, so the domain can tell when an
+/// injection has demonstrably reached the routing plane.
+class ControllerSession {
+ public:
+  using SendFn = std::function<void(const BufferPtr&)>;
+
+  struct Counters {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t lsus_sent = 0;
+    std::uint64_t lsas_sent = 0;
+    std::uint64_t acks_received = 0;
+  };
+
+  ControllerSession(const AddressMap& addrs, SendFn send);
+
+  /// Announce (or update) a lie: per-lie sequence numbers make re-injection
+  /// supersede the standing instance, exactly as in IgpDomain's previous
+  /// in-memory path.
+  void inject(const igp::ExternalLsa& ext);
+
+  /// Retract a previously injected lie by flooding its MaxAge tombstone
+  /// (RFC 2328 14.1 premature aging). Asserts the lie id is known -- the
+  /// controller cannot retract what it never announced.
+  void retract(std::uint64_t lie_id);
+
+  /// An encoded packet from the session router (LS Acks).
+  void receive(const BufferPtr& buffer);
+
+  [[nodiscard]] bool knows(std::uint64_t lie_id) const {
+    return last_.contains(lie_id);
+  }
+  /// Every update acknowledged by the session router.
+  [[nodiscard]] bool drained() const { return unacked_.empty(); }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  void send_update_(const igp::ExternalLsa& ext, igp::SeqNum seq);
+
+  const AddressMap& addrs_;
+  SendFn send_;
+  std::unordered_map<std::uint64_t, igp::SeqNum> lie_seq_;
+  /// Last announced content per lie id; the tombstone reuses its prefix so
+  /// the retraction carries the same wire identity as the announcement.
+  std::unordered_map<std::uint64_t, igp::ExternalLsa> last_;
+  std::map<LsaIdentity, LsaHeader> unacked_;
+  Counters counters_;
+};
+
+}  // namespace fibbing::proto

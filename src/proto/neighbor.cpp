@@ -1,0 +1,429 @@
+#include "proto/neighbor.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace fibbing::proto {
+
+const char* to_string(NeighborState state) {
+  switch (state) {
+    case NeighborState::kDown: return "Down";
+    case NeighborState::kInit: return "Init";
+    case NeighborState::kTwoWay: return "2-Way";
+    case NeighborState::kExStart: return "ExStart";
+    case NeighborState::kExchange: return "Exchange";
+    case NeighborState::kLoading: return "Loading";
+    case NeighborState::kFull: return "Full";
+  }
+  return "unknown";
+}
+
+SessionCounters& SessionCounters::operator+=(const SessionCounters& other) {
+  packets_sent += other.packets_sent;
+  bytes_sent += other.bytes_sent;
+  hellos_sent += other.hellos_sent;
+  dds_sent += other.dds_sent;
+  dd_headers_sent += other.dd_headers_sent;
+  lsrs_sent += other.lsrs_sent;
+  ls_requests_sent += other.ls_requests_sent;
+  lsus_sent += other.lsus_sent;
+  lsas_sent += other.lsas_sent;
+  lsacks_sent += other.lsacks_sent;
+  retransmissions += other.retransmissions;
+  return *this;
+}
+
+NeighborSession::NeighborSession(std::uint32_t self_id, std::uint32_t peer_id,
+                                 DatabaseFacade& db, util::EventQueue& events,
+                                 SessionConfig config, SendFn send)
+    : self_id_(self_id),
+      peer_id_(peer_id),
+      db_(db),
+      events_(events),
+      config_(config),
+      send_(std::move(send)) {
+  FIB_ASSERT(self_id_ != peer_id_, "NeighborSession: self adjacency");
+  FIB_ASSERT(send_ != nullptr, "NeighborSession: transport not wired");
+}
+
+NeighborSession::~NeighborSession() { events_.cancel(rxmt_timer_); }
+
+void NeighborSession::start() {
+  FIB_ASSERT(state_ == NeighborState::kDown, "NeighborSession::start: not Down");
+  send_hello_();
+}
+
+void NeighborSession::shutdown() {
+  state_ = NeighborState::kDown;
+  heard_peer_ = false;
+  introduced_self_ = false;
+  reset_exchange_();
+}
+
+void NeighborSession::reset_exchange_() {
+  master_ = false;
+  dd_seq_ = 0;
+  sent_all_ = false;
+  peer_done_ = false;
+  summary_.clear();
+  summary_pos_ = 0;
+  wanted_.clear();
+  wanted_ids_.clear();
+  outstanding_.clear();
+  rxmt_.clear();
+  events_.cancel(rxmt_timer_);
+  rxmt_timer_ = {};
+}
+
+void NeighborSession::send_packet_(Packet&& packet) {
+  packet.router_id = self_id_;
+  auto buffer = std::make_shared<const Buffer>(encode_packet(packet));
+  ++counters_.packets_sent;
+  counters_.bytes_sent += buffer->size();
+  send_(buffer);
+}
+
+void NeighborSession::send_hello_() {
+  HelloBody hello;
+  if (heard_peer_) {
+    hello.neighbors.push_back(peer_id_);
+    introduced_self_ = true;
+  }
+  ++counters_.hellos_sent;
+  send_packet_(Packet{self_id_, 0, std::move(hello)});
+}
+
+void NeighborSession::receive(const Packet& packet) {
+  if (const auto* hello = std::get_if<HelloBody>(&packet.body)) {
+    process_hello_(*hello);
+  } else if (const auto* dd = std::get_if<DatabaseDescriptionBody>(&packet.body)) {
+    process_dd_(*dd);
+  } else if (const auto* lsr = std::get_if<LsRequestBody>(&packet.body)) {
+    process_lsr_(*lsr);
+  } else if (const auto* lsu = std::get_if<LsUpdateBody>(&packet.body)) {
+    process_lsu_(*lsu);
+  } else {
+    process_lsack_(std::get<LsAckBody>(packet.body));
+  }
+}
+
+void NeighborSession::process_hello_(const HelloBody& hello) {
+  heard_peer_ = true;
+  const bool lists_us =
+      std::find(hello.neighbors.begin(), hello.neighbors.end(), self_id_) !=
+      hello.neighbors.end();
+  if (!lists_us) {
+    if (state_ >= NeighborState::kTwoWay) {
+      // RFC 10.2 1-WayReceived: the peer restarted and forgot us. Drop back
+      // and re-introduce ourselves; the exchange restarts from scratch.
+      FIB_LOG(kDebug, "proto") << self_id_ << ": 1-way from " << peer_id_
+                               << ", restarting adjacency";
+      reset_exchange_();
+      state_ = NeighborState::kInit;
+      introduced_self_ = false;
+    } else if (state_ == NeighborState::kDown) {
+      state_ = NeighborState::kInit;
+    }
+    if (!introduced_self_) send_hello_();
+    return;
+  }
+  if (state_ <= NeighborState::kInit) {
+    // 2-WayReceived; p2p interfaces always form the adjacency, so 2-Way is
+    // transient and we negotiate the exchange immediately.
+    if (!introduced_self_) send_hello_();  // let the peer pass its 2-way check
+    enter_exstart_();
+  }
+  // Hellos at ExStart or later are keepalives; nothing to do.
+}
+
+void NeighborSession::enter_exstart_() {
+  reset_exchange_();
+  state_ = NeighborState::kExStart;
+  master_ = self_id_ > peer_id_;  // RFC 10.6: larger router id wins mastership
+  dd_seq_ = self_id_;             // any initial value; ours if we stay master
+  send_dd_page_(/*init=*/true);
+}
+
+void NeighborSession::take_snapshot_() {
+  summary_ = db_.summarize();
+  summary_pos_ = 0;
+  sent_all_ = false;
+}
+
+void NeighborSession::send_dd_page_(bool init) {
+  DatabaseDescriptionBody dd;
+  dd.interface_mtu = config_.interface_mtu;
+  dd.dd_sequence = dd_seq_;
+  if (init) {
+    dd.flags = kDdFlagInit | kDdFlagMore | kDdFlagMasterSlave;
+  } else {
+    const std::size_t take =
+        std::min(config_.max_dd_headers, summary_.size() - summary_pos_);
+    dd.headers.assign(summary_.begin() + static_cast<std::ptrdiff_t>(summary_pos_),
+                      summary_.begin() + static_cast<std::ptrdiff_t>(summary_pos_ + take));
+    summary_pos_ += take;
+    sent_all_ = summary_pos_ >= summary_.size();
+    dd.flags = static_cast<std::uint8_t>((master_ ? kDdFlagMasterSlave : 0) |
+                                         (sent_all_ ? 0 : kDdFlagMore));
+    counters_.dd_headers_sent += dd.headers.size();
+  }
+  ++counters_.dds_sent;
+  send_packet_(Packet{self_id_, 0, std::move(dd)});
+}
+
+void NeighborSession::process_dd_(const DatabaseDescriptionBody& dd) {
+  if (state_ < NeighborState::kExStart) return;  // RFC 10.8: reject early DDs
+  if (state_ >= NeighborState::kExchange && (dd.flags & kDdFlagInit)) {
+    // RFC 10.6 SeqNumberMismatch: the peer restarted its exchange. Restart
+    // ours; negotiation resolves mastership again.
+    FIB_LOG(kDebug, "proto") << self_id_ << ": DD init from " << peer_id_
+                             << " mid-exchange, restarting";
+    enter_exstart_();
+    // Fall through into ExStart handling of this same packet below.
+  }
+
+  if (state_ == NeighborState::kExStart) {
+    if (!master_ && (dd.flags & kDdFlagInit) && (dd.flags & kDdFlagMasterSlave)) {
+      // The master's opening DD: adopt its sequence number and respond with
+      // our first summary page (negotiation done, RFC 10.8).
+      dd_seq_ = dd.dd_sequence;
+      take_snapshot_();
+      state_ = NeighborState::kExchange;
+      peer_done_ = false;
+      send_dd_page_(/*init=*/false);
+    } else if (master_ && !(dd.flags & kDdFlagInit) && dd.dd_sequence == dd_seq_) {
+      // The slave echoed our sequence: negotiation done, start exchanging.
+      take_snapshot_();
+      state_ = NeighborState::kExchange;
+      process_summary_(dd.headers);
+      peer_done_ = !(dd.flags & kDdFlagMore);
+      ++dd_seq_;
+      send_dd_page_(/*init=*/false);
+      if (sent_all_ && peer_done_) finish_exchange_();
+    }
+    // Anything else (the lower-id peer's own init DD) is silently dropped;
+    // the peer answers *our* init DD as slave.
+    return;
+  }
+  if (state_ != NeighborState::kExchange) return;
+
+  if (master_) {
+    if (dd.dd_sequence != dd_seq_) return;  // stale echo of an older poll: drop
+    process_summary_(dd.headers);
+    peer_done_ = !(dd.flags & kDdFlagMore);
+    if (sent_all_ && peer_done_) {
+      finish_exchange_();
+      return;
+    }
+    ++dd_seq_;
+    send_dd_page_(/*init=*/false);
+    if (sent_all_ && peer_done_) finish_exchange_();
+  } else {
+    if (dd.dd_sequence != dd_seq_ + 1) return;  // duplicate of the last poll
+    dd_seq_ = dd.dd_sequence;
+    process_summary_(dd.headers);
+    peer_done_ = !(dd.flags & kDdFlagMore);
+    send_dd_page_(/*init=*/false);
+    if (peer_done_ && sent_all_) finish_exchange_();
+  }
+}
+
+void NeighborSession::process_summary_(const std::vector<LsaHeader>& headers) {
+  for (const LsaHeader& header : headers) {
+    const LsaIdentity id = identity_of(header);
+    const WireLsa* mine = db_.lookup(id);
+    if (mine != nullptr && compare_instances(header, mine->header) <= 0) continue;
+    if (wanted_ids_.contains(id) || outstanding_.contains(id)) continue;
+    wanted_.push_back(
+        LsRequestEntry{static_cast<std::uint32_t>(header.type), header.link_state_id,
+                       header.advertising_router});
+    wanted_ids_.insert(id);
+  }
+}
+
+void NeighborSession::finish_exchange_() {
+  if (wanted_.empty() && outstanding_.empty()) {
+    state_ = NeighborState::kFull;
+    FIB_LOG(kDebug, "proto") << self_id_ << ": adjacency with " << peer_id_
+                             << " Full";
+    return;
+  }
+  state_ = NeighborState::kLoading;
+  send_next_requests_();
+}
+
+void NeighborSession::send_next_requests_() {
+  if (wanted_.empty()) {
+    if (outstanding_.empty()) {
+      state_ = NeighborState::kFull;
+      FIB_LOG(kDebug, "proto") << self_id_ << ": adjacency with " << peer_id_
+                               << " Full (loaded)";
+    }
+    return;
+  }
+  LsRequestBody lsr;
+  while (!wanted_.empty() && lsr.entries.size() < config_.max_request_entries) {
+    const LsRequestEntry entry = wanted_.front();
+    wanted_.pop_front();
+    const LsaIdentity id{static_cast<WireLsaType>(entry.type), entry.link_state_id,
+                         entry.advertising_router};
+    wanted_ids_.erase(id);
+    outstanding_.emplace(id, entry);
+    lsr.entries.push_back(entry);
+  }
+  counters_.ls_requests_sent += lsr.entries.size();
+  ++counters_.lsrs_sent;
+  send_packet_(Packet{self_id_, 0, std::move(lsr)});
+}
+
+void NeighborSession::send_update_batches_(const std::vector<const WireLsa*>& lsas) {
+  LsUpdateBody batch;
+  std::size_t batch_bytes = 0;
+  const auto flush = [&] {
+    if (batch.lsas.empty()) return;
+    counters_.lsas_sent += batch.lsas.size();
+    ++counters_.lsus_sent;
+    send_packet_(Packet{self_id_, 0, std::move(batch)});
+    batch = LsUpdateBody{};
+    batch_bytes = 0;
+  };
+  for (const WireLsa* lsa : lsas) {
+    // The wire length field is 16 bits; flush before a batch could ever
+    // approach it. A single oversized LSA still travels alone.
+    if (!batch.lsas.empty() &&
+        batch_bytes + lsa->header.length > config_.max_update_bytes) {
+      flush();
+    }
+    batch.lsas.push_back(*lsa);
+    batch_bytes += lsa->header.length;
+  }
+  flush();
+}
+
+void NeighborSession::process_lsr_(const LsRequestBody& lsr) {
+  if (state_ < NeighborState::kExchange) return;
+  std::vector<const WireLsa*> response;
+  for (const LsRequestEntry& entry : lsr.entries) {
+    const LsaIdentity id{static_cast<WireLsaType>(entry.type), entry.link_state_id,
+                         entry.advertising_router};
+    const WireLsa* mine = db_.lookup(id);
+    if (mine == nullptr) {
+      // RFC 10.7 BadLSReq. A truthful summary makes this unreachable in the
+      // simulator; tolerate it rather than tearing the adjacency down.
+      FIB_LOG(kWarn, "proto") << self_id_ << ": LS request from " << peer_id_
+                              << " for an instance we do not hold";
+      continue;
+    }
+    response.push_back(mine);
+  }
+  send_update_batches_(response);
+}
+
+void NeighborSession::process_lsu_(const LsUpdateBody& lsu) {
+  if (state_ < NeighborState::kExchange) return;
+  LsAckBody ack;
+  LsUpdateBody newer_back;  // RFC 13(8): answer stale instances with ours
+  for (const WireLsa& lsa : lsu.lsas) {
+    const LsaIdentity id = identity_of(lsa.header);
+    // Implied acknowledgment: an equal-or-newer instance from the peer
+    // proves it holds what we flooded.
+    if (const auto it = rxmt_.find(id);
+        it != rxmt_.end() && compare_instances(lsa.header, it->second.header) >= 0) {
+      rxmt_.erase(it);
+    }
+    switch (db_.deliver(lsa, peer_id_)) {
+      case DatabaseFacade::DeliverResult::kNewer:
+      case DatabaseFacade::DeliverResult::kDuplicate:
+        ack.headers.push_back(lsa.header);
+        break;
+      case DatabaseFacade::DeliverResult::kStale:
+        if (const WireLsa* mine = db_.lookup(id)) newer_back.lsas.push_back(*mine);
+        break;
+    }
+    // Loading bookkeeping: however the instance got here (response or
+    // concurrent flood), it is no longer wanted.
+    if (wanted_ids_.erase(id) > 0) {
+      std::erase_if(wanted_, [&](const LsRequestEntry& e) {
+        return e.link_state_id == id.link_state_id &&
+               e.advertising_router == id.advertising_router &&
+               static_cast<WireLsaType>(e.type) == id.type;
+      });
+    }
+    outstanding_.erase(id);
+  }
+  if (rxmt_.empty()) {
+    events_.cancel(rxmt_timer_);
+    rxmt_timer_ = {};
+  }
+  if (!ack.headers.empty()) {
+    ++counters_.lsacks_sent;
+    send_packet_(Packet{self_id_, 0, std::move(ack)});
+  }
+  if (!newer_back.lsas.empty()) {
+    std::vector<const WireLsa*> ours;
+    ours.reserve(newer_back.lsas.size());
+    for (const WireLsa& lsa : newer_back.lsas) ours.push_back(&lsa);
+    send_update_batches_(ours);
+  }
+  if (state_ == NeighborState::kLoading && outstanding_.empty()) {
+    send_next_requests_();
+  }
+}
+
+void NeighborSession::process_lsack_(const LsAckBody& ack) {
+  if (state_ < NeighborState::kExchange) return;
+  for (const LsaHeader& header : ack.headers) {
+    const auto it = rxmt_.find(identity_of(header));
+    if (it == rxmt_.end()) continue;
+    if (compare_instances(header, it->second.header) >= 0) rxmt_.erase(it);
+  }
+  if (rxmt_.empty()) {
+    events_.cancel(rxmt_timer_);
+    rxmt_timer_ = {};
+  }
+}
+
+Buffer NeighborSession::encode_flood(std::uint32_t router_id, const WireLsa& lsa) {
+  LsUpdateBody lsu;
+  lsu.lsas.push_back(lsa);
+  return encode_packet(Packet{router_id, 0, std::move(lsu)});
+}
+
+void NeighborSession::flood(const WireLsa& lsa) {
+  if (state_ < NeighborState::kExchange) return;  // DD snapshot covers it
+  flood_encoded(lsa,
+                std::make_shared<const Buffer>(encode_flood(self_id_, lsa)));
+}
+
+void NeighborSession::flood_encoded(const WireLsa& lsa, const BufferPtr& encoded) {
+  if (state_ < NeighborState::kExchange) return;  // DD snapshot covers it
+  rxmt_[identity_of(lsa.header)] = lsa;
+  ++counters_.lsus_sent;
+  ++counters_.lsas_sent;
+  ++counters_.packets_sent;
+  counters_.bytes_sent += encoded->size();
+  send_(encoded);
+  schedule_rxmt_();
+}
+
+void NeighborSession::schedule_rxmt_() {
+  if (rxmt_timer_.valid()) return;
+  rxmt_timer_ = events_.schedule_in(config_.rxmt_interval_s, [this] {
+    rxmt_timer_ = {};
+    on_rxmt_timer_();
+  });
+}
+
+void NeighborSession::on_rxmt_timer_() {
+  if (state_ < NeighborState::kExchange || rxmt_.empty()) return;
+  std::vector<const WireLsa*> unacked;
+  unacked.reserve(rxmt_.size());
+  for (const auto& [id, lsa] : rxmt_) unacked.push_back(&lsa);
+  counters_.retransmissions += unacked.size();
+  send_update_batches_(unacked);
+  schedule_rxmt_();
+}
+
+}  // namespace fibbing::proto

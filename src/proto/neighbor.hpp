@@ -1,0 +1,188 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "proto/codec.hpp"
+#include "util/event_queue.hpp"
+
+namespace fibbing::proto {
+
+using BufferPtr = std::shared_ptr<const Buffer>;
+
+/// RFC 2328 10.1 neighbor states (point-to-point interfaces skip Attempt;
+/// 2-Way is transient on p2p links, where every neighbor becomes adjacent).
+enum class NeighborState : std::uint8_t {
+  kDown,
+  kInit,
+  kTwoWay,
+  kExStart,
+  kExchange,
+  kLoading,
+  kFull,
+};
+
+[[nodiscard]] const char* to_string(NeighborState state);
+
+struct SessionConfig {
+  /// DD summary pagination: headers per Database Description packet
+  /// (96 x 20 bytes + fixed fields fits a 1500-byte interface MTU).
+  std::size_t max_dd_headers = 72;
+  /// LS Request pagination: entries per request packet.
+  std::size_t max_request_entries = 32;
+  /// RFC RxmtInterval analogue (scaled to the demo's seconds-scale timers).
+  double rxmt_interval_s = 0.5;
+  std::uint16_t interface_mtu = 1500;
+  /// LS Update pagination: batches flush when the next LSA would push the
+  /// packet past this many body bytes (an LSA larger by itself still goes
+  /// alone, as real OSPF leaves oversized updates to IP fragmentation).
+  /// Keeps LSR responses and retransmission bundles bounded -- the encoded
+  /// packet length field is 16 bits.
+  std::size_t max_update_bytes = 1400;
+};
+
+/// Control-plane traffic accounting, the observable that proves DD-based
+/// synchronization exchanges O(changed) LSAs instead of O(all): after a
+/// restoration the fresh sessions' `dd_headers_sent` covers the database
+/// while `ls_requests_sent`/`lsas_sent` stay proportional to what actually
+/// differed across the partition.
+struct SessionCounters {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t hellos_sent = 0;
+  std::uint64_t dds_sent = 0;
+  std::uint64_t dd_headers_sent = 0;
+  std::uint64_t lsrs_sent = 0;
+  std::uint64_t ls_requests_sent = 0;
+  std::uint64_t lsus_sent = 0;
+  std::uint64_t lsas_sent = 0;  ///< full LSAs carried in LS Updates
+  std::uint64_t lsacks_sent = 0;
+  std::uint64_t retransmissions = 0;
+
+  SessionCounters& operator+=(const SessionCounters& other);
+};
+
+/// What a neighbor session needs from its router's link-state database.
+/// Kept wire-level (no igp dependency) so the FSM is testable against a
+/// fake store; igp::RouterProcess adapts it onto its Lsdb.
+class DatabaseFacade {
+ public:
+  enum class DeliverResult : std::uint8_t { kNewer, kDuplicate, kStale };
+
+  virtual ~DatabaseFacade() = default;
+
+  /// Wire headers of every stored instance, including MaxAge tombstones
+  /// (withdrawals must survive partitions, so they are summarized too).
+  [[nodiscard]] virtual std::vector<LsaHeader> summarize() const = 0;
+
+  /// The stored instance with this identity; null when absent.
+  [[nodiscard]] virtual const WireLsa* lookup(const LsaIdentity& id) const = 0;
+
+  /// A full, checksum-verified instance arrived from `from_router_id`.
+  /// kNewer means the implementation installed it (and flooded it onward to
+  /// its other adjacencies).
+  virtual DeliverResult deliver(const WireLsa& lsa, std::uint32_t from_router_id) = 0;
+};
+
+/// One neighbor relationship: the RFC 2328 session FSM driving adjacency
+/// formation (Hello), database synchronization (Database Description
+/// summaries + LS Request/Update, sections 10.6-10.8) and reliable flooding
+/// (retransmission list + LS Ack, section 13). All traffic leaves through
+/// `send` as encoded packets; the caller decodes incoming buffers once and
+/// dispatches the typed packet to `receive`.
+class NeighborSession {
+ public:
+  using SendFn = std::function<void(const BufferPtr&)>;
+
+  NeighborSession(std::uint32_t self_id, std::uint32_t peer_id, DatabaseFacade& db,
+                  util::EventQueue& events, SessionConfig config, SendFn send);
+  ~NeighborSession();
+  NeighborSession(const NeighborSession&) = delete;
+  NeighborSession& operator=(const NeighborSession&) = delete;
+
+  /// The interface came up: begin the Hello exchange.
+  void start();
+  /// The interface died: back to Down, all lists cleared (RFC KillNbr).
+  void shutdown();
+
+  /// A packet from the peer (already decoded and checksum-verified).
+  void receive(const Packet& packet);
+
+  /// Flood an installed instance to this neighbor: sent as an LS Update and
+  /// tracked on the retransmission list until acknowledged. No-op below
+  /// Exchange -- the DD exchange covers everything installed before it.
+  void flood(const WireLsa& lsa);
+
+  /// Flooding fast path: same as flood(), but the caller already encoded
+  /// the single-LSA LS Update (identical for every neighbor of a router),
+  /// so the shared buffer is sent instead of re-encoding per session.
+  void flood_encoded(const WireLsa& lsa, const BufferPtr& encoded);
+
+  /// The encoded LS Update flood_encoded() expects for `lsa`.
+  [[nodiscard]] static Buffer encode_flood(std::uint32_t router_id,
+                                           const WireLsa& lsa);
+
+  [[nodiscard]] NeighborState state() const { return state_; }
+  /// Full, with nothing awaiting acknowledgment: the adjacency's databases
+  /// are provably identical.
+  [[nodiscard]] bool synchronized() const {
+    return state_ == NeighborState::kFull && rxmt_.empty();
+  }
+  [[nodiscard]] std::uint32_t peer_id() const { return peer_id_; }
+  [[nodiscard]] bool is_master() const { return master_; }
+  [[nodiscard]] const SessionCounters& counters() const { return counters_; }
+
+ private:
+  void send_packet_(Packet&& packet);
+  void send_hello_();
+  void enter_exstart_();
+  void reset_exchange_();
+  void take_snapshot_();
+  void send_dd_page_(bool init);
+  void process_hello_(const HelloBody& hello);
+  void process_dd_(const DatabaseDescriptionBody& dd);
+  void process_lsr_(const LsRequestBody& lsr);
+  void process_lsu_(const LsUpdateBody& lsu);
+  void process_lsack_(const LsAckBody& ack);
+  void process_summary_(const std::vector<LsaHeader>& headers);
+  void finish_exchange_();
+  void send_next_requests_();
+  /// Send `lsas` as LS Updates, splitting into packets of at most
+  /// max_update_bytes of LSA payload each.
+  void send_update_batches_(const std::vector<const WireLsa*>& lsas);
+  void schedule_rxmt_();
+  void on_rxmt_timer_();
+
+  std::uint32_t self_id_;
+  std::uint32_t peer_id_;
+  DatabaseFacade& db_;
+  util::EventQueue& events_;
+  SessionConfig config_;
+  SendFn send_;
+
+  NeighborState state_ = NeighborState::kDown;
+  bool heard_peer_ = false;       ///< a Hello arrived on this interface
+  bool introduced_self_ = false;  ///< we sent a Hello naming the peer
+  bool master_ = false;
+  std::uint32_t dd_seq_ = 0;
+  bool sent_all_ = false;  ///< our last DD page carried M=0
+  bool peer_done_ = false; ///< peer's last DD carried M=0
+  std::vector<LsaHeader> summary_;  ///< DB snapshot taken entering Exchange
+  std::size_t summary_pos_ = 0;
+
+  std::deque<LsRequestEntry> wanted_;       ///< newer instances to request
+  std::set<LsaIdentity> wanted_ids_;
+  std::map<LsaIdentity, LsRequestEntry> outstanding_;  ///< requested, not yet seen
+
+  std::map<LsaIdentity, WireLsa> rxmt_;  ///< flooded, awaiting ack
+  util::EventHandle rxmt_timer_;
+
+  SessionCounters counters_;
+};
+
+}  // namespace fibbing::proto

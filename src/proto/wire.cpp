@@ -1,0 +1,18 @@
+#include "proto/wire.hpp"
+
+namespace fibbing::proto {
+
+const char* to_string(DecodeErrorKind kind) {
+  switch (kind) {
+    case DecodeErrorKind::kTruncated: return "truncated";
+    case DecodeErrorKind::kBadVersion: return "bad-version";
+    case DecodeErrorKind::kBadType: return "bad-type";
+    case DecodeErrorKind::kBadLength: return "bad-length";
+    case DecodeErrorKind::kBadChecksum: return "bad-checksum";
+    case DecodeErrorKind::kBadValue: return "bad-value";
+    case DecodeErrorKind::kTrailingBytes: return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+}  // namespace fibbing::proto

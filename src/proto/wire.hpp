@@ -1,0 +1,152 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace fibbing::proto {
+
+/// An encoded protocol message: network-order bytes as they would cross the
+/// wire to a real router.
+using Buffer = std::vector<std::uint8_t>;
+
+/// Why a buffer failed to decode. Every malformed input maps to one of
+/// these -- decoding never asserts and never reads out of bounds, so a
+/// corrupted or hostile peer cannot crash the process (the fuzz suite
+/// exercises exactly that contract).
+enum class DecodeErrorKind : std::uint8_t {
+  kTruncated,      ///< buffer ends before a field or declared length
+  kBadVersion,     ///< OSPF version != 2
+  kBadType,        ///< unknown packet or LSA type code
+  kBadLength,      ///< a length field is inconsistent with the buffer
+  kBadChecksum,    ///< packet or LSA checksum mismatch
+  kBadValue,       ///< a field value outside its valid domain
+  kTrailingBytes,  ///< well-formed prefix followed by unconsumed bytes
+};
+
+[[nodiscard]] const char* to_string(DecodeErrorKind kind);
+
+struct DecodeError {
+  DecodeErrorKind kind = DecodeErrorKind::kBadValue;
+  std::string detail;
+};
+
+/// Minimal expected-like carrier for decode results. Unlike util::Result the
+/// error channel is *typed*: callers (and the fuzz tests) branch on the kind.
+template <typename T>
+class [[nodiscard]] Decoded {
+ public:
+  Decoded(T value) : value_(std::move(value)), ok_(true) {}  // NOLINT: implicit
+  Decoded(DecodeError error) : error_(std::move(error)) {}   // NOLINT: implicit
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  [[nodiscard]] const T& value() const& {
+    FIB_ASSERT(ok_, "Decoded::value() on error");
+    return value_;
+  }
+  [[nodiscard]] T&& value() && {
+    FIB_ASSERT(ok_, "Decoded::value() on error");
+    return std::move(value_);
+  }
+  [[nodiscard]] const DecodeError& error() const {
+    FIB_ASSERT(!ok_, "Decoded::error() on success");
+    return error_;
+  }
+
+ private:
+  T value_{};
+  DecodeError error_{};
+  bool ok_ = false;
+};
+
+/// Appends multi-byte fields in network (big-endian) order.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(const std::uint8_t* data, std::size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+
+  /// Overwrite a previously written 16-bit field (length/checksum backpatch).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    FIB_ASSERT(offset + 2 <= buf_.size(), "Writer::patch_u16 out of range");
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Buffer& data() const { return buf_; }
+  [[nodiscard]] Buffer take() { return std::move(buf_); }
+
+ private:
+  Buffer buf_;
+};
+
+/// Bounds-checked big-endian reads. Every read reports truncation instead of
+/// walking past the end; `offset`/`remaining` let the codec validate length
+/// fields against what is actually present.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] bool u8(std::uint8_t& out) {
+    if (pos_ + 1 > size_) return false;
+    out = data_[pos_++];
+    return true;
+  }
+  [[nodiscard]] bool u16(std::uint16_t& out) {
+    if (pos_ + 2 > size_) return false;
+    out = static_cast<std::uint16_t>((std::uint16_t{data_[pos_]} << 8) |
+                                     std::uint16_t{data_[pos_ + 1]});
+    pos_ += 2;
+    return true;
+  }
+  [[nodiscard]] bool u32(std::uint32_t& out) {
+    std::uint16_t hi = 0;
+    std::uint16_t lo = 0;
+    if (pos_ + 4 > size_ || !u16(hi) || !u16(lo)) return false;
+    out = (std::uint32_t{hi} << 16) | std::uint32_t{lo};
+    return true;
+  }
+  [[nodiscard]] bool u64(std::uint64_t& out) {
+    std::uint32_t hi = 0;
+    std::uint32_t lo = 0;
+    if (pos_ + 8 > size_ || !u32(hi) || !u32(lo)) return false;
+    out = (std::uint64_t{hi} << 32) | std::uint64_t{lo};
+    return true;
+  }
+  [[nodiscard]] bool skip(std::size_t n) {
+    if (pos_ + n > size_) return false;
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] const std::uint8_t* cursor() const { return data_ + pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fibbing::proto

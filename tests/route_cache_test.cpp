@@ -97,6 +97,32 @@ TEST(RouteCache, ExactMemoHitsAndIgnoresLieIds) {
   EXPECT_EQ(cache.stats().table_builds, 1u);
 }
 
+TEST(RouteCache, MemoEvictsLeastRecentlyUsedNotOldest) {
+  const topo::Topology t = test_topology(11);
+  const topo::LinkStateMask mask(t);
+  igp::RouteCache cache(t, mask, /*memo_capacity=*/2);
+  const net::Prefix p = t.prefixes().front().prefix;
+
+  const std::vector<NetworkView::External> v1{lie_external(t, 2, p, 2, 1)};
+  const std::vector<NetworkView::External> v2{lie_external(t, 4, p, 2, 1)};
+  const std::vector<NetworkView::External> v3{lie_external(t, 6, p, 2, 1)};
+
+  const auto t1 = cache.tables(v1);     // memo: {v1}
+  (void)cache.tables(v2);               // memo: {v1, v2} (at capacity)
+  (void)cache.tables(v1);               // hit refreshes v1's recency
+  (void)cache.tables(v3);               // evicts v2 -- the LRU -- not v1
+  EXPECT_EQ(cache.stats().memo_evictions, 1u);
+
+  const std::uint64_t builds = cache.stats().table_builds;
+  EXPECT_EQ(cache.tables(v1).get(), t1.get());  // v1 survived: hit
+  EXPECT_EQ(cache.stats().table_builds, builds);
+  (void)cache.tables(v2);  // v2 was evicted: rebuilt
+  EXPECT_EQ(cache.stats().table_builds, builds + 1);
+  EXPECT_EQ(cache.stats().memo_evictions, 2u);  // v3 paid for v2's return
+  // Under FIFO eviction the v1 re-touch would not have saved it: inserting
+  // v3 would have evicted v1 (the oldest insertion) instead of v2.
+}
+
 TEST(RouteCache, VersionKeyedInvalidationOnFailure) {
   const topo::Topology t = test_topology(4);
   topo::LinkStateMask mask(t);

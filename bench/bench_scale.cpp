@@ -1,20 +1,24 @@
-// Scalability microbenchmarks (google-benchmark): the building blocks the
+// Scalability benchmarks (google-benchmark): the building blocks the
 // controller runs per reaction, as a function of network size:
 //   - one SPF run (Dijkstra + ECMP first hops),
 //   - full route computation for one router,
 //   - the exact min-max solve,
 //   - lie compilation incl. verification,
-//   - an end-to-end controller reaction (optimize + compile + verify).
-// Sizes are Waxman graphs of 25..200 routers -- ISP scale.
+//   - an end-to-end controller reaction (optimize + compile + verify),
+// sized at Waxman graphs of 25..200 routers (ISP scale) -- plus whole-domain
+// protocol convergence across ShardPool worker counts, which is what the CI
+// perf diff watches for the sharding speedup.
 
 #include <benchmark/benchmark.h>
 
 #include "core/augment.hpp"
 #include "core/requirements.hpp"
+#include "igp/domain.hpp"
 #include "igp/spf.hpp"
 #include "igp/view.hpp"
 #include "te/minmax.hpp"
 #include "topo/generators.hpp"
+#include "util/event_queue.hpp"
 #include "util/rng.hpp"
 
 using namespace fibbing;
@@ -113,6 +117,40 @@ void BM_ControllerReaction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ControllerReaction)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_DomainConvergence(benchmark::State& state) {
+  // Boot-to-convergence of the full wire-protocol domain: adjacency
+  // bring-up, DD synchronization, flooding and SPF for every router. Args:
+  // router count, shard (worker thread) count. The near-linear shard
+  // speedup is the tentpole claim bench-diffed in CI.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto shards = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(2000 + n);
+  topo::Topology t = topo::make_waxman(n, rng, n >= 600 ? 0.05 : 0.2, 0.25, 10);
+  t.attach_prefix(0, net::Prefix(net::Ipv4(203, 0, 113, 0), 24), 0);
+  util::ShardPool::Stats last{};
+  for (auto _ : state) {
+    util::EventQueue events;
+    igp::IgpDomain domain(t, events, igp::IgpTiming{}, nullptr, shards);
+    domain.start();
+    domain.run_to_convergence();
+    benchmark::DoNotOptimize(domain.total_lsas_sent());
+    last = domain.shard_stats();
+  }
+  state.counters["rounds"] = static_cast<double>(last.rounds);
+  state.counters["events"] = static_cast<double>(last.events_run);
+  state.counters["xshard"] = static_cast<double>(last.cross_shard_messages);
+}
+// 300 routers keeps one iteration in the tens of seconds so the perf job
+// stays bounded; the 1000-router scale point is covered by shard_test.
+BENCHMARK(BM_DomainConvergence)
+    ->Args({300, 1})
+    ->Args({300, 2})
+    ->Args({300, 4})
+    ->Args({300, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

@@ -6,6 +6,7 @@
 
 #include "core/verify.hpp"
 #include "igp/spf.hpp"
+#include "proto/translate.hpp"
 #include "util/logging.hpp"
 
 namespace fibbing::core {
@@ -17,6 +18,7 @@ const char* to_string(CompileErrorKind kind) {
     case CompileErrorKind::kUnreachable: return "unreachable";
     case CompileErrorKind::kWrongInterface: return "wrong-interface";
     case CompileErrorKind::kUnrepairable: return "unrepairable";
+    case CompileErrorKind::kWireAliasing: return "wire-aliasing";
   }
   return "unknown";
 }
@@ -265,6 +267,29 @@ CompileResult compile_lies(const topo::Topology& topo,
       candidate.erase(candidate.begin() + static_cast<long>(i));
       if (verify_augmentation(topo, req, candidate, config.link_state, cache).ok()) {
         out.lies = std::move(candidate);
+      }
+    }
+  }
+
+  // Wire realizability: every lie becomes an External-LSA whose identity is
+  // the prefix network with the lie id folded into the host bits (appendix
+  // E). Ids colliding modulo 2^(32-len) share one identity and would
+  // silently supersede each other in every LSDB -- refuse to emit such a
+  // set (possible once more than 2^(32-len) lies coexist for one prefix,
+  // e.g. dozens of copies against a /28).
+  {
+    std::map<std::uint32_t, std::uint64_t> wire_ids;
+    for (const Lie& lie : out.lies) {
+      const std::uint32_t wire_id = proto::external_ls_id(lie.prefix, lie.id);
+      const auto [it, inserted] = wire_ids.emplace(wire_id, lie.id);
+      if (!inserted) {
+        return R::failure(
+            K::kWireAliasing,
+            "lies " + std::to_string(it->second) + " and " +
+                std::to_string(lie.id) + " for " + req.prefix.to_string() +
+                " collide modulo 2^(32-len) in the appendix-E host bits (at "
+                "most " + std::to_string(proto::max_coexisting_lies(req.prefix)) +
+                " coexisting lies are wire-distinguishable)");
       }
     }
   }

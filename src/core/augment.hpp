@@ -74,6 +74,12 @@ enum class CompileErrorKind {
   kWrongInterface,
   /// Verification kept failing after the repair-round budget.
   kUnrepairable,
+  /// The compiled lie set cannot be expressed on the wire: two coexisting
+  /// lies for the prefix have ids that collide modulo 2^(32-len) (appendix-E
+  /// host bits), so their External-LSAs would share one wire identity and
+  /// silently supersede each other. Remedy: a longer prefix, or lie ids
+  /// chosen apart modulo the host-bit space.
+  kWireAliasing,
 };
 
 [[nodiscard]] const char* to_string(CompileErrorKind kind);

@@ -493,11 +493,22 @@ void Controller::apply_lies_(const net::Prefix& prefix, std::vector<Lie> lies) {
     active_.erase(it);
   }
   if (lies.empty()) return;
-  for (const Lie& lie : lies) {
+  // compile_lies rejects alias-colliding sets (kWireAliasing), so a refusal
+  // here means a cross-prefix identity collision with another standing lie;
+  // the un-injectable lie is dropped rather than silently aliased.
+  std::vector<Lie> injected;
+  injected.reserve(lies.size());
+  for (Lie& lie : lies) {
     FIB_LOG(kInfo, "controller") << "inject " << to_string(lie, topo_);
-    session.inject(to_lsa(lie));
+    if (const util::Status status = session.inject(to_lsa(lie)); !status.ok()) {
+      FIB_LOG(kWarn, "controller")
+          << "inject refused, dropping lie: " << status.error();
+      continue;
+    }
+    injected.push_back(std::move(lie));
   }
-  active_.emplace(prefix, std::move(lies));
+  if (injected.empty()) return;
+  active_.emplace(prefix, std::move(injected));
 }
 
 }  // namespace fibbing::core

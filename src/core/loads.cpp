@@ -1,6 +1,7 @@
 #include "core/loads.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/assert.hpp"
 #include "util/logging.hpp"
@@ -64,15 +65,9 @@ std::vector<double> loads_from_routes(const topo::Topology& topo,
   // Verified augmentations are loop-free, but the controller also predicts
   // loads on *transient* state -- e.g. right after a topology change,
   // before stale lies are re-placed -- where the graph may contain a
-  // cycle. Traffic entering a cycle is stranded (it would die to TTL
-  // expiry in reality): cycle nodes are absent from `order` and their
-  // inflow is not propagated. Logged so a steady-state loop (a compiler or
-  // verifier bug, not a transient) stays visible.
+  // cycle. Cycle nodes (and everything only reachable through them) are
+  // absent from `order`; their inflow is walked separately below.
   const std::vector<topo::NodeId> order = forwarding_order(topo, tables, prefix);
-  if (order.size() != topo.node_count()) {
-    FIB_LOG(kWarn, "loads") << "forwarding graph for " << prefix.to_string()
-                            << " has a cycle; stranding its inflow";
-  }
   for (const topo::NodeId u : order) {
     if (node_in[u] <= 0.0) continue;
     const auto it = tables[u].find(prefix);
@@ -87,6 +82,61 @@ std::vector<double> loads_from_routes(const topo::Topology& topo,
       const double share = node_in[u] * nh.weight / total;
       load[l] += share;
       node_in[nh.via] += share;
+    }
+  }
+
+  if (order.size() != topo.node_count()) {
+    // Until the re-placement lands, traffic flowing into a loop circulates
+    // on the cycle's links (dying only to TTL expiry); the prediction must
+    // charge those links, not pretend the bytes vanish at the cycle edge.
+    // Each inflow unit is walked hop by hop -- ECMP splits proportionally,
+    // each branch carrying its own copy of the visited set -- and charged
+    // to every link it crosses until it first revisits a node: one full
+    // lap, a deterministic lower bound on the circulating load. Logged so
+    // a steady-state loop (a compiler or verifier bug, not a transient)
+    // stays visible.
+    FIB_LOG(kWarn, "loads") << "forwarding graph for " << prefix.to_string()
+                            << " has a cycle; charging one lap of its inflow";
+    std::vector<char> ordered(topo.node_count(), 0);
+    for (const topo::NodeId n : order) ordered[n] = 1;
+    const std::function<void(topo::NodeId, double, std::vector<char>)> walk =
+        [&](topo::NodeId u, double rate, std::vector<char> visited) {
+          for (;;) {
+            if (visited[u]) return;  // loop closed: the lap is charged
+            visited[u] = 1;
+            const auto it = tables[u].find(prefix);
+            if (it == tables[u].end()) return;  // blackhole
+            const igp::RouteEntry& entry = it->second;
+            if (entry.local) return;  // delivered after all
+            const std::uint32_t total = entry.total_weight();
+            if (total == 0) return;
+            if (entry.next_hops.size() == 1) {
+              const auto& nh = entry.next_hops.front();
+              const topo::LinkId l = topo.link_between(u, nh.via);
+              FIB_ASSERT(l != topo::kInvalidLink,
+                         "loads_from_routes: non-adjacent hop");
+              load[l] += rate;
+              u = nh.via;  // tail-walk: no visited copy on the common path
+              continue;
+            }
+            for (const auto& nh : entry.next_hops) {
+              const topo::LinkId l = topo.link_between(u, nh.via);
+              FIB_ASSERT(l != topo::kInvalidLink,
+                         "loads_from_routes: non-adjacent hop");
+              const double share = rate * nh.weight / total;
+              load[l] += share;
+              walk(nh.via, share, visited);
+            }
+            return;
+          }
+        };
+    for (topo::NodeId u = 0; u < topo.node_count(); ++u) {
+      // node_in at an unordered node is exactly the stranded inflow: direct
+      // demand plus the shares the ordered pass pushed across the cycle
+      // edge (it charged that edge but stopped propagating there).
+      if (ordered[u] == 0 && node_in[u] > 0.0) {
+        walk(u, node_in[u], std::vector<char>(topo.node_count(), 0));
+      }
     }
   }
   return load;

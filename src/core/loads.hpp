@@ -14,8 +14,13 @@ namespace fibbing::core {
 /// weights (the fluid expectation of hash-based splitting). Used by the
 /// controller to account for traffic it is not currently re-optimizing.
 /// Transient forwarding cycles (stale lies right after a topology change)
-/// strand their inflow -- traffic entering a cycle dies to TTL expiry --
-/// and are logged; the controller re-places such lie sets immediately.
+/// are logged, and the traffic flowing into one still counts against the
+/// links it traverses: each inflow unit is walked hop by hop until it first
+/// revisits a node (one full lap -- a deterministic lower bound on the
+/// load that circulates until TTL expiry kills the packets or the
+/// controller re-places the lie set). Until this re-placement lands, those
+/// links really do carry the looping bytes, so predictions that ignored
+/// them undercounted exactly when the network was most stressed.
 [[nodiscard]] std::vector<double> loads_from_routes(
     const topo::Topology& topo, const std::vector<igp::RoutingTable>& tables,
     const net::Prefix& prefix, const std::vector<te::Demand>& demands);

@@ -8,7 +8,7 @@ namespace fibbing::core {
 FibbingService::FibbingService(const topo::Topology& topo, ServiceConfig config)
     : topo_(topo),
       link_state_(std::make_shared<topo::LinkStateMask>(topo)),
-      domain_(topo, events_, config.igp_timing, link_state_),
+      domain_(topo, events_, config.igp_timing, link_state_, config.igp_shards),
       sim_(topo, events_, link_state_),
       poller_(topo, sim_, events_, config.poll_interval_s, config.poll_ewma_alpha),
       video_(topo, sim_, events_, bus_) {

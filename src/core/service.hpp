@@ -20,6 +20,10 @@ struct ServiceConfig {
   ControllerConfig controller{};
   double poll_interval_s = 1.0;
   double poll_ewma_alpha = 0.7;
+  /// IGP worker-thread shards (clamped to the router count). 1 keeps the
+  /// domain fully single-threaded; any value produces bit-identical routing
+  /// state (see IgpDomain's determinism contract).
+  std::size_t igp_shards = 1;
 };
 
 /// Everything wired together: the emulated IGP domain, the fluid data

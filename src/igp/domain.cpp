@@ -1,20 +1,27 @@
 #include "igp/domain.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
 namespace fibbing::igp {
 
 IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
-                     IgpTiming timing, std::shared_ptr<topo::LinkStateMask> link_state)
+                     IgpTiming timing, std::shared_ptr<topo::LinkStateMask> link_state,
+                     std::size_t shards)
     : topo_(topo),
       events_(events),
       timing_(timing),
       addrs_(topo),
+      pool_(shards, topo.node_count()),
       router_seq_(topo.node_count(), 1),
       link_state_(link_state != nullptr
                       ? std::move(link_state)
-                      : std::make_shared<topo::LinkStateMask>(topo)) {
+                      : std::make_shared<topo::LinkStateMask>(topo)),
+      pending_tables_(pool_.shard_count()) {
+  FIB_ASSERT(timing_.flood_delay_s > 0.0,
+             "IgpDomain: flood delay must be positive (channel lookahead)");
   link_state_->subscribe([this](topo::LinkId id, bool down) {
     if (down) {
       on_link_failed_(id);
@@ -24,8 +31,8 @@ IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
   });
   routers_.reserve(topo.node_count());
   for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
-    routers_.push_back(
-        std::make_unique<RouterProcess>(n, topo.node_count(), addrs_, events, timing));
+    routers_.push_back(std::make_unique<RouterProcess>(
+        n, topo.node_count(), addrs_, pool_.actor_scheduler(n), timing));
   }
   for (topo::NodeId n = 0; n < topo.node_count(); ++n) {
     RouterProcess& router = *routers_[n];
@@ -35,18 +42,25 @@ IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
         });
     router.set_controller_send([this, n](const proto::BufferPtr& buffer) {
       // Acks ride back over the controller adjacency with the same channel
-      // delay as any packet; convergence waits for them.
+      // delay as any packet; convergence waits for them. The session object
+      // is only ever touched by its router's shard (mid-round) or the
+      // driving thread (between rounds), so delivery stays on this actor.
       const auto it = controller_sessions_.find(n);
       if (it == controller_sessions_.end()) return;
       proto::ControllerSession* session = it->second.get();
-      ++in_flight_;
-      events_.schedule_in(timing_.flood_delay_s, [this, session, buffer] {
-        --in_flight_;
-        session->receive(buffer);
-      });
+      in_flight_.fetch_add(1, std::memory_order_relaxed);
+      pool_.schedule(n, n, pool_.now() + timing_.flood_delay_s,
+                     [this, session, buffer] {
+                       in_flight_.fetch_sub(1, std::memory_order_relaxed);
+                       session->receive(buffer);
+                     });
     });
-    router.set_on_table([this](topo::NodeId self, const RoutingTable& table) {
-      if (on_table_change_) on_table_change_(self, table);
+    const std::size_t shard = pool_.shard_of(n);
+    router.set_on_table([this, shard](topo::NodeId self, const RoutingTable&) {
+      // Deferred: user callbacks must not run on shard workers. Flushed in
+      // ascending node order at the round barrier (the order a 1-shard run
+      // fires them in, since same-instant events sort by origin router).
+      pending_tables_[shard].push_back(self);
     });
     for (const topo::LinkId lid : topo.out_links(n)) {
       if (!link_state_->is_down(lid)) router.add_neighbor(topo.link(lid).to);
@@ -55,11 +69,13 @@ IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
 }
 
 void IgpDomain::start() {
+  sync_clock_();
   for (topo::NodeId n = 0; n < topo_.node_count(); ++n) {
     routers_[n]->originate(
         make_router_lsa(topo_, n, router_seq_[n], link_state_->bits()));
     routers_[n]->start();
   }
+  arm_pump_();
 }
 
 void IgpDomain::fail_link(topo::LinkId id) {
@@ -75,6 +91,7 @@ void IgpDomain::restore_link(topo::LinkId id) {
 void IgpDomain::on_link_failed_(topo::LinkId id) {
   const topo::Link& link = topo_.link(id);
   FIB_LOG(kInfo, "igp") << "link " << topo_.link_name(id) << " down";
+  sync_clock_();
   // Both endpoints tear down the neighbor session (no further packets
   // toward the dead peer) and re-originate without the interface.
   routers_[link.from]->remove_neighbor(link.to);
@@ -83,11 +100,13 @@ void IgpDomain::on_link_failed_(topo::LinkId id) {
     routers_[endpoint]->originate(
         make_router_lsa(topo_, endpoint, ++router_seq_[endpoint], link_state_->bits()));
   }
+  arm_pump_();
 }
 
 void IgpDomain::on_link_restored_(topo::LinkId id) {
   const topo::Link& link = topo_.link(id);
   FIB_LOG(kInfo, "igp") << "link " << topo_.link_name(id) << " up";
+  sync_clock_();
   // Fresh sessions run the whole RFC 2328 bring-up over the message
   // channel: Hello to 2-Way, DD negotiation and summary exchange, then LS
   // Requests for exactly the instances the other side holds newer (stale
@@ -100,6 +119,7 @@ void IgpDomain::on_link_restored_(topo::LinkId id) {
     routers_[endpoint]->originate(
         make_router_lsa(topo_, endpoint, ++router_seq_[endpoint], link_state_->bits()));
   }
+  arm_pump_();
 }
 
 bool IgpDomain::link_is_down(topo::LinkId id) const {
@@ -113,11 +133,16 @@ proto::ControllerSession& IgpDomain::controller_session(topo::NodeId at) {
   if (it == controller_sessions_.end()) {
     auto session = std::make_unique<proto::ControllerSession>(
         addrs_, [this, at](const proto::BufferPtr& buffer) {
-          ++in_flight_;
-          events_.schedule_in(timing_.flood_delay_s, [this, at, buffer] {
-            --in_flight_;
-            routers_[at]->receive_controller_packet(buffer);
-          });
+          // Injections originate on the driving thread (the controller);
+          // they enter the target router's shard as driver-origin events.
+          sync_clock_();
+          in_flight_.fetch_add(1, std::memory_order_relaxed);
+          pool_.schedule(util::ShardPool::kDriverActor, at,
+                         pool_.now() + timing_.flood_delay_s, [this, at, buffer] {
+                           in_flight_.fetch_sub(1, std::memory_order_relaxed);
+                           routers_[at]->receive_controller_packet(buffer);
+                         });
+          arm_pump_();
         });
     it = controller_sessions_.emplace(at, std::move(session)).first;
   }
@@ -126,7 +151,8 @@ proto::ControllerSession& IgpDomain::controller_session(topo::NodeId at) {
 
 void IgpDomain::inject_external(topo::NodeId at, const ExternalLsa& ext) {
   FIB_LOG(kDebug, "igp") << "inject lie " << ext.lie_id << " at router " << at;
-  controller_session(at).inject(ext);
+  const util::Status injected = controller_session(at).inject(ext);
+  FIB_ASSERT(injected.ok(), injected.error().c_str());
 }
 
 void IgpDomain::withdraw_external(topo::NodeId at, std::uint64_t lie_id) {
@@ -135,7 +161,7 @@ void IgpDomain::withdraw_external(topo::NodeId at, std::uint64_t lie_id) {
 }
 
 bool IgpDomain::converged() const {
-  if (in_flight_ > 0) return false;
+  if (in_flight_.load(std::memory_order_relaxed) > 0) return false;
   for (const auto& router : routers_) {
     if (router->spf_pending() || !router->synchronized()) return false;
   }
@@ -146,10 +172,10 @@ bool IgpDomain::converged() const {
 }
 
 void IgpDomain::run_to_convergence() {
-  // Each packet hop and SPF run consumes an event; a finite domain converges
-  // in finitely many steps unless flooding livelocks (which the
-  // sequence-number freshness check prevents). The bound is generous for
-  // 500-node graphs.
+  // Each pump firing runs one instant's worth of events (a round across all
+  // shards); a finite domain converges in finitely many rounds unless
+  // flooding livelocks (which the sequence-number freshness check
+  // prevents). The bound is generous for 1000-node graphs.
   const std::uint64_t kMaxSteps = 50'000'000;
   std::uint64_t steps = 0;
   while (!converged()) {
@@ -192,15 +218,60 @@ void IgpDomain::deliver_packet_(topo::NodeId from, topo::NodeId to,
   // Packets cannot cross a failed adjacency; a connected remainder still
   // floods everywhere via the surviving links. Checked again at delivery
   // time: a packet in flight when the link dies is lost with it. The queued
-  // hop shares the buffer -- no per-hop copy of the bytes.
+  // hop shares the buffer -- no per-hop copy of the bytes. Cross-shard hops
+  // ride the destination shard's inbox channel and keep their deterministic
+  // (time, origin, sequence) place.
   const topo::LinkId via = topo_.link_between(from, to);
   if (via != topo::kInvalidLink && link_state_->is_down(via)) return;
-  ++in_flight_;
-  events_.schedule_in(timing_.flood_delay_s, [this, from, to, via, buffer] {
-    --in_flight_;
-    if (via != topo::kInvalidLink && link_state_->is_down(via)) return;
-    routers_[to]->receive_packet(from, buffer);
-  });
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  pool_.schedule(from, to, pool_.now() + timing_.flood_delay_s,
+                 [this, from, to, via, buffer] {
+                   in_flight_.fetch_sub(1, std::memory_order_relaxed);
+                   if (via != topo::kInvalidLink && link_state_->is_down(via)) return;
+                   routers_[to]->receive_packet(from, buffer);
+                 });
+}
+
+void IgpDomain::sync_clock_() { pool_.advance_to(events_.now()); }
+
+void IgpDomain::arm_pump_() {
+  if (!pool_.has_pending()) {
+    if (pump_.valid()) {
+      events_.cancel(pump_);
+      pump_ = {};
+    }
+    return;
+  }
+  const util::SimTime next = pool_.next_time();
+  if (pump_.valid()) {
+    if (pump_at_ == next) return;
+    events_.cancel(pump_);
+  }
+  pump_at_ = next;
+  pump_ = events_.schedule_at(next, [this] { run_pump_(); });
+}
+
+void IgpDomain::run_pump_() {
+  pump_ = {};
+  sync_clock_();  // the pump fires at pool_.next_time() == events_.now()
+  pool_.run_round();
+  flush_table_changes_();
+  arm_pump_();
+}
+
+void IgpDomain::flush_table_changes_() {
+  std::vector<topo::NodeId> changed;
+  for (auto& per_shard : pending_tables_) {
+    changed.insert(changed.end(), per_shard.begin(), per_shard.end());
+    per_shard.clear();
+  }
+  if (changed.empty() || on_table_change_ == nullptr) return;
+  // Each router runs at most one SPF per instant (hold-down), so the ids
+  // are unique; ascending order matches the 1-shard firing order.
+  std::sort(changed.begin(), changed.end());
+  for (const topo::NodeId n : changed) {
+    on_table_change_(n, routers_[n]->table());
+  }
 }
 
 }  // namespace fibbing::igp

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -12,25 +13,40 @@
 #include "topo/link_state.hpp"
 #include "topo/topology.hpp"
 #include "util/event_queue.hpp"
+#include "util/shard_pool.hpp"
 
 namespace fibbing::igp {
 
 /// A running link-state routing domain: one RouterProcess per topology node,
-/// exchanging encoded RFC 2328 packets over the topology's adjacencies
-/// through the shared event queue. Adjacency bring-up, database
-/// synchronization (DD summaries + LS requests), flooding and partition
-/// healing all run through the wire protocol -- no router ever touches
-/// another's Lsdb. The Fibbing controller talks to the domain exactly like
-/// the real one talks to OSPF: it injects/withdraws External-LSAs as LS
-/// Updates over a controller adjacency with one router, and the protocol
-/// floods them domain-wide.
+/// exchanging encoded RFC 2328 packets over the topology's adjacencies.
+/// Adjacency bring-up, database synchronization (DD summaries + LS
+/// requests), flooding and partition healing all run through the wire
+/// protocol -- no router ever touches another's Lsdb. The Fibbing controller
+/// talks to the domain exactly like the real one talks to OSPF: it
+/// injects/withdraws External-LSAs as LS Updates over a controller adjacency
+/// with one router, and the protocol floods them domain-wide.
+///
+/// Execution is sharded: routers are partitioned across `shards` worker
+/// threads (util::ShardPool), each with its own virtual clock and
+/// lock-guarded inbox; encoded packets crossing a shard boundary ride the
+/// inbox channel. The external `events` queue stays the master clock -- the
+/// domain keeps exactly one "pump" event armed on it at the pool's earliest
+/// pending instant, and the pump runs one barrier-synchronized round (all
+/// shards in parallel) per firing, so the domain composes with the
+/// single-threaded data-plane/monitoring/video layers unchanged. Scheduling
+/// is deterministic under a seed: events are ordered by
+/// (time, origin router, per-origin sequence), so a sharded run produces
+/// bit-identical LSDBs, tables and counters to the single-threaded run
+/// (shards = 1, which spawns no worker thread at all).
 class IgpDomain {
  public:
   /// `link_state` is the live up/down mask the domain consults and mutates;
   /// pass a shared instance to keep the IGP, data plane and controller in
   /// agreement (FibbingService does). When null the domain makes its own.
+  /// `shards` is the worker-thread count (clamped to the router count).
   IgpDomain(const topo::Topology& topo, util::EventQueue& events, IgpTiming timing = {},
-            std::shared_ptr<topo::LinkStateMask> link_state = nullptr);
+            std::shared_ptr<topo::LinkStateMask> link_state = nullptr,
+            std::size_t shards = 1);
 
   /// Originate every router's Router-LSA and start the neighbor sessions
   /// (network boot). Call once, then run the event queue (or
@@ -101,24 +117,46 @@ class IgpDomain {
   [[nodiscard]] std::uint64_t total_spf_runs() const;
   [[nodiscard]] proto::SessionCounters total_proto_counters() const;
 
+  /// The sharded engine's execution telemetry (rounds, events, cross-shard
+  /// messages) -- bench_scale reports these.
+  [[nodiscard]] util::ShardPool::Stats shard_stats() { return pool_.stats(); }
+  [[nodiscard]] std::size_t shard_count() const { return pool_.shard_count(); }
+
  private:
   void deliver_packet_(topo::NodeId from, topo::NodeId to,
                        const proto::BufferPtr& buffer);
   // Mask-subscription reactions (fired on every effective fail/restore).
   void on_link_failed_(topo::LinkId id);
   void on_link_restored_(topo::LinkId id);
+  // Driving-thread plumbing between the master clock and the shard pool.
+  void sync_clock_();  ///< raise the pool clock to the master clock
+  void arm_pump_();    ///< keep one pump event armed at pool_.next_time()
+  void run_pump_();    ///< one round: run an instant, flush tables, rearm
+  void flush_table_changes_();
 
   const topo::Topology& topo_;
   util::EventQueue& events_;
   IgpTiming timing_;
   proto::AddressMap addrs_;
+  /// Declared before routers_/sessions so it outlives everything holding an
+  /// actor scheduler reference into it.
+  util::ShardPool pool_;
   std::vector<std::unique_ptr<RouterProcess>> routers_;
   std::vector<SeqNum> router_seq_;
   std::shared_ptr<topo::LinkStateMask> link_state_;
   std::map<topo::NodeId, std::unique_ptr<proto::ControllerSession>>
       controller_sessions_;
-  std::uint64_t in_flight_ = 0;
+  /// Packets (and controller updates) scheduled but not yet delivered.
+  /// Atomic: incremented/decremented from shard workers mid-round, read by
+  /// converged() on the driving thread between rounds.
+  std::atomic<std::uint64_t> in_flight_{0};
   TableChangeFn on_table_change_;
+  /// Routers whose SPF installed a fresh table this round, per shard (each
+  /// worker appends only to its own slot); flushed to on_table_change_ in
+  /// ascending node order at the barrier.
+  std::vector<std::vector<topo::NodeId>> pending_tables_;
+  util::EventHandle pump_{};
+  util::SimTime pump_at_ = 0.0;
 };
 
 }  // namespace fibbing::igp

@@ -10,7 +10,7 @@ namespace fibbing::igp {
 
 RouterProcess::RouterProcess(topo::NodeId self, std::size_t node_count,
                              const proto::AddressMap& addrs,
-                             util::EventQueue& events, IgpTiming timing)
+                             util::Scheduler& events, IgpTiming timing)
     : self_(self),
       node_count_(node_count),
       addrs_(&addrs),
@@ -124,6 +124,24 @@ proto::DatabaseFacade::DeliverResult RouterProcess::deliver(
   // is a copy we already hold: settle that from the stored wire header
   // before paying for translation.
   if (const proto::WireLsa* mine = lookup(proto::identity_of(lsa.header))) {
+    if (lsa.header.type == proto::WireLsaType::kExternal) {
+      const auto& incoming = std::get<proto::ExternalLsaBody>(lsa.body);
+      const auto& stored = std::get<proto::ExternalLsaBody>(mine->body);
+      if (incoming.route_tag != stored.route_tag) {
+        // Appendix-E aliasing: a *different* lie (route tag) arrived under
+        // the wire identity a stored lie owns -- their ids collide modulo
+        // 2^(32-len) of the prefix. Installing it would silently replace
+        // the stored lie in this LSDB (and, via flooding, every LSDB).
+        // Refuse the instance and ack it so retransmission stops; the
+        // counter surfaces the event to tests and operators.
+        ++alias_collisions_;
+        FIB_LOG(kWarn, "igp")
+            << "router " << self_ << ": external LSA aliasing: lie "
+            << incoming.route_tag << " collides with stored lie "
+            << stored.route_tag << " at one wire identity; rejected";
+        return DeliverResult::kDuplicate;
+      }
+    }
     const int order = proto::compare_instances(lsa.header, mine->header);
     if (order <= 0) {
       return order == 0 ? DeliverResult::kDuplicate : DeliverResult::kStale;

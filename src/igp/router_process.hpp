@@ -44,7 +44,7 @@ class RouterProcess final : private proto::DatabaseFacade {
   using TableFn = std::function<void(topo::NodeId self, const RoutingTable&)>;
 
   RouterProcess(topo::NodeId self, std::size_t node_count,
-                const proto::AddressMap& addrs, util::EventQueue& events,
+                const proto::AddressMap& addrs, util::Scheduler& events,
                 IgpTiming timing);
 
   void set_send(SendFn fn) { send_ = std::move(fn); }
@@ -92,6 +92,11 @@ class RouterProcess final : private proto::DatabaseFacade {
   [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
   [[nodiscard]] std::uint64_t decode_errors() const { return decode_errors_; }
   [[nodiscard]] std::uint64_t spf_runs() const { return spf_runs_; }
+  /// External LSAs rejected because their route tag named a different lie
+  /// than the one owning the same wire identity (appendix-E host-bit
+  /// collision) -- each one is an aliasing event that would otherwise have
+  /// silently replaced a standing lie.
+  [[nodiscard]] std::uint64_t alias_collisions() const { return alias_collisions_; }
 
  private:
   // -- proto::DatabaseFacade (what the neighbor sessions see) --------------
@@ -109,7 +114,7 @@ class RouterProcess final : private proto::DatabaseFacade {
   topo::NodeId self_;
   std::size_t node_count_;
   const proto::AddressMap* addrs_;
-  util::EventQueue& events_;
+  util::Scheduler& events_;
   IgpTiming timing_;
   Lsdb lsdb_;
   RoutingTable table_;
@@ -129,6 +134,7 @@ class RouterProcess final : private proto::DatabaseFacade {
   std::uint64_t packets_received_ = 0;
   std::uint64_t decode_errors_ = 0;
   std::uint64_t spf_runs_ = 0;
+  std::uint64_t alias_collisions_ = 0;
 };
 
 }  // namespace fibbing::igp

@@ -1,5 +1,8 @@
 #include "proto/controller_session.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -24,19 +27,42 @@ void ControllerSession::send_update_(const igp::ExternalLsa& ext, igp::SeqNum se
   send_(std::make_shared<const Buffer>(bytes));
 }
 
-void ControllerSession::inject(const igp::ExternalLsa& ext) {
+util::Status ControllerSession::inject(const igp::ExternalLsa& ext) {
   FIB_ASSERT(!ext.withdrawn, "ControllerSession::inject: use retract()");
+  const std::uint32_t wire_id = external_ls_id(ext.prefix, ext.lie_id);
+  const auto owner = wire_id_owner_.find(wire_id);
+  if (owner != wire_id_owner_.end() && owner->second != ext.lie_id) {
+    const igp::ExternalLsa& standing = last_.at(owner->second);
+    if (!standing.withdrawn) {
+      // Same host bits, different lie: on the wire the two are one LSA and
+      // the fresher instance silently replaces the other in every LSDB.
+      // Refuse before anything is flooded.
+      ++counters_.alias_rejections;
+      return util::Status::failure(
+          "lie " + std::to_string(ext.lie_id) + " aliases live lie " +
+          std::to_string(owner->second) + " at wire identity: ids collide "
+          "modulo 2^(32-len) for " + ext.prefix.to_string() +
+          " (appendix-E host bits)");
+    }
+    // Only a tombstone stands at this identity. Taking it over is safe, but
+    // the newcomer's instances must outrank the tombstone's, so its
+    // sequence space continues where the retracted lie's stopped.
+    lie_seq_[ext.lie_id] =
+        std::max(lie_seq_[ext.lie_id], lie_seq_.at(owner->second));
+  }
+  wire_id_owner_[wire_id] = ext.lie_id;
   const igp::SeqNum seq = ++lie_seq_[ext.lie_id];
   last_[ext.lie_id] = ext;
   send_update_(ext, seq);
+  return {};
 }
 
 void ControllerSession::retract(std::uint64_t lie_id) {
   const auto it = last_.find(lie_id);
   FIB_ASSERT(it != last_.end(), "ControllerSession::retract: unknown lie id");
-  igp::ExternalLsa tombstone = it->second;
-  tombstone.withdrawn = true;
-  send_update_(tombstone, ++lie_seq_[lie_id]);
+  FIB_ASSERT(!it->second.withdrawn, "ControllerSession::retract: already retracted");
+  it->second.withdrawn = true;
+  send_update_(it->second, ++lie_seq_[lie_id]);
 }
 
 void ControllerSession::receive(const BufferPtr& buffer) {

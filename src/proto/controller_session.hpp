@@ -9,6 +9,7 @@
 #include "proto/codec.hpp"
 #include "proto/neighbor.hpp"
 #include "proto/translate.hpp"
+#include "util/result.hpp"
 
 namespace fibbing::proto {
 
@@ -28,14 +29,24 @@ class ControllerSession {
     std::uint64_t lsus_sent = 0;
     std::uint64_t lsas_sent = 0;
     std::uint64_t acks_received = 0;
+    /// Injections refused because their wire identity (appendix-E host
+    /// bits) collided with a different live lie's.
+    std::uint64_t alias_rejections = 0;
+
+    friend bool operator==(const Counters&, const Counters&) = default;
   };
 
   ControllerSession(const AddressMap& addrs, SendFn send);
 
   /// Announce (or update) a lie: per-lie sequence numbers make re-injection
   /// supersede the standing instance, exactly as in IgpDomain's previous
-  /// in-memory path.
-  void inject(const igp::ExternalLsa& ext);
+  /// in-memory path. Fails (nothing hits the wire) when the lie's wire
+  /// identity -- prefix network | (lie id & host bits), appendix E -- is
+  /// already owned by a *different* live lie: coexisting they would silently
+  /// supersede each other in every LSDB. A lie whose identity matches only a
+  /// withdrawn lie's tombstone is accepted; its sequence space continues
+  /// from the tombstone's so the announcement demonstrably supersedes it.
+  [[nodiscard]] util::Status inject(const igp::ExternalLsa& ext);
 
   /// Retract a previously injected lie by flooding its MaxAge tombstone
   /// (RFC 2328 14.1 premature aging). Asserts the lie id is known -- the
@@ -59,8 +70,13 @@ class ControllerSession {
   SendFn send_;
   std::unordered_map<std::uint64_t, igp::SeqNum> lie_seq_;
   /// Last announced content per lie id; the tombstone reuses its prefix so
-  /// the retraction carries the same wire identity as the announcement.
+  /// the retraction carries the same wire identity as the announcement
+  /// (`withdrawn` records which of the two is standing).
   std::unordered_map<std::uint64_t, igp::ExternalLsa> last_;
+  /// Which lie id currently owns each external link state id on the wire --
+  /// the aliasing guard. Ownership survives retraction (the tombstone keeps
+  /// the identity) and transfers when a colliding lie supersedes it.
+  std::unordered_map<std::uint32_t, std::uint64_t> wire_id_owner_;
   std::map<LsaIdentity, LsaHeader> unacked_;
   Counters counters_;
 };

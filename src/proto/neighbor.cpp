@@ -36,7 +36,7 @@ SessionCounters& SessionCounters::operator+=(const SessionCounters& other) {
 }
 
 NeighborSession::NeighborSession(std::uint32_t self_id, std::uint32_t peer_id,
-                                 DatabaseFacade& db, util::EventQueue& events,
+                                 DatabaseFacade& db, util::Scheduler& events,
                                  SessionConfig config, SendFn send)
     : self_id_(self_id),
       peer_id_(peer_id),

@@ -65,6 +65,7 @@ struct SessionCounters {
   std::uint64_t retransmissions = 0;
 
   SessionCounters& operator+=(const SessionCounters& other);
+  friend bool operator==(const SessionCounters&, const SessionCounters&) = default;
 };
 
 /// What a neighbor session needs from its router's link-state database.
@@ -100,7 +101,7 @@ class NeighborSession {
   using SendFn = std::function<void(const BufferPtr&)>;
 
   NeighborSession(std::uint32_t self_id, std::uint32_t peer_id, DatabaseFacade& db,
-                  util::EventQueue& events, SessionConfig config, SendFn send);
+                  util::Scheduler& events, SessionConfig config, SendFn send);
   ~NeighborSession();
   NeighborSession(const NeighborSession&) = delete;
   NeighborSession& operator=(const NeighborSession&) = delete;
@@ -161,7 +162,7 @@ class NeighborSession {
   std::uint32_t self_id_;
   std::uint32_t peer_id_;
   DatabaseFacade& db_;
-  util::EventQueue& events_;
+  util::Scheduler& events_;
   SessionConfig config_;
   SendFn send_;
 

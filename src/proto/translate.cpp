@@ -25,18 +25,23 @@ std::uint16_t wire_metric(topo::Metric metric) {
   return static_cast<std::uint16_t>(metric);
 }
 
+}  // namespace
+
 std::uint32_t external_ls_id(const net::Prefix& prefix, std::uint64_t lie_id) {
   // Appendix E: concurrent instances for one prefix are told apart by the
   // host bits of the link state id. The lie id also rides in full in the
   // route tag, so decoding is exact as long as coexisting lies for a prefix
-  // do not collide modulo 2^(32-len) -- lie ids within one injected set are
-  // distinct small integers, far below that bound.
+  // do not collide modulo 2^(32-len). Colliding lies share a wire identity
+  // and would silently supersede each other; the compiler and the
+  // controller session both check the bound before anything hits the wire.
   const std::uint32_t host_bits = ~net::mask_for(prefix.length());
   return prefix.network().bits() |
          (static_cast<std::uint32_t>(lie_id) & host_bits);
 }
 
-}  // namespace
+std::uint64_t max_coexisting_lies(const net::Prefix& prefix) {
+  return 1ull << (32 - prefix.length());
+}
 
 AddressMap::AddressMap(const topo::Topology& topo) {
   id_of_.reserve(topo.node_count());

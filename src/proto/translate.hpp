@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "igp/lsa.hpp"
+#include "net/prefix.hpp"
 #include "proto/codec.hpp"
 #include "topo/topology.hpp"
 
@@ -62,5 +63,18 @@ class AddressMap {
 /// summaries, LS requests and acks are keyed on).
 [[nodiscard]] LsaIdentity wire_identity(const igp::Lsa& lsa,
                                         const AddressMap& addrs);
+
+/// The link state id an External-LSA for (prefix, lie_id) carries on the
+/// wire: the prefix network with the lie id in the host bits (appendix E).
+/// Two lies whose ids collide modulo 2^(32-len) share a wire identity --
+/// coexisting they would silently alias (one supersedes the other in every
+/// LSDB). Exposed so the lie compiler and the controller session can check
+/// for collisions before anything is flooded.
+[[nodiscard]] std::uint32_t external_ls_id(const net::Prefix& prefix,
+                                           std::uint64_t lie_id);
+
+/// How many lies for `prefix` can coexist before wire identities must
+/// collide: 2^(32 - prefix length).
+[[nodiscard]] std::uint64_t max_coexisting_lies(const net::Prefix& prefix);
 
 }  // namespace fibbing::proto

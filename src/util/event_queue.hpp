@@ -21,6 +21,35 @@ struct EventHandle {
   [[nodiscard]] bool valid() const { return id != 0; }
 };
 
+/// The scheduling surface a simulated component needs: a clock, deferred
+/// callbacks, and cancellation. Implemented by the global EventQueue (the
+/// single-threaded master clock) and by ShardPool's per-actor facades (a
+/// sharded domain's routers each schedule onto their own shard's virtual
+/// clock). Components written against this interface run unchanged in
+/// either world.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  virtual ~Scheduler() = default;
+
+  /// Current simulation time; starts at 0.
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Schedule `cb` to run at absolute time `at` (must be >= now()).
+  virtual EventHandle schedule_at(SimTime at, Callback cb) = 0;
+
+  /// Schedule `cb` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule_in(SimTime delay, Callback cb) {
+    FIB_ASSERT(delay >= 0.0, "schedule_in: negative delay");
+    return schedule_at(now() + delay, std::move(cb));
+  }
+
+  /// Cancel a pending event. Returns false (no-op) if the event already
+  /// fired, was already cancelled, or the handle is invalid.
+  virtual bool cancel(EventHandle h) = 0;
+};
+
 /// Deterministic discrete-event scheduler.
 ///
 /// Invariants:
@@ -28,25 +57,19 @@ struct EventHandle {
 ///  - events scheduled at the same instant fire in scheduling order
 ///    (FIFO), which makes runs reproducible;
 ///  - an event may schedule further events, including at the current time.
-class EventQueue {
+class EventQueue final : public Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Scheduler::Callback;
 
   /// Current simulation time; starts at 0.
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
 
   /// Schedule `cb` to run at absolute time `at` (must be >= now()).
-  EventHandle schedule_at(SimTime at, Callback cb);
-
-  /// Schedule `cb` to run `delay` seconds from now (delay >= 0).
-  EventHandle schedule_in(SimTime delay, Callback cb) {
-    FIB_ASSERT(delay >= 0.0, "schedule_in: negative delay");
-    return schedule_at(now_ + delay, std::move(cb));
-  }
+  EventHandle schedule_at(SimTime at, Callback cb) override;
 
   /// Cancel a pending event. Returns false (no-op) if the event already
   /// fired, was already cancelled, or the handle is invalid.
-  bool cancel(EventHandle h);
+  bool cancel(EventHandle h) override;
 
   /// Run a single event. Returns false when the queue is empty.
   bool step();

@@ -1,11 +1,16 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace fibbing::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Shard workers log from inside a round, so the level is an atomic and the
+// sink serializes lines (fprintf interleaves otherwise).
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mu;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -19,12 +24,15 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
+  const std::lock_guard<std::mutex> lock(g_sink_mu);
   std::fprintf(stderr, "[%s] %-12s %s\n", level_tag(level), component.c_str(),
                message.c_str());
 }

@@ -1,0 +1,243 @@
+#include "util/shard_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace fibbing::util {
+
+namespace {
+// Event ids pack (origin, per-origin seq) so they are unique *and*
+// deterministic across runs and shard counts (cancellation decisions then
+// replay identically too).
+constexpr std::uint64_t kSeqBits = 40;
+}  // namespace
+
+ShardPool::ShardPool(std::size_t shard_count, std::size_t actor_count)
+    : actor_count_(actor_count),
+      origin_seq_(actor_count + 1, 0) {
+  FIB_ASSERT(actor_count > 0, "ShardPool: no actors");
+  FIB_ASSERT(actor_count < (1ull << (64 - kSeqBits)),
+             "ShardPool: too many actors for id packing");
+  const std::size_t shards = std::clamp<std::size_t>(shard_count, 1, actor_count);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  actor_schedulers_.reserve(actor_count);
+  for (std::uint32_t a = 0; a < actor_count; ++a) {
+    actor_schedulers_.push_back(std::make_unique<ActorScheduler>(*this, a));
+  }
+  if (shards > 1) {
+    workers_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      workers_.emplace_back([this, s] { worker_loop_(s); });
+    }
+  }
+}
+
+ShardPool::~ShardPool() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+}
+
+std::size_t ShardPool::shard_of(std::uint32_t actor) const {
+  FIB_ASSERT(actor < actor_count_, "shard_of: actor out of range");
+  return static_cast<std::size_t>(actor) * shards_.size() / actor_count_;
+}
+
+std::uint64_t ShardPool::event_id_(std::uint32_t origin, std::uint64_t oseq) const {
+  FIB_ASSERT(oseq < (1ull << kSeqBits), "ShardPool: origin sequence overflow");
+  // The driver origin is mapped to the compact slot actor_count_ so the
+  // packed id never loses high bits.
+  const std::uint64_t slot =
+      origin == kDriverActor ? actor_count_ : static_cast<std::uint64_t>(origin);
+  return (slot << kSeqBits) | oseq;
+}
+
+std::uint64_t ShardPool::next_oseq_(std::uint32_t origin) {
+  const std::size_t slot =
+      origin == kDriverActor ? actor_count_ : static_cast<std::size_t>(origin);
+  return ++origin_seq_[slot];
+}
+
+Scheduler& ShardPool::actor_scheduler(std::uint32_t actor) {
+  FIB_ASSERT(actor < actor_count_, "actor_scheduler: actor out of range");
+  return *actor_schedulers_[actor];
+}
+
+EventHandle ShardPool::schedule(std::uint32_t origin, std::uint32_t target,
+                                SimTime at, Callback cb) {
+  FIB_ASSERT(target < actor_count_, "schedule: target out of range");
+  FIB_ASSERT(origin == kDriverActor || origin < actor_count_,
+             "schedule: origin out of range");
+  FIB_ASSERT(cb != nullptr, "schedule: null callback");
+  const std::uint64_t oseq = next_oseq_(origin);
+  const std::uint64_t id = event_id_(origin, oseq);
+  Item item{at, origin, oseq, std::move(cb)};
+  Shard& shard = *shards_[shard_of(target)];
+  if (!in_round_.load(std::memory_order_relaxed)) {
+    // Driving-thread context, no round running: direct push is race-free.
+    FIB_ASSERT(at >= now_, "schedule: time in the past");
+    shard.live.insert(id);
+    shard.heap.push(std::move(item));
+    return EventHandle{id};
+  }
+  // Worker context. Same-actor (and same-shard) pushes go straight into the
+  // worker's own heap; anything crossing a shard boundary is queued into the
+  // destination's lock-guarded inbox and merged at the barrier. Either way a
+  // cross-actor event must sit strictly in the future -- that positive
+  // channel delay is what makes same-instant actors independent, and thereby
+  // the execution shard-count-invariant.
+  if (origin == target) {
+    FIB_ASSERT(at >= now_, "schedule: time in the past");
+  } else {
+    FIB_ASSERT(at > now_, "schedule: cross-actor event not strictly future");
+  }
+  if (origin != kDriverActor && shard_of(origin) == shard_of(target)) {
+    shard.live.insert(id);
+    shard.heap.push(std::move(item));
+  } else {
+    std::lock_guard<std::mutex> lock(shard.inbox_mu);
+    shard.inbox.push_back(std::move(item));
+    ++shard.inbox_total;
+  }
+  return EventHandle{id};
+}
+
+bool ShardPool::cancel(std::uint32_t actor, EventHandle h) {
+  if (!h.valid()) return false;
+  FIB_ASSERT(actor < actor_count_, "cancel: actor out of range");
+  // Only self-scheduled events (timers) are cancellable, so the id lives in
+  // the actor's own shard and this runs in the owner's execution context.
+  return shards_[shard_of(actor)]->live.erase(h.id) > 0;
+}
+
+void ShardPool::prune_cancelled_(Shard& shard) {
+  while (!shard.heap.empty() &&
+         !shard.live.contains(event_id_(shard.heap.top().origin,
+                                        shard.heap.top().oseq))) {
+    shard.heap.pop();
+  }
+}
+
+bool ShardPool::has_pending() {
+  for (const auto& shard : shards_) {
+    prune_cancelled_(*shard);
+    if (!shard->heap.empty()) return true;
+  }
+  return false;
+}
+
+SimTime ShardPool::next_time() {
+  SimTime earliest = 0.0;
+  bool found = false;
+  for (const auto& shard : shards_) {
+    prune_cancelled_(*shard);
+    if (shard->heap.empty()) continue;
+    const SimTime at = shard->heap.top().at;
+    if (!found || at < earliest) earliest = at;
+    found = true;
+  }
+  FIB_ASSERT(found, "next_time: nothing pending");
+  return earliest;
+}
+
+void ShardPool::advance_to(SimTime t) {
+  FIB_ASSERT(!has_pending() || next_time() >= t,
+             "advance_to: skipping pending events");
+  now_ = std::max(now_, t);
+}
+
+void ShardPool::run_shard_round_(Shard& shard, SimTime t) {
+  // Pop every event at exactly `t`, in (origin, oseq) order. Self events
+  // scheduled at `t` mid-round land in this same heap and are picked up.
+  while (!shard.heap.empty() && shard.heap.top().at == t) {
+    // priority_queue::top() is const; move the callback out before pop.
+    Item item = std::move(const_cast<Item&>(shard.heap.top()));
+    shard.heap.pop();
+    if (shard.live.erase(event_id_(item.origin, item.oseq)) == 0) continue;
+    item.cb();
+    ++shard.executed;
+  }
+}
+
+std::size_t ShardPool::run_round() {
+  const SimTime t = next_time();
+  FIB_ASSERT(t >= now_, "run_round: time went backwards");
+  now_ = t;
+  ++rounds_;
+  std::uint64_t before = 0;
+  for (const auto& shard : shards_) before += shard->executed;
+  if (workers_.empty()) {
+    run_shard_round_(*shards_.front(), t);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      round_time_ = t;
+      workers_running_ = workers_.size();
+      ++round_gen_;
+      in_round_.store(true, std::memory_order_relaxed);
+    }
+    cv_work_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return workers_running_ == 0; });
+    in_round_.store(false, std::memory_order_relaxed);
+  }
+  // Barrier passed: every send of the round is visible. Merge the inboxes
+  // into the heaps (driving thread, race-free); the keyed comparator puts
+  // each message in its deterministic place regardless of arrival order.
+  for (const auto& shard : shards_) {
+    std::vector<Item> incoming;
+    {
+      std::lock_guard<std::mutex> lock(shard->inbox_mu);
+      incoming.swap(shard->inbox);
+    }
+    for (Item& item : incoming) {
+      shard->live.insert(event_id_(item.origin, item.oseq));
+      shard->heap.push(std::move(item));
+    }
+  }
+  std::uint64_t after = 0;
+  for (const auto& shard : shards_) after += shard->executed;
+  return static_cast<std::size_t>(after - before);
+}
+
+ShardPool::Stats ShardPool::stats() {
+  Stats s;
+  s.rounds = rounds_;
+  for (const auto& shard : shards_) {
+    s.events_run += shard->executed;
+    std::lock_guard<std::mutex> lock(shard->inbox_mu);
+    s.cross_shard_messages += shard->inbox_total;
+  }
+  return s;
+}
+
+void ShardPool::worker_loop_(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  std::uint64_t seen_gen = 0;
+  for (;;) {
+    SimTime t = 0.0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock,
+                    [&] { return stopping_ || round_gen_ != seen_gen; });
+      if (stopping_) return;
+      seen_gen = round_gen_;
+      t = round_time_;
+    }
+    run_shard_round_(shard, t);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_running_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace fibbing::util

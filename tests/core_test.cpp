@@ -486,6 +486,33 @@ TEST(Augment, RealizesMinMaxDagOnRandomGraphs) {
   EXPECT_GE(compiled, 4);  // most random instances must compile
 }
 
+TEST(Augment, RefusesLieSetThatAliasesOnTheWire) {
+  // A /31 leaves one host bit: only 2 coexisting lies for the prefix are
+  // wire-distinguishable (appendix E folds the lie id into the host bits).
+  // A 3:2 split at B needs 4 lies -- compilable in the abstract model, but
+  // two of them would share a wire identity and silently supersede each
+  // other, so the compiler must refuse with the typed error.
+  PaperTopology p = make_paper_topology();
+  const net::Prefix narrow(net::Ipv4(203, 0, 113, 0), 31);
+  p.topo.attach_prefix(p.c, narrow, 16);
+
+  DestRequirement req;
+  req.prefix = narrow;
+  req.nodes[p.b] = {{p.r2, 3}, {p.r3, 2}};
+  const auto result = compile_lies(p.topo, req);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error_kind(), CompileErrorKind::kWireAliasing);
+  EXPECT_NE(result.error().find("2^(32-len)"), std::string::npos);
+
+  // The same requirement against a /24 (256 wire identities) compiles.
+  const net::Prefix wide(net::Ipv4(203, 0, 114, 0), 24);
+  p.topo.attach_prefix(p.c, wide, 16);
+  DestRequirement wide_req;
+  wide_req.prefix = wide;
+  wide_req.nodes[p.b] = {{p.r2, 3}, {p.r3, 2}};
+  EXPECT_TRUE(compile_lies(p.topo, wide_req).ok());
+}
+
 // -------------------------------------------------------------------- loads
 
 TEST(Loads, PropagatesWeightedSplits) {
@@ -503,6 +530,63 @@ TEST(Loads, PropagatesWeightedSplits) {
   EXPECT_NEAR(load[p.topo.link_between(p.b, p.r2)], 16.5e6, 1e-3);
   EXPECT_NEAR(load[p.topo.link_between(p.b, p.r3)], 16.5e6, 1e-3);
   EXPECT_NEAR(load[p.topo.link_between(p.r1, p.r4)], 66e6, 1e-3);
+}
+
+TEST(Loads, TransientCycleChargesItsLinksInsteadOfStranding) {
+  // Churn regression: a topology change turns a stale lie set into a
+  // forwarding loop A -> B -> A for a prefix delivered at C. Until the
+  // controller's re-placement lands, A-B carries the looping bytes in both
+  // directions -- the prediction must charge them, not zero them.
+  const PaperTopology p = make_paper_topology();
+  std::vector<igp::RoutingTable> tables(p.topo.node_count());
+  tables[p.a][p.p1] = igp::RouteEntry{10, false, {{p.b, 1}}};
+  tables[p.b][p.p1] = igp::RouteEntry{10, false, {{p.a, 1}}};
+  tables[p.c][p.p1] = igp::RouteEntry{0, true, {}};
+  ASSERT_TRUE(forwarding_loops(p.topo, tables, p.p1));
+
+  const auto load = loads_from_routes(p.topo, tables, p.p1, {{p.a, 50e6}});
+  // One lap: A's 50 Mb/s crosses A->B, comes back B->A, and stops when the
+  // walk revisits A (the deterministic lower bound on the circulating load).
+  EXPECT_NEAR(load[p.topo.link_between(p.a, p.b)], 50e6, 1e-3);
+  EXPECT_NEAR(load[p.topo.link_between(p.b, p.a)], 50e6, 1e-3);
+}
+
+TEST(Loads, InflowFromOrderedRegionIntoCycleIsCharged) {
+  // R1 forwards cleanly into a loop between A and B: R1's own hop is part
+  // of the ordered region, the loop is not. The stranded inflow must still
+  // appear on the cycle's links, with ECMP splits honoured on the way in.
+  const PaperTopology p = make_paper_topology();
+  std::vector<igp::RoutingTable> tables(p.topo.node_count());
+  tables[p.r1][p.p1] = igp::RouteEntry{12, false, {{p.a, 1}}};
+  tables[p.a][p.p1] = igp::RouteEntry{10, false, {{p.b, 1}}};
+  tables[p.b][p.p1] = igp::RouteEntry{10, false, {{p.a, 1}}};
+  tables[p.c][p.p1] = igp::RouteEntry{0, true, {}};
+
+  const auto load = loads_from_routes(p.topo, tables, p.p1, {{p.r1, 30e6}});
+  EXPECT_NEAR(load[p.topo.link_between(p.r1, p.a)], 30e6, 1e-3);
+  EXPECT_NEAR(load[p.topo.link_between(p.a, p.b)], 30e6, 1e-3);
+  EXPECT_NEAR(load[p.topo.link_between(p.b, p.a)], 30e6, 1e-3);
+}
+
+TEST(Loads, CycleEscapePathStillDeliversAndSplitsProportionally) {
+  // B splits 1:1 between the loop back to A and an escape via R3 toward C.
+  // Half of every lap's traffic escapes and must keep flowing normally;
+  // the looping half charges the cycle once per entering unit.
+  const PaperTopology p = make_paper_topology();
+  std::vector<igp::RoutingTable> tables(p.topo.node_count());
+  tables[p.a][p.p1] = igp::RouteEntry{10, false, {{p.b, 1}}};
+  tables[p.b][p.p1] = igp::RouteEntry{10, false, {{p.a, 1}, {p.r3, 1}}};
+  tables[p.r3][p.p1] = igp::RouteEntry{4, false, {{p.c, 1}}};
+  tables[p.c][p.p1] = igp::RouteEntry{0, true, {}};
+
+  const auto load = loads_from_routes(p.topo, tables, p.p1, {{p.a, 40e6}});
+  EXPECT_NEAR(load[p.topo.link_between(p.a, p.b)], 40e6, 1e-3);
+  // At B: 20 escapes via R3 to C, 20 loops back to A and dies there (the
+  // walk revisits A). R3 is downstream of the cycle, so it is unordered
+  // too -- its delivery leg must still be charged.
+  EXPECT_NEAR(load[p.topo.link_between(p.b, p.r3)], 20e6, 1e-3);
+  EXPECT_NEAR(load[p.topo.link_between(p.r3, p.c)], 20e6, 1e-3);
+  EXPECT_NEAR(load[p.topo.link_between(p.b, p.a)], 20e6, 1e-3);
 }
 
 }  // namespace

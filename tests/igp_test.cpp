@@ -363,6 +363,43 @@ TEST(Domain, ReinjectionSupersedesOlderInstance) {
   EXPECT_EQ(domain.table(p.a).at(p.p2).next_hops.size(), 1u);
 }
 
+TEST(Domain, AliasingLieFromAnotherSessionIsDetectedAtDecode) {
+  const PaperTopology p = make_paper_topology();
+  util::EventQueue events;
+  IgpDomain domain(p.topo, events);
+  domain.start();
+  domain.run_to_convergence();
+
+  ExternalLsa fb;
+  fb.lie_id = 1;
+  fb.prefix = p.p1;  // /25: ids congruent modulo 128 share a wire identity
+  fb.ext_metric = 0;
+  fb.forwarding_address = fwd_addr(p.topo, p.b, p.r3);
+  domain.inject_external(p.r3, fb);
+  domain.run_to_convergence();
+  const RoutingTable settled = domain.table(p.b);
+
+  // A colliding lie arrives through a *different* session router, so the
+  // injecting session has no send-side state to refuse it with. The first
+  // router to decode it sees a route tag disagreeing with the wire
+  // identity's standing owner, refuses to install, and counts the event.
+  ExternalLsa alias = fb;
+  alias.lie_id = 129;
+  alias.ext_metric = 7;
+  domain.inject_external(p.r2, alias);
+  domain.run_to_convergence();
+
+  EXPECT_EQ(domain.router(p.r2).alias_collisions(), 1u);
+  // The standing lie survives everywhere; the alias never entered any LSDB.
+  for (NodeId n = 0; n < p.topo.node_count(); ++n) {
+    const Lsa* stored = domain.router(n).lsdb().find(LsaKey{LsaType::kExternal, 1});
+    ASSERT_NE(stored, nullptr) << "router " << n;
+    EXPECT_EQ(domain.router(n).lsdb().find(LsaKey{LsaType::kExternal, 129}), nullptr)
+        << "router " << n;
+  }
+  EXPECT_EQ(domain.table(p.b), settled);
+}
+
 TEST(Domain, LsaFloodCountIsBounded) {
   const PaperTopology p = make_paper_topology();
   util::EventQueue events;

@@ -493,7 +493,7 @@ TEST(ControllerSession, InjectAndRetractTravelAsAckedLsUpdates) {
   ext.prefix = p.p1;
   ext.ext_metric = 1;
   ext.forwarding_address = net::Ipv4(10, 0, 0, 2);
-  session.inject(ext);
+  ASSERT_TRUE(session.inject(ext).ok());
   ASSERT_EQ(outbox.size(), 1u);
   EXPECT_FALSE(session.drained());
 
@@ -519,6 +519,81 @@ TEST(ControllerSession, InjectAndRetractTravelAsAckedLsUpdates) {
   EXPECT_EQ(tomb.header.age, kMaxAge);
   EXPECT_EQ(identity_of(tomb.header), identity_of(lsu.lsas[0].header));
   EXPECT_EQ(tomb.header.seq, kInitialSequence + 1);
+}
+
+TEST(ControllerSession, RefusesLieAliasingALiveOne) {
+  const topo::PaperTopology p = topo::make_paper_topology();
+  const AddressMap addrs(p.topo);
+  std::vector<BufferPtr> outbox;
+  ControllerSession session(addrs,
+                            [&](const BufferPtr& buffer) { outbox.push_back(buffer); });
+
+  // A /30 leaves 2 host bits: at most 4 coexisting lies, and ids congruent
+  // modulo 4 share a wire identity.
+  const net::Prefix narrow(net::Ipv4(203, 0, 113, 0), 30);
+  EXPECT_EQ(max_coexisting_lies(narrow), 4u);
+  igp::ExternalLsa first;
+  first.lie_id = 1;
+  first.prefix = narrow;
+  first.ext_metric = 1;
+  first.forwarding_address = net::Ipv4(10, 0, 0, 2);
+  ASSERT_TRUE(session.inject(first).ok());
+
+  igp::ExternalLsa alias = first;
+  alias.lie_id = 5;  // 5 == 1 (mod 4): same appendix-E host bits
+  EXPECT_EQ(external_ls_id(narrow, 1), external_ls_id(narrow, 5));
+  const util::Status refused = session.inject(alias);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_NE(refused.error().find("aliases live lie"), std::string::npos);
+  EXPECT_EQ(session.counters().alias_rejections, 1u);
+  EXPECT_EQ(outbox.size(), 1u);  // nothing aliasing ever hit the wire
+
+  // A non-colliding id for the same prefix is fine.
+  igp::ExternalLsa ok = first;
+  ok.lie_id = 2;
+  EXPECT_TRUE(session.inject(ok).ok());
+}
+
+TEST(ControllerSession, LieTakingOverATombstoneContinuesItsSequenceSpace) {
+  const topo::PaperTopology p = topo::make_paper_topology();
+  const AddressMap addrs(p.topo);
+  std::vector<BufferPtr> outbox;
+  ControllerSession session(addrs,
+                            [&](const BufferPtr& buffer) { outbox.push_back(buffer); });
+
+  const net::Prefix narrow(net::Ipv4(203, 0, 113, 0), 30);
+  igp::ExternalLsa first;
+  first.lie_id = 1;
+  first.prefix = narrow;
+  first.ext_metric = 1;
+  first.forwarding_address = net::Ipv4(10, 0, 0, 2);
+  ASSERT_TRUE(session.inject(first).ok());  // wire seq = Initial
+  session.retract(1);                       // tombstone, wire seq = Initial+1
+
+  // Lie 5 shares lie 1's wire identity. With only the tombstone standing it
+  // is accepted -- but a fresh per-lie sequence (Initial) would lose to the
+  // tombstone (Initial+1) in every LSDB. The session continues the
+  // tombstone's sequence space instead, so the announcement supersedes it.
+  igp::ExternalLsa successor = first;
+  successor.lie_id = 5;
+  ASSERT_TRUE(session.inject(successor).ok());
+  ASSERT_EQ(outbox.size(), 3u);
+  const Decoded<Packet> decoded = decode_packet(*outbox.back());
+  ASSERT_TRUE(decoded.ok());
+  const auto& wire = std::get<LsUpdateBody>(decoded.value().body).lsas[0];
+  EXPECT_EQ(wire.header.seq, kInitialSequence + 2);
+  EXPECT_EQ(std::get<ExternalLsaBody>(wire.body).route_tag, 5u);
+  EXPECT_EQ(session.counters().alias_rejections, 0u);
+}
+
+TEST(Translate, ExternalLsIdFoldsLieIdIntoHostBits) {
+  const net::Prefix p24(net::Ipv4(203, 0, 113, 0), 24);
+  EXPECT_EQ(external_ls_id(p24, 7), net::Ipv4(203, 0, 113, 7).bits());
+  EXPECT_EQ(external_ls_id(p24, 256 + 7), net::Ipv4(203, 0, 113, 7).bits());
+  EXPECT_EQ(max_coexisting_lies(p24), 256u);
+  const net::Prefix p32(net::Ipv4(10, 1, 2, 3), 32);
+  EXPECT_EQ(external_ls_id(p32, 9), net::Ipv4(10, 1, 2, 3).bits());
+  EXPECT_EQ(max_coexisting_lies(p32), 1u);
 }
 
 }  // namespace

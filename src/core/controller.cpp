@@ -488,7 +488,14 @@ void Controller::apply_lies_(const net::Prefix& prefix, std::vector<Lie> lies) {
   const auto it = active_.find(prefix);
   if (it != active_.end()) {
     for (const Lie& old_lie : it->second) {
-      session.retract(old_lie.id);
+      // active_ only holds lies whose injection succeeded, so a refusal here
+      // means the bookkeeping diverged from the session -- log it, and keep
+      // going: the remaining retractions must still go out.
+      if (const util::Status status = session.retract(old_lie.id); !status.ok()) {
+        FIB_LOG(kWarn, "controller")
+            << "retract of lie " << old_lie.id << " for " << prefix.to_string()
+            << " refused: " << status.error();
+      }
     }
     active_.erase(it);
   }

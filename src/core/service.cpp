@@ -16,6 +16,17 @@ FibbingService::FibbingService(const topo::Topology& topo, ServiceConfig config)
   domain_.set_on_table_change([this](topo::NodeId node, const igp::RoutingTable& table) {
     sim_.set_fib(node, dataplane::Fib::from_routing_table(topo_, node, table));
   });
+  // Protocol-detected liveness feeds the shared mask: when a router's
+  // RouterDeadInterval expires (or a 1-way Hello tears an adjacency down),
+  // the mask marks the link and every layer reacts exactly as it would to
+  // an administrative fail_link -- data plane re-walk, controller
+  // re-planning -- without anyone calling fail_link. Up-transitions are
+  // NOT mapped back: an adjacency re-reaching Full only matters if the
+  // operator (or the failure model) has restored the link already, and a
+  // heal of a *one-way* loss must not restore a mask someone failed.
+  domain_.set_on_liveness_change([this](topo::LinkId link, bool down) {
+    if (down) link_state_->fail(link);
+  });
   controller_ = std::make_unique<Controller>(topo, domain_, bus_, events_,
                                              config.controller);
   // SNMP snapshots drive the controller's congestion detector.

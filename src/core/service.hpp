@@ -63,6 +63,13 @@ class FibbingService {
   /// Restoring a link that is not down is an idempotent success.
   util::Result<topo::LinkId> restore_link(topo::NodeId a, topo::NodeId b);
 
+  /// Crash router `n` fail-stop: nothing is torn down administratively and
+  /// no layer is told. Each neighbor's RouterDeadInterval expires in turn,
+  /// the detections feed the shared mask through the domain's liveness
+  /// hook, and the controller re-plans -- the protocol-driven path the
+  /// paper assumes, with zero fail_link calls.
+  void crash_router(topo::NodeId n) { domain_.crash_router(n); }
+
   [[nodiscard]] const topo::LinkStateMask& link_state() const { return *link_state_; }
 
   [[nodiscard]] util::EventQueue& events() { return events_; }

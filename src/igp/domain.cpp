@@ -19,6 +19,12 @@ IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
       link_state_(link_state != nullptr
                       ? std::move(link_state)
                       : std::make_shared<topo::LinkStateMask>(topo)),
+      alive_(topo.node_count(), 1),
+      detected_down_(topo.node_count()),
+      loss_rate_(topo.link_count(), 0.0),
+      loss_seq_(topo.link_count(), 0),
+      extra_delay_(topo.link_count(), 0.0),
+      pending_liveness_(pool_.shard_count()),
       pending_tables_(pool_.shard_count()) {
   FIB_ASSERT(timing_.flood_delay_s > 0.0,
              "IgpDomain: flood delay must be positive (channel lookahead)");
@@ -47,6 +53,7 @@ IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
       // driving thread (between rounds), so delivery stays on this actor.
       const auto it = controller_sessions_.find(n);
       if (it == controller_sessions_.end()) return;
+      if (alive_[n] == 0) return;  // a crashed router sends nothing
       proto::ControllerSession* session = it->second.get();
       in_flight_.fetch_add(1, std::memory_order_relaxed);
       pool_.schedule(n, n, pool_.now() + timing_.flood_delay_s,
@@ -55,6 +62,10 @@ IgpDomain::IgpDomain(const topo::Topology& topo, util::EventQueue& events,
                        session->receive(buffer);
                      });
     });
+    router.set_on_adjacency(
+        [this](topo::NodeId self, topo::NodeId peer, bool up) {
+          on_adjacency_(self, peer, up);
+        });
     const std::size_t shard = pool_.shard_of(n);
     router.set_on_table([this, shard](topo::NodeId self, const RoutingTable&) {
       // Deferred: user callbacks must not run on shard workers. Flushed in
@@ -72,7 +83,7 @@ void IgpDomain::start() {
   sync_clock_();
   for (topo::NodeId n = 0; n < topo_.node_count(); ++n) {
     routers_[n]->originate(
-        make_router_lsa(topo_, n, router_seq_[n], link_state_->bits()));
+        make_router_lsa(topo_, n, router_seq_[n], advertised_bits_(n)));
     routers_[n]->start();
   }
   arm_pump_();
@@ -97,8 +108,8 @@ void IgpDomain::on_link_failed_(topo::LinkId id) {
   routers_[link.from]->remove_neighbor(link.to);
   routers_[link.to]->remove_neighbor(link.from);
   for (const topo::NodeId endpoint : {link.from, link.to}) {
-    routers_[endpoint]->originate(
-        make_router_lsa(topo_, endpoint, ++router_seq_[endpoint], link_state_->bits()));
+    routers_[endpoint]->originate(make_router_lsa(
+        topo_, endpoint, ++router_seq_[endpoint], advertised_bits_(endpoint)));
   }
   arm_pump_();
 }
@@ -114,12 +125,90 @@ void IgpDomain::on_link_restored_(topo::LinkId id) {
   // install *before* any DD snapshot is taken, so they ride the exchange.
   routers_[link.from]->add_neighbor(link.to);
   routers_[link.to]->add_neighbor(link.from);
-  // Both endpoints advertise the interface again.
+  // Both endpoints advertise the interface again (unless their protocol
+  // overlay still holds it dead -- then the kAdjacencyFull heal, not this
+  // administrative restore, brings the advertisement back).
   for (const topo::NodeId endpoint : {link.from, link.to}) {
-    routers_[endpoint]->originate(
-        make_router_lsa(topo_, endpoint, ++router_seq_[endpoint], link_state_->bits()));
+    routers_[endpoint]->originate(make_router_lsa(
+        topo_, endpoint, ++router_seq_[endpoint], advertised_bits_(endpoint)));
   }
   arm_pump_();
+}
+
+std::vector<bool> IgpDomain::advertised_bits_(topo::NodeId self) const {
+  std::vector<bool> bits = link_state_->bits();
+  for (const topo::LinkId lid : detected_down_[self]) bits[lid] = true;
+  return bits;
+}
+
+void IgpDomain::on_adjacency_(topo::NodeId self, topo::NodeId peer, bool up) {
+  const topo::LinkId link = topo_.link_between(self, peer);
+  if (link == topo::kInvalidLink) return;
+  auto& detected = detected_down_[self];
+  if (up) {
+    // Only a *heal* of a protocol-detected failure is notable; the ordinary
+    // first bring-up of every adjacency changes nothing here.
+    if (detected.erase(link) == 0) return;
+  } else {
+    if (!detected.insert(link).second) return;
+  }
+  FIB_LOG(kInfo, "igp") << "router " << self << ": protocol "
+                        << (up ? "recovered" : "lost") << " adjacency "
+                        << topo_.link_name(link);
+  routers_[self]->originate(make_router_lsa(
+      topo_, self, ++router_seq_[self], advertised_bits_(self)));
+  pending_liveness_[pool_.shard_of(self)].emplace_back(link, !up);
+}
+
+void IgpDomain::flush_liveness_() {
+  std::vector<std::pair<topo::LinkId, bool>> changes;
+  for (auto& per_shard : pending_liveness_) {
+    changes.insert(changes.end(), per_shard.begin(), per_shard.end());
+    per_shard.clear();
+  }
+  if (changes.empty() || on_liveness_change_ == nullptr) return;
+  // Shard-count independent delivery order: sorted by (link, direction).
+  std::sort(changes.begin(), changes.end());
+  for (const auto& [link, down] : changes) on_liveness_change_(link, down);
+}
+
+void IgpDomain::crash_router(topo::NodeId n) {
+  FIB_ASSERT(n < routers_.size(), "crash_router: id out of range");
+  if (alive_[n] == 0) return;
+  FIB_LOG(kInfo, "igp") << "router " << n << " crashed (fail-stop)";
+  alive_[n] = 0;
+}
+
+bool IgpDomain::is_alive(topo::NodeId n) const {
+  FIB_ASSERT(n < routers_.size(), "is_alive: id out of range");
+  return alive_[n] != 0;
+}
+
+void IgpDomain::set_link_loss(topo::LinkId id, double rate) {
+  FIB_ASSERT(id < topo_.link_count(), "set_link_loss: link out of range");
+  FIB_ASSERT(rate >= 0.0 && rate <= 1.0, "set_link_loss: rate out of [0,1]");
+  loss_rate_[id] = rate;
+}
+
+void IgpDomain::set_link_delay(topo::LinkId id, double extra_s) {
+  FIB_ASSERT(id < topo_.link_count(), "set_link_delay: link out of range");
+  FIB_ASSERT(extra_s >= 0.0, "set_link_delay: negative delay");
+  extra_delay_[id] = extra_s;
+}
+
+bool IgpDomain::lose_packet_(topo::LinkId id) {
+  const double rate = loss_rate_[id];
+  if (rate <= 0.0) return false;
+  // splitmix64 over (link, per-link send counter): the counter is touched
+  // only by the sending router's shard, so the drop pattern is identical
+  // across shard counts.
+  std::uint64_t x = (static_cast<std::uint64_t>(id) << 32) ^ ++loss_seq_[id];
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  const double uniform = static_cast<double>(x >> 11) * 0x1.0p-53;
+  return uniform < rate;
 }
 
 bool IgpDomain::link_is_down(topo::LinkId id) const {
@@ -140,11 +229,15 @@ proto::ControllerSession& IgpDomain::controller_session(topo::NodeId at) {
           pool_.schedule(util::ShardPool::kDriverActor, at,
                          pool_.now() + timing_.flood_delay_s, [this, at, buffer] {
                            in_flight_.fetch_sub(1, std::memory_order_relaxed);
+                           if (alive_[at] == 0) return;  // crashed: lost
                            routers_[at]->receive_controller_packet(buffer);
                          });
           arm_pump_();
         });
     it = controller_sessions_.emplace(at, std::move(session)).first;
+    // Only the session router echoes installed controller-originated
+    // externals back up (RFC 13.4 resurrection handling).
+    routers_[at]->set_controller_peer(true);
   }
   return *it->second;
 }
@@ -155,17 +248,21 @@ void IgpDomain::inject_external(topo::NodeId at, const ExternalLsa& ext) {
   FIB_ASSERT(injected.ok(), injected.error().c_str());
 }
 
-void IgpDomain::withdraw_external(topo::NodeId at, std::uint64_t lie_id) {
+util::Status IgpDomain::withdraw_external(topo::NodeId at, std::uint64_t lie_id) {
   FIB_ASSERT(at < routers_.size(), "withdraw_external: unknown session router");
-  controller_session(at).retract(lie_id);
+  return controller_session(at).retract(lie_id);
 }
 
 bool IgpDomain::converged() const {
   if (in_flight_.load(std::memory_order_relaxed) > 0) return false;
-  for (const auto& router : routers_) {
-    if (router->spf_pending() || !router->synchronized()) return false;
+  for (topo::NodeId n = 0; n < routers_.size(); ++n) {
+    // A crashed router's state is frozen mid-whatever; it cannot block (or
+    // ever again advance) convergence of the survivors.
+    if (alive_[n] == 0) continue;
+    if (routers_[n]->spf_pending() || !routers_[n]->quiescent()) return false;
   }
   for (const auto& [at, session] : controller_sessions_) {
+    if (alive_[at] == 0) continue;  // its acks died with it
     if (!session->drained()) return false;
   }
   return true;
@@ -221,15 +318,21 @@ void IgpDomain::deliver_packet_(topo::NodeId from, topo::NodeId to,
   // hop shares the buffer -- no per-hop copy of the bytes. Cross-shard hops
   // ride the destination shard's inbox channel and keep their deterministic
   // (time, origin, sequence) place.
+  if (alive_[from] == 0 || alive_[to] == 0) return;  // fail-stop endpoints
   const topo::LinkId via = topo_.link_between(from, to);
-  if (via != topo::kInvalidLink && link_state_->is_down(via)) return;
+  double delay = timing_.flood_delay_s;
+  if (via != topo::kInvalidLink) {
+    if (link_state_->is_down(via)) return;
+    if (lose_packet_(via)) return;  // deterministic per-direction loss
+    delay += extra_delay_[via];
+  }
   in_flight_.fetch_add(1, std::memory_order_relaxed);
-  pool_.schedule(from, to, pool_.now() + timing_.flood_delay_s,
-                 [this, from, to, via, buffer] {
-                   in_flight_.fetch_sub(1, std::memory_order_relaxed);
-                   if (via != topo::kInvalidLink && link_state_->is_down(via)) return;
-                   routers_[to]->receive_packet(from, buffer);
-                 });
+  pool_.schedule(from, to, pool_.now() + delay, [this, from, to, via, buffer] {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    if (via != topo::kInvalidLink && link_state_->is_down(via)) return;
+    if (alive_[to] == 0) return;  // crashed while the packet was in flight
+    routers_[to]->receive_packet(from, buffer);
+  });
 }
 
 void IgpDomain::sync_clock_() { pool_.advance_to(events_.now()); }
@@ -256,6 +359,7 @@ void IgpDomain::run_pump_() {
   sync_clock_();  // the pump fires at pool_.next_time() == events_.now()
   pool_.run_round();
   flush_table_changes_();
+  flush_liveness_();  // may fail mask links, scheduling more work
   arm_pump_();
 }
 

@@ -5,6 +5,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "igp/lsa.hpp"
@@ -65,8 +67,10 @@ class IgpDomain {
   void inject_external(topo::NodeId at, const ExternalLsa& ext);
 
   /// Withdraw a previously injected lie: the controller session floods its
-  /// MaxAge tombstone (premature aging).
-  void withdraw_external(topo::NodeId at, std::uint64_t lie_id);
+  /// MaxAge tombstone (premature aging). Fails when the lie was never
+  /// announced through this session, or is already withdrawn.
+  [[nodiscard]] util::Status withdraw_external(topo::NodeId at,
+                                               std::uint64_t lie_id);
 
   /// Take a bidirectional link down: both endpoints drop the neighbor
   /// session and re-originate their Router-LSAs without the adjacency, and
@@ -91,6 +95,46 @@ class IgpDomain {
   [[nodiscard]] bool link_is_down(topo::LinkId id) const;
   [[nodiscard]] topo::LinkStateMask& link_state() { return *link_state_; }
   [[nodiscard]] const topo::LinkStateMask& link_state() const { return *link_state_; }
+
+  // -- Fault injection (protocol-driven liveness) --------------------------
+  //
+  // None of these touch the shared link-state mask or any router's
+  // configuration: the *protocol* has to notice. Hellos stop arriving, the
+  // RouterDeadInterval expires, the adjacency falls to Down, the endpoint
+  // re-originates its Router-LSA without the link, and the domain reports
+  // the transition through set_on_liveness_change.
+
+  /// Kill router `n` outright: every packet to or from it (including
+  /// controller-session traffic) is silently dropped from now on. Nothing
+  /// is torn down administratively -- each neighbor discovers the death by
+  /// Hello silence alone. Call between rounds (any time the event queue is
+  /// not mid-step).
+  void crash_router(topo::NodeId n);
+  [[nodiscard]] bool is_alive(topo::NodeId n) const;
+
+  /// Drop packets on the *directed* link `id` with probability `rate`
+  /// (0 disables, 1 drops everything -- a one-way failure the reverse
+  /// direction only notices through RFC 2328's 1-way Hello check).
+  /// Deterministic: the drop decision hashes a per-link send counter that
+  /// only the sender's shard touches, so sharded runs drop the exact same
+  /// packets as single-threaded ones.
+  void set_link_loss(topo::LinkId id, double rate);
+
+  /// Add `extra_s` of one-way latency on the directed link `id` on top of
+  /// the domain-wide flood_delay_s (a slow link, for convergence-under-
+  /// churn tests).
+  void set_link_delay(topo::LinkId id, double extra_s);
+
+  /// Fired (on the driving thread, at a round barrier) when the protocol
+  /// detects a liveness transition on a directed link: `down` when the
+  /// RouterDeadInterval expired or a 1-way Hello tore the adjacency down,
+  /// up when it re-reached Full afterwards. FibbingService maps these onto
+  /// the shared mask so the controller re-plans -- with no fail_link call
+  /// anywhere.
+  using LivenessFn = std::function<void(topo::LinkId, bool down)>;
+  void set_on_liveness_change(LivenessFn fn) {
+    on_liveness_change_ = std::move(fn);
+  }
 
   /// True when no packet is in flight, no SPF is pending anywhere, every
   /// live adjacency is Full with nothing awaiting acknowledgment, and every
@@ -128,6 +172,16 @@ class IgpDomain {
   // Mask-subscription reactions (fired on every effective fail/restore).
   void on_link_failed_(topo::LinkId id);
   void on_link_restored_(topo::LinkId id);
+  /// A session at `self` reported an adjacency transition (shard worker,
+  /// mid-round): maintain the protocol-detected overlay, re-originate the
+  /// Router-LSA, and queue the liveness event for the barrier flush.
+  void on_adjacency_(topo::NodeId self, topo::NodeId peer, bool up);
+  /// `self`'s advertised down-bits: the shared mask OR'd with the links the
+  /// protocol detected dead at `self`.
+  [[nodiscard]] std::vector<bool> advertised_bits_(topo::NodeId self) const;
+  /// Deterministic drop decision for the next packet on directed link `id`.
+  [[nodiscard]] bool lose_packet_(topo::LinkId id);
+  void flush_liveness_();
   // Driving-thread plumbing between the master clock and the shard pool.
   void sync_clock_();  ///< raise the pool clock to the master clock
   void arm_pump_();    ///< keep one pump event armed at pool_.next_time()
@@ -144,6 +198,22 @@ class IgpDomain {
   std::vector<std::unique_ptr<RouterProcess>> routers_;
   std::vector<SeqNum> router_seq_;
   std::shared_ptr<topo::LinkStateMask> link_state_;
+  /// alive_[n] == 0 after crash_router(n). Plain bytes: mutated only on the
+  /// driving thread between rounds, read by shard workers mid-round.
+  std::vector<char> alive_;
+  /// Per-node protocol-detected dead out-links (RouterDeadInterval / 1-way
+  /// Hello), OR'd into that node's Router-LSA. Touched only by the owning
+  /// node's shard mid-round and the driving thread between rounds.
+  std::vector<std::set<topo::LinkId>> detected_down_;
+  /// Per directed link: drop probability, deterministic per-sender send
+  /// counter feeding the drop hash, and extra one-way latency.
+  std::vector<double> loss_rate_;
+  std::vector<std::uint64_t> loss_seq_;
+  std::vector<double> extra_delay_;
+  /// Liveness transitions detected this round, per shard (each worker
+  /// appends only to its own slot); drained sorted at the round barrier.
+  std::vector<std::vector<std::pair<topo::LinkId, bool>>> pending_liveness_;
+  LivenessFn on_liveness_change_;
   std::map<topo::NodeId, std::unique_ptr<proto::ControllerSession>>
       controller_sessions_;
   /// Packets (and controller updates) scheduled but not yet delivered.

@@ -25,6 +25,8 @@ Lsdb::InstallResult Lsdb::install(const Lsa& lsa) {
   return install(std::make_shared<const Lsa>(lsa));
 }
 
+bool Lsdb::erase(const LsaKey& key) { return entries_.erase(key) > 0; }
+
 const Lsa* Lsdb::find(const LsaKey& key) const {
   const auto it = entries_.find(key);
   return it == entries_.end() ? nullptr : it->second.get();

@@ -26,6 +26,10 @@ class Lsdb {
   [[nodiscard]] const Lsa* find(const LsaKey& key) const;
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  /// Remove an entry outright (RFC 14 MaxAge flushing). Returns true when
+  /// something was erased.
+  bool erase(const LsaKey& key);
+
   /// All live (non-withdrawn) LSAs, deterministic order (sorted by key).
   [[nodiscard]] std::vector<const Lsa*> live() const;
 

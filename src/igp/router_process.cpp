@@ -21,6 +21,10 @@ void RouterProcess::add_neighbor(topo::NodeId peer) {
   FIB_ASSERT(!sessions_.contains(peer), "add_neighbor: session already exists");
   proto::SessionConfig config;
   config.rxmt_interval_s = timing_.rxmt_interval_s;
+  config.hello_interval_s = timing_.hello_interval_s;
+  config.dead_interval_s = timing_.dead_interval_s;
+  config.flood_batch_window_s = timing_.flood_batch_window_s;
+  config.ack_delay_s = timing_.ack_delay_s;
   auto session = std::make_unique<proto::NeighborSession>(
       addrs_->router_id(self_), addrs_->router_id(peer),
       static_cast<proto::DatabaseFacade&>(*this), events_, config,
@@ -28,6 +32,9 @@ void RouterProcess::add_neighbor(topo::NodeId peer) {
         FIB_ASSERT(send_ != nullptr, "RouterProcess: transport not wired");
         send_(self_, peer, buffer);
       });
+  session->set_on_event([this, peer](proto::SessionEvent event) {
+    on_session_event_(peer, event);
+  });
   if (started_) session->start();
   sessions_.emplace(peer, std::move(session));
 }
@@ -38,6 +45,19 @@ void RouterProcess::remove_neighbor(topo::NodeId peer) {
   it->second->shutdown();
   retired_ += it->second->counters();
   sessions_.erase(it);
+  // The dead session's retransmission and pending lists are gone; any
+  // tombstone it alone still referenced is now flushable.
+  sweep_tombstones_();
+}
+
+void RouterProcess::on_session_event_(topo::NodeId peer,
+                                      proto::SessionEvent event) {
+  // Reaching Full empties the exchange lists; losing the adjacency clears
+  // them -- either way tombstone flushes may have unblocked.
+  sweep_tombstones_();
+  if (on_adjacency_) {
+    on_adjacency_(self_, peer, event == proto::SessionEvent::kAdjacencyFull);
+  }
 }
 
 void RouterProcess::start() {
@@ -58,6 +78,13 @@ bool RouterProcess::synchronized() const {
   return true;
 }
 
+bool RouterProcess::quiescent() const {
+  for (const auto& [peer, session] : sessions_) {
+    if (!session->quiescent()) return false;
+  }
+  return true;
+}
+
 proto::SessionCounters RouterProcess::counters() const {
   proto::SessionCounters total = retired_;
   total += controller_io_;
@@ -70,10 +97,48 @@ void RouterProcess::store_wire_(const LsaKey& key, proto::WireLsa wire) {
   if (const auto it = wire_cache_.find(key); it != wire_cache_.end()) {
     // An update may move the wire identity (it never does today -- router
     // ids and lie ids are stable -- but keep the index honest).
-    by_identity_.erase(proto::identity_of(it->second.header));
+    const proto::LsaIdentity old_id = proto::identity_of(it->second.header);
+    by_identity_.erase(old_id);
+    tombstones_.erase(old_id);
   }
   by_identity_[id] = key;
+  if (wire.header.age == proto::kMaxAge) {
+    tombstones_.insert(id);
+  } else {
+    tombstones_.erase(id);
+  }
   wire_cache_.insert_or_assign(key, std::move(wire));
+}
+
+void RouterProcess::maybe_flush_tombstone_(const proto::LsaIdentity& id) {
+  // RFC 14: a MaxAge instance leaves the database once it is off every
+  // neighbor's retransmission (and pending) list and no neighbor is mid
+  // database exchange -- every adjacent replica provably saw the flush.
+  const auto key_it = by_identity_.find(id);
+  if (key_it == by_identity_.end()) return;
+  const auto wire_it = wire_cache_.find(key_it->second);
+  FIB_ASSERT(wire_it != wire_cache_.end(), "flush: identity index out of sync");
+  if (wire_it->second.header.age != proto::kMaxAge) return;
+  for (const auto& [peer, session] : sessions_) {
+    if (session->in_exchange() || session->references(id)) return;
+  }
+  FIB_LOG(kDebug, "igp") << "router " << self_ << ": flushing MaxAge tombstone";
+  lsdb_.erase(key_it->second);
+  wire_cache_.erase(wire_it);
+  tombstones_.erase(id);
+  by_identity_.erase(key_it);
+  ++tombstones_flushed_;
+}
+
+void RouterProcess::sweep_tombstones_() {
+  if (tombstones_.empty()) return;
+  const std::vector<proto::LsaIdentity> ids(tombstones_.begin(),
+                                            tombstones_.end());
+  for (const proto::LsaIdentity& id : ids) maybe_flush_tombstone_(id);
+}
+
+void RouterProcess::on_flood_acked(const proto::LsaIdentity& id) {
+  if (tombstones_.contains(id)) maybe_flush_tombstone_(id);
 }
 
 void RouterProcess::originate(Lsa lsa) {
@@ -84,22 +149,33 @@ void RouterProcess::originate(Lsa lsa) {
   store_wire_(key, wire);
   flood_(wire, /*except_router_id=*/addrs_->router_id(self_));
   schedule_spf_();
+  if (wire.header.age == proto::kMaxAge) {
+    maybe_flush_tombstone_(proto::identity_of(wire.header));
+  }
 }
 
 void RouterProcess::flood_(const proto::WireLsa& lsa,
                            std::uint32_t except_router_id) {
-  // The LS Update is byte-identical toward every neighbor (same sender,
-  // same instance): encode once, share the buffer across the sessions.
-  proto::BufferPtr encoded;
+  // Each session coalesces floods landing within its batching window into
+  // one LS Update (RFC 13.5), so per-session queuing replaced the old
+  // shared-buffer encode: batch composition differs per neighbor.
   for (auto& [peer, session] : sessions_) {
     if (session->peer_id() == except_router_id) continue;
-    if (session->state() < proto::NeighborState::kExchange) continue;
-    if (encoded == nullptr) {
-      encoded = std::make_shared<const proto::Buffer>(
-          proto::NeighborSession::encode_flood(addrs_->router_id(self_), lsa));
-    }
-    session->flood_encoded(lsa, encoded);
+    session->flood(lsa);  // no-op below Exchange: DD sync covers those
   }
+}
+
+void RouterProcess::echo_to_controller_(const proto::WireLsa& lsa) {
+  proto::LsUpdateBody echo;
+  echo.lsas.push_back(lsa);
+  proto::Packet packet{addrs_->router_id(self_), 0, std::move(echo)};
+  auto bytes =
+      std::make_shared<const proto::Buffer>(proto::encode_packet(packet));
+  ++controller_io_.packets_sent;
+  ++controller_io_.lsus_sent;
+  ++controller_io_.lsas_sent;
+  controller_io_.bytes_sent += bytes->size();
+  controller_send_(bytes);
 }
 
 std::vector<proto::LsaHeader> RouterProcess::summarize() const {
@@ -123,7 +199,8 @@ proto::DatabaseFacade::DeliverResult RouterProcess::deliver(
   // Flooding delivers most instances once per adjacency, so the common case
   // is a copy we already hold: settle that from the stored wire header
   // before paying for translation.
-  if (const proto::WireLsa* mine = lookup(proto::identity_of(lsa.header))) {
+  const proto::WireLsa* mine = lookup(proto::identity_of(lsa.header));
+  if (mine != nullptr) {
     if (lsa.header.type == proto::WireLsaType::kExternal) {
       const auto& incoming = std::get<proto::ExternalLsaBody>(lsa.body);
       const auto& stored = std::get<proto::ExternalLsaBody>(mine->body);
@@ -146,6 +223,19 @@ proto::DatabaseFacade::DeliverResult RouterProcess::deliver(
     if (order <= 0) {
       return order == 0 ? DeliverResult::kDuplicate : DeliverResult::kStale;
     }
+  } else if (lsa.header.age == proto::kMaxAge) {
+    // RFC 13 step (4): a MaxAge instance of an LSA we hold no copy of, with
+    // no neighbor mid database exchange, is acknowledged directly and never
+    // installed -- re-installing a withdrawal we already flushed would only
+    // restart its flood.
+    bool exchanging = false;
+    for (const auto& [peer, session] : sessions_) {
+      if (session->in_exchange()) {
+        exchanging = true;
+        break;
+      }
+    }
+    if (!exchanging) return DeliverResult::kDuplicate;
   }
   proto::Decoded<Lsa> translated = proto::from_wire(lsa, *addrs_);
   if (!translated) {
@@ -166,6 +256,22 @@ proto::DatabaseFacade::DeliverResult RouterProcess::deliver(
       store_wire_(key, lsa);
       flood_(lsa, from_router_id);
       schedule_spf_();
+      if (controller_peer_ && controller_send_ != nullptr &&
+          from_router_id != proto::kControllerRouterId &&
+          lsa.header.type == proto::WireLsaType::kExternal &&
+          lsa.header.advertising_router == proto::kControllerRouterId) {
+        // A controller-originated lie arrived over a *real* adjacency and
+        // superseded our copy -- e.g. a healed partition resurrecting an
+        // instance whose tombstone was already flushed (RFC 13.4, applied
+        // on the controller's behalf). Echo it up the controller session,
+        // which re-flushes withdrawn lies at a fresher sequence.
+        echo_to_controller_(lsa);
+      }
+      if (lsa.header.age == proto::kMaxAge) {
+        // If no adjacency took the flood (all Full neighbors already acked
+        // or none exist), the tombstone is flushable right now.
+        maybe_flush_tombstone_(proto::identity_of(lsa.header));
+      }
       return DeliverResult::kNewer;
     case Lsdb::InstallResult::kDuplicate:
       return DeliverResult::kDuplicate;

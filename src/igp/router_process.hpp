@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "igp/lsdb.hpp"
@@ -20,6 +21,21 @@ struct IgpTiming {
   double flood_delay_s = 0.001;  // per-hop packet propagation + processing
   double spf_delay_s = 0.05;     // SPF hold-down after an LSDB change
   double rxmt_interval_s = 0.5;  // RFC RxmtInterval: unacked-LSU resend
+  /// RFC HelloInterval: periodic keepalive cadence (liveness is on by
+  /// default in a domain; set <= 0 to fall back to bring-up-only Hellos).
+  double hello_interval_s = 10.0;
+  /// RFC RouterDeadInterval: Hello silence after which an adjacency is
+  /// declared dead -- the FSM falls to Down, the router re-originates its
+  /// Router-LSA without the link, and the domain reports the loss. The
+  /// conventional 4 x HelloInterval.
+  double dead_interval_s = 40.0;
+  /// RFC 13.5 flood coalescing window: floods landing within it share one
+  /// LS Update packet. Well under spf_delay_s so batching never adds a
+  /// convergence round-trip.
+  double flood_batch_window_s = 0.02;
+  /// RFC 13.5 delayed-ack window; must stay well under rxmt_interval_s or
+  /// delayed acks race the sender's retransmissions.
+  double ack_delay_s = 0.04;
 };
 
 /// One router's control plane: an LSDB replica, a wire-format OSPF speaker
@@ -38,10 +54,17 @@ class RouterProcess final : private proto::DatabaseFacade {
   /// copying the bytes.
   using SendFn =
       std::function<void(topo::NodeId from, topo::NodeId to, const BufferPtr&)>;
-  /// Encoded packets (LS Acks) back to the controller session.
+  /// Encoded packets (LS Acks, self-originated-LSA echoes) back to the
+  /// controller session.
   using ControllerSendFn = std::function<void(const BufferPtr&)>;
   /// Fired after each SPF run with the fresh routing table.
   using TableFn = std::function<void(topo::NodeId self, const RoutingTable&)>;
+  /// Adjacency liveness transitions, protocol-detected: `up` is true when
+  /// the session with `peer` reached Full, false when RouterDeadInterval
+  /// expired or a 1-way Hello tore it down. Administrative teardown
+  /// (remove_neighbor) fires nothing.
+  using AdjacencyFn =
+      std::function<void(topo::NodeId self, topo::NodeId peer, bool up)>;
 
   RouterProcess(topo::NodeId self, std::size_t node_count,
                 const proto::AddressMap& addrs, util::Scheduler& events,
@@ -52,6 +75,11 @@ class RouterProcess final : private proto::DatabaseFacade {
   void set_controller_send(ControllerSendFn fn) {
     controller_send_ = std::move(fn);
   }
+  void set_on_adjacency(AdjacencyFn fn) { on_adjacency_ = std::move(fn); }
+  /// This router carries the controller adjacency: installed controller
+  /// -originated externals learned from *real* neighbors are echoed up the
+  /// session so the controller can spot (and re-flush) resurrected lies.
+  void set_controller_peer(bool value) { controller_peer_ = value; }
 
   /// The interface toward `peer` exists (and, once the protocol has
   /// started, comes up: the session begins its Hello exchange and the
@@ -82,6 +110,10 @@ class RouterProcess final : private proto::DatabaseFacade {
   [[nodiscard]] const proto::NeighborSession* session(topo::NodeId peer) const;
   /// Every live adjacency Full with nothing awaiting acknowledgment.
   [[nodiscard]] bool synchronized() const;
+  /// Every session quiescent: Full-and-drained, or torn down (a dead peer)
+  /// with nothing queued. The domain's convergence criterion -- unlike
+  /// synchronized(), a timed-out adjacency does not stall it.
+  [[nodiscard]] bool quiescent() const;
 
   // Control-plane accounting for the overhead benches and the DD-economy
   // tests. `counters()` aggregates live sessions, retired (torn-down)
@@ -98,6 +130,12 @@ class RouterProcess final : private proto::DatabaseFacade {
   /// silently replaced a standing lie.
   [[nodiscard]] std::uint64_t alias_collisions() const { return alias_collisions_; }
 
+  /// MaxAge tombstones currently flushed from this LSDB (RFC 14): every
+  /// replica converged on the withdrawal, acknowledged it, and erased it.
+  [[nodiscard]] std::uint64_t tombstones_flushed() const {
+    return tombstones_flushed_;
+  }
+
  private:
   // -- proto::DatabaseFacade (what the neighbor sessions see) --------------
   [[nodiscard]] std::vector<proto::LsaHeader> summarize() const override;
@@ -105,9 +143,19 @@ class RouterProcess final : private proto::DatabaseFacade {
       const proto::LsaIdentity& id) const override;
   DeliverResult deliver(const proto::WireLsa& lsa,
                         std::uint32_t from_router_id) override;
+  void on_flood_acked(const proto::LsaIdentity& id) override;
 
   void flood_(const proto::WireLsa& lsa, std::uint32_t except_router_id);
   void store_wire_(const LsaKey& key, proto::WireLsa wire);
+  void on_session_event_(topo::NodeId peer, proto::SessionEvent event);
+  /// RFC 14 flush check for one MaxAge tombstone: erase it once no session
+  /// is mid database exchange and none still references the instance.
+  void maybe_flush_tombstone_(const proto::LsaIdentity& id);
+  void sweep_tombstones_();
+  /// Echo an installed external LSA up to the controller session (if this
+  /// router carries one): RFC 13.4 self-originated handling lets the
+  /// controller kill stale lie instances a healed partition resurrects.
+  void echo_to_controller_(const proto::WireLsa& lsa);
   void schedule_spf_();
   void run_spf_now_();
 
@@ -123,11 +171,15 @@ class RouterProcess final : private proto::DatabaseFacade {
   /// LS Requests are answered from, and flooding re-sends byte-identical.
   std::map<LsaKey, proto::WireLsa> wire_cache_;
   std::map<proto::LsaIdentity, LsaKey> by_identity_;
+  /// Identities of stored MaxAge tombstones, awaiting their RFC 14 flush.
+  std::set<proto::LsaIdentity> tombstones_;
   SendFn send_;
   ControllerSendFn controller_send_;
   TableFn on_table_;
+  AdjacencyFn on_adjacency_;
   bool started_ = false;
   bool spf_pending_ = false;
+  bool controller_peer_ = false;
   proto::SessionCounters retired_;  ///< counters of torn-down sessions
   proto::SessionCounters controller_io_;  ///< acks sent to the controller
   std::uint64_t lsas_received_ = 0;
@@ -135,6 +187,7 @@ class RouterProcess final : private proto::DatabaseFacade {
   std::uint64_t decode_errors_ = 0;
   std::uint64_t spf_runs_ = 0;
   std::uint64_t alias_collisions_ = 0;
+  std::uint64_t tombstones_flushed_ = 0;
 };
 
 }  // namespace fibbing::igp

@@ -228,12 +228,16 @@ bool lsa_checksum_ok(const WireLsa& lsa) {
 
 int compare_instances(const LsaHeader& a, const LsaHeader& b) {
   // RFC 2328 13.1: signed sequence number first, then checksum, then MaxAge
-  // (a flushing instance beats a live one -- premature aging must win).
+  // (a flushing instance beats a live one -- premature aging must win),
+  // then the age tie-break: ages more than MaxAgeDiff apart name different
+  // instances and the *younger* one is the more recent.
   if (a.seq != b.seq) return a.seq > b.seq ? 1 : -1;
   if (a.checksum != b.checksum) return a.checksum > b.checksum ? 1 : -1;
   const bool a_max = a.age == kMaxAge;
   const bool b_max = b.age == kMaxAge;
   if (a_max != b_max) return a_max ? 1 : -1;
+  const std::uint16_t age_gap = a.age > b.age ? a.age - b.age : b.age - a.age;
+  if (age_gap > kMaxAgeDiff) return a.age < b.age ? 1 : -1;
   return 0;
 }
 

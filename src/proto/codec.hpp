@@ -24,6 +24,13 @@ inline constexpr std::uint8_t kOspfVersion = 2;
 /// RFC 2328 B: MaxAge. An instance at MaxAge is being flushed ("premature
 /// aging"); its content no longer contributes routes.
 inline constexpr std::uint16_t kMaxAge = 3600;
+/// RFC 2328 B: MaxAgeDiff. Two instances with equal sequence number and
+/// checksum whose ages differ by more than this are considered different
+/// (the younger wins); within it they are the same instance.
+inline constexpr std::uint16_t kMaxAgeDiff = 900;
+/// RFC 2328 B: InfTransDelay analogue -- every hop an LSA travels adds this
+/// to its age (clamped at MaxAge), so age reflects propagation distance.
+inline constexpr std::uint16_t kInfTransDelay = 1;
 /// RFC 2328 B: InitialSequenceNumber (signed 0x80000001).
 inline constexpr std::int32_t kInitialSequence =
     static_cast<std::int32_t>(0x80000001u);

@@ -57,12 +57,19 @@ util::Status ControllerSession::inject(const igp::ExternalLsa& ext) {
   return {};
 }
 
-void ControllerSession::retract(std::uint64_t lie_id) {
+util::Status ControllerSession::retract(std::uint64_t lie_id) {
   const auto it = last_.find(lie_id);
-  FIB_ASSERT(it != last_.end(), "ControllerSession::retract: unknown lie id");
-  FIB_ASSERT(!it->second.withdrawn, "ControllerSession::retract: already retracted");
+  if (it == last_.end()) {
+    return util::Status::failure("retract: lie " + std::to_string(lie_id) +
+                                 " was never announced");
+  }
+  if (it->second.withdrawn) {
+    return util::Status::failure("retract: lie " + std::to_string(lie_id) +
+                                 " is already retracted");
+  }
   it->second.withdrawn = true;
   send_update_(it->second, ++lie_seq_[lie_id]);
+  return {};
 }
 
 void ControllerSession::receive(const BufferPtr& buffer) {
@@ -73,8 +80,34 @@ void ControllerSession::receive(const BufferPtr& buffer) {
                             << decoded.error().detail << ")";
     return;
   }
+  if (const auto* lsu = std::get_if<LsUpdateBody>(&decoded.value().body)) {
+    // The session router echoes controller-originated externals it installs
+    // from *real* neighbors (RFC 13.4 on our behalf: routers cannot refresh
+    // our LSAs, so the self-originated-LSA decision comes back here).
+    for (const WireLsa& lsa : lsu->lsas) {
+      if (lsa.header.type != WireLsaType::kExternal) continue;
+      if (lsa.header.advertising_router != kControllerRouterId) continue;
+      const auto* body = std::get_if<ExternalLsaBody>(&lsa.body);
+      if (body == nullptr) continue;
+      const auto it = last_.find(body->route_tag);
+      if (it == last_.end()) continue;  // not a lie we remember
+      if (!it->second.withdrawn || lsa.header.age == kMaxAge) continue;
+      // A lie we retracted is circulating live again: its tombstone was
+      // flushed (RFC 14) and a healed partition resurrected the stale
+      // announcement. Re-issue the tombstone above both the resurrected
+      // instance and everything we ever sent.
+      auto& seq = lie_seq_.at(body->route_tag);
+      seq = std::max(seq, from_wire_seq(lsa.header.seq));
+      ++counters_.reflushes;
+      FIB_LOG(kInfo, "proto")
+          << "controller session: retracted lie " << body->route_tag
+          << " resurrected by the domain; re-flushing";
+      send_update_(it->second, ++seq);
+    }
+    return;
+  }
   const auto* ack = std::get_if<LsAckBody>(&decoded.value().body);
-  if (ack == nullptr) return;  // the session router only acks us back
+  if (ack == nullptr) return;
   for (const LsaHeader& header : ack->headers) {
     const auto it = unacked_.find(identity_of(header));
     if (it == unacked_.end()) continue;

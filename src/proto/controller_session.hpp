@@ -32,6 +32,10 @@ class ControllerSession {
     /// Injections refused because their wire identity (appendix-E host
     /// bits) collided with a different live lie's.
     std::uint64_t alias_rejections = 0;
+    /// Tombstones re-issued because the session router echoed a live
+    /// instance of a lie we had already retracted (a healed partition
+    /// resurrecting a stale announcement whose tombstone was flushed).
+    std::uint64_t reflushes = 0;
 
     friend bool operator==(const Counters&, const Counters&) = default;
   };
@@ -49,11 +53,13 @@ class ControllerSession {
   [[nodiscard]] util::Status inject(const igp::ExternalLsa& ext);
 
   /// Retract a previously injected lie by flooding its MaxAge tombstone
-  /// (RFC 2328 14.1 premature aging). Asserts the lie id is known -- the
-  /// controller cannot retract what it never announced.
-  void retract(std::uint64_t lie_id);
+  /// (RFC 2328 14.1 premature aging). Fails -- nothing hits the wire --
+  /// when the lie id was never announced, or is already retracted.
+  [[nodiscard]] util::Status retract(std::uint64_t lie_id);
 
-  /// An encoded packet from the session router (LS Acks).
+  /// An encoded packet from the session router: LS Acks, or an LS Update
+  /// echoing a controller-originated external the router installed from a
+  /// real neighbor (the resurrection signal -- see inject/retract).
   void receive(const BufferPtr& buffer);
 
   [[nodiscard]] bool knows(std::uint64_t lie_id) const {

@@ -1,11 +1,31 @@
 #include "proto/neighbor.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
 namespace fibbing::proto {
+
+namespace {
+
+/// The wire Hello carries whole-second intervals; a disabled (<= 0) timer
+/// advertises the RFC defaults so liveness-off sessions interoperate with
+/// each other (both sides advertise the same values either way).
+std::uint32_t wire_interval(double seconds, std::uint32_t fallback) {
+  if (seconds <= 0.0) return fallback;
+  return static_cast<std::uint32_t>(std::lround(seconds));
+}
+
+/// Age as transmitted: one InfTransDelay hop further along, clamped so a
+/// flushing (MaxAge) instance stays exactly at MaxAge (RFC 13.3).
+std::uint16_t aged_for_transmit(std::uint16_t age) {
+  return age >= kMaxAge - kInfTransDelay ? kMaxAge
+                                         : static_cast<std::uint16_t>(age + kInfTransDelay);
+}
+
+}  // namespace
 
 const char* to_string(NeighborState state) {
   switch (state) {
@@ -32,6 +52,7 @@ SessionCounters& SessionCounters::operator+=(const SessionCounters& other) {
   lsas_sent += other.lsas_sent;
   lsacks_sent += other.lsacks_sent;
   retransmissions += other.retransmissions;
+  hellos_rejected += other.hellos_rejected;
   return *this;
 }
 
@@ -48,11 +69,23 @@ NeighborSession::NeighborSession(std::uint32_t self_id, std::uint32_t peer_id,
   FIB_ASSERT(send_ != nullptr, "NeighborSession: transport not wired");
 }
 
-NeighborSession::~NeighborSession() { events_.cancel(rxmt_timer_); }
+NeighborSession::~NeighborSession() {
+  events_.cancel(rxmt_timer_);
+  events_.cancel(flood_flush_timer_);
+  events_.cancel(ack_timer_);
+  events_.cancel(hello_timer_);
+  events_.cancel(inactivity_timer_);
+  events_.cancel(watchdog_timer_);
+}
 
 void NeighborSession::start() {
   FIB_ASSERT(state_ == NeighborState::kDown, "NeighborSession::start: not Down");
   send_hello_();
+  if (config_.hello_interval_s > 0.0) {
+    arm_hello_timer_();
+    // A peer that never speaks at all must still be declared dead.
+    arm_inactivity_timer_();
+  }
 }
 
 void NeighborSession::shutdown() {
@@ -60,6 +93,10 @@ void NeighborSession::shutdown() {
   heard_peer_ = false;
   introduced_self_ = false;
   reset_exchange_();
+  events_.cancel(hello_timer_);
+  hello_timer_ = {};
+  events_.cancel(inactivity_timer_);
+  inactivity_timer_ = {};
 }
 
 void NeighborSession::reset_exchange_() {
@@ -69,12 +106,25 @@ void NeighborSession::reset_exchange_() {
   peer_done_ = false;
   summary_.clear();
   summary_pos_ = 0;
+  last_dd_.reset();
   wanted_.clear();
   wanted_ids_.clear();
   outstanding_.clear();
   rxmt_.clear();
+  pending_flood_.clear();
+  pending_ack_.clear();
   events_.cancel(rxmt_timer_);
   rxmt_timer_ = {};
+  events_.cancel(flood_flush_timer_);
+  flood_flush_timer_ = {};
+  events_.cancel(ack_timer_);
+  ack_timer_ = {};
+  events_.cancel(watchdog_timer_);
+  watchdog_timer_ = {};
+}
+
+void NeighborSession::fire_event_(SessionEvent event) {
+  if (on_event_) on_event_(event);
 }
 
 void NeighborSession::send_packet_(Packet&& packet) {
@@ -87,12 +137,106 @@ void NeighborSession::send_packet_(Packet&& packet) {
 
 void NeighborSession::send_hello_() {
   HelloBody hello;
+  hello.hello_interval =
+      static_cast<std::uint16_t>(wire_interval(config_.hello_interval_s, 10));
+  hello.dead_interval = wire_interval(config_.dead_interval_s, 40);
   if (heard_peer_) {
     hello.neighbors.push_back(peer_id_);
     introduced_self_ = true;
   }
   ++counters_.hellos_sent;
   send_packet_(Packet{self_id_, 0, std::move(hello)});
+}
+
+void NeighborSession::arm_hello_timer_() {
+  hello_timer_ = events_.schedule_in(config_.hello_interval_s, [this] {
+    hello_timer_ = {};
+    send_hello_();
+    arm_hello_timer_();
+  });
+}
+
+void NeighborSession::arm_inactivity_timer_() {
+  if (config_.dead_interval_s <= 0.0) return;
+  events_.cancel(inactivity_timer_);
+  inactivity_timer_ = events_.schedule_in(config_.dead_interval_s, [this] {
+    inactivity_timer_ = {};
+    on_inactivity_();
+  });
+}
+
+void NeighborSession::on_inactivity_() {
+  // RFC 10.3 InactivityTimer: RouterDeadInterval of Hello silence. The
+  // adjacency is dead; fall to Down but keep sending periodic Hellos so a
+  // recovered peer can bring it back. The timer stays dormant until the
+  // next Hello actually arrives.
+  FIB_LOG(kInfo, "proto") << self_id_ << ": neighbor " << peer_id_
+                          << " dead (RouterDeadInterval expired in "
+                          << to_string(state_) << ")";
+  reset_exchange_();
+  state_ = NeighborState::kDown;
+  heard_peer_ = false;
+  introduced_self_ = false;
+  // Fired even from Init/TwoWay: the owner may be advertising the link from
+  // configuration (a peer that never came up is just as unreachable as one
+  // that died mid-adjacency) and must stop either way.
+  fire_event_(SessionEvent::kAdjacencyLost);
+}
+
+bool NeighborSession::hello_params_ok_(const HelloBody& hello) {
+  // RFC 10.5: HelloInterval, RouterDeadInterval and (on non-p2p networks)
+  // the network mask must match ours exactly, else the Hello is dropped.
+  // Our interfaces are p2p (mask 0 both sides), so the mask check only
+  // trips on a genuinely malformed peer.
+  HelloBody ours;
+  ours.hello_interval =
+      static_cast<std::uint16_t>(wire_interval(config_.hello_interval_s, 10));
+  ours.dead_interval = wire_interval(config_.dead_interval_s, 40);
+  if (hello.hello_interval == ours.hello_interval &&
+      hello.dead_interval == ours.dead_interval &&
+      hello.network_mask == ours.network_mask) {
+    return true;
+  }
+  ++counters_.hellos_rejected;
+  FIB_LOG(kWarn, "proto") << self_id_ << ": Hello from " << peer_id_
+                          << " rejected (10.5 mismatch: interval "
+                          << hello.hello_interval << "/" << ours.hello_interval
+                          << ", dead " << hello.dead_interval << "/"
+                          << ours.dead_interval << ")";
+  return false;
+}
+
+void NeighborSession::process_hello_(const HelloBody& hello) {
+  if (!hello_params_ok_(hello)) return;
+  heard_peer_ = true;
+  if (config_.hello_interval_s > 0.0) arm_inactivity_timer_();
+  const bool lists_us =
+      std::find(hello.neighbors.begin(), hello.neighbors.end(), self_id_) !=
+      hello.neighbors.end();
+  if (!lists_us) {
+    if (state_ >= NeighborState::kTwoWay) {
+      // RFC 10.2 1-WayReceived: the peer restarted and forgot us. Drop back
+      // and re-introduce ourselves; the exchange restarts from scratch.
+      FIB_LOG(kDebug, "proto") << self_id_ << ": 1-way from " << peer_id_
+                               << ", restarting adjacency";
+      const bool was_usable = state_ >= NeighborState::kExStart;
+      reset_exchange_();
+      state_ = NeighborState::kInit;
+      introduced_self_ = false;
+      if (was_usable) fire_event_(SessionEvent::kAdjacencyLost);
+    } else if (state_ == NeighborState::kDown) {
+      state_ = NeighborState::kInit;
+    }
+    if (!introduced_self_) send_hello_();
+    return;
+  }
+  if (state_ <= NeighborState::kInit) {
+    // 2-WayReceived; p2p interfaces always form the adjacency, so 2-Way is
+    // transient and we negotiate the exchange immediately.
+    if (!introduced_self_) send_hello_();  // let the peer pass its 2-way check
+    enter_exstart_();
+  }
+  // Hellos at ExStart or later are keepalives; nothing to do.
 }
 
 void NeighborSession::receive(const Packet& packet) {
@@ -109,41 +253,22 @@ void NeighborSession::receive(const Packet& packet) {
   }
 }
 
-void NeighborSession::process_hello_(const HelloBody& hello) {
-  heard_peer_ = true;
-  const bool lists_us =
-      std::find(hello.neighbors.begin(), hello.neighbors.end(), self_id_) !=
-      hello.neighbors.end();
-  if (!lists_us) {
-    if (state_ >= NeighborState::kTwoWay) {
-      // RFC 10.2 1-WayReceived: the peer restarted and forgot us. Drop back
-      // and re-introduce ourselves; the exchange restarts from scratch.
-      FIB_LOG(kDebug, "proto") << self_id_ << ": 1-way from " << peer_id_
-                               << ", restarting adjacency";
-      reset_exchange_();
-      state_ = NeighborState::kInit;
-      introduced_self_ = false;
-    } else if (state_ == NeighborState::kDown) {
-      state_ = NeighborState::kInit;
-    }
-    if (!introduced_self_) send_hello_();
-    return;
-  }
-  if (state_ <= NeighborState::kInit) {
-    // 2-WayReceived; p2p interfaces always form the adjacency, so 2-Way is
-    // transient and we negotiate the exchange immediately.
-    if (!introduced_self_) send_hello_();  // let the peer pass its 2-way check
-    enter_exstart_();
-  }
-  // Hellos at ExStart or later are keepalives; nothing to do.
-}
-
 void NeighborSession::enter_exstart_() {
   reset_exchange_();
   state_ = NeighborState::kExStart;
   master_ = self_id_ > peer_id_;  // RFC 10.6: larger router id wins mastership
   dd_seq_ = self_id_;             // any initial value; ours if we stay master
   send_dd_page_(/*init=*/true);
+  arm_watchdog_();
+}
+
+void NeighborSession::enter_full_() {
+  state_ = NeighborState::kFull;
+  events_.cancel(watchdog_timer_);
+  watchdog_timer_ = {};
+  FIB_LOG(kDebug, "proto") << self_id_ << ": adjacency with " << peer_id_
+                           << " Full";
+  fire_event_(SessionEvent::kAdjacencyFull);
 }
 
 void NeighborSession::take_snapshot_() {
@@ -168,6 +293,7 @@ void NeighborSession::send_dd_page_(bool init) {
     dd.flags = static_cast<std::uint8_t>((master_ ? kDdFlagMasterSlave : 0) |
                                          (sent_all_ ? 0 : kDdFlagMore));
     counters_.dd_headers_sent += dd.headers.size();
+    last_dd_ = dd;
   }
   ++counters_.dds_sent;
   send_packet_(Packet{self_id_, 0, std::move(dd)});
@@ -221,7 +347,16 @@ void NeighborSession::process_dd_(const DatabaseDescriptionBody& dd) {
     send_dd_page_(/*init=*/false);
     if (sent_all_ && peer_done_) finish_exchange_();
   } else {
-    if (dd.dd_sequence != dd_seq_ + 1) return;  // duplicate of the last poll
+    if (dd.dd_sequence != dd_seq_ + 1) {
+      // RFC 10.8 slave: a duplicate of the last poll means our response was
+      // lost -- repeat it verbatim. Anything else is a stale echo.
+      if (dd.dd_sequence == dd_seq_ && last_dd_.has_value()) {
+        ++counters_.retransmissions;
+        ++counters_.dds_sent;
+        send_packet_(Packet{self_id_, 0, DatabaseDescriptionBody(*last_dd_)});
+      }
+      return;
+    }
     dd_seq_ = dd.dd_sequence;
     process_summary_(dd.headers);
     peer_done_ = !(dd.flags & kDdFlagMore);
@@ -245,9 +380,7 @@ void NeighborSession::process_summary_(const std::vector<LsaHeader>& headers) {
 
 void NeighborSession::finish_exchange_() {
   if (wanted_.empty() && outstanding_.empty()) {
-    state_ = NeighborState::kFull;
-    FIB_LOG(kDebug, "proto") << self_id_ << ": adjacency with " << peer_id_
-                             << " Full";
+    enter_full_();
     return;
   }
   state_ = NeighborState::kLoading;
@@ -256,11 +389,7 @@ void NeighborSession::finish_exchange_() {
 
 void NeighborSession::send_next_requests_() {
   if (wanted_.empty()) {
-    if (outstanding_.empty()) {
-      state_ = NeighborState::kFull;
-      FIB_LOG(kDebug, "proto") << self_id_ << ": adjacency with " << peer_id_
-                               << " Full (loaded)";
-    }
+    if (outstanding_.empty()) enter_full_();
     return;
   }
   LsRequestBody lsr;
@@ -297,6 +426,7 @@ void NeighborSession::send_update_batches_(const std::vector<const WireLsa*>& ls
       flush();
     }
     batch.lsas.push_back(*lsa);
+    batch.lsas.back().header.age = aged_for_transmit(lsa->header.age);
     batch_bytes += lsa->header.length;
   }
   flush();
@@ -321,9 +451,18 @@ void NeighborSession::process_lsr_(const LsRequestBody& lsr) {
   send_update_batches_(response);
 }
 
+void NeighborSession::erase_rxmt_(std::map<LsaIdentity, WireLsa>::iterator it) {
+  const LsaIdentity id = it->first;
+  rxmt_.erase(it);
+  if (rxmt_.empty()) {
+    events_.cancel(rxmt_timer_);
+    rxmt_timer_ = {};
+  }
+  db_.on_flood_acked(id);
+}
+
 void NeighborSession::process_lsu_(const LsUpdateBody& lsu) {
   if (state_ < NeighborState::kExchange) return;
-  LsAckBody ack;
   LsUpdateBody newer_back;  // RFC 13(8): answer stale instances with ours
   for (const WireLsa& lsa : lsu.lsas) {
     const LsaIdentity id = identity_of(lsa.header);
@@ -331,12 +470,23 @@ void NeighborSession::process_lsu_(const LsUpdateBody& lsu) {
     // proves it holds what we flooded.
     if (const auto it = rxmt_.find(id);
         it != rxmt_.end() && compare_instances(lsa.header, it->second.header) >= 0) {
-      rxmt_.erase(it);
+      erase_rxmt_(it);
+    }
+    // An equal-or-newer arrival also supersedes a flood still coalescing
+    // toward this peer: sending ours would only bounce a duplicate back.
+    // This counts as an implied acknowledgment too -- if it was the last
+    // reference to a MaxAge tombstone, the database must hear about it or
+    // the RFC 14 flush check never re-runs and the tombstone is stranded.
+    if (const auto it = pending_flood_.find(id);
+        it != pending_flood_.end() &&
+        compare_instances(lsa.header, it->second.header) >= 0) {
+      pending_flood_.erase(it);
+      db_.on_flood_acked(id);
     }
     switch (db_.deliver(lsa, peer_id_)) {
       case DatabaseFacade::DeliverResult::kNewer:
       case DatabaseFacade::DeliverResult::kDuplicate:
-        ack.headers.push_back(lsa.header);
+        queue_ack_(lsa.header);
         break;
       case DatabaseFacade::DeliverResult::kStale:
         if (const WireLsa* mine = db_.lookup(id)) newer_back.lsas.push_back(*mine);
@@ -353,14 +503,7 @@ void NeighborSession::process_lsu_(const LsUpdateBody& lsu) {
     }
     outstanding_.erase(id);
   }
-  if (rxmt_.empty()) {
-    events_.cancel(rxmt_timer_);
-    rxmt_timer_ = {};
-  }
-  if (!ack.headers.empty()) {
-    ++counters_.lsacks_sent;
-    send_packet_(Packet{self_id_, 0, std::move(ack)});
-  }
+  if (config_.ack_delay_s <= 0.0) flush_pending_acks_();
   if (!newer_back.lsas.empty()) {
     std::vector<const WireLsa*> ours;
     ours.reserve(newer_back.lsas.size());
@@ -372,39 +515,69 @@ void NeighborSession::process_lsu_(const LsUpdateBody& lsu) {
   }
 }
 
+void NeighborSession::queue_ack_(const LsaHeader& header) {
+  pending_ack_.push_back(header);
+  if (config_.ack_delay_s <= 0.0) return;  // process_lsu_ flushes per packet
+  if (ack_timer_.valid()) return;
+  ack_timer_ = events_.schedule_in(config_.ack_delay_s, [this] {
+    ack_timer_ = {};
+    flush_pending_acks_();
+  });
+}
+
+void NeighborSession::flush_pending_acks_() {
+  if (pending_ack_.empty()) return;
+  LsAckBody ack;
+  ack.headers = std::move(pending_ack_);
+  pending_ack_.clear();
+  ++counters_.lsacks_sent;
+  send_packet_(Packet{self_id_, 0, std::move(ack)});
+}
+
 void NeighborSession::process_lsack_(const LsAckBody& ack) {
   if (state_ < NeighborState::kExchange) return;
   for (const LsaHeader& header : ack.headers) {
     const auto it = rxmt_.find(identity_of(header));
     if (it == rxmt_.end()) continue;
-    if (compare_instances(header, it->second.header) >= 0) rxmt_.erase(it);
+    if (compare_instances(header, it->second.header) >= 0) erase_rxmt_(it);
   }
-  if (rxmt_.empty()) {
-    events_.cancel(rxmt_timer_);
-    rxmt_timer_ = {};
-  }
-}
-
-Buffer NeighborSession::encode_flood(std::uint32_t router_id, const WireLsa& lsa) {
-  LsUpdateBody lsu;
-  lsu.lsas.push_back(lsa);
-  return encode_packet(Packet{router_id, 0, std::move(lsu)});
 }
 
 void NeighborSession::flood(const WireLsa& lsa) {
   if (state_ < NeighborState::kExchange) return;  // DD snapshot covers it
-  flood_encoded(lsa,
-                std::make_shared<const Buffer>(encode_flood(self_id_, lsa)));
+  if (config_.flood_batch_window_s <= 0.0) {
+    rxmt_[identity_of(lsa.header)] = lsa;
+    send_update_batches_({&lsa});
+    schedule_rxmt_();
+    return;
+  }
+  // RFC 13.5: coalesce floods landing within the batch window into one LS
+  // Update. A newer instance of a queued identity supersedes it in place,
+  // so a rapid re-origination costs one transmission, not two.
+  pending_flood_.insert_or_assign(identity_of(lsa.header), lsa);
+  arm_flood_flush_();
 }
 
-void NeighborSession::flood_encoded(const WireLsa& lsa, const BufferPtr& encoded) {
-  if (state_ < NeighborState::kExchange) return;  // DD snapshot covers it
-  rxmt_[identity_of(lsa.header)] = lsa;
-  ++counters_.lsus_sent;
-  ++counters_.lsas_sent;
-  ++counters_.packets_sent;
-  counters_.bytes_sent += encoded->size();
-  send_(encoded);
+void NeighborSession::arm_flood_flush_() {
+  if (flood_flush_timer_.valid()) return;
+  flood_flush_timer_ = events_.schedule_in(config_.flood_batch_window_s, [this] {
+    flood_flush_timer_ = {};
+    flush_pending_floods_();
+  });
+}
+
+void NeighborSession::flush_pending_floods_() {
+  if (pending_flood_.empty() || state_ < NeighborState::kExchange) {
+    pending_flood_.clear();
+    return;
+  }
+  std::vector<const WireLsa*> batch;
+  batch.reserve(pending_flood_.size());
+  for (auto& [id, lsa] : pending_flood_) {
+    batch.push_back(&rxmt_.insert_or_assign(id, std::move(lsa)).first->second);
+  }
+  pending_flood_.clear();
+  send_update_batches_(batch);
   schedule_rxmt_();
 }
 
@@ -424,6 +597,49 @@ void NeighborSession::on_rxmt_timer_() {
   counters_.retransmissions += unacked.size();
   send_update_batches_(unacked);
   schedule_rxmt_();
+}
+
+void NeighborSession::arm_watchdog_() {
+  events_.cancel(watchdog_timer_);
+  watchdog_timer_ = events_.schedule_in(config_.rxmt_interval_s, [this] {
+    watchdog_timer_ = {};
+    on_watchdog_();
+  });
+}
+
+void NeighborSession::on_watchdog_() {
+  // Lossy-link safety net: ExStart..Loading normally completes well inside
+  // one RxmtInterval, so a fire here means a DD, LSR or LSU went missing.
+  // Re-issue the last unanswered packet; every receive path tolerates
+  // duplicates (the slave even re-answers a duplicate poll above).
+  switch (state_) {
+    case NeighborState::kExStart:
+      ++counters_.retransmissions;
+      send_dd_page_(/*init=*/true);
+      break;
+    case NeighborState::kExchange:
+      if (master_ && last_dd_.has_value()) {
+        ++counters_.retransmissions;
+        ++counters_.dds_sent;
+        send_packet_(Packet{self_id_, 0, DatabaseDescriptionBody(*last_dd_)});
+      }
+      break;
+    case NeighborState::kLoading: {
+      if (outstanding_.empty()) break;
+      LsRequestBody lsr;
+      for (const auto& [id, entry] : outstanding_) {
+        if (lsr.entries.size() >= config_.max_request_entries) break;
+        lsr.entries.push_back(entry);
+      }
+      counters_.retransmissions += lsr.entries.size();
+      ++counters_.lsrs_sent;
+      send_packet_(Packet{self_id_, 0, std::move(lsr)});
+      break;
+    }
+    default:
+      return;  // Full or torn down: the watchdog retires
+  }
+  arm_watchdog_();
 }
 
 }  // namespace fibbing::proto

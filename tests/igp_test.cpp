@@ -335,7 +335,7 @@ TEST(Domain, WithdrawRestoresOriginalRoutes) {
   domain.run_to_convergence();
   EXPECT_NE(domain.table(p.b), before);
 
-  domain.withdraw_external(p.r3, 1);
+  ASSERT_TRUE(domain.withdraw_external(p.r3, 1).ok());
   domain.run_to_convergence();
   EXPECT_EQ(domain.table(p.b), before);
 }

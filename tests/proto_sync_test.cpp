@@ -162,7 +162,7 @@ TEST(ProtoSync, PartitionHealReconvergesBitIdenticalAndRequestsOnlyTheDelta) {
   ExternalLsa l2 = l1;
   l2.lie_id = 2;
   l2.ext_metric = 5;
-  domain.withdraw_external(session_router, 1);
+  ASSERT_TRUE(domain.withdraw_external(session_router, 1).ok());
   domain.inject_external(session_router, l2);
   domain.run_to_convergence();
   {
@@ -173,27 +173,37 @@ TEST(ProtoSync, PartitionHealReconvergesBitIdenticalAndRequestsOnlyTheDelta) {
     EXPECT_EQ(marooned.find(LsaKey{LsaType::kExternal, 2}), nullptr);
   }
 
+  // On the left, L1's tombstone has by now been fully acknowledged and
+  // flushed (RFC 14): left LSDBs hold no trace of L1 at all.
+  EXPECT_EQ(domain.router(session_router).lsdb().find(LsaKey{LsaType::kExternal, 1}),
+            nullptr);
+  EXPECT_GT(domain.router(session_router).tombstones_flushed(), 0u);
+
   domain.restore_link(bridge);
   domain.run_to_convergence();
 
   // The DD exchange on the healed bridge: the right side lacked the left
-  // endpoint's restore-time Router-LSA, the L1 tombstone and L2 (exactly 3
-  // requests); the left side lacked only the right endpoint's Router-LSA.
+  // endpoint's restore-time Router-LSA and L2; the left side lacked the
+  // right endpoint's Router-LSA -- and, having flushed the tombstone, the
+  // right's still-live L1 (2 requests each). Resurrecting stale L1 on the
+  // left is the RFC 13.4 hazard the controller session resolves below.
   const proto::NeighborSession* at_left = domain.router(left).session(right);
   const proto::NeighborSession* at_right = domain.router(right).session(left);
   ASSERT_NE(at_left, nullptr);
   ASSERT_NE(at_right, nullptr);
-  EXPECT_EQ(at_right->counters().ls_requests_sent, 3u);
-  EXPECT_EQ(at_left->counters().ls_requests_sent, 1u);
+  EXPECT_EQ(at_right->counters().ls_requests_sent, 2u);
+  EXPECT_EQ(at_left->counters().ls_requests_sent, 2u);
   EXPECT_GE(at_left->counters().dd_headers_sent, 2 * kHalf);
   EXPECT_LE(at_left->counters().lsas_sent + at_right->counters().lsas_sent, 8u);
 
-  // Right side healed: tombstoned L1, live L2.
+  // The session router installed the resurrected live L1 from a real
+  // neighbor and echoed it up; the controller re-flushed at a fresher
+  // sequence, and that tombstone in turn converged and was flushed
+  // everywhere: no LSDB remembers L1, on either side.
+  EXPECT_GE(domain.controller_session(session_router).counters().reflushes, 1u);
   {
     const Lsdb& healed = domain.router(right + 7).lsdb();
-    const Lsa* tomb = healed.find(LsaKey{LsaType::kExternal, 1});
-    ASSERT_NE(tomb, nullptr);
-    EXPECT_TRUE(std::get<ExternalLsa>(tomb->body).withdrawn);
+    EXPECT_EQ(healed.find(LsaKey{LsaType::kExternal, 1}), nullptr);
     ASSERT_NE(healed.find(LsaKey{LsaType::kExternal, 2}), nullptr);
   }
   for (NodeId n = 1; n < t.node_count(); ++n) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "igp/lsa.hpp"
@@ -124,6 +125,34 @@ TEST(Codec, InstanceComparisonFollowsRfc13_1) {
   LsaHeader positive = older.header;
   positive.seq = 1;
   EXPECT_GT(compare_instances(positive, older.header), 0);
+}
+
+TEST(Codec, AgeTieBreaksDistinguishInstancesPastMaxAgeDiff) {
+  // RFC 13.1 final tie-break: same sequence and checksum, neither at
+  // MaxAge -- ages more than MaxAgeDiff (15 min) apart name different
+  // instances, and the *younger* copy is the more recent one.
+  const WireLsa base = sample_external(1);
+  LsaHeader young = base.header;  // age 0
+  LsaHeader old = base.header;
+  old.age = kMaxAgeDiff + 1;
+  EXPECT_GT(compare_instances(young, old), 0);
+  EXPECT_LT(compare_instances(old, young), 0);
+  // A gap of exactly MaxAgeDiff is still the same instance: transit delay,
+  // not a re-origination.
+  LsaHeader close = base.header;
+  close.age = kMaxAgeDiff;
+  EXPECT_EQ(compare_instances(young, close), 0);
+  EXPECT_EQ(compare_instances(close, young), 0);
+  // MaxAge beats any live age, even one a single tick away -- premature
+  // aging must win regardless of the MaxAgeDiff window.
+  LsaHeader flushing = base.header;
+  flushing.age = kMaxAge;
+  LsaHeader nearly = base.header;
+  nearly.age = kMaxAge - 1;
+  EXPECT_GT(compare_instances(flushing, nearly), 0);
+  EXPECT_LT(compare_instances(nearly, flushing), 0);
+  // Two flushing copies are the same instance.
+  EXPECT_EQ(compare_instances(flushing, flushing), 0);
 }
 
 TEST(Codec, MaxAgeCarriesWithdrawalAcrossTranslation) {
@@ -343,10 +372,14 @@ struct SessionPair {
   std::unique_ptr<NeighborSession> a;  // router id 2 (master)
   std::unique_ptr<NeighborSession> b;  // router id 1 (slave)
   int drop_next_toward_b = 0;
+  bool drop_all_toward_b = false;
+  bool drop_all_toward_a = false;  ///< simulates b dying silently
 
-  explicit SessionPair(SessionConfig config = {}) {
+  explicit SessionPair(SessionConfig config = {},
+                       std::optional<SessionConfig> config_b = std::nullopt) {
     a = std::make_unique<NeighborSession>(
         2, 1, db_a, events, config, [this](const BufferPtr& buffer) {
+          if (drop_all_toward_b) return;
           if (drop_next_toward_b > 0) {
             --drop_next_toward_b;
             return;
@@ -358,7 +391,9 @@ struct SessionPair {
           });
         });
     b = std::make_unique<NeighborSession>(
-        1, 2, db_b, events, config, [this](const BufferPtr& buffer) {
+        1, 2, db_b, events, config_b.value_or(config),
+        [this](const BufferPtr& buffer) {
+          if (drop_all_toward_a) return;
           events.schedule_in(0.001, [this, buffer] {
             const Decoded<Packet> decoded = decode_packet(*buffer);
             ASSERT_TRUE(decoded.ok());
@@ -415,7 +450,13 @@ TEST(NeighborFsm, DdSyncRequestsExactlyTheDifferences) {
   for (const auto& [id, lsa] : pair.db_a.store) {
     const WireLsa* theirs = pair.db_b.lookup(id);
     ASSERT_NE(theirs, nullptr);
-    EXPECT_EQ(lsa, *theirs);
+    // A transmitted copy ages by InfTransDelay per hop (RFC 13.3, excluded
+    // from the Fletcher checksum), so replicas agree on everything but age.
+    WireLsa mine = lsa;
+    WireLsa other = *theirs;
+    mine.header.age = mine.header.age == kMaxAge ? kMaxAge : 0;
+    other.header.age = other.header.age == kMaxAge ? kMaxAge : 0;
+    EXPECT_EQ(mine, other);
   }
   EXPECT_EQ(pair.db_b.lookup(identity_of(sample_external(51).header))->header.age,
             kMaxAge);
@@ -479,6 +520,79 @@ TEST(NeighborFsm, ShutdownDropsToDownAndForgetsState) {
   EXPECT_FALSE(pair.a->synchronized());
 }
 
+SessionConfig liveness_config() {
+  SessionConfig config;
+  config.hello_interval_s = 1.0;
+  config.dead_interval_s = 4.0;
+  return config;
+}
+
+TEST(NeighborFsm, MismatchedHelloTimersNeverFormAnAdjacency) {
+  // RFC 10.5: HelloInterval and RouterDeadInterval must match exactly, or
+  // the Hello is dropped. A misconfigured pair stays Down instead of
+  // forming an adjacency that flaps on every dead-interval boundary.
+  SessionConfig slow = liveness_config();
+  slow.hello_interval_s = 2.0;
+  slow.dead_interval_s = 8.0;
+  SessionPair pair(liveness_config(), slow);
+  pair.a->start();
+  pair.b->start();
+  pair.events.run_until(10.0);
+  EXPECT_EQ(pair.a->state(), NeighborState::kDown);
+  EXPECT_EQ(pair.b->state(), NeighborState::kDown);
+  EXPECT_GT(pair.a->counters().hellos_rejected, 0u);
+  EXPECT_GT(pair.b->counters().hellos_rejected, 0u);
+  EXPECT_EQ(pair.a->counters().dds_sent, 0u);  // the exchange never started
+}
+
+TEST(NeighborFsm, DeadIntervalSilenceFiresAdjacencyLost) {
+  SessionPair pair(liveness_config());
+  std::vector<SessionEvent> seen;
+  pair.a->set_on_event([&](SessionEvent event) { seen.push_back(event); });
+  pair.a->start();
+  pair.b->start();
+  pair.events.run_until(2.0);
+  ASSERT_EQ(pair.a->state(), NeighborState::kFull);
+  ASSERT_EQ(seen, std::vector{SessionEvent::kAdjacencyFull});
+
+  // b dies silently: every packet toward a vanishes. No shutdown() runs --
+  // only RouterDeadInterval of Hello silence can tell a.
+  pair.drop_all_toward_a = true;
+  pair.events.run_until(2.0 + 4.0 + 1.0);
+  EXPECT_EQ(pair.a->state(), NeighborState::kDown);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen.back(), SessionEvent::kAdjacencyLost);
+  EXPECT_FALSE(pair.a->synchronized());
+  EXPECT_TRUE(pair.a->quiescent());  // torn down, nothing left queued
+}
+
+TEST(NeighborFsm, OneWayHelloRestartsTheAdjacency) {
+  // RFC 10.2 1-WayReceived: a rebooted peer sends Hellos that no longer
+  // list us. The adjacency must fall (the peer's database is gone) and
+  // re-form from scratch.
+  SessionPair pair(liveness_config());
+  int lost = 0;
+  int full = 0;
+  pair.a->set_on_event([&](SessionEvent event) {
+    if (event == SessionEvent::kAdjacencyLost) ++lost;
+    if (event == SessionEvent::kAdjacencyFull) ++full;
+  });
+  pair.a->start();
+  pair.b->start();
+  pair.events.run_until(2.0);
+  ASSERT_EQ(pair.a->state(), NeighborState::kFull);
+  ASSERT_EQ(full, 1);
+
+  pair.b->shutdown();
+  pair.b->start();  // fresh Hellos from b do not list a: 1-way at a
+  pair.events.run_until(8.0);
+  EXPECT_EQ(lost, 1);
+  EXPECT_EQ(full, 2);  // torn down once, re-formed once
+  EXPECT_EQ(pair.a->state(), NeighborState::kFull);
+  EXPECT_TRUE(pair.a->synchronized());
+  EXPECT_TRUE(pair.b->synchronized());
+}
+
 // ------------------------------------------------------- controller session
 
 TEST(ControllerSession, InjectAndRetractTravelAsAckedLsUpdates) {
@@ -512,13 +626,43 @@ TEST(ControllerSession, InjectAndRetractTravelAsAckedLsUpdates) {
   EXPECT_TRUE(session.drained());
 
   // Retraction reuses the announcement's identity at MaxAge, next sequence.
-  session.retract(4);
+  ASSERT_TRUE(session.retract(4).ok());
   const Decoded<Packet> retraction = decode_packet(*outbox.back());
   ASSERT_TRUE(retraction.ok());
   const auto& tomb = std::get<LsUpdateBody>(retraction.value().body).lsas[0];
   EXPECT_EQ(tomb.header.age, kMaxAge);
   EXPECT_EQ(identity_of(tomb.header), identity_of(lsu.lsas[0].header));
   EXPECT_EQ(tomb.header.seq, kInitialSequence + 1);
+}
+
+TEST(ControllerSession, RetractRefusesUnknownAndDoubleRetraction) {
+  const topo::PaperTopology p = topo::make_paper_topology();
+  const AddressMap addrs(p.topo);
+  std::vector<BufferPtr> outbox;
+  ControllerSession session(addrs,
+                            [&](const BufferPtr& buffer) { outbox.push_back(buffer); });
+
+  // A lie that was never announced cannot be retracted.
+  const util::Status unknown = session.retract(9);
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().find("never announced"), std::string::npos);
+  EXPECT_TRUE(outbox.empty());  // no flush for a phantom lie hit the wire
+
+  igp::ExternalLsa ext;
+  ext.lie_id = 9;
+  ext.prefix = p.p1;
+  ext.ext_metric = 1;
+  ext.forwarding_address = net::Ipv4(10, 0, 0, 2);
+  ASSERT_TRUE(session.inject(ext).ok());
+  ASSERT_TRUE(session.retract(9).ok());
+  const std::size_t wire_count = outbox.size();
+
+  // Retracting twice would burn a sequence number on a tombstone nobody
+  // holds live -- refused, and nothing further is sent.
+  const util::Status twice = session.retract(9);
+  EXPECT_FALSE(twice.ok());
+  EXPECT_NE(twice.error().find("already retracted"), std::string::npos);
+  EXPECT_EQ(outbox.size(), wire_count);
 }
 
 TEST(ControllerSession, RefusesLieAliasingALiveOne) {
@@ -568,7 +712,7 @@ TEST(ControllerSession, LieTakingOverATombstoneContinuesItsSequenceSpace) {
   first.ext_metric = 1;
   first.forwarding_address = net::Ipv4(10, 0, 0, 2);
   ASSERT_TRUE(session.inject(first).ok());  // wire seq = Initial
-  session.retract(1);                       // tombstone, wire seq = Initial+1
+  ASSERT_TRUE(session.retract(1).ok());     // tombstone, wire seq = Initial+1
 
   // Lie 5 shares lie 1's wire identity. With only the tombstone standing it
   // is accepted -- but a fresh per-lie sequence (Initial) would lose to the

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "igp/domain.hpp"
@@ -86,7 +87,7 @@ ChurnRun run_churn_script(const topo::Topology& t, std::size_t shards) {
 
   domain.restore_link(flapped);
   events.run_until(events.now() + 0.003);  // mid-bring-up...
-  domain.withdraw_external(2, 7);          // ...retract through the churn
+  EXPECT_TRUE(domain.withdraw_external(2, 7).ok());  // ...retract mid-churn
   domain.run_to_convergence();
 
   run.lsas_sent = domain.total_lsas_sent();
@@ -125,6 +126,89 @@ TEST(ShardDeterminism, BitIdenticalToSingleThreadedAcrossSeedsAndShardCounts) {
       EXPECT_EQ(ref.proto_counters, got.proto_counters);
       EXPECT_EQ(ref.southbound, got.southbound);
     }
+  }
+}
+
+/// One finished timer-driven-teardown run: a router crash and a one-way
+/// loss fault, both discovered purely by liveness timers (DeadInterval /
+/// 1-way Hello), never by fail_link. Everything compared afterwards --
+/// including the order of detected liveness transitions -- must be
+/// bit-identical across shard counts.
+struct LivenessRun {
+  explicit LivenessRun(const topo::Topology& t, std::size_t shards)
+      : events(std::make_unique<util::EventQueue>()),
+        domain(std::make_unique<IgpDomain>(t, *events, fast_liveness_timing(),
+                                           nullptr, shards)) {}
+  static IgpTiming fast_liveness_timing() {
+    IgpTiming timing;
+    timing.hello_interval_s = 0.5;
+    timing.dead_interval_s = 2.0;
+    return timing;
+  }
+  std::unique_ptr<util::EventQueue> events;
+  std::unique_ptr<IgpDomain> domain;
+  std::vector<std::pair<LinkId, bool>> transitions;
+  std::uint64_t lsas_sent = 0;
+  std::uint64_t spf_runs = 0;
+  proto::SessionCounters proto_counters;
+};
+
+LivenessRun run_liveness_script(const topo::Topology& t, std::size_t shards) {
+  LivenessRun run(t, shards);
+  IgpDomain& domain = *run.domain;
+  domain.set_on_liveness_change([&run](LinkId link, bool down) {
+    run.transitions.emplace_back(link, down);
+  });
+  domain.start();
+  domain.run_to_convergence();
+
+  // Crash one endpoint of a redundant link; a different redundant link
+  // (disjoint from the victim) loses every packet one way.
+  const LinkId crashed_near = redundant_link(t);
+  EXPECT_NE(crashed_near, topo::kInvalidLink);
+  const NodeId victim = t.link(crashed_near).from;
+  LinkId lossy = topo::kInvalidLink;
+  for (LinkId l = 0; l < t.link_count(); ++l) {
+    if (t.link(l).from == victim || t.link(l).to == victim) continue;
+    if (t.out_links(t.link(l).from).size() >= 3 &&
+        t.out_links(t.link(l).to).size() >= 3) {
+      lossy = l;
+      break;
+    }
+  }
+  EXPECT_NE(lossy, topo::kInvalidLink);
+
+  domain.crash_router(victim);
+  domain.set_link_loss(lossy, 1.0);
+  run.events->run_until(run.events->now() + 3.5);  // past the dead interval
+  domain.run_to_convergence();
+
+  run.lsas_sent = domain.total_lsas_sent();
+  run.spf_runs = domain.total_spf_runs();
+  run.proto_counters = domain.total_proto_counters();
+  return run;
+}
+
+TEST(ShardDeterminism, TimerDrivenTeardownBitIdenticalAcrossShardCounts) {
+  util::Rng rng(23);
+  topo::Topology t = topo::make_waxman(60, rng, 0.25, 0.25, 10);
+
+  const LivenessRun ref = run_liveness_script(t, 1);
+  EXPECT_GE(ref.transitions.size(), 3u);  // >= 2 crash detections + 2 one-way
+  for (const std::size_t shards : {2u, 3u}) {
+    SCOPED_TRACE(std::to_string(shards) + " shards");
+    const LivenessRun got = run_liveness_script(t, shards);
+    // The same liveness transitions, detected in the same order.
+    ASSERT_EQ(ref.transitions, got.transitions);
+    for (NodeId n = 0; n < t.node_count(); ++n) {
+      ASSERT_TRUE(ref.domain->router(n).lsdb().same_content(
+          got.domain->router(n).lsdb()))
+          << "router " << n;
+      ASSERT_EQ(ref.domain->table(n), got.domain->table(n)) << "router " << n;
+    }
+    EXPECT_EQ(ref.lsas_sent, got.lsas_sent);
+    EXPECT_EQ(ref.spf_runs, got.spf_runs);
+    EXPECT_EQ(ref.proto_counters, got.proto_counters);
   }
 }
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Re-emit clang-tidy / clang-format diagnostics as GitHub ::error lines.
+
+Both tools print GCC-style `file:line:col: warning|error: message [check]`
+diagnostics; CI pipes their output through this filter so findings surface as
+inline PR annotations (the same pattern scripts/compare_bench.py uses for
+perf regressions). All input is forwarded unchanged for the raw log; exit
+status is 1 iff any diagnostic was seen, which is what fails the job.
+
+Usage: clang-tidy ... 2>&1 | python3 scripts/annotate_diagnostics.py --tool clang-tidy
+"""
+
+import argparse
+import os
+import re
+import sys
+
+DIAG_RE = re.compile(r"^(?P<file>[^\s:]+):(?P<line>\d+):(?P<col>\d+):\s+"
+                     r"(?:warning|error):\s+(?P<message>.*)$")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tool", default="clang-tidy",
+                        help="annotation title prefix (clang-tidy, clang-format)")
+    parser.add_argument("--root", default=".",
+                        help="paths are rewritten relative to this directory "
+                             "so annotations anchor in the checkout")
+    args = parser.parse_args(argv)
+
+    count = 0
+    for line in sys.stdin:
+        sys.stdout.write(line)
+        m = DIAG_RE.match(line.rstrip())
+        if not m:
+            continue
+        path = os.path.relpath(os.path.abspath(m.group("file")),
+                               os.path.abspath(args.root))
+        if path.startswith(".."):
+            continue  # diagnostic in a system or third-party header
+        count += 1
+        print(f"::error file={path},line={m.group('line')},col={m.group('col')},"
+              f"title={args.tool}::{m.group('message')}")
+    print(f"{args.tool}: {count} diagnostic(s)" if count else f"{args.tool}: clean")
+    return 1 if count else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Golden-fixture tests for fibbing_lint.py (run by ctest, label `unit`).
+
+The fixture trees under lint_fixtures/ are miniature repos: `bad/` must
+produce exactly the findings in its expected.txt (prefix-matched so messages
+can be reworded without re-goldening line numbers), `good/` must be clean --
+it holds the deterministic idioms and waiver forms the linter promises to
+accept, so a regression that starts flagging them fails here before it fails
+on the real tree.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+SCRIPTS_DIR = os.path.dirname(os.path.abspath(__file__))
+LINTER = os.path.join(SCRIPTS_DIR, "fibbing_lint.py")
+FIXTURES = os.path.join(SCRIPTS_DIR, "lint_fixtures")
+
+
+def run_linter(root, *extra):
+    return subprocess.run(
+        [sys.executable, LINTER, "--root", root, "src", *extra],
+        capture_output=True, text=True, check=False)
+
+
+def finding_lines(stdout):
+    return [line for line in stdout.splitlines()
+            if not line.startswith(("fibbing-lint:", "::"))]
+
+
+class BadTree(unittest.TestCase):
+    def setUp(self):
+        self.result = run_linter(os.path.join(FIXTURES, "bad"))
+
+    def test_exit_code_signals_findings(self):
+        self.assertEqual(self.result.returncode, 1, self.result.stdout)
+
+    def test_findings_match_golden(self):
+        with open(os.path.join(FIXTURES, "bad", "expected.txt")) as fh:
+            golden = [line.strip() for line in fh if line.strip()]
+        findings = finding_lines(self.result.stdout)
+        self.assertEqual(len(findings), len(golden),
+                         "finding count drifted:\n" + self.result.stdout)
+        for expected, actual in zip(sorted(golden), sorted(findings)):
+            self.assertTrue(actual.startswith(expected),
+                            f"expected prefix {expected!r}, got {actual!r}")
+
+    def test_github_mode_emits_error_annotations(self):
+        result = run_linter(os.path.join(FIXTURES, "bad"), "--github")
+        annotations = [line for line in result.stdout.splitlines()
+                       if line.startswith("::error file=")]
+        self.assertEqual(len(annotations), len(finding_lines(result.stdout)))
+        self.assertIn("title=fibbing-lint", annotations[0])
+
+
+class GoodTree(unittest.TestCase):
+    def test_clean_tree_exits_zero(self):
+        result = run_linter(os.path.join(FIXTURES, "good"))
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertEqual(finding_lines(result.stdout), [], result.stdout)
+
+
+class UsageErrors(unittest.TestCase):
+    def test_bad_root_is_a_usage_error(self):
+        result = run_linter(os.path.join(FIXTURES, "does-not-exist"))
+        self.assertEqual(result.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

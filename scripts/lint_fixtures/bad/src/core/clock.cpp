@@ -1,0 +1,28 @@
+// Fixture: every wall-clock read the linter must catch.
+#include <chrono>
+#include <ctime>
+
+namespace fibbing::core {
+
+double bad_chrono_now() {
+  const auto t = std::chrono::steady_clock::now();  // finding: wall-clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long bad_system_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // finding
+}
+
+long bad_ctime() {
+  return static_cast<long>(std::time(nullptr));  // finding: wall-clock
+}
+
+// lint:wall-clock-ok()  <- finding: waiver without a reason
+long bad_waiver() { return std::time(nullptr); }
+
+// lint:wall-clock-ok(fixture: a properly waived read is not a finding)
+long good_waiver() { return std::time(nullptr); }
+
+double ok_simulated_time(double now) { return now; }  // next_time() is fine
+
+}  // namespace fibbing::core

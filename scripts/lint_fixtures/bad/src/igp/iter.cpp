@@ -1,0 +1,32 @@
+// Fixture: unordered iteration in an ordering-sensitive directory.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fibbing::igp {
+
+struct Flooder {
+  std::unordered_map<std::uint32_t, int> pending_;
+  std::unordered_set<std::uint32_t> seen_;
+
+  std::vector<std::uint32_t> bad_range_for() const {
+    std::vector<std::uint32_t> out;
+    for (const auto& [id, metric] : pending_) {  // finding: unordered-iter
+      out.push_back(id);
+    }
+    return out;
+  }
+
+  std::uint64_t bad_iterator_loop() const {
+    std::uint64_t sum = 0;
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) {  // finding
+      sum += *it;
+    }
+    return sum;
+  }
+
+  bool ok_lookup(std::uint32_t id) const { return seen_.contains(id); }
+};
+
+}  // namespace fibbing::igp

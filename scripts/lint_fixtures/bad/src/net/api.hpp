@@ -1,0 +1,27 @@
+#pragma once
+// Fixture: Status/Result declarations missing [[nodiscard]].
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace fibbing::net {
+
+struct Endpoint {
+  int port = 0;
+};
+
+util::Status validate(const Endpoint& ep);  // finding: nodiscard
+
+util::Result<Endpoint> parse_endpoint(std::string_view text);  // finding
+
+class Listener {
+ public:
+  static util::Result<Listener> open(const Endpoint& ep);  // finding
+
+  // Attributes may not appear on friend declarations; not a finding.
+  friend util::Result<Listener> reopen(const Listener& from);
+
+  [[nodiscard]] util::Status close();  // compliant: not a finding
+};
+
+}  // namespace fibbing::net

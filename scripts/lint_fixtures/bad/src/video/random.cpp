@@ -1,0 +1,30 @@
+// Fixture: raw randomness outside util/rng.
+#include <cstdlib>
+#include <random>
+
+namespace fibbing::video {
+
+int bad_crand() {
+  return rand() % 6;  // finding: randomness
+}
+
+void bad_seed(unsigned s) {
+  srand(s);  // finding: randomness
+}
+
+unsigned bad_device() {
+  std::random_device rd;  // finding: randomness
+  return rd();
+}
+
+double bad_engine(unsigned seed) {
+  std::mt19937 engine(seed);  // finding: randomness
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+}
+
+// lint:randomness-ok(fixture: seed-derivation helper shared with util::Rng)
+unsigned waived_engine(unsigned seed) { return std::mt19937(seed)(); }
+
+int ok_strand_is_not_rand(int strand) { return strand; }
+
+}  // namespace fibbing::video

@@ -1,0 +1,33 @@
+// Fixture: deterministic patterns the linter must accept in an
+// ordering-sensitive directory.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fibbing::igp {
+
+struct Flooder {
+  std::unordered_map<std::uint32_t, int> pending_;
+  std::map<std::uint32_t, int> ordered_;
+
+  std::vector<std::uint32_t> sorted_keys() const {
+    std::vector<std::uint32_t> out;
+    out.reserve(pending_.size());
+    // lint:unordered-iter-ok(hash order never escapes: out is sorted below)
+    for (const auto& [id, metric] : pending_) out.push_back(id);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::vector<std::uint32_t> map_is_ordered() const {
+    std::vector<std::uint32_t> out;
+    for (const auto& [id, metric] : ordered_) out.push_back(id);
+    return out;
+  }
+
+  bool lookup(std::uint32_t id) const { return pending_.contains(id); }
+};
+
+}  // namespace fibbing::igp

@@ -1,0 +1,31 @@
+#pragma once
+// Fixture: compliant Status/Result declarations, plus look-alikes the
+// linter must not flag.
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace fibbing::net {
+
+struct Endpoint {
+  int port = 0;
+};
+
+[[nodiscard]] util::Status validate(const Endpoint& ep);
+
+// The attribute on its own line above the declaration also counts.
+[[nodiscard]]
+util::Result<Endpoint> parse_endpoint(std::string_view text);
+
+// lint:nodiscard-ok(fixture: pass-through helper, caller already owns status)
+inline util::Status consume(util::Status status) { return status; }
+
+class Listener {
+ public:
+  // A comment or string mentioning rand() or steady_clock is not a read.
+  [[nodiscard]] static util::Result<Listener> open(const Endpoint& ep);
+
+  [[nodiscard]] const char* name() const { return "rand() steady_clock"; }
+};
+
+}  // namespace fibbing::net

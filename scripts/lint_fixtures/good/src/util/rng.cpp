@@ -1,0 +1,11 @@
+// Fixture: util/rng.* is the one place engine construction is allowed.
+#include <random>
+
+namespace fibbing::util {
+
+unsigned long long fixture_engine(unsigned long long seed) {
+  std::mt19937_64 engine(seed);
+  return engine();
+}
+
+}  // namespace fibbing::util

@@ -55,13 +55,13 @@ class FibbingService {
   /// Returns the failed (a->b) link id; failing an already-down link is an
   /// idempotent success. Non-adjacent or unknown nodes report an error
   /// instead of asserting.
-  util::Result<topo::LinkId> fail_link(topo::NodeId a, topo::NodeId b);
+  [[nodiscard]] util::Result<topo::LinkId> fail_link(topo::NodeId a, topo::NodeId b);
 
   /// Restore the bidirectional link between `a` and `b`: the adjacency
   /// re-forms (with an LSDB exchange between the endpoints), FIBs converge
   /// back, and the controller re-optimizes onto the recovered link.
   /// Restoring a link that is not down is an idempotent success.
-  util::Result<topo::LinkId> restore_link(topo::NodeId a, topo::NodeId b);
+  [[nodiscard]] util::Result<topo::LinkId> restore_link(topo::NodeId a, topo::NodeId b);
 
   /// Crash router `n` fail-stop: nothing is torn down administratively and
   /// no layer is told. Each neighbor's RouterDeadInterval expires in turn,
@@ -83,8 +83,9 @@ class FibbingService {
 
  private:
   enum class LinkEvent { kFail, kRestore };
-  util::Result<topo::LinkId> change_link_(topo::NodeId a, topo::NodeId b,
-                                          LinkEvent event);
+  [[nodiscard]] util::Result<topo::LinkId> change_link_(topo::NodeId a,
+                                                        topo::NodeId b,
+                                                        LinkEvent event);
 
   const topo::Topology& topo_;
   /// The one live up/down mask every layer consumes (declared before the

@@ -35,6 +35,7 @@ const Lsa* Lsdb::find(const LsaKey& key) const {
 std::vector<const Lsa*> Lsdb::live() const {
   std::vector<const Lsa*> out;
   out.reserve(entries_.size());
+  // lint:unordered-iter-ok(hash order never escapes: out is sorted by key below)
   for (const auto& [key, lsa] : entries_) {
     const auto* ext = std::get_if<ExternalLsa>(&lsa->body);
     if (ext != nullptr && ext->withdrawn) continue;
@@ -48,6 +49,7 @@ std::vector<const Lsa*> Lsdb::live() const {
 std::vector<LsaPtr> Lsdb::all() const {
   std::vector<LsaPtr> out;
   out.reserve(entries_.size());
+  // lint:unordered-iter-ok(hash order never escapes: out is sorted by key below)
   for (const auto& [key, lsa] : entries_) out.push_back(lsa);
   std::sort(out.begin(), out.end(),
             [](const LsaPtr& a, const LsaPtr& b) { return a->id < b->id; });
@@ -56,6 +58,7 @@ std::vector<LsaPtr> Lsdb::all() const {
 
 bool Lsdb::same_content(const Lsdb& other) const {
   if (entries_.size() != other.entries_.size()) return false;
+  // lint:unordered-iter-ok(order-independent reduction: all-of over lookups)
   for (const auto& [key, lsa] : entries_) {
     const Lsa* theirs = other.find(key);
     if (theirs == nullptr || theirs->seq != lsa->seq) return false;

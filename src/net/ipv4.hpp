@@ -20,7 +20,7 @@ class Ipv4 {
               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
 
   /// Parse dotted-quad notation ("203.0.113.7").
-  static util::Result<Ipv4> parse(std::string_view text);
+  [[nodiscard]] static util::Result<Ipv4> parse(std::string_view text);
 
   [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
   [[nodiscard]] std::string to_string() const;

@@ -18,7 +18,7 @@ class Prefix {
   Prefix(Ipv4 network, std::uint8_t length);
 
   /// Parse "a.b.c.d/len".
-  static util::Result<Prefix> parse(std::string_view text);
+  [[nodiscard]] static util::Result<Prefix> parse(std::string_view text);
 
   [[nodiscard]] Ipv4 network() const { return network_; }
   [[nodiscard]] std::uint8_t length() const { return length_; }

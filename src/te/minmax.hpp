@@ -112,11 +112,10 @@ struct MinMaxResult {
 /// up: down links carry zero capacity and are excluded from the detour
 /// distances, so the optimum is solved on the degraded topology that
 /// actually exists -- no returned split ever crosses a down link.
-util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
-                                         topo::NodeId dest,
-                                         const std::vector<Demand>& demands,
-                                         const std::vector<double>& background_bps,
-                                         const MinMaxConfig& config);
+[[nodiscard]] util::Result<MinMaxResult> solve_min_max(
+    const topo::Topology& topo, topo::NodeId dest,
+    const std::vector<Demand>& demands,
+    const std::vector<double>& background_bps, const MinMaxConfig& config);
 
 /// Cached binary-search state of one min-max instance: the pruned usable
 /// link set, the shared reverse Dijkstra and the solved feasibility bound.
@@ -153,22 +152,20 @@ class MinMaxSearch {
 /// solve_min_max with search reuse: when `search` is already solved the
 /// binary search is skipped and its bound re-used; when it is fresh (or
 /// null) the full solve runs and (if non-null) populates it.
-util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
-                                         topo::NodeId dest,
-                                         const std::vector<Demand>& demands,
-                                         const std::vector<double>& background_bps,
-                                         const MinMaxConfig& config,
-                                         MinMaxSearch* search);
+[[nodiscard]] util::Result<MinMaxResult> solve_min_max(
+    const topo::Topology& topo, topo::NodeId dest,
+    const std::vector<Demand>& demands,
+    const std::vector<double>& background_bps, const MinMaxConfig& config,
+    MinMaxSearch* search);
 
 /// Positional-knob convenience overload (precision / stretch / mask only;
 /// refinement at its defaults).
-util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
-                                         topo::NodeId dest,
-                                         const std::vector<Demand>& demands,
-                                         const std::vector<double>& background_bps = {},
-                                         double precision = 1e-4,
-                                         double max_stretch = 0.0,
-                                         const topo::LinkStateMask* link_state = nullptr);
+[[nodiscard]] util::Result<MinMaxResult> solve_min_max(
+    const topo::Topology& topo, topo::NodeId dest,
+    const std::vector<Demand>& demands,
+    const std::vector<double>& background_bps = {}, double precision = 1e-4,
+    double max_stretch = 0.0,
+    const topo::LinkStateMask* link_state = nullptr);
 
 /// Per-directed-link membership in the shortest-path DAG toward `dest`
 /// (ECMP siblings included), over the links `link_state` leaves up. The

@@ -17,6 +17,6 @@ namespace fibbing::topo {
 ///
 /// Used by examples to load scenario files and by tests as a compact graph
 /// literal syntax.
-util::Result<Topology> parse_topology(std::string_view text);
+[[nodiscard]] util::Result<Topology> parse_topology(std::string_view text);
 
 }  // namespace fibbing::topo

@@ -1,0 +1,61 @@
+#pragma once
+
+/// Clang thread-safety annotations (-Wthread-safety), no-ops elsewhere.
+///
+/// The determinism guarantee of the sharded engine ("any shard count replays
+/// bit-identically") rests on a small set of cross-thread protocols: the
+/// ShardPool round barrier, the per-shard inboxes, and the logging sink.
+/// These macros let Clang's static analysis prove the mutex-guarded subset of
+/// that protocol at compile time -- the CI job `clang-thread-safety` builds
+/// the tree with `-Wthread-safety -Werror`, so an unguarded access to an
+/// annotated field is a build break, not a TSan roll of the dice.
+///
+/// GCC has no equivalent attribute family, so everything expands to nothing
+/// there; the annotations are documentation plus a Clang-enforced contract,
+/// never a semantic change.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define FIB_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef FIB_THREAD_ANNOTATION_
+#define FIB_THREAD_ANNOTATION_(x)  // no-op: GCC or pre-annotation Clang
+#endif
+
+/// Marks a type as a lockable capability (mutexes are pre-annotated in
+/// libc++/libstdc++ under Clang; this is for wrapper types).
+#define FIB_CAPABILITY(x) FIB_THREAD_ANNOTATION_(capability(x))
+
+/// Field is protected by the given mutex: every read/write must hold it.
+#define FIB_GUARDED_BY(x) FIB_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointed-to data (not the pointer itself) is protected by the given mutex.
+#define FIB_PT_GUARDED_BY(x) FIB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (caller locks).
+#define FIB_REQUIRES(...) FIB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define FIB_ACQUIRE(...) FIB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability held on entry.
+#define FIB_RELEASE(...) FIB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard for
+/// functions that acquire it themselves).
+#define FIB_EXCLUDES(...) FIB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Return value is a reference to the capability itself.
+#define FIB_RETURN_CAPABILITY(x) FIB_THREAD_ANNOTATION_(lock_returned(x))
+
+/// RAII type that acquires in its constructor and releases in its destructor
+/// (lock_guard analogues).
+#define FIB_SCOPED_CAPABILITY FIB_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Opt a function out of the analysis. Use only for protocols the analysis
+/// cannot express (e.g. ShardPool's round-barrier happens-before, where
+/// ownership transfers via condition variables rather than a held mutex) and
+/// say why at the use site.
+#define FIB_NO_THREAD_SAFETY_ANALYSIS \
+  FIB_THREAD_ANNOTATION_(no_thread_safety_analysis)

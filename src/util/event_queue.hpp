@@ -57,6 +57,18 @@ class Scheduler {
 ///  - events scheduled at the same instant fire in scheduling order
 ///    (FIFO), which makes runs reproducible;
 ///  - an event may schedule further events, including at the current time.
+///
+/// Threading contract: **driving-thread-only**, deliberately unannotated.
+/// EventQueue is the master clock; every call (schedule_at, cancel, step,
+/// run_*) happens on the thread driving the simulation. Shard workers never
+/// see it: a sharded domain's routers schedule through ShardPool's per-actor
+/// Scheduler facades, which route cross-thread traffic into lock-guarded
+/// inboxes (see shard_pool.hpp), and ShardPool hands control back to the
+/// driving thread at the round barrier *before* the domain pumps this queue
+/// or flushes user callbacks. So the scheduler boundary the facades cross is
+/// ShardPool::schedule — the annotated, -Wthread-safety-checked surface —
+/// and adding a mutex here would only mask an architecture violation that
+/// FIB_ASSERTs and TSan are meant to catch loudly.
 class EventQueue final : public Scheduler {
  public:
   using Callback = Scheduler::Callback;

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace fibbing::util {
 
@@ -10,7 +12,6 @@ namespace {
 // Shard workers log from inside a round, so the level is an atomic and the
 // sink serializes lines (fprintf interleaves otherwise).
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_sink_mu;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -22,6 +23,25 @@ const char* level_tag(LogLevel level) {
   }
   return "???";
 }
+
+// The process-wide sink. The output stream is mutex-guarded so Clang's
+// -Wthread-safety proves every write path — including future ones — locks
+// before touching it, not just the one call site below.
+class Sink {
+ public:
+  void write(LogLevel level, const std::string& component,
+             const std::string& message) FIB_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    std::fprintf(out_, "[%s] %-12s %s\n", level_tag(level), component.c_str(),
+                 message.c_str());
+  }
+
+ private:
+  Mutex mu_;
+  std::FILE* const out_ FIB_GUARDED_BY(mu_) = stderr;
+};
+
+Sink g_sink;
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -32,9 +52,7 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
   if (level < log_level()) return;
-  const std::lock_guard<std::mutex> lock(g_sink_mu);
-  std::fprintf(stderr, "[%s] %-12s %s\n", level_tag(level), component.c_str(),
-               message.c_str());
+  g_sink.write(level, component, message);
 }
 
 }  // namespace fibbing::util

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace fibbing::util {
+
+/// std::mutex wrapper carrying Clang capability annotations. libstdc++'s
+/// std::mutex / std::lock_guard are unannotated, so -Wthread-safety cannot
+/// see locks taken through them; this zero-overhead wrapper is what
+/// FIB_GUARDED_BY fields name as their guard, and the scoped lockers below
+/// are what the analysis recognizes as acquiring it.
+class FIB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FIB_ACQUIRE() { mu_.lock(); }
+  void unlock() FIB_RELEASE() { mu_.unlock(); }
+
+  /// The wrapped handle, for std::condition_variable::wait. The capability
+  /// stays conceptually held across a wait (wait re-acquires before
+  /// returning), which matches what the analysis assumes.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard analogue the analysis understands.
+class FIB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FIB_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FIB_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// std::unique_lock analogue for condition-variable waits. Guarded-field
+/// reads in a wait predicate must be written as an explicit
+/// `while (!pred()) cv.wait(lock.native());` loop so they sit in the scope
+/// where the analysis can see the capability is held (a predicate lambda is
+/// analyzed as its own function and would warn).
+class FIB_SCOPED_CAPABILITY UniqueMutexLock {
+ public:
+  explicit UniqueMutexLock(Mutex& mu) FIB_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~UniqueMutexLock() FIB_RELEASE() {}
+  UniqueMutexLock(const UniqueMutexLock&) = delete;
+  UniqueMutexLock& operator=(const UniqueMutexLock&) = delete;
+
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace fibbing::util

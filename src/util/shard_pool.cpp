@@ -38,7 +38,7 @@ ShardPool::ShardPool(std::size_t shard_count, std::size_t actor_count)
 ShardPool::~ShardPool() {
   if (!workers_.empty()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
     }
     cv_work_.notify_all();
@@ -103,7 +103,7 @@ EventHandle ShardPool::schedule(std::uint32_t origin, std::uint32_t target,
     shard.live.insert(id);
     shard.heap.push(std::move(item));
   } else {
-    std::lock_guard<std::mutex> lock(shard.inbox_mu);
+    MutexLock lock(shard.inbox_mu);
     shard.inbox.push_back(std::move(item));
     ++shard.inbox_total;
   }
@@ -178,15 +178,18 @@ std::size_t ShardPool::run_round() {
     run_shard_round_(*shards_.front(), t);
   } else {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       round_time_ = t;
       workers_running_ = workers_.size();
       ++round_gen_;
       in_round_.store(true, std::memory_order_relaxed);
     }
     cv_work_.notify_all();
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_done_.wait(lock, [this] { return workers_running_ == 0; });
+    // Explicit wait loop (not the predicate overload): the guarded read of
+    // workers_running_ must sit in this scope for -Wthread-safety to see the
+    // capability is held.
+    UniqueMutexLock lock(mu_);
+    while (workers_running_ != 0) cv_done_.wait(lock.native());
     in_round_.store(false, std::memory_order_relaxed);
   }
   // Barrier passed: every send of the round is visible. Merge the inboxes
@@ -195,7 +198,7 @@ std::size_t ShardPool::run_round() {
   for (const auto& shard : shards_) {
     std::vector<Item> incoming;
     {
-      std::lock_guard<std::mutex> lock(shard->inbox_mu);
+      MutexLock lock(shard->inbox_mu);
       incoming.swap(shard->inbox);
     }
     for (Item& item : incoming) {
@@ -213,7 +216,7 @@ ShardPool::Stats ShardPool::stats() {
   s.rounds = rounds_;
   for (const auto& shard : shards_) {
     s.events_run += shard->executed;
-    std::lock_guard<std::mutex> lock(shard->inbox_mu);
+    MutexLock lock(shard->inbox_mu);
     s.cross_shard_messages += shard->inbox_total;
   }
   return s;
@@ -225,16 +228,16 @@ void ShardPool::worker_loop_(std::size_t shard_index) {
   for (;;) {
     SimTime t = 0.0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock,
-                    [&] { return stopping_ || round_gen_ != seen_gen; });
+      // Explicit wait loop for the same -Wthread-safety reason as run_round.
+      UniqueMutexLock lock(mu_);
+      while (!stopping_ && round_gen_ == seen_gen) cv_work_.wait(lock.native());
       if (stopping_) return;
       seen_gen = round_gen_;
       t = round_time_;
     }
     run_shard_round_(shard, t);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--workers_running_ == 0) cv_done_.notify_one();
     }
   }

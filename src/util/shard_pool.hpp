@@ -10,7 +10,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/event_queue.hpp"
+#include "util/mutex.hpp"
 
 namespace fibbing::util {
 
@@ -121,12 +123,18 @@ class ShardPool {
     }
   };
   struct Shard {
+    // heap/live/executed are *barrier*-protected, not mutex-protected: the
+    // owning worker touches them mid-round, the driving thread between
+    // rounds, and the round barrier (mu_ + condvars) provides the
+    // happens-before edge. Clang's analysis cannot express that ownership
+    // hand-off, so only the inbox -- the one genuinely concurrent surface,
+    // pushed by any worker while the owner drains its heap -- is annotated.
     std::priority_queue<Item, std::vector<Item>, Later> heap;
     std::unordered_set<std::uint64_t> live;  // ids scheduled, not yet fired
     std::uint64_t executed = 0;
-    std::mutex inbox_mu;
-    std::vector<Item> inbox;
-    std::uint64_t inbox_total = 0;
+    Mutex inbox_mu;
+    std::vector<Item> inbox FIB_GUARDED_BY(inbox_mu);
+    std::uint64_t inbox_total FIB_GUARDED_BY(inbox_mu) = 0;
   };
   class ActorScheduler final : public Scheduler {
    public:
@@ -164,14 +172,16 @@ class ShardPool {
   /// worker-context (cross-shard pushes go through the inbox).
   std::atomic<bool> in_round_{false};
 
-  // Round barrier (multi-shard only).
-  std::mutex mu_;
+  // Round barrier (multi-shard only). The four fields below are the shared
+  // handshake state between the driving thread and the workers; every access
+  // holds mu_ (enforced by -Wthread-safety under Clang).
+  Mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  std::uint64_t round_gen_ = 0;
-  SimTime round_time_ = 0.0;
-  std::size_t workers_running_ = 0;
-  bool stopping_ = false;
+  std::uint64_t round_gen_ FIB_GUARDED_BY(mu_) = 0;
+  SimTime round_time_ FIB_GUARDED_BY(mu_) = 0.0;
+  std::size_t workers_running_ FIB_GUARDED_BY(mu_) = 0;
+  bool stopping_ FIB_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <utility>
 
 #include "igp/domain.hpp"
 #include "igp/lsa.hpp"
@@ -270,6 +272,50 @@ TEST(Lsdb, WithdrawnLsasAreNotLive) {
   db.install(make_external_lsa(ext, 2));
   EXPECT_EQ(db.live().size(), 0u);
   EXPECT_EQ(db.all().size(), 1u);  // tombstone retained
+}
+
+TEST(Lsdb, EscapingOrderIsInsertionOrderIndependent) {
+  // Pins the lint:unordered-iter-ok waivers in lsdb.cpp: entries_ is an
+  // unordered_map, but live() and all() promise a deterministic, sorted-by-key
+  // order regardless of install history. Build the same content twice with
+  // permuted install orders (which produces different hash-table layouts) and
+  // demand bit-identical escape sequences.
+  std::vector<Lsa> instances;
+  for (std::uint64_t id : {19u, 3u, 42u, 7u, 28u, 11u, 36u, 1u, 23u, 15u,
+                           31u, 5u, 40u, 9u, 26u, 13u}) {
+    ExternalLsa ext;
+    ext.lie_id = id;
+    ext.ext_metric = static_cast<topo::Metric>(id * 2);
+    ext.withdrawn = (id % 5 == 0);  // a few tombstones: live() != all()
+    instances.push_back(make_external_lsa(ext, /*seq=*/1 + id % 3));
+  }
+
+  Lsdb forward;
+  for (const Lsa& lsa : instances) forward.install(lsa);
+  Lsdb reversed;
+  for (auto it = instances.rbegin(); it != instances.rend(); ++it)
+    reversed.install(*it);
+  Lsdb interleaved;  // evens then odds: yet another rehash history
+  for (std::size_t i = 0; i < instances.size(); i += 2)
+    interleaved.install(instances[i]);
+  for (std::size_t i = 1; i < instances.size(); i += 2)
+    interleaved.install(instances[i]);
+
+  const auto keys_of = [](const Lsdb& db) {
+    std::vector<LsaKey> live_keys;
+    for (const Lsa* lsa : db.live()) live_keys.push_back(lsa->id);
+    std::vector<LsaKey> all_keys;
+    for (const LsaPtr& lsa : db.all()) all_keys.push_back(lsa->id);
+    return std::pair{live_keys, all_keys};
+  };
+  const auto [live_fwd, all_fwd] = keys_of(forward);
+  EXPECT_TRUE(std::is_sorted(live_fwd.begin(), live_fwd.end()));
+  EXPECT_TRUE(std::is_sorted(all_fwd.begin(), all_fwd.end()));
+  EXPECT_LT(live_fwd.size(), all_fwd.size());  // tombstones only in all()
+  EXPECT_EQ(keys_of(reversed), (std::pair{live_fwd, all_fwd}));
+  EXPECT_EQ(keys_of(interleaved), (std::pair{live_fwd, all_fwd}));
+  EXPECT_TRUE(forward.same_content(reversed));
+  EXPECT_TRUE(forward.same_content(interleaved));
 }
 
 // ------------------------------------------------------------------ protocol

@@ -1,15 +1,26 @@
-// Ablation A1: how fast the controller removes congestion, as a function
-// of how it learns about the surge:
-//   - proactive (paper default): servers notify the controller on every new
-//     client, so mitigation can precede SNMP detection entirely;
-//   - reactive: only SNMP counter polling, swept over polling intervals.
+// Ablation A1 (reaction time vs detection path) plus the mitigation
+// pipeline worker sweep, as google-benchmark JSON so the CI perf diff
+// (scripts/compare_bench.py) tracks wall-clock and counters run over run.
 //
-// Reports time-to-mitigation after the t=15 surge and the resulting QoE.
+//   - BM_ReactionTime/{proactive,poll_ds}: how fast the controller removes
+//     congestion as a function of how it learns about the surge. The
+//     `mitigated_at_s` counter is the absolute sim time of the first
+//     mitigation after the t=15 surge (the paper's sub-second-reaction
+//     claim); `stalled` counts sessions that ever stalled.
+//   - BM_MitigationWorkers/{workers}: a correlated flash crowd dirties 8
+//     prefixes at once on a 40-router Waxman graph; the batch is solved by
+//     the parallel mitigation pipeline at the given pool width. Results are
+//     bit-identical across widths (the determinism property test proves
+//     it), so the sweep isolates pure solve wall-clock scaling; the
+//     counters pin the work done per run.
 
-#include <cstdio>
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
 
 #include "core/service.hpp"
 #include "topo/generators.hpp"
+#include "util/rng.hpp"
 #include "video/flash_crowd.hpp"
 
 using namespace fibbing;
@@ -21,7 +32,7 @@ struct Outcome {
   int stalled = 0;
 };
 
-Outcome run(bool proactive, double poll_interval_s, int hold_rounds) {
+Outcome run_reaction(bool proactive, double poll_interval_s, int hold_rounds) {
   const topo::PaperTopology p = topo::make_paper_topology();
   core::ServiceConfig config;
   config.controller.proactive = proactive;
@@ -54,33 +65,88 @@ Outcome run(bool proactive, double poll_interval_s, int hold_rounds) {
   return out;
 }
 
+/// range(0): 1 = proactive (server notices), 0 = SNMP-only.
+/// range(1): polling interval in deciseconds.
+void BM_ReactionTime(benchmark::State& state) {
+  const bool proactive = state.range(0) == 1;
+  const double poll = static_cast<double>(state.range(1)) / 10.0;
+  Outcome last;
+  for (auto _ : state) {
+    last = run_reaction(proactive, poll, /*hold_rounds=*/2);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["mitigated_at_s"] = last.mitigation_time;
+  state.counters["stalled"] = last.stalled;
+}
+
+BENCHMARK(BM_ReactionTime)
+    ->Args({1, 10})  // proactive, poll irrelevant
+    ->Args({0, 5})   // SNMP only, 0.5 s polls
+    ->Args({0, 10})
+    ->Args({0, 20})
+    ->Args({0, 50})
+    ->Unit(benchmark::kMillisecond);
+
+struct FanoutOutcome {
+  int mitigations = 0;
+  int solves = 0;
+  std::size_t lies = 0;
+};
+
+/// Correlated-join flash crowd: one server, 8 hot prefixes surging in the
+/// same instant, so the first evaluation mitigates an 8-member batch -- the
+/// workload the parallel pipeline fans out.
+FanoutOutcome run_fanout(std::size_t workers) {
+  util::Rng rng(99);
+  topo::Topology t = topo::make_waxman(40, rng, 0.5, 0.5, 8);
+  constexpr int kPrefixes = 8;
+  for (int i = 0; i < kPrefixes; ++i) {
+    t.attach_prefix(static_cast<topo::NodeId>(rng.pick_index(t.node_count())),
+                    net::Prefix(net::Ipv4(203, 0, static_cast<std::uint8_t>(i), 0),
+                                24));
+  }
+  core::ServiceConfig config;
+  config.controller.high_watermark = 0.05;
+  config.controller.low_watermark = 0.02;
+  config.controller.session_router = 0;
+  config.controller.mitigation_workers = workers;
+  core::FibbingService service(t, config);
+  service.boot();
+  const auto server =
+      service.video().add_server({"S", 0, net::Ipv4(198, 18, 9, 1)});
+  // 4 x 500 Mb/s per prefix: 2 Gb/s against 10-40 Gb/s links, hot at the
+  // 0.05 watermark wherever a few prefixes share a link.
+  const video::VideoAsset asset{500e6, 3600.0};
+  for (int i = 0; i < kPrefixes; ++i) {
+    const net::Prefix& prefix = t.prefixes()[static_cast<std::size_t>(i)].prefix;
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      service.video().start_session(server, prefix, prefix.host(1 + c), asset);
+    }
+  }
+  service.run_until(20.0);
+
+  FanoutOutcome out;
+  out.mitigations = service.controller().mitigations();
+  out.solves = service.controller().placement_solves();
+  out.lies = service.controller().active_lie_count();
+  return out;
+}
+
+void BM_MitigationWorkers(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  FanoutOutcome last;
+  for (auto _ : state) {
+    last = run_fanout(workers);
+    benchmark::DoNotOptimize(last);
+  }
+  state.counters["mitigations"] = last.mitigations;
+  state.counters["placement_solves"] = last.solves;
+  state.counters["active_lies"] = static_cast<double>(last.lies);
+}
+
+BENCHMARK(BM_MitigationWorkers)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
 }  // namespace
 
-int main() {
-  std::printf("=== A1: reaction time vs detection path (surge at t=15) ===\n");
-  std::printf("%-34s %18s %10s\n", "configuration", "mitigated at [s]", "stalled");
-
-  const Outcome fast = run(/*proactive=*/true, 1.0, 2);
-  std::printf("%-34s %18.2f %10d\n", "proactive (server notices)",
-              fast.mitigation_time, fast.stalled);
-
-  for (const double poll : {0.5, 1.0, 2.0, 5.0}) {
-    const Outcome o = run(/*proactive=*/false, poll, 2);
-    char label[64];
-    std::snprintf(label, sizeof(label), "SNMP only, poll %.1fs, hold 2", poll);
-    std::printf("%-34s %18.2f %10d\n", label, o.mitigation_time, o.stalled);
-  }
-  for (const int hold : {1, 3}) {
-    const Outcome o = run(/*proactive=*/false, 1.0, hold);
-    char label[64];
-    std::snprintf(label, sizeof(label), "SNMP only, poll 1.0s, hold %d", hold);
-    std::printf("%-34s %18.2f %10d\n", label, o.mitigation_time, o.stalled);
-  }
-  std::printf("\nreading: proactive notices react at the surge instant; SNMP-only "
-              "reaction lags by roughly poll_interval * hold_rounds (plus EWMA "
-              "warm-up).\nstalls stay at zero here because the clients' 2 s "
-              "playout buffers absorb the worst-case detection lag; the lag "
-              "itself is the QoE budget an operator must keep below the "
-              "buffer depth.\n");
-  return 0;
-}
+BENCHMARK_MAIN();

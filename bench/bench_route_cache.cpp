@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -167,6 +169,61 @@ void BM_RepeatedMitigationCached(benchmark::State& state) {
 
 BENCHMARK(BM_RepeatedMitigationFresh)->Arg(60)->Arg(100)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RepeatedMitigationCached)->Arg(60)->Arg(100)->Unit(benchmark::kMillisecond);
+
+/// SRLG sweep: a shared-risk group of `srlg_size` adjacencies fails and is
+/// repaired between cached queries with a standing lie set, on a 100-router
+/// graph. The batched multi-link delta must keep these on the incremental
+/// path: `spf_batched` > 0 and `spf_full` flat (cold builds only) is the
+/// acceptance signal the CI perf diff tracks.
+void BM_SrlgFailoverCached(benchmark::State& state) {
+  const auto srlg = static_cast<std::size_t>(state.range(0));
+  const Scenario s = make_scenario(100);
+  topo::LinkStateMask mask(s.topo);
+  igp::RouteCache cache(s.topo, mask);
+
+  // Standing lies: two per prefix, steering out of a neighbor of the
+  // attachment point (round-over-round stable; only the topology churns).
+  Externals lies;
+  std::uint64_t id = 1;
+  for (std::size_t p = 0; p < s.prefixes.size(); ++p) {
+    const topo::NodeId attach = s.topo.prefixes()[p].node;
+    const auto& out = s.topo.out_links(attach == 0 ? 1 : attach - 1);
+    for (std::size_t i = 0; i < 2 && i < out.size(); ++i) {
+      lies.push_back(lie_toward(s, out[i], s.prefixes[p],
+                                static_cast<topo::Metric>(2 + i), id++));
+    }
+  }
+
+  // One conduit's fiber group, fixed across iterations (one id per pair).
+  util::Rng rng(1717);
+  std::vector<topo::LinkId> group;
+  while (group.size() < srlg) {
+    const auto l = static_cast<topo::LinkId>(rng.pick_index(s.topo.link_count()));
+    const topo::LinkId fwd = std::min(l, s.topo.link(l).reverse);
+    bool dup = false;
+    for (const topo::LinkId g : group) dup = dup || g == fwd;
+    if (!dup) group.push_back(fwd);
+  }
+
+  benchmark::DoNotOptimize(cache.tables(lies));  // cold build outside the loop
+  for (auto _ : state) {
+    for (const topo::LinkId l : group) mask.fail(l);
+    benchmark::DoNotOptimize(cache.tables(lies));
+    for (const topo::LinkId l : group) mask.restore(l);
+    benchmark::DoNotOptimize(cache.tables(lies));
+  }
+  const igp::RouteCacheStats& st = cache.stats();
+  const auto per_round = [](std::uint64_t v) {
+    return benchmark::Counter(static_cast<double>(v),
+                              benchmark::Counter::kAvgIterations);
+  };
+  state.counters["spf_batched"] = per_round(st.spf_batched);
+  state.counters["spf_full"] = per_round(st.spf_full);
+  state.counters["spf_incremental"] = per_round(st.spf_incremental);
+  state.counters["spf_unchanged"] = per_round(st.spf_unchanged);
+}
+
+BENCHMARK(BM_SrlgFailoverCached)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -20,6 +20,10 @@ line directly above; the reason is mandatory):
   unordered-iter  range-for / .begin() iteration over std::unordered_map or
                   std::unordered_set in the ordering-sensitive directories
                   (src/igp, src/proto, src/core, src/util/shard_pool*).
+                  Explicit iterator for-loops are caught too: a for-header
+                  naming the container through std::begin/std::end or
+                  `.end()` counts as iteration (membership tests like
+                  `m.find(k) != m.end()` outside for-headers do not).
                   Iteration order there can reach floods, wire encodings,
                   callbacks, or counters -- all surfaces the shard-determinism
                   property tests compare bit-for-bit.
@@ -67,6 +71,13 @@ UNORDERED_DECL_RES = [
 ]
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*[^:]:([^:].*)")
 BEGIN_ITER_RE = re.compile(r"(\w+)(?:\.|->)c?begin\s*\(")
+# Explicit iterator loops: a classic for-header that names the container via
+# the free-function iterators or its own `.end()` (the begin call may sit on
+# an earlier line or behind std::begin). Only for-headers are considered, so
+# membership tests (`m.find(k) != m.end()` in an if/while) never match.
+FOR_HEADER_RE = re.compile(r"\bfor\s*\((.*)")
+STD_BEGIN_END_RE = re.compile(r"\bstd::c?r?(?:begin|end)\s*\(\s*(\w+)\s*\)")
+MEMBER_END_RE = re.compile(r"(\w+)(?:\.|->)c?r?end\s*\(")
 # `friend` is excluded: attributes may not appear on friend declarations.
 NODISCARD_DECL_RE = re.compile(
     r"^\s*(?:(?:virtual|static|constexpr|inline|explicit)\s+)*"
@@ -181,6 +192,17 @@ def check_line(rel, code, symbols):
                 if m.group(1) in symbols:
                     iterated = m.group(1)
                     break
+        if iterated is None and not range_for:
+            for_header = FOR_HEADER_RE.search(code)
+            if for_header:
+                header = for_header.group(1)
+                for end_re in (STD_BEGIN_END_RE, MEMBER_END_RE):
+                    for m in end_re.finditer(header):
+                        if m.group(1) in symbols:
+                            iterated = m.group(1)
+                            break
+                    if iterated is not None:
+                        break
         if iterated is not None:
             yield ("unordered-iter",
                    f"iteration over unordered container `{iterated}` in an "

@@ -26,6 +26,14 @@ struct Flooder {
     return sum;
   }
 
+  std::uint64_t bad_free_function_loop() const {
+    std::uint64_t sum = 0;
+    for (auto it = std::begin(seen_); it != std::end(seen_); ++it) {  // finding
+      sum += *it;
+    }
+    return sum;
+  }
+
   bool ok_lookup(std::uint32_t id) const { return seen_.contains(id); }
 };
 

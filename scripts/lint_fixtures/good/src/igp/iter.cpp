@@ -28,6 +28,12 @@ struct Flooder {
   }
 
   bool lookup(std::uint32_t id) const { return pending_.contains(id); }
+
+  // Membership tests touch .end() without iterating: hash order never
+  // escapes, so these must stay clean.
+  bool lookup_via_find(std::uint32_t id) const {
+    return pending_.find(id) != pending_.end();
+  }
 };
 
 }  // namespace fibbing::igp

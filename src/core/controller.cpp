@@ -1,13 +1,28 @@
 #include "core/controller.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <set>
 #include <tuple>
+#include <utility>
 
 #include "core/loads.hpp"
 #include "util/logging.hpp"
 
 namespace fibbing::core {
+
+namespace {
+/// Lie-id block pre-assigned to each member of a mitigation batch: worker i
+/// compiles with first_lie_id = base + i * stride, so the ids any candidate
+/// carries are fixed before the parallel phase starts and are identical for
+/// every worker count. Far above any real compiled set's naive_lie_count
+/// (asserted at commit). Deliberately ODD: a lie's wire identity keeps only
+/// its host bits (appendix E), so a power-of-two stride would hand a
+/// re-placed prefix the exact wire identity of its previous round's lie --
+/// colliding with the not-yet-flushed MaxAge tombstone. An odd stride is
+/// never congruent to 0 modulo any host-bit space.
+constexpr std::uint64_t kLieIdStride = 4097;
+}  // namespace
 
 Controller::Controller(const topo::Topology& topo, igp::IgpDomain& domain,
                        monitor::NotificationBus& bus, util::EventQueue& events,
@@ -18,7 +33,8 @@ Controller::Controller(const topo::Topology& topo, igp::IgpDomain& domain,
       config_(config),
       detector_(topo, config.high_watermark, config.low_watermark,
                 config.hold_rounds),
-      cache_(topo, domain.link_state()) {
+      cache_(topo, domain.link_state()),
+      pool_(config.mitigation_workers) {
   FIB_ASSERT(config.session_router < topo.node_count(),
              "Controller: bad session router");
   bus.subscribe([this](const monitor::DemandNotice& notice) { on_notice_(notice); });
@@ -193,6 +209,26 @@ void Controller::refresh_forwarding_snapshot_() {
   last_tables_ = cache_.tables(to_externals(all_lies_()));
 }
 
+const std::vector<double>& Controller::prefix_loads_(
+    const net::Prefix& prefix, const igp::RouteCache::TablesPtr& tables) {
+  PrefixLoadMemo& memo = load_memo_[prefix];
+  std::vector<std::pair<topo::NodeId, double>> fingerprint;
+  const auto it = ledger_.find(prefix);
+  if (it != ledger_.end()) {
+    fingerprint.reserve(it->second.size());
+    for (const auto& [ingress, demand] : it->second) {
+      if (demand.rate_bps > 0.0) fingerprint.emplace_back(ingress, demand.rate_bps);
+    }
+  }
+  if (memo.tables.get() == tables.get() && memo.demands == fingerprint) {
+    return memo.loads;
+  }
+  memo.tables = tables;
+  memo.demands = std::move(fingerprint);
+  memo.loads = loads_from_routes(topo_, *tables, prefix, demands_of_(prefix));
+  return memo.loads;
+}
+
 std::vector<te::Demand> Controller::demands_of_(const net::Prefix& prefix) const {
   std::vector<te::Demand> out;
   const auto it = ledger_.find(prefix);
@@ -229,8 +265,7 @@ void Controller::evaluate_() {
   last_tables_ = tables;  // the snapshot topology events diff against
   std::vector<double> load(topo_.link_count(), 0.0);
   for (const auto& [prefix, ingresses] : ledger_) {
-    const auto prefix_load = loads_from_routes(topo_, *tables, prefix,
-                                               demands_of_(prefix));
+    const std::vector<double>& prefix_load = prefix_loads_(prefix, tables);
     for (topo::LinkId l = 0; l < topo_.link_count(); ++l) load[l] += prefix_load[l];
   }
   bool hot = false;
@@ -251,8 +286,6 @@ void Controller::evaluate_() {
 }
 
 void Controller::mitigate_() {
-  const topo::LinkStateMask& mask = domain_.link_state();
-
   // Stranded placements with no remaining demand have nothing to re-place:
   // retract them outright instead of leaving lies that steer at dead links.
   std::vector<net::Prefix> stranded_idle;
@@ -306,104 +339,152 @@ void Controller::mitigate_() {
     }
   };
 
-  for (const net::Prefix& prefix : prefixes) {
-    unattempted.erase(prefix);
-    const auto announcers = topo_.attachments_for(prefix);
-    if (announcers.empty()) {
-      FIB_LOG(kWarn, "controller") << "no announcer for " << prefix.to_string();
-      fail_placement(prefix);
+  // ---- Phase 1: speculative candidates, in parallel ----------------------
+  //
+  // Every batch member's solve -> ladder -> compile runs against the same
+  // read-only batch-start snapshot: the background it would see as the
+  // batch's first (demand-heaviest) member -- other batch members excluded
+  // when joint placement is on (they are about to move), everything else at
+  // its current routes. Workers share the thread-safe cache_ and write only
+  // their own member slot, so every candidate is independent of worker
+  // count and scheduling order.
+  struct Member {
+    net::Prefix prefix;
+    topo::NodeId dest = topo::kInvalidNode;
+    bool has_dest = false;
+    std::vector<te::Demand> demands;
+    std::vector<double> background;  ///< snapshot background the solve used
+    std::uint64_t base_lie_id = 0;
+    PlacementOutcome outcome;
+  };
+  std::vector<Member> members(prefixes.size());
+  if (!prefixes.empty()) {
+    const igp::RouteCache::TablesPtr snapshot =
+        cache_.tables(to_externals(all_lies_()));
+    const std::set<net::Prefix> in_batch(prefixes.begin(), prefixes.end());
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      Member& m = members[i];
+      m.prefix = prefixes[i];
+      const auto announcers = topo_.attachments_for(m.prefix);
+      if (!announcers.empty()) {
+        m.has_dest = true;
+        m.dest = announcers.front().node;
+      }
+      m.demands = demands_of_(m.prefix);
+      m.base_lie_id = next_lie_id_ + i * kLieIdStride;
+      m.background.assign(topo_.link_count(), 0.0);
+      for (const auto& [q, ingresses] : ledger_) {
+        if (q == m.prefix ||
+            (config_.joint_batch_placement && in_batch.contains(q) &&
+             !placement_failed_.contains(q))) {
+          continue;
+        }
+        const std::vector<double>& q_load = prefix_loads_(q, snapshot);
+        for (topo::LinkId l = 0; l < topo_.link_count(); ++l) {
+          m.background[l] += q_load[l];
+        }
+      }
+    }
+    const std::function<void(std::size_t)> job = [&](std::size_t i) {
+      Member& m = members[i];
+      if (!m.has_dest) return;  // fails deterministically at commit
+      m.outcome =
+          place_prefix_(m.prefix, m.dest, m.demands, m.background, m.base_lie_id);
+    };
+    pool_.run(members.size(), job);
+  }
+
+  // ---- Phase 2: deterministic commit, demand-sorted ----------------------
+  //
+  // The driving thread walks the members in the order the serial pipeline
+  // would and validates each candidate against the *true* background of
+  // that moment (earlier commits included). A candidate commits as-is when
+  // its solve inputs match that background exactly -- then it IS the serial
+  // result, which always holds for the first member and for single-prefix
+  // batches -- or when it keeps every link at or under the high watermark
+  // on the true background. Otherwise the prefix is re-solved inline, old-
+  // pipeline style, reusing its pre-assigned lie-id block. Everything here
+  // is a pure function of controller state and the candidate slots, so the
+  // ledger, lies and counters are bit-identical for every worker count.
+  //
+  // Lie-id accounting: only *committed* sets consume ids, so next_lie_id_
+  // advances to the end of the highest block actually injected (not by a
+  // blanket batch_size * stride). For a single-member batch this is exactly
+  // the serial allocation (base + naive_lie_count + 1).
+  std::uint64_t used_max = next_lie_id_;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    Member& m = members[i];
+    unattempted.erase(m.prefix);
+    if (!m.has_dest) {
+      FIB_LOG(kWarn, "controller") << "no announcer for " << m.prefix.to_string();
+      fail_placement(m.prefix);
       continue;
     }
-    const topo::NodeId dest = announcers.front().node;
-    const std::vector<te::Demand> demands = demands_of_(prefix);
 
-    // Background: every *other* prefix's demand on its current routes over
-    // the live topology.
-    const std::vector<Lie> other_lies = all_lies_except_(prefix);
-    const igp::RouteCache::TablesPtr other_tables =
-        cache_.tables(to_externals(other_lies));
+    const igp::RouteCache::TablesPtr current_tables =
+        cache_.tables(to_externals(all_lies_()));
     std::vector<double> background(topo_.link_count(), 0.0);
     for (const auto& [q, ingresses] : ledger_) {
-      if (q == prefix || (config_.joint_batch_placement && unattempted.contains(q) &&
-                          !placement_failed_.contains(q))) {
+      if (q == m.prefix ||
+          (config_.joint_batch_placement && unattempted.contains(q) &&
+           !placement_failed_.contains(q))) {
         continue;
       }
-      const auto q_load = loads_from_routes(topo_, *other_tables, q, demands_of_(q));
+      const std::vector<double>& q_load = prefix_loads_(q, current_tables);
       for (topo::LinkId l = 0; l < topo_.link_count(); ++l) background[l] += q_load[l];
     }
 
-    te::MinMaxConfig mm;
-    mm.max_stretch = config_.max_stretch;
-    mm.link_state = &mask;
-    mm.granularity_floor = 1.0 / std::max<std::uint32_t>(config_.max_replicas, 2);
-    ++placement_solves_;
-    const auto solution = te::solve_min_max(topo_, dest, demands, background, mm);
-    if (!solution.ok()) {
-      FIB_LOG(kWarn, "controller") << "optimizer failed: " << solution.error();
-      fail_placement(prefix);
-      continue;
-    }
-
-    const auto attempt = [&](const te::MinMaxResult& sol) {
-      const DestRequirement req = requirement_from_splits(
-          prefix, sol.splits, config_.max_replicas);
-      AugmentConfig aug_config;
-      aug_config.first_lie_id = next_lie_id_;
-      aug_config.link_state = &mask;
-      aug_config.route_cache = &cache_;
-      return compile_lies(topo_, req, aug_config);
-    };
-    CompileResult compiled = attempt(solution.value());
-
-    // Fallback ladder: a granularity failure means this theta*-optimal DAG
-    // is not expressible at the IGP's metric scale. Re-solve with theta
-    // relaxed to theta* * (1 + eps) -- restricted to the compilable support
-    // (the links the optimum already used, plus the shortest-path DAG the
-    // lie compiler can always tie onto) -- escalating eps before declaring
-    // the prefix unmitigable. Any other failure kind ends the ladder: more
-    // headroom cannot fix an unreachable subnet or a broken requirement.
-    if (!compiled.ok() && compiled.error_kind() == CompileErrorKind::kGranularity &&
-        !config_.theta_relax_schedule.empty()) {
-      mm.support = te::shortest_path_dag(topo_, dest, &mask);
-      const double flow_eps = std::max(demand_for(prefix), 1.0) * 1e-7;
+    placement_solves_ += m.outcome.solves;
+    bool accept = background == m.background;
+    if (!accept && m.outcome.ok()) {
+      // The speculative inputs went stale (an earlier member moved
+      // traffic). The candidate is still committable if it overloads
+      // nothing against the background that actually exists now.
+      std::vector<Lie> with = all_lies_except_(m.prefix);
+      const std::vector<Lie>& cand = m.outcome.compiled->value().lies;
+      with.insert(with.end(), cand.begin(), cand.end());
+      const igp::RouteCache::TablesPtr cand_tables =
+          cache_.tables(to_externals(with));
+      const std::vector<double> mine =
+          loads_from_routes(topo_, *cand_tables, m.prefix, m.demands);
+      double util = 0.0;
       for (topo::LinkId l = 0; l < topo_.link_count(); ++l) {
-        if (solution.value().link_flow[l] > flow_eps) mm.support[l] = true;
+        util = std::max(util, (mine[l] + background[l]) / topo_.link(l).capacity_bps);
       }
-      // One search serves every rung: the binary-search bound is identical
-      // per rung (only the refinement headroom differs), so each re-solve
-      // costs a single feasibility max-flow plus the refinement.
-      te::MinMaxSearch ladder_search;
-      for (const double relax : config_.theta_relax_schedule) {
-        mm.theta_relax = relax;
-        ++placement_solves_;
-        const auto relaxed =
-            te::solve_min_max(topo_, dest, demands, background, mm, &ladder_search);
-        if (!relaxed.ok()) break;
-        CompileResult retry = attempt(relaxed.value());
-        const bool granular =
-            !retry.ok() && retry.error_kind() == CompileErrorKind::kGranularity;
-        compiled = std::move(retry);
-        if (compiled.ok()) {
-          ++relaxed_placements_;
-          FIB_LOG(kInfo, "controller")
-              << "granularity fallback for " << prefix.to_string()
-              << ": placed at theta " << relaxed.value().theta << " (optimum "
-              << relaxed.value().theta_opt << ", relax " << relax << ")";
-        }
-        if (!granular) break;
+      accept = util <= config_.high_watermark;
+      if (accept) {
+        FIB_LOG(kDebug, "controller")
+            << "committing speculative placement for " << m.prefix.to_string()
+            << " (max util " << util << " on the true background)";
       }
     }
-    if (!compiled.ok()) {
-      FIB_LOG(kWarn, "controller")
-          << "augmentation failed (" << to_string(compiled.error_kind())
-          << "): " << compiled.error();
-      fail_placement(prefix);
+    if (!accept) {
+      m.outcome = place_prefix_(m.prefix, m.dest, m.demands, background,
+                                m.base_lie_id);
+      placement_solves_ += m.outcome.solves;
+    }
+
+    if (!m.outcome.ok()) {
+      if (!m.outcome.compiled.has_value()) {
+        FIB_LOG(kWarn, "controller")
+            << "optimizer failed: " << m.outcome.solver_error;
+      } else {
+        FIB_LOG(kWarn, "controller")
+            << "augmentation failed ("
+            << to_string(m.outcome.compiled->error_kind())
+            << "): " << m.outcome.compiled->error();
+      }
+      fail_placement(m.prefix);
       continue;
     }
+    relaxed_placements_ += m.outcome.relaxed;
+    CompileResult& compiled = *m.outcome.compiled;
+    FIB_ASSERT(compiled.value().naive_lie_count + 1 <= kLieIdStride,
+               "mitigate: compiled set overflows its lie-id block");
 
     // Idempotence: skip if the new lie set steers identically to the
     // currently injected one.
-    const auto current = active_.find(prefix);
+    const auto current = active_.find(m.prefix);
     if (current != active_.end()) {
       const auto& old_lies = current->second;
       const auto& new_lies = compiled.value().lies;
@@ -415,20 +496,22 @@ void Controller::mitigate_() {
         return sig;
       };
       if (signature(old_lies) == signature(new_lies)) {
-        dirty_.erase(prefix);
-        placement_failed_.erase(prefix);
-        stranded_.erase(prefix);
-        attempted_ok.push_back(prefix);
+        dirty_.erase(m.prefix);
+        placement_failed_.erase(m.prefix);
+        stranded_.erase(m.prefix);
+        attempted_ok.push_back(m.prefix);
         continue;
       }
     }
-    next_lie_id_ += compiled.value().naive_lie_count + 1;
-    apply_lies_(prefix, std::move(compiled).value().lies);
-    dirty_.erase(prefix);
-    placement_failed_.erase(prefix);
-    attempted_ok.push_back(prefix);
+    used_max = std::max(used_max,
+                        m.base_lie_id + compiled.value().naive_lie_count + 1);
+    apply_lies_(m.prefix, std::move(compiled).value().lies);
+    dirty_.erase(m.prefix);
+    placement_failed_.erase(m.prefix);
+    attempted_ok.push_back(m.prefix);
     ++mitigations_;
   }
+  next_lie_id_ = used_max;
 
   // A member *newly* failed: the ones placed before it in this batch were
   // optimized against a background missing its (immovable) traffic. Mark
@@ -442,12 +525,97 @@ void Controller::mitigate_() {
   refresh_forwarding_snapshot_();
 }
 
+Controller::PlacementOutcome Controller::place_prefix_(
+    const net::Prefix& prefix, topo::NodeId dest,
+    const std::vector<te::Demand>& demands, const std::vector<double>& background,
+    std::uint64_t first_lie_id) {
+  const topo::LinkStateMask& mask = domain_.link_state();
+  PlacementOutcome out;
+
+  te::MinMaxConfig mm;
+  mm.max_stretch = config_.max_stretch;
+  mm.link_state = &mask;
+  mm.granularity_floor = 1.0 / std::max<std::uint32_t>(config_.max_replicas, 2);
+  // One search serves the whole attempt: the initial solve seeds its
+  // reverse Dijkstra; the fallback ladder's support DAG and every rung
+  // reuse it (reset_bound() keeps the Dijkstra while the support-pruned
+  // bound is honestly re-searched).
+  te::MinMaxSearch search;
+  ++out.solves;
+  const auto solution =
+      te::solve_min_max(topo_, dest, demands, background, mm, &search);
+  if (!solution.ok()) {
+    out.solver_error = solution.error();
+    return out;
+  }
+
+  const auto attempt = [&](const te::MinMaxResult& sol) {
+    const DestRequirement req =
+        requirement_from_splits(prefix, sol.splits, config_.max_replicas);
+    AugmentConfig aug_config;
+    aug_config.first_lie_id = first_lie_id;
+    aug_config.link_state = &mask;
+    aug_config.route_cache = &cache_;
+    return compile_lies(topo_, req, aug_config);
+  };
+  out.compiled = attempt(solution.value());
+
+  // Fallback ladder: a granularity failure means this theta*-optimal DAG
+  // is not expressible at the IGP's metric scale. Re-solve with theta
+  // relaxed to theta* * (1 + eps) -- restricted to the compilable support
+  // (the links the optimum already used, plus the shortest-path DAG the
+  // lie compiler can always tie onto) -- escalating eps before declaring
+  // the prefix unmitigable. Any other failure kind ends the ladder: more
+  // headroom cannot fix an unreachable subnet or a broken requirement.
+  if (!out.compiled->ok() &&
+      out.compiled->error_kind() == CompileErrorKind::kGranularity &&
+      !config_.theta_relax_schedule.empty()) {
+    search.reset_bound();  // support changes the pruning; the Dijkstra stays
+    mm.support = te::shortest_path_dag(topo_, dest, &mask, &search);
+    double total_demand = 0.0;
+    for (const te::Demand& d : demands) total_demand += d.rate_bps;
+    const double flow_eps = std::max(total_demand, 1.0) * 1e-7;
+    for (topo::LinkId l = 0; l < topo_.link_count(); ++l) {
+      if (solution.value().link_flow[l] > flow_eps) mm.support[l] = true;
+    }
+    // The binary-search bound is identical per rung (only the refinement
+    // headroom differs), so after the first rung each re-solve costs a
+    // single feasibility max-flow plus the refinement.
+    for (const double relax : config_.theta_relax_schedule) {
+      mm.theta_relax = relax;
+      ++out.solves;
+      const auto relaxed =
+          te::solve_min_max(topo_, dest, demands, background, mm, &search);
+      if (!relaxed.ok()) break;
+      CompileResult retry = attempt(relaxed.value());
+      const bool granular =
+          !retry.ok() && retry.error_kind() == CompileErrorKind::kGranularity;
+      out.compiled = std::move(retry);
+      if (out.compiled->ok()) {
+        out.relaxed = 1;
+        FIB_LOG(kInfo, "controller")
+            << "granularity fallback for " << prefix.to_string()
+            << ": placed at theta " << relaxed.value().theta << " (optimum "
+            << relaxed.value().theta_opt << ", relax " << relax << ")";
+      }
+      if (!granular) break;
+    }
+  }
+  return out;
+}
+
 void Controller::maybe_retract_() {
   // A prefix's lies retract when its demand would fit on plain shortest
   // paths -- over the topology that actually exists -- with comfortable
   // margin (below the low watermark), given the other prefixes' current
   // placements as background.
   const topo::LinkStateMask& mask = domain_.link_state();
+  // One full-lie-set table build serves every per-prefix background below:
+  // a prefix's loads are identical on any table set containing its own lies
+  // (per-prefix route independence, see prefix_loads_), so the per-prefix
+  // all-lies-except rebuild the background used to pay for is unnecessary.
+  const igp::RouteCache::TablesPtr full_tables =
+      cache_.tables(to_externals(all_lies_()));
   std::vector<net::Prefix> to_retract;
   for (const auto& [prefix, lies] : active_) {
     if (lies.empty()) continue;
@@ -455,13 +623,10 @@ void Controller::maybe_retract_() {
     if (announcers.empty()) continue;
     const std::vector<te::Demand> demands = demands_of_(prefix);
 
-    const std::vector<Lie> other_lies = all_lies_except_(prefix);
-    const igp::RouteCache::TablesPtr other_tables =
-        cache_.tables(to_externals(other_lies));
     std::vector<double> background(topo_.link_count(), 0.0);
     for (const auto& [q, ingresses] : ledger_) {
       if (q == prefix) continue;
-      const auto q_load = loads_from_routes(topo_, *other_tables, q, demands_of_(q));
+      const std::vector<double>& q_load = prefix_loads_(q, full_tables);
       for (topo::LinkId l = 0; l < topo_.link_count(); ++l) background[l] += q_load[l];
     }
     const double spf_util = te::shortest_path_max_utilization(

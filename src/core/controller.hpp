@@ -2,7 +2,10 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/augment.hpp"
@@ -15,6 +18,7 @@
 #include "net/prefix.hpp"
 #include "topo/topology.hpp"
 #include "util/event_queue.hpp"
+#include "util/worker_pool.hpp"
 
 namespace fibbing::core {
 
@@ -49,6 +53,13 @@ struct ControllerConfig {
   /// compiled via the tie-preserving refinement and the fallback ladder
   /// (the regression suite runs that configuration to prove it).
   bool joint_batch_placement = true;
+  /// Worker threads for the mitigation pipeline: a multi-prefix batch's
+  /// solve -> compile candidates are computed concurrently against a shared
+  /// batch-start snapshot, then validated and committed on the driving
+  /// thread in demand-sorted order -- so the ledger, lies and counters are
+  /// bit-identical for every value of this knob. 1 (the default) spawns no
+  /// threads and runs the pipeline inline.
+  std::size_t mitigation_workers = 1;
 };
 
 /// The Fibbing controller of the demo: learns demand from server notices,
@@ -138,6 +149,34 @@ class Controller {
   [[nodiscard]] std::vector<Lie> all_lies_() const;
   void apply_lies_(const net::Prefix& prefix, std::vector<Lie> lies);
 
+  /// One prefix's full solve -> fallback-ladder -> compile attempt against
+  /// a given background. Pure with respect to controller state (reads
+  /// topo_/config_/ledger_ and queries the thread-safe cache_; mutates
+  /// nothing), so mitigation workers run it concurrently; counters are
+  /// returned and folded in on the driving thread in commit order.
+  struct PlacementOutcome {
+    /// Engaged once the optimizer succeeded; holds the compile verdict.
+    std::optional<CompileResult> compiled;
+    std::string solver_error;  ///< set when the min-max solve itself failed
+    int solves = 0;            ///< optimizer invocations (initial + rungs)
+    int relaxed = 0;           ///< 1 when the fallback ladder placed it
+    [[nodiscard]] bool ok() const { return compiled.has_value() && compiled->ok(); }
+  };
+  [[nodiscard]] PlacementOutcome place_prefix_(const net::Prefix& prefix,
+                                               topo::NodeId dest,
+                                               const std::vector<te::Demand>& demands,
+                                               const std::vector<double>& background,
+                                               std::uint64_t first_lie_id);
+
+  /// Per-link load of `prefix`'s ledger demand on its routes in `tables`,
+  /// memoized on (tables identity, demand fingerprint). A prefix's routes
+  /// depend only on its *own* externals, so the loads computed on any table
+  /// set containing its current lies are identical -- every background /
+  /// evaluation sum can therefore share one full-lie-set table build
+  /// instead of a per-prefix O(prefixes) rebuild. Driving thread only.
+  [[nodiscard]] const std::vector<double>& prefix_loads_(
+      const net::Prefix& prefix, const igp::RouteCache::TablesPtr& tables);
+
   const topo::Topology& topo_;
   igp::IgpDomain& domain_;
   util::EventQueue& events_;
@@ -168,6 +207,18 @@ class Controller {
   std::set<net::Prefix> stranded_;
   bool eval_pending_ = false;
   std::map<net::Prefix, std::vector<Lie>> active_;
+  /// The mitigation pipeline's worker pool (mitigation_workers wide; one
+  /// worker spawns no threads). Workers only run place_prefix_ over
+  /// read-only inputs; every commit happens on the driving thread.
+  util::WorkerPool pool_;
+  /// prefix_loads_'s memo. Holding the TablesPtr pins the table set so the
+  /// identity check can never alias a recycled allocation.
+  struct PrefixLoadMemo {
+    igp::RouteCache::TablesPtr tables;
+    std::vector<std::pair<topo::NodeId, double>> demands;
+    std::vector<double> loads;
+  };
+  std::map<net::Prefix, PrefixLoadMemo> load_memo_;
   std::uint64_t next_lie_id_ = 1;
   int mitigations_ = 0;
   int retractions_ = 0;

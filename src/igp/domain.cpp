@@ -303,6 +303,12 @@ std::uint64_t IgpDomain::total_spf_runs() const {
   return sum;
 }
 
+std::uint64_t IgpDomain::total_spf_incremental_runs() const {
+  std::uint64_t sum = 0;
+  for (const auto& router : routers_) sum += router->spf_incremental_runs();
+  return sum;
+}
+
 proto::SessionCounters IgpDomain::total_proto_counters() const {
   proto::SessionCounters total;
   for (const auto& router : routers_) total += router->counters();

@@ -159,6 +159,9 @@ class IgpDomain {
   /// the DD-economy tests read these).
   [[nodiscard]] std::uint64_t total_lsas_sent() const;
   [[nodiscard]] std::uint64_t total_spf_runs() const;
+  /// How many of those SPF runs avoided the full Dijkstra (incremental
+  /// repair or certified-unchanged); deterministic across shard counts.
+  [[nodiscard]] std::uint64_t total_spf_incremental_runs() const;
   [[nodiscard]] proto::SessionCounters total_proto_counters() const;
 
   /// The sharded engine's execution telemetry (rounds, events, cross-shard

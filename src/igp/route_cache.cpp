@@ -24,36 +24,32 @@ void RouteCache::refresh_() {
 
   const std::vector<bool>& live = mask_->bits();
   FIB_ASSERT(live.size() == bits_.size(), "RouteCache: mask size changed");
-  // Net change since the snapshot, grouped into bidirectional adjacencies
-  // (the mask flips both halves together).
-  std::vector<topo::LinkId> changed_adjacencies;
-  bool mixed_halves = false;
+  // Net change since the snapshot: one directed EdgeDelta per flipped half
+  // (the view excludes each directed link by its own down bit, so the diff
+  // translates one-to-one). A whole SRLG event -- several adjacencies
+  // flipping inside one version window -- lands here as a single batch.
+  std::vector<EdgeDelta> deltas;
   for (topo::LinkId l = 0; l < bits_.size(); ++l) {
     if (bits_[l] == live[l]) continue;
-    const topo::LinkId rev = topo_->link(l).reverse;
-    const topo::LinkId pair_id = rev == topo::kInvalidLink ? l : std::min(l, rev);
-    if (rev != topo::kInvalidLink && bits_[rev] == live[rev]) mixed_halves = true;
-    if (std::find(changed_adjacencies.begin(), changed_adjacencies.end(), pair_id) ==
-        changed_adjacencies.end()) {
-      changed_adjacencies.push_back(pair_id);
-    }
+    const topo::Link& link = topo_->link(l);
+    deltas.push_back(EdgeDelta{link.from, link.to, link.metric,
+                               /*removed=*/live[l]});
   }
-  if (changed_adjacencies.empty()) {
+  if (deltas.empty()) {
     // e.g. a fail/restore pair between queries: the version moved but the
     // topology state did not -- everything cached is still exact.
     return;
   }
 
   ++stats_.generations;
-  if (changed_adjacencies.size() == 1 && !mixed_halves) {
-    // Single-adjacency delta: the previous generation's SPFs can be
-    // repaired incrementally on demand.
-    const topo::LinkId link = changed_adjacencies.front();
+  if (deltas.size() <= kMaxBatchedDeltas) {
+    // The previous generation's SPFs can be repaired incrementally on
+    // demand, in one batched Ramalingam-Reps pass over the whole delta.
     prev_spf_ = std::move(spf_);
-    delta_ = LinkDelta{link, /*removed=*/live[link]};
+    delta_ = std::move(deltas);
   } else {
     prev_spf_.clear();
-    delta_.reset();
+    delta_.clear();
   }
   spf_.assign(topo_->node_count(), nullptr);
   bits_ = live;
@@ -66,6 +62,11 @@ void RouteCache::refresh_() {
 }
 
 const NetworkView& RouteCache::view() {
+  util::MutexLock lock(mu_);
+  return view_locked_();
+}
+
+const NetworkView& RouteCache::view_locked_() {
   refresh_();
   if (!view_) {
     view_ = NetworkView::from_topology(*topo_, {}, mask_);
@@ -77,28 +78,33 @@ const NetworkView& RouteCache::view() {
 }
 
 const SpfResult& RouteCache::spf(topo::NodeId source) {
+  util::MutexLock lock(mu_);
+  return spf_locked_(source);
+}
+
+const SpfResult& RouteCache::spf_locked_(topo::NodeId source) {
   refresh_();
   FIB_ASSERT(source < spf_.size(), "RouteCache::spf: source out of range");
   if (spf_[source] != nullptr) return *spf_[source];
 
-  const NetworkView& current = view();
+  const NetworkView& current = view_locked_();
   std::shared_ptr<const SpfResult> prev =
       source < prev_spf_.size() ? prev_spf_[source] : nullptr;
-  if (delta_ && prev != nullptr) {
-    const topo::Link& link = topo_->link(delta_->link);
-    const topo::Metric w_ba = link.reverse != topo::kInvalidLink
-                                  ? topo_->link(link.reverse).metric
-                                  : link.metric;
+  if (!delta_.empty() && prev != nullptr) {
     if (!rin_) rin_ = reverse_adjacency(current);
-    SpfUpdate update = update_spf(current, *prev, link.from, link.to, link.metric,
-                                  w_ba, delta_->removed, &*rin_);
+    // >2 directed halves == more than one simultaneous adjacency: an SRLG
+    // batch (spf_batched counts the ones that stay off the full path).
+    const bool multi = delta_.size() > 2;
+    SpfUpdate update = update_spf(current, *prev, delta_, &*rin_);
     switch (update.mode) {
       case SpfUpdate::Mode::kUnchanged:
         ++stats_.spf_unchanged;
+        if (multi) ++stats_.spf_batched;
         spf_[source] = std::move(prev);  // share: content already exact
         break;
       case SpfUpdate::Mode::kIncremental:
         ++stats_.spf_incremental;
+        if (multi) ++stats_.spf_batched;
         spf_[source] = std::make_shared<const SpfResult>(std::move(update.result));
         break;
       case SpfUpdate::Mode::kFull:
@@ -114,13 +120,18 @@ const SpfResult& RouteCache::spf(topo::NodeId source) {
 }
 
 RouteCache::TablesPtr RouteCache::baseline() {
+  util::MutexLock lock(mu_);
+  return baseline_locked_();
+}
+
+RouteCache::TablesPtr RouteCache::baseline_locked_() {
   refresh_();
   if (baseline_ == nullptr) {
-    const NetworkView& current = view();
+    const NetworkView& current = view_locked_();
     auto tables = std::make_shared<Tables>();
     tables->reserve(topo_->node_count());
     for (topo::NodeId n = 0; n < topo_->node_count(); ++n) {
-      tables->push_back(compute_routes(current, spf(n)));
+      tables->push_back(compute_routes(current, spf_locked_(n)));
     }
     baseline_ = std::move(tables);
     ++stats_.baseline_builds;
@@ -130,8 +141,9 @@ RouteCache::TablesPtr RouteCache::baseline() {
 
 RouteCache::TablesPtr RouteCache::tables(
     const std::vector<NetworkView::External>& externals) {
+  util::MutexLock lock(mu_);
   refresh_();
-  if (externals.empty()) return baseline();
+  if (externals.empty()) return baseline_locked_();
 
   Fingerprint key;
   key.reserve(externals.size());
@@ -164,8 +176,8 @@ RouteCache::TablesPtr RouteCache::build_(
   // Lie-delta recomputation: externals for prefix p only influence routes
   // for p, so start from the externals-free baseline and rewrite exactly
   // the affected prefixes' entries from the memoized SPFs.
-  const NetworkView& current = view();
-  auto tables = std::make_shared<Tables>(*baseline());
+  const NetworkView& current = view_locked_();
+  auto tables = std::make_shared<Tables>(*baseline_locked_());
 
   std::map<net::Prefix, std::vector<const NetworkView::External*>> by_prefix;
   for (const NetworkView::External& ext : externals) {
@@ -174,7 +186,7 @@ RouteCache::TablesPtr RouteCache::build_(
   static const std::vector<const NetworkView::Attachment*> kNoAttachments;
 
   for (topo::NodeId n = 0; n < topo_->node_count(); ++n) {
-    const SpfResult& source_spf = spf(n);
+    const SpfResult& source_spf = spf_locked_(n);
     RoutingTable& table = (*tables)[n];
     for (const auto& [prefix, exts] : by_prefix) {
       const auto att_it = attachments_.find(prefix);

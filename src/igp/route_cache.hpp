@@ -13,6 +13,8 @@
 #include "igp/view.hpp"
 #include "topo/link_state.hpp"
 #include "topo/topology.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace fibbing::igp {
 
@@ -28,6 +30,11 @@ struct RouteCacheStats {
   std::uint64_t spf_full = 0;         ///< fresh Dijkstras (cold or fallback)
   std::uint64_t spf_incremental = 0;  ///< affected-region repairs
   std::uint64_t spf_unchanged = 0;    ///< link events proven no-ops per source
+  /// Multi-adjacency (SRLG) events that stayed on the incremental path: one
+  /// count per source whose update covered >1 simultaneous adjacency without
+  /// falling back to a full Dijkstra. Subset of spf_incremental +
+  /// spf_unchanged.
+  std::uint64_t spf_batched = 0;
   // -- lifecycle ----------------------------------------------------------
   std::uint64_t generations = 0;      ///< effective topology-state refreshes
 };
@@ -61,6 +68,15 @@ struct RouteCacheStats {
 /// verify -> ledger pipeline (Controller owns it and hands it to
 /// compile_lies and verify_augmentation), so each baseline is computed
 /// exactly once per topology version.
+///
+/// Thread safety: every public method locks an internal mutex, so the
+/// controller's parallel mitigation workers may query one shared instance
+/// concurrently (all state is FIB_GUARDED_BY and proven by -Wthread-safety;
+/// the TSan job races it for real). Returned references stay valid after
+/// the lock drops: per-source SPFs and the view are written exactly once
+/// per generation, and generations only turn over on a mask-version change
+/// -- which the single driving thread performs strictly between parallel
+/// phases. Tables are immutable shared_ptrs throughout.
 class RouteCache {
  public:
   /// `memo_capacity` bounds the exact memo (layer 1): at capacity the
@@ -79,21 +95,27 @@ class RouteCache {
   /// `externals`. Immutable and shared: callers may hold the pointer across
   /// later topology changes (it stays internally consistent; it just no
   /// longer describes the live state).
-  [[nodiscard]] TablesPtr tables(const std::vector<NetworkView::External>& externals);
+  [[nodiscard]] TablesPtr tables(const std::vector<NetworkView::External>& externals)
+      FIB_EXCLUDES(mu_);
 
   /// Externals-free tables for the current topology state.
-  [[nodiscard]] TablesPtr baseline();
+  [[nodiscard]] TablesPtr baseline() FIB_EXCLUDES(mu_);
 
   /// Memoized SPF from `source` over the current (degraded) topology.
-  [[nodiscard]] const SpfResult& spf(topo::NodeId source);
+  [[nodiscard]] const SpfResult& spf(topo::NodeId source) FIB_EXCLUDES(mu_);
 
   /// The externals-free NetworkView of the current topology state. Valid
   /// until the next call that observes a newer mask version.
-  [[nodiscard]] const NetworkView& view();
+  [[nodiscard]] const NetworkView& view() FIB_EXCLUDES(mu_);
 
   [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
   [[nodiscard]] const topo::LinkStateMask& link_state() const { return *mask_; }
-  [[nodiscard]] const RouteCacheStats& stats() const { return stats_; }
+  /// A snapshot copy: under concurrent queries the live struct moves, and a
+  /// reference into it could not be read race-free.
+  [[nodiscard]] RouteCacheStats stats() const FIB_EXCLUDES(mu_) {
+    util::MutexLock lock(mu_);
+    return stats_;
+  }
 
  private:
   /// One external's route-relevant identity (lie ids excluded: they never
@@ -103,31 +125,46 @@ class RouteCache {
 
   /// Catch up with the mask: diff the stored bit snapshot against the live
   /// one and invalidate (or incrementally carry over) the derived state.
-  void refresh_();
-  [[nodiscard]] TablesPtr build_(const std::vector<NetworkView::External>& externals);
+  void refresh_() FIB_REQUIRES(mu_);
+  // Lock-free bodies of the public accessors (each public entry point locks
+  // once and delegates, so internal cross-calls never re-lock).
+  [[nodiscard]] const NetworkView& view_locked_() FIB_REQUIRES(mu_);
+  [[nodiscard]] const SpfResult& spf_locked_(topo::NodeId source) FIB_REQUIRES(mu_);
+  [[nodiscard]] TablesPtr baseline_locked_() FIB_REQUIRES(mu_);
+  [[nodiscard]] TablesPtr build_(const std::vector<NetworkView::External>& externals)
+      FIB_REQUIRES(mu_);
 
   const topo::Topology* topo_;
   const topo::LinkStateMask* mask_;
 
-  std::uint64_t version_seen_;
-  std::vector<bool> bits_;  ///< mask snapshot the cached state describes
-  std::optional<NetworkView> view_;  ///< lazily built per generation
+  /// One lock for all mutable state: queries are cheap relative to the
+  /// solver work the mitigation workers do between them, so a coarse
+  /// capability keeps the invariants trivially whole.
+  mutable util::Mutex mu_;
+
+  std::uint64_t version_seen_ FIB_GUARDED_BY(mu_);
+  /// Mask snapshot the cached state describes.
+  std::vector<bool> bits_ FIB_GUARDED_BY(mu_);
+  /// Lazily built per generation.
+  std::optional<NetworkView> view_ FIB_GUARDED_BY(mu_);
 
   /// Per-source SPFs for the current generation (null until queried).
-  std::vector<std::shared_ptr<const SpfResult>> spf_;
-  /// Previous generation's SPFs, kept only while `delta_` records the one
-  /// adjacency separating it from the current generation.
-  std::vector<std::shared_ptr<const SpfResult>> prev_spf_;
-  struct LinkDelta {
-    topo::LinkId link = topo::kInvalidLink;  // lower-id directed half
-    bool removed = false;
-  };
-  std::optional<LinkDelta> delta_;
+  std::vector<std::shared_ptr<const SpfResult>> spf_ FIB_GUARDED_BY(mu_);
+  /// Previous generation's SPFs, kept only while `delta_` records the edge
+  /// changes separating it from the current generation.
+  std::vector<std::shared_ptr<const SpfResult>> prev_spf_ FIB_GUARDED_BY(mu_);
+  /// Directed edge deltas between the previous and current generation, one
+  /// per flipped mask bit (empty when the previous SPFs were discarded). A
+  /// whole SRLG event lands here as one batch and stays on the incremental
+  /// path; past kMaxBatchedDeltas flipped halves the repair would touch most
+  /// of the graph anyway, so the cache invalidates instead.
+  static constexpr std::size_t kMaxBatchedDeltas = 16;
+  std::vector<EdgeDelta> delta_ FIB_GUARDED_BY(mu_);
   /// Reverse adjacency of the current view, built once per generation the
   /// first time an incremental SPF update needs it (shared by all sources).
-  std::optional<ReverseAdjacency> rin_;
+  std::optional<ReverseAdjacency> rin_ FIB_GUARDED_BY(mu_);
 
-  TablesPtr baseline_;
+  TablesPtr baseline_ FIB_GUARDED_BY(mu_);
   /// Exact memo with LRU keyed eviction: `lru_` orders fingerprints most-
   /// recently-used first; each memo entry holds its list position so a hit
   /// refreshes recency in O(1) (splice), and capacity evicts `lru_.back()`.
@@ -136,12 +173,13 @@ class RouteCache {
     std::list<Fingerprint>::iterator lru_pos;
   };
   std::size_t memo_capacity_;
-  std::map<Fingerprint, MemoEntry> memo_;
-  std::list<Fingerprint> lru_;
+  std::map<Fingerprint, MemoEntry> memo_ FIB_GUARDED_BY(mu_);
+  std::list<Fingerprint> lru_ FIB_GUARDED_BY(mu_);
   /// Attachments of the current view bucketed by prefix (patch helper).
-  std::map<net::Prefix, std::vector<const NetworkView::Attachment*>> attachments_;
+  std::map<net::Prefix, std::vector<const NetworkView::Attachment*>> attachments_
+      FIB_GUARDED_BY(mu_);
 
-  RouteCacheStats stats_;
+  RouteCacheStats stats_ FIB_GUARDED_BY(mu_);
 };
 
 }  // namespace fibbing::igp

@@ -1,9 +1,8 @@
 #include "igp/router_process.hpp"
 
+#include <algorithm>
 #include <utility>
 
-#include "igp/spf.hpp"
-#include "igp/view.hpp"
 #include "util/logging.hpp"
 
 namespace fibbing::igp {
@@ -334,12 +333,96 @@ void RouterProcess::schedule_spf_() {
   });
 }
 
+namespace {
+
+/// Directed adjacency changes between two LSDB-derived views of the same
+/// domain: the inputs to a batched incremental SPF repair. Per-node
+/// multiset difference of the out-edge lists (a metric change shows up as a
+/// removal plus an insertion).
+std::vector<EdgeDelta> adjacency_deltas(const NetworkView& prev,
+                                        const NetworkView& next) {
+  std::vector<EdgeDelta> deltas;
+  const auto key = [](const NetworkView::Edge& e) {
+    return std::make_pair(e.to, e.metric);
+  };
+  for (topo::NodeId u = 0; u < next.node_count(); ++u) {
+    const auto& before = prev.edges_from(u);
+    const auto& after = next.edges_from(u);
+    if (before.size() == after.size() &&
+        std::equal(before.begin(), before.end(), after.begin(),
+                   [&](const NetworkView::Edge& x, const NetworkView::Edge& y) {
+                     return key(x) == key(y);
+                   })) {
+      continue;
+    }
+    std::vector<NetworkView::Edge> a(before.begin(), before.end());
+    std::vector<NetworkView::Edge> b(after.begin(), after.end());
+    const auto by_key = [&](const NetworkView::Edge& x, const NetworkView::Edge& y) {
+      return key(x) < key(y);
+    };
+    std::sort(a.begin(), a.end(), by_key);
+    std::sort(b.begin(), b.end(), by_key);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() || j < b.size()) {
+      if (j == b.size() || (i < a.size() && key(a[i]) < key(b[j]))) {
+        deltas.push_back(EdgeDelta{u, a[i].to, a[i].metric, /*removed=*/true});
+        ++i;
+      } else if (i == a.size() || key(b[j]) < key(a[i])) {
+        deltas.push_back(EdgeDelta{u, b[j].to, b[j].metric, /*removed=*/false});
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return deltas;
+}
+
+/// Past this many flipped directed edges the change is a bulk LSDB
+/// transition (boot, partition heal): repair would touch most of the graph,
+/// so run the full Dijkstra directly.
+constexpr std::size_t kMaxRouterSpfDeltas = 16;
+
+}  // namespace
+
 void RouterProcess::run_spf_now_() {
   ++spf_runs_;
-  const NetworkView view = NetworkView::from_lsdb(lsdb_, node_count_);
-  table_ = compute_routes(view, self_);
+  NetworkView view = NetworkView::from_lsdb(lsdb_, node_count_);
+  bool avoided_full = false;
+  if (prev_view_.has_value()) {
+    // The hold-down window accumulated some set of LSDB changes; diff the
+    // resulting adjacency sets and repair the previous SPF incrementally.
+    // Lie (External-LSA) churn leaves the adjacency diff empty: the old
+    // distances are certified unchanged and only routes are recomputed.
+    const std::vector<EdgeDelta> deltas = adjacency_deltas(*prev_view_, view);
+    if (deltas.size() <= kMaxRouterSpfDeltas) {
+      SpfUpdate update = update_spf(view, prev_spf_, deltas);
+      switch (update.mode) {
+        case SpfUpdate::Mode::kUnchanged:
+          avoided_full = true;  // prev_spf_ is already exact for `view`
+          break;
+        case SpfUpdate::Mode::kIncremental:
+          avoided_full = true;
+          prev_spf_ = std::move(update.result);
+          break;
+        case SpfUpdate::Mode::kFull:
+          prev_spf_ = std::move(update.result);
+          break;
+      }
+    } else {
+      prev_spf_ = run_spf(view, self_);
+    }
+  } else {
+    prev_spf_ = run_spf(view, self_);
+  }
+  if (avoided_full) ++spf_incremental_runs_;
+  table_ = compute_routes(view, prev_spf_);
+  prev_view_ = std::move(view);
   FIB_LOG(kDebug, "igp") << "router " << self_ << " spf run #" << spf_runs_ << ", "
-                         << table_.size() << " routes";
+                         << table_.size() << " routes"
+                         << (avoided_full ? " (incremental)" : "");
   if (on_table_) on_table_(self_, table_);
 }
 

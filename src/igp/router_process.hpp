@@ -4,11 +4,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
 #include "igp/lsdb.hpp"
 #include "igp/routes.hpp"
+#include "igp/spf.hpp"
+#include "igp/view.hpp"
 #include "proto/neighbor.hpp"
 #include "proto/translate.hpp"
 #include "util/event_queue.hpp"
@@ -124,6 +127,14 @@ class RouterProcess final : private proto::DatabaseFacade {
   [[nodiscard]] std::uint64_t packets_received() const { return packets_received_; }
   [[nodiscard]] std::uint64_t decode_errors() const { return decode_errors_; }
   [[nodiscard]] std::uint64_t spf_runs() const { return spf_runs_; }
+  /// SPF runs that avoided the full Dijkstra: the hold-down window's LSDB
+  /// change set was repaired incrementally against the previous run's view
+  /// (or certified unchanged -- e.g. pure lie churn, which leaves the
+  /// adjacency diff empty). Always <= spf_runs(); deterministic, so the
+  /// shard bit-identity suite compares it across worker counts.
+  [[nodiscard]] std::uint64_t spf_incremental_runs() const {
+    return spf_incremental_runs_;
+  }
   /// External LSAs rejected because their route tag named a different lie
   /// than the one owning the same wire identity (appendix-E host-bit
   /// collision) -- each one is an aliasing event that would otherwise have
@@ -186,8 +197,14 @@ class RouterProcess final : private proto::DatabaseFacade {
   std::uint64_t packets_received_ = 0;
   std::uint64_t decode_errors_ = 0;
   std::uint64_t spf_runs_ = 0;
+  std::uint64_t spf_incremental_runs_ = 0;
   std::uint64_t alias_collisions_ = 0;
   std::uint64_t tombstones_flushed_ = 0;
+  /// The previous SPF run's inputs and result: the basis the next run
+  /// repairs incrementally instead of re-running Dijkstra from scratch.
+  /// `prev_spf_` is valid exactly when `prev_view_` is engaged.
+  std::optional<NetworkView> prev_view_;
+  SpfResult prev_spf_;
 };
 
 }  // namespace fibbing::igp

@@ -192,27 +192,37 @@ ReverseAdjacency reverse_adjacency(const NetworkView& view) {
 }
 
 SpfUpdate update_spf(const NetworkView& new_view, const SpfResult& old,
-                     topo::NodeId a, topo::NodeId b, topo::Metric w_ab,
-                     topo::Metric w_ba, bool removed, const ReverseAdjacency* rin_in) {
+                     const std::vector<EdgeDelta>& deltas,
+                     const ReverseAdjacency* rin_in) {
   const std::size_t n = new_view.node_count();
   FIB_ASSERT(old.dist.size() == n, "update_spf: view/result size mismatch");
-  FIB_ASSERT(a < n && b < n, "update_spf: endpoint out of range");
   SpfUpdate out;
 
   const auto reach_old = [&](topo::NodeId v) { return old.dist[v] < kInfMetric; };
-  // Tightness of the flipped halves under the *old* distances: only tight
-  // edges carry shortest paths (and therefore first hops).
-  const bool tight_ab =
-      reach_old(a) && reach_old(b) && old.dist[a] + w_ab == old.dist[b];
-  const bool tight_ba =
-      reach_old(a) && reach_old(b) && old.dist[b] + w_ba == old.dist[a];
-  const bool improves_b =
-      !removed && reach_old(a) && (!reach_old(b) || old.dist[a] + w_ab < old.dist[b]);
-  const bool improves_a =
-      !removed && reach_old(b) && (!reach_old(a) || old.dist[b] + w_ba < old.dist[a]);
+  // Classify every delta under the *old* distances: only tight edges carry
+  // shortest paths (and therefore first hops); an insertion additionally
+  // matters when it strictly shortens its head.
+  const auto old_tight = [&](const EdgeDelta& d) {
+    return reach_old(d.from) && reach_old(d.to) &&
+           old.dist[d.from] + d.metric == old.dist[d.to];
+  };
+  bool any_removed_tight = false;
+  bool any_insert_relevant = false;
+  bool any_inserted = false;
+  for (const EdgeDelta& d : deltas) {
+    FIB_ASSERT(d.from < n && d.to < n, "update_spf: endpoint out of range");
+    if (d.removed) {
+      any_removed_tight = any_removed_tight || old_tight(d);
+    } else {
+      any_inserted = true;
+      const bool improves =
+          reach_old(d.from) &&
+          (!reach_old(d.to) || old.dist[d.from] + d.metric < old.dist[d.to]);
+      any_insert_relevant = any_insert_relevant || old_tight(d) || improves;
+    }
+  }
 
-  if (removed ? (!tight_ab && !tight_ba)
-              : (!tight_ab && !tight_ba && !improves_a && !improves_b)) {
+  if (!any_removed_tight && !any_insert_relevant) {
     out.mode = SpfUpdate::Mode::kUnchanged;
     return out;
   }
@@ -236,11 +246,15 @@ SpfUpdate update_spf(const NetworkView& new_view, const SpfResult& old,
   using Item = std::pair<topo::Metric, topo::NodeId>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
 
-  if (removed) {
-    // Affected region: nodes whose every tight in-edge (in the new view)
-    // comes from another affected node. Worklist with re-checks -- marking
-    // a node affected re-enqueues its tight children, so a node supported
-    // only by later casualties is eventually caught.
+  if (any_removed_tight) {
+    // Affected region -- the *union* over every removed tight edge: nodes
+    // whose every tight in-edge (in the new view) comes from another
+    // affected node. Worklist with re-checks -- marking a node affected
+    // re-enqueues its tight children, so a node supported only by later
+    // casualties is eventually caught. Inserted edges already present in
+    // the new view's rin can legitimately provide support: an edge tight
+    // under the old distances from an unaffected tail pins its head's
+    // distance in the new view too.
     const auto has_support = [&](topo::NodeId v) {
       if (v == old.source) return true;
       for (const InEdge& e : rin[v]) {
@@ -252,8 +266,9 @@ SpfUpdate update_spf(const NetworkView& new_view, const SpfResult& old,
       return false;
     };
     std::vector<topo::NodeId> worklist;
-    if (tight_ab) worklist.push_back(b);
-    if (tight_ba) worklist.push_back(a);
+    for (const EdgeDelta& d : deltas) {
+      if (d.removed && old_tight(d)) worklist.push_back(d.to);
+    }
     for (std::size_t head = 0; head < worklist.size(); ++head) {
       const topo::NodeId v = worklist[head];
       if (changed[v] || has_support(v)) continue;
@@ -301,9 +316,18 @@ SpfUpdate update_spf(const NetworkView& new_view, const SpfResult& old,
         }
       }
     }
-  } else {
-    // Insertion only shortens paths: seed the improved endpoints and let the
-    // decreases propagate (standard incremental Dijkstra).
+  }
+
+  if (any_inserted) {
+    // Insertions only shorten paths: seed every inserted edge's relaxation
+    // and let the decreases propagate (standard incremental Dijkstra). This
+    // runs *after* the removal repair, against its (possibly raised)
+    // distances: any node the repair left above its true new-view distance
+    // owes the gap to a path crossing an inserted edge -- paths avoiding
+    // them were all available to the repair -- so seeding exactly the
+    // inserted edges restores exactness. Every inserted edge is seeded, not
+    // just the ones improving under the old distances: the repair may have
+    // raised a head that an insertion now rescues.
     const auto improve = [&](topo::NodeId v, topo::Metric nd) {
       if (nd >= res.dist[v]) return;
       res.dist[v] = nd;
@@ -313,8 +337,10 @@ SpfUpdate update_spf(const NetworkView& new_view, const SpfResult& old,
       }
       heap.emplace(nd, v);
     };
-    if (improves_b) improve(b, old.dist[a] + w_ab);
-    if (improves_a) improve(a, old.dist[b] + w_ba);
+    for (const EdgeDelta& d : deltas) {
+      if (d.removed || res.dist[d.from] >= kInfMetric) continue;
+      improve(d.to, res.dist[d.from] + d.metric);
+    }
     while (!heap.empty()) {
       const auto [d, v] = heap.top();
       heap.pop();
@@ -351,15 +377,14 @@ SpfUpdate update_spf(const NetworkView& new_view, const SpfResult& old,
     }
   }
   const auto reach_new = [&](topo::NodeId v) { return res.dist[v] < kInfMetric; };
-  if (removed) {
-    if (tight_ab) mark_dirty(b);
-    if (tight_ba) mark_dirty(a);
-  } else {
-    if (reach_new(a) && reach_new(b) && res.dist[a] + w_ab == res.dist[b]) {
-      mark_dirty(b);
-    }
-    if (reach_new(a) && reach_new(b) && res.dist[b] + w_ba == res.dist[a]) {
-      mark_dirty(a);
+  for (const EdgeDelta& d : deltas) {
+    if (d.removed) {
+      // The head lost a tight parent (even if its distance survived).
+      if (old_tight(d)) mark_dirty(d.to);
+    } else if (reach_new(d.from) && reach_new(d.to) &&
+               res.dist[d.from] + d.metric == res.dist[d.to]) {
+      // The head gained a tight parent under the new distances.
+      mark_dirty(d.to);
     }
   }
   for (std::size_t head = 0; head < dirty_list.size(); ++head) {
@@ -399,6 +424,15 @@ SpfUpdate update_spf(const NetworkView& new_view, const SpfResult& old,
   out.affected = changed_list.size();
   out.result = std::move(res);
   return out;
+}
+
+SpfUpdate update_spf(const NetworkView& new_view, const SpfResult& old,
+                     topo::NodeId a, topo::NodeId b, topo::Metric w_ab,
+                     topo::Metric w_ba, bool removed, const ReverseAdjacency* rin) {
+  return update_spf(new_view, old,
+                    std::vector<EdgeDelta>{EdgeDelta{a, b, w_ab, removed},
+                                           EdgeDelta{b, a, w_ba, removed}},
+                    rin);
 }
 
 std::vector<RoutingTable> compute_all_routes(const NetworkView& view) {

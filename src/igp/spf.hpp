@@ -58,10 +58,10 @@ struct SubnetRoute {
 /// Convenience: routing tables for every router in the view.
 [[nodiscard]] std::vector<RoutingTable> compute_all_routes(const NetworkView& view);
 
-/// Outcome of an incremental SPF update after one adjacency flip.
+/// Outcome of an incremental SPF update after a set of adjacency flips.
 struct SpfUpdate {
   enum class Mode {
-    kUnchanged,    ///< the flipped adjacency was not on any shortest path
+    kUnchanged,    ///< no flipped adjacency was on any shortest path
     kIncremental,  ///< distances repaired from the affected region only
     kFull,         ///< change was non-local; fell back to a fresh Dijkstra
   };
@@ -71,6 +71,16 @@ struct SpfUpdate {
   SpfResult result;
   /// Nodes whose distance had to be repaired (kIncremental only).
   std::size_t affected = 0;
+};
+
+/// One directed adjacency change between two views. A bidirectional link
+/// flip is two deltas (one per direction); an SRLG event failing k links is
+/// 2k of them, all handed to update_spf at once.
+struct EdgeDelta {
+  topo::NodeId from = topo::kInvalidNode;
+  topo::NodeId to = topo::kInvalidNode;
+  topo::Metric metric = 0;  ///< directed metric of the flipped edge
+  bool removed = false;     ///< true: edge left the view; false: edge joined
 };
 
 /// Reverse adjacency (in-edges per node) of a view. update_spf consults it
@@ -86,16 +96,28 @@ struct ReverseAdjacency {
 };
 [[nodiscard]] ReverseAdjacency reverse_adjacency(const NetworkView& view);
 
-/// Update `old` -- valid for the view *before* the adjacency between `a`
-/// and `b` flipped -- to the view *after* (`new_view`). `removed` says which
-/// way the adjacency flipped; `w_ab` / `w_ba` are its directed metrics.
-/// When the flipped adjacency touches no shortest path the old result is
-/// certified unchanged in O(1); otherwise distances are repaired outward
-/// from the affected region (Ramalingam-Reps style) and first-hop sets are
-/// rebuilt only where they can differ, falling back to a full Dijkstra when
-/// more than a quarter of the nodes are affected. Results are bit-identical
-/// to run_spf on the new view in every mode. `rin` (optional) must be
-/// reverse_adjacency(new_view); when null it is built internally.
+/// Update `old` -- valid for the view *before* the given adjacency changes
+/// -- to the view *after* them all (`new_view`), in one batched repair:
+/// the union of the removals' affected regions is recomputed Ramalingam-Reps
+/// style (seeded from the unaffected frontier), then one decrease-propagation
+/// pass seeded from every inserted edge restores exactness -- any path the
+/// removal repair could have missed must cross an inserted edge. First-hop
+/// sets are rebuilt only where they can differ. When no flipped edge touches
+/// a shortest path the old result is certified unchanged without touching
+/// the graph; when the removals' region exceeds a quarter of the nodes the
+/// update falls back to a full Dijkstra. Results are bit-identical to
+/// run_spf on the new view in every mode, for any number of simultaneous
+/// deltas (an SRLG failing 2-8 links stays one incremental repair). `rin`
+/// (optional) must be reverse_adjacency(new_view); when null it is built
+/// internally.
+[[nodiscard]] SpfUpdate update_spf(const NetworkView& new_view, const SpfResult& old,
+                                   const std::vector<EdgeDelta>& deltas,
+                                   const ReverseAdjacency* rin = nullptr);
+
+/// Single-adjacency convenience: the bidirectional link between `a` and `b`
+/// flipped (`removed` says which way); `w_ab` / `w_ba` are its directed
+/// metrics. Exactly equivalent to the batched form with the two directed
+/// deltas.
 [[nodiscard]] SpfUpdate update_spf(const NetworkView& new_view, const SpfResult& old,
                                    topo::NodeId a, topo::NodeId b, topo::Metric w_ab,
                                    topo::Metric w_ba, bool removed,

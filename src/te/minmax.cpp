@@ -299,6 +299,18 @@ std::vector<bool> shortest_path_dag(const topo::Topology& topo, topo::NodeId des
   return dag_from_dist(topo, dist_to_node(topo, dest, link_state), link_state);
 }
 
+std::vector<bool> shortest_path_dag(const topo::Topology& topo, topo::NodeId dest,
+                                    const topo::LinkStateMask* link_state,
+                                    MinMaxSearch* search) {
+  FIB_ASSERT(dest < topo.node_count(), "shortest_path_dag: bad destination");
+  if (search == nullptr) return shortest_path_dag(topo, dest, link_state);
+  if (!search->dist_valid_) {
+    search->dist_ = dist_to_node(topo, dest, link_state);
+    search->dist_valid_ = true;
+  }
+  return dag_from_dist(topo, search->dist_, link_state);
+}
+
 util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
                                          topo::NodeId dest,
                                          const std::vector<Demand>& demands,
@@ -352,12 +364,23 @@ util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
     if (dist.empty() && (config.max_stretch > 0.0 || config.refine)) {
       // The populating call ran without refinement; this rung wants it.
       dist = dist_to_node(topo, dest, link_state);
+      search->dist_ = dist;
+      search->dist_valid_ = true;
     }
   } else {
     // One reverse Dijkstra serves stretch pruning, refinement ordering and
-    // shortest-path-DAG membership alike.
+    // shortest-path-DAG membership alike -- reused across reset_bound()
+    // re-solves and shortest_path_dag when a search carries it already.
     if (config.max_stretch > 0.0 || config.refine) {
-      dist = dist_to_node(topo, dest, link_state);
+      if (search != nullptr && search->dist_valid_) {
+        dist = search->dist_;
+      } else {
+        dist = dist_to_node(topo, dest, link_state);
+        if (search != nullptr) {
+          search->dist_ = dist;
+          search->dist_valid_ = true;
+        }
+      }
     }
 
     // Usable links: up (per the live mask), inside the caller's support
@@ -418,7 +441,12 @@ util::Result<MinMaxResult> solve_min_max(const topo::Topology& topo,
       search->hi_ = hi;
       search->total_ = total;
       search->allowed_ = allowed;
-      search->dist_ = dist;
+      if (!dist.empty()) {
+        // Never clobber a cached Dijkstra with the empty vector of a solve
+        // that needed no distances (no stretch bound, refinement off).
+        search->dist_ = dist;
+        search->dist_valid_ = true;
+      }
     }
   }
   ThetaOracle oracle =

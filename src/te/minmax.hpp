@@ -136,17 +136,38 @@ class MinMaxSearch {
   /// A prior call has populated this search (reusing it skips the search).
   [[nodiscard]] bool solved() const { return solved_; }
 
+  /// Forget the solved bound and link pruning but keep the cached reverse
+  /// Dijkstra. The distance vector depends only on (topo, dest, link-state)
+  /// -- none of the per-solve knobs -- so after reset_bound() the same
+  /// instance can re-solve with a different support restriction (the
+  /// controller's fallback ladder does exactly this: the initial solve
+  /// seeds the Dijkstra, the support DAG and every rung reuse it) while
+  /// the bound is honestly recomputed.
+  void reset_bound() {
+    solved_ = false;
+    hi_ = 0.0;
+    total_ = 0.0;
+    allowed_.clear();
+  }
+
  private:
   friend util::Result<MinMaxResult> solve_min_max(
       const topo::Topology& topo, topo::NodeId dest,
       const std::vector<Demand>& demands, const std::vector<double>& background_bps,
       const MinMaxConfig& config, MinMaxSearch* search);
+  friend std::vector<bool> shortest_path_dag(const topo::Topology& topo,
+                                             topo::NodeId dest,
+                                             const topo::LinkStateMask* link_state,
+                                             MinMaxSearch* search);
 
   bool solved_ = false;
   double hi_ = 0.0;            ///< feasible theta upper bound of the search
   double total_ = 0.0;         ///< total demand (reuse tripwire)
   std::vector<bool> allowed_;  ///< mask/support/stretch-pruned usable links
-  std::vector<topo::Metric> dist_;  ///< reverse Dijkstra toward dest
+  /// Reverse Dijkstra toward dest, valid when dist_valid_ (survives
+  /// reset_bound(): it depends only on topo/dest/link-state).
+  std::vector<topo::Metric> dist_;
+  bool dist_valid_ = false;
 };
 
 /// solve_min_max with search reuse: when `search` is already solved the
@@ -174,6 +195,15 @@ class MinMaxSearch {
 [[nodiscard]] std::vector<bool> shortest_path_dag(
     const topo::Topology& topo, topo::NodeId dest,
     const topo::LinkStateMask* link_state = nullptr);
+
+/// shortest_path_dag sharing a MinMaxSearch's cached reverse Dijkstra: when
+/// `search` already holds the distance vector for this (topo, dest,
+/// link-state) the Dijkstra is skipped; otherwise it runs once and is
+/// stored for the solves that follow. Null search falls back to the plain
+/// overload.
+[[nodiscard]] std::vector<bool> shortest_path_dag(
+    const topo::Topology& topo, topo::NodeId dest,
+    const topo::LinkStateMask* link_state, MinMaxSearch* search);
 
 /// Maximum link utilization if the same demands follow plain IGP shortest
 /// paths with even ECMP splitting (the no-Fibbing baseline of Fig. 1b).

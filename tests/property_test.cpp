@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <map>
+#include <sstream>
+#include <string>
 
 #include "core/augment.hpp"
 #include "core/verify.hpp"
@@ -437,7 +439,12 @@ class ChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
 /// graph connected; partition blackholes are exercised elsewhere). Once all
 /// links are restored and load subsides, the whole system must reconverge
 /// to the no-lie full-topology routes of a pristine boot.
-void run_churn_scenario(std::uint64_t seed, const core::ServiceConfig& config) {
+/// `max_group` > 1 turns every fail / restore step into a shared-risk-group
+/// event: 2..max_group adjacencies flip together before the network settles
+/// (a conduit cut taking down every fiber it carries). max_group == 1
+/// reproduces the single-link churn byte-for-byte (no extra rng draws).
+void run_churn_scenario(std::uint64_t seed, const core::ServiceConfig& config,
+                        int max_group = 1) {
   util::Rng rng(seed);
   support::PaperScenario run(config);
   core::FibbingService& service = run.service;
@@ -456,25 +463,32 @@ void run_churn_scenario(std::uint64_t seed, const core::ServiceConfig& config) {
   for (int step = 0; step < 200; ++step) {
     const auto kind = rng.uniform_int(0, 3);
     if (kind == 0) {
-      // Fail a random up adjacency whose loss keeps the graph connected.
-      std::vector<topo::LinkId> candidates;
-      for (const topo::LinkId l : adjacencies) {
-        if (!service.link_state().is_down(l) &&
-            stays_connected_without(t, service.link_state(), l)) {
-          candidates.push_back(l);
+      // Fail random up adjacencies whose loss keeps the graph connected --
+      // the whole group before the network settles when SRLGs are on.
+      const int group =
+          max_group > 1 ? static_cast<int>(rng.uniform_int(2, max_group)) : 1;
+      for (int g = 0; g < group; ++g) {
+        std::vector<topo::LinkId> candidates;
+        for (const topo::LinkId l : adjacencies) {
+          if (!service.link_state().is_down(l) &&
+              stays_connected_without(t, service.link_state(), l)) {
+            candidates.push_back(l);
+          }
         }
-      }
-      if (!candidates.empty()) {
+        if (candidates.empty()) break;
         const topo::LinkId l = candidates[rng.pick_index(candidates.size())];
         ASSERT_TRUE(service.fail_link(t.link(l).from, t.link(l).to).ok());
       }
     } else if (kind == 1) {
-      // Restore a random down adjacency (no-op when nothing is down).
-      std::vector<topo::LinkId> downs;
-      for (const topo::LinkId l : adjacencies) {
-        if (service.link_state().is_down(l)) downs.push_back(l);
-      }
-      if (!downs.empty()) {
+      // Restore random down adjacencies (no-op when nothing is down).
+      const int group =
+          max_group > 1 ? static_cast<int>(rng.uniform_int(2, max_group)) : 1;
+      for (int g = 0; g < group; ++g) {
+        std::vector<topo::LinkId> downs;
+        for (const topo::LinkId l : adjacencies) {
+          if (service.link_state().is_down(l)) downs.push_back(l);
+        }
+        if (downs.empty()) break;
         const topo::LinkId l = downs[rng.pick_index(downs.size())];
         ASSERT_TRUE(service.restore_link(t.link(l).from, t.link(l).to).ok());
       }
@@ -536,10 +550,15 @@ void run_churn_scenario(std::uint64_t seed, const core::ServiceConfig& config) {
   run.run_until(now);
 
   // The run must actually have exercised the failure-aware loop: plenty of
-  // topology events and at least one mitigation and retraction.
+  // topology events and at least one mitigation and retraction. The
+  // retraction tripwire is only meaningful for single-link churn: under
+  // grouped (SRLG) events a seed can legitimately shed every lie through
+  // stranded re-placement instead of load-driven retraction.
   EXPECT_GT(service.controller().topology_events(), 20);
   EXPECT_GE(service.controller().mitigations(), 1);
-  EXPECT_GE(service.controller().retractions(), 1);
+  if (max_group == 1) {
+    EXPECT_GE(service.controller().retractions(), 1);
+  }
 
   EXPECT_FALSE(service.link_state().any_down());
   EXPECT_EQ(service.controller().active_lie_count(), 0u);
@@ -568,6 +587,148 @@ TEST(ChurnWithoutJointBatchPlacement, InvariantsHoldViaFallbackLadder) {
   config.controller.joint_batch_placement = false;
   run_churn_scenario(1, config);
 }
+
+// ------------------------------------------- SRLG churn: grouped fail/restore
+
+/// Shared-risk-group churn: every topology event takes 2-4 adjacencies down
+/// (or up) together before the network settles, interleaved with the same
+/// surges/subsides. All churn invariants -- and the cache-vs-fresh
+/// bit-identity checked after every step -- must survive simultaneous
+/// multi-link events, not just the single-link deltas of ChurnProperty.
+class SrlgChurnProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SrlgChurnProperty, GroupedFailuresPreserveInvariantsAndReconverge) {
+  run_churn_scenario(GetParam(), support::demo_config(), /*max_group=*/4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SrlgChurnProperty,
+                         ::testing::Range<std::uint64_t>(1, 4));
+
+// --------------------------- worker-count determinism: parallel mitigation
+
+/// Everything the controller's mitigation pipeline produces, serialized:
+/// the standing lies (every field, ids included), the controller counters,
+/// the southbound session's wire counters and each router's full routing
+/// table. Cache statistics are deliberately absent: LRU hit/build/eviction
+/// counts may legitimately vary with worker interleaving; the *results*
+/// may not.
+std::string churn_fingerprint(std::uint64_t seed, std::size_t workers) {
+  core::ServiceConfig config = support::demo_config();
+  config.controller.mitigation_workers = workers;
+  util::Rng rng(seed);
+  support::PaperScenario run(config);
+  core::FibbingService& service = run.service;
+  const topo::Topology& t = run.p.topo;
+  const video::VideoAsset asset{1e6, 3600.0};
+
+  std::vector<topo::LinkId> adjacencies;
+  for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+    if (t.link(l).from < t.link(l).to) adjacencies.push_back(l);
+  }
+
+  std::vector<video::SessionId> sessions;
+  std::uint32_t next_host = 1;
+  double now = 0.0;
+  for (int step = 0; step < 80; ++step) {
+    const auto kind = rng.uniform_int(0, 3);
+    if (kind == 0) {
+      std::vector<topo::LinkId> candidates;
+      for (const topo::LinkId l : adjacencies) {
+        if (!service.link_state().is_down(l) &&
+            stays_connected_without(t, service.link_state(), l)) {
+          candidates.push_back(l);
+        }
+      }
+      if (!candidates.empty()) {
+        const topo::LinkId l = candidates[rng.pick_index(candidates.size())];
+        (void)service.fail_link(t.link(l).from, t.link(l).to);
+      }
+    } else if (kind == 1) {
+      std::vector<topo::LinkId> downs;
+      for (const topo::LinkId l : adjacencies) {
+        if (service.link_state().is_down(l)) downs.push_back(l);
+      }
+      if (!downs.empty()) {
+        const topo::LinkId l = downs[rng.pick_index(downs.size())];
+        (void)service.restore_link(t.link(l).from, t.link(l).to);
+      }
+    } else if (kind == 2 && sessions.size() < 40) {
+      // Surge both prefixes so mitigation batches carry several members --
+      // the case where the parallel pipeline actually fans out.
+      const bool p1 = rng.chance(0.5);
+      const auto count = rng.uniform_int(3, 8);
+      for (std::int64_t i = 0; i < count; ++i) {
+        const net::Prefix& prefix = p1 ? run.p.p1 : run.p.p2;
+        sessions.push_back(service.video().start_session(
+            p1 ? run.s1 : run.s2, prefix, prefix.host(1 + next_host++ % 120),
+            asset));
+      }
+    } else if (kind == 3 && !sessions.empty()) {
+      const auto count =
+          std::min<std::size_t>(sessions.size(),
+                                static_cast<std::size_t>(rng.uniform_int(1, 8)));
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t pick = rng.pick_index(sessions.size());
+        service.video().stop_session(sessions[pick]);
+        sessions[pick] = sessions.back();
+        sessions.pop_back();
+      }
+    }
+    now += 2.0;
+    run.run_until(now);
+  }
+
+  std::ostringstream out;
+  const core::Controller& c = service.controller();
+  out << "mitigations=" << c.mitigations() << " retractions=" << c.retractions()
+      << " relaxed=" << c.relaxed_placements()
+      << " topology_events=" << c.topology_events()
+      << " solves=" << c.placement_solves()
+      << " active=" << c.active_lie_count() << "\n";
+  for (const auto& [prefix, lies] : c.active_lies()) {
+    out << prefix.to_string() << ":";
+    for (const core::Lie& lie : lies) {
+      out << " [" << lie.id << " " << lie.name << " " << lie.attach << "->"
+          << lie.via << " m" << lie.ext_metric << " c" << lie.target_cost
+          << " fa" << lie.forwarding_address.to_string() << "]";
+    }
+    out << "\n";
+  }
+  const proto::ControllerSession::Counters& sb =
+      service.controller().southbound_counters();
+  out << "southbound pkts=" << sb.packets_sent << " bytes=" << sb.bytes_sent
+      << " lsus=" << sb.lsus_sent << " lsas=" << sb.lsas_sent
+      << " acks=" << sb.acks_received << " alias=" << sb.alias_rejections
+      << " reflush=" << sb.reflushes << "\n";
+  for (topo::NodeId n = 0; n < t.node_count(); ++n) {
+    out << t.node(n).name << ":";
+    for (const auto& [prefix, entry] : service.domain().table(n)) {
+      out << " " << prefix.to_string() << "=" << entry.cost << "@";
+      for (const auto& nh : entry.next_hops) {
+        out << nh.via << "x" << nh.weight << ",";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+class WorkerCountDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// The parallel mitigation pipeline's contract: candidates are solved
+/// against a shared batch-start snapshot and committed by the driving
+/// thread in demand-sorted order, so the ledger, lies, counters and every
+/// router's forwarding state are bit-identical for every pool size.
+TEST_P(WorkerCountDeterminism, PipelineBitIdenticalAcrossPoolSizes) {
+  const std::string serial = churn_fingerprint(GetParam(), 1);
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    EXPECT_EQ(serial, churn_fingerprint(GetParam(), workers))
+        << "diverged at mitigation_workers=" << workers;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkerCountDeterminism,
+                         ::testing::Range<std::uint64_t>(1, 4));
 
 // --------------------------------------- route cache vs fresh, direct churn
 
@@ -635,6 +796,76 @@ TEST_P(RouteCacheChurnProperty, CacheMatchesFreshAcrossInterleavings) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RouteCacheChurnProperty,
                          ::testing::Range<std::uint64_t>(1, 7));
+
+/// SRLG variant: every fail / restore step flips a whole 2-4-adjacency
+/// shared-risk group between two cache queries, so refresh_ must diff a
+/// multi-link mask delta into one batched update_spf repair. Bit-identity
+/// with fresh computation is asserted after every step, and the run must
+/// prove the batched incremental path actually carried the events
+/// (spf_batched > 0) instead of silently falling back to full Dijkstras.
+class RouteCacheSrlgProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouteCacheSrlgProperty, GroupedDeltasMatchFreshViaBatchedRepairs) {
+  util::Rng rng(GetParam() ^ 0x5516);
+  topo::Topology t = topo::make_waxman(24, rng, 0.5, 0.5, 8);
+  for (int i = 0; i < 3; ++i) {
+    t.attach_prefix(static_cast<topo::NodeId>(rng.pick_index(t.node_count())),
+                    net::Prefix(net::Ipv4(203, 0, static_cast<std::uint8_t>(i), 0),
+                                24));
+  }
+  topo::LinkStateMask mask(t);
+  igp::RouteCache cache(t, mask);
+
+  std::vector<igp::NetworkView::External> externals;
+  std::uint64_t next_lie_id = 1;
+  for (int step = 0; step < 100; ++step) {
+    const auto kind = rng.uniform_int(0, 3);
+    const auto group = rng.uniform_int(2, 4);
+    if (kind == 0) {
+      // Conduit cut: fail a whole group of up adjacencies at once.
+      for (std::int64_t g = 0; g < group; ++g) {
+        std::vector<topo::LinkId> up;
+        for (topo::LinkId l = 0; l < t.link_count(); ++l) {
+          if (t.link(l).from < t.link(l).to && !mask.is_down(l)) up.push_back(l);
+        }
+        if (up.empty()) break;
+        mask.fail(up[rng.pick_index(up.size())]);
+      }
+    } else if (kind == 1) {
+      // Conduit repair: restore a group of down adjacencies at once.
+      for (std::int64_t g = 0; g < group; ++g) {
+        const std::vector<topo::LinkId> down = mask.down_links();
+        if (down.empty()) break;
+        mask.restore(down[rng.pick_index(down.size())]);
+      }
+    } else if (kind == 2 && externals.size() < 24) {
+      // Surge stand-in: a lie lands (its FA may dangle on a down link).
+      const topo::LinkId l =
+          static_cast<topo::LinkId>(rng.pick_index(t.link_count()));
+      const net::Prefix prefix =
+          rng.chance(0.5) ? t.prefixes()[rng.pick_index(t.prefixes().size())].prefix
+                          : net::Prefix(net::Ipv4(198, 51, 100, 0), 24);
+      externals.push_back(igp::NetworkView::External{
+          next_lie_id++, prefix,
+          static_cast<topo::Metric>(rng.uniform_int(0, 6)),
+          t.link(t.link(l).reverse).local_addr});
+    } else if (kind == 3 && !externals.empty()) {
+      const std::size_t pick = rng.pick_index(externals.size());
+      externals[pick] = externals.back();
+      externals.pop_back();
+    }
+
+    const auto cached = cache.tables(externals);
+    const auto fresh = igp::compute_all_routes(
+        igp::NetworkView::from_topology(t, externals, &mask));
+    ASSERT_EQ(*cached, fresh) << "step " << step;
+  }
+  EXPECT_GT(cache.stats().spf_batched, 0u);
+  EXPECT_GT(cache.stats().spf_incremental + cache.stats().spf_unchanged, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouteCacheSrlgProperty,
+                         ::testing::Range<std::uint64_t>(1, 4));
 
 // ------------------------------------------- k-shortest paths: order & validity
 

@@ -6,7 +6,10 @@
 //     congestion as a function of how it learns about the surge. The
 //     `mitigated_at_s` counter is the absolute sim time of the first
 //     mitigation after the t=15 surge (the paper's sub-second-reaction
-//     claim); `stalled` counts sessions that ever stalled.
+//     claim); `stalled` counts sessions that ever stalled. Control-loop
+//     tracing is on, and the trace-derived reaction breakdown
+//     (trace.reaction.<stage>_s_{p50,p99}) is exported as counters, so the
+//     perf diff flags latency-percentile regressions growth-only.
 //   - BM_MitigationWorkers/{workers}: a correlated flash crowd dirties 8
 //     prefixes at once on a 40-router Waxman graph; the batch is solved by
 //     the parallel mitigation pipeline at the given pool width. Results are
@@ -17,6 +20,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <map>
+#include <string>
 
 #include "core/service.hpp"
 #include "topo/generators.hpp"
@@ -30,6 +35,7 @@ namespace {
 struct Outcome {
   double mitigation_time = -1.0;  // absolute sim time of the first mitigation
   int stalled = 0;
+  std::map<std::string, double> telemetry;
 };
 
 Outcome run_reaction(bool proactive, double poll_interval_s, int hold_rounds) {
@@ -41,6 +47,7 @@ Outcome run_reaction(bool proactive, double poll_interval_s, int hold_rounds) {
   config.controller.hold_rounds = hold_rounds;
   config.controller.session_router = p.r3;
   config.poll_interval_s = poll_interval_s;
+  config.tracing = true;
   core::FibbingService service(p.topo, config);
   service.boot();
   const auto s1 = service.video().add_server({"S1", p.b, net::Ipv4(198, 18, 1, 1)});
@@ -62,6 +69,7 @@ Outcome run_reaction(bool proactive, double poll_interval_s, int hold_rounds) {
   for (const auto& q : service.video().all_qoe()) {
     if (q.stall_count > 0) ++out.stalled;
   }
+  out.telemetry = service.telemetry_snapshot();
   return out;
 }
 
@@ -77,6 +85,15 @@ void BM_ReactionTime(benchmark::State& state) {
   }
   state.counters["mitigated_at_s"] = last.mitigation_time;
   state.counters["stalled"] = last.stalled;
+  // Trace-derived reaction percentiles: virtual-clock offsets from each
+  // mitigation's root cause to each stage (keys are latency-suffixed, so
+  // compare_bench.py treats growth as a regression and shrink as a win).
+  for (const auto& [key, value] : last.telemetry) {
+    if (key.rfind("trace.reaction.", 0) == 0 &&
+        (key.ends_with("_p50") || key.ends_with("_p99"))) {
+      state.counters[key] = value;
+    }
+  }
 }
 
 BENCHMARK(BM_ReactionTime)

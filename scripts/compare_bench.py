@@ -12,6 +12,11 @@ Benchmarks are matched by name. Two kinds of findings:
     e.g. claim aggregates like `verified` or cache work like `spf_full`)
     moved by more than the threshold in either direction. Counters encode
     claims, so *any* large move deserves eyes, not only increases.
+  * latency regression -- a histogram-style counter (a `_p50`/`_p99`/
+    `_max`/... suffixed key, e.g. the trace-derived reaction latencies
+    exported by FibbingService::telemetry_snapshot) GREW by more than the
+    threshold. Latencies are one-sided like real_time: getting faster is an
+    improvement, not drift, so only growth is flagged.
 
 Output is plain text plus GitHub annotation lines (::warning) so findings
 surface on the workflow summary. Exit status is 0 unless
@@ -34,6 +39,14 @@ STANDARD_KEYS = {
 }
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# Histogram-style counter keys (reaction-latency percentiles and friends):
+# lower is better, so they are compared growth-only, like real_time.
+LATENCY_SUFFIXES = ("_p50", "_p90", "_p95", "_p99", "_p999", "_max", "_mean")
+
+
+def is_latency_key(key):
+    return key.endswith(LATENCY_SUFFIXES)
 
 
 def load(path):
@@ -99,7 +112,15 @@ def main():
             if key not in old_counters:
                 continue
             drift = rel_change(old_counters[key], new_value)
-            if abs(drift) > args.threshold:
+            if is_latency_key(key):
+                if drift > args.threshold:
+                    flagged.append(
+                        f"{name}: latency {key} {drift:+.1%} "
+                        f"({old_counters[key]:g} -> {new_value:g})")
+                    print(f"{'LATENCY':10} {name} latency {key} {drift:+.1%}")
+                elif drift < -args.threshold:
+                    print(f"{'improved':10} {name} latency {key} {drift:+.1%}")
+            elif abs(drift) > args.threshold:
                 flagged.append(
                     f"{name}: counter {key} {drift:+.1%} "
                     f"({old_counters[key]:g} -> {new_value:g})")

@@ -32,6 +32,15 @@ line directly above; the reason is mandatory):
                   ignored failure (the class-level [[nodiscard]] covers the
                   type; the per-declaration attribute keeps the API surface
                   greppable and survives aliasing through auto&&).
+  obs-registered  counter-ish members (`*_count_` / `*counters_`) declared in
+                  src/ outside src/obs/ must flow into the unified metrics
+                  registry: annotate the declaration (same line or the line
+                  above) with `// obs:registered(<key>)` where <key> is a
+                  prefix of a metric name registered somewhere in the tree
+                  (registry.counter/gauge/histogram("...") or
+                  register_callback("...", ...)), or waive with a written
+                  reason. Keeps FibbingService::telemetry_json the one
+                  complete snapshot instead of re-scattering ad-hoc counters.
 
 Exit status: 0 clean, 1 findings, 2 usage error. --github emits findings as
 GitHub Actions `::error` annotations in addition to the human lines.
@@ -83,6 +92,18 @@ NODISCARD_DECL_RE = re.compile(
     r"^\s*(?:(?:virtual|static|constexpr|inline|explicit)\s+)*"
     r"(?:util::)?(?:Status|Result<[^;=]*>)\s+[\w:]+\s*\("
 )
+# A member *declaration* whose name says "I am a counter": `<type> foo_count_`
+# or `<type> ...counters_`, optionally guarded/initialized. Anchored on the
+# type words so accessor calls and usages never match.
+OBS_MEMBER_RE = re.compile(
+    r"^\s*(?:[\w:<>,]+(?:\s*[&*])?\s+)+(\w+_count_|\w*counters_)\s*"
+    r"(?:FIB_GUARDED_BY\([^)]*\)\s*)?(?:=[^;{]*)?[;{]"
+)
+OBS_ANNOTATION_RE = re.compile(r"obs:registered\(([^)]*)\)")
+REGISTER_METRIC_RES = [
+    re.compile(r'register_callback\(\s*"([^"]+)"'),
+    re.compile(r'\b(?:counter|gauge|histogram)\(\s*"([^"]+)"'),
+]
 
 STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
 LINE_COMMENT_RE = re.compile(r"//.*$")
@@ -156,7 +177,32 @@ def collect_unordered_symbols(files):
     return symbols
 
 
-def check_line(rel, code, symbols):
+def collect_registered_metrics(files):
+    """Metric names registered into obs::Registry anywhere in the scanned
+    tree. Parsed from RAW lines on purpose: the names live inside string
+    literals, which strip_code blanks. Concatenated names
+    (`histogram("prefix." + key)`) contribute their literal prefix, which is
+    exactly what the prefix-matched annotations need."""
+    names = set()
+    for _, _, lines in files:
+        for line in lines:
+            for metric_re in REGISTER_METRIC_RES:
+                for m in metric_re.finditer(line):
+                    names.add(m.group(1))
+    return names
+
+
+def obs_key_for(lines, idx):
+    """The `obs:registered(<key>)` annotation covering line idx, or None."""
+    for j in (idx, idx - 1):
+        if 0 <= j < len(lines):
+            m = OBS_ANNOTATION_RE.search(lines[j])
+            if m:
+                return m.group(1).strip()
+    return None
+
+
+def check_line(rel, code, symbols, metrics, obs_key):
     """Yield (check, message) pairs for one comment/string-stripped line."""
     for clock_re in WALL_CLOCK_RES:
         m = clock_re.search(code)
@@ -216,9 +262,25 @@ def check_line(rel, code, symbols):
             yield ("nodiscard",
                    "declaration returning util::Status/util::Result must be "
                    "[[nodiscard]]: a dropped status is a silently ignored failure")
+    if rel.startswith("src/") and not rel.startswith("src/obs/"):
+        m = OBS_MEMBER_RE.match(code)
+        if m:
+            member = m.group(1)
+            if obs_key is None:
+                yield ("obs-registered",
+                       f"counter member `{member}` is not registered into "
+                       "obs::Registry: annotate the declaration with "
+                       "`// obs:registered(<metric prefix>)` (and register it, "
+                       "e.g. in FibbingService::register_metrics_) or waive "
+                       "with the reason it is not a metric")
+            elif not any(name.startswith(obs_key) for name in metrics):
+                yield ("obs-registered",
+                       f"`obs:registered({obs_key})` on `{member}` matches no "
+                       "registered metric name: register it (counter/gauge/"
+                       "histogram or register_callback) or fix the prefix")
 
 
-def lint_files(files, symbols):
+def lint_files(files, symbols, metrics):
     findings = []
     for _, rel, lines in files:
         in_block = False
@@ -226,7 +288,8 @@ def lint_files(files, symbols):
         for idx, line in enumerate(lines):
             code, in_block = strip_code(line, in_block)
             waived = waivers_for(lines, idx)
-            for check, message in check_line(rel, code, symbols):
+            obs_key = obs_key_for(lines, idx)
+            for check, message in check_line(rel, code, symbols, metrics, obs_key):
                 if check == "nodiscard" and "[[nodiscard]]" in prev_code:
                     continue  # attribute on its own line above the declaration
                 if check in waived:
@@ -278,7 +341,8 @@ def main(argv=None):
         return 2
     files = gather(args.root, args.paths)
     symbols = collect_unordered_symbols(files)
-    findings = lint_files(files, symbols)
+    metrics = collect_registered_metrics(files)
+    findings = lint_files(files, symbols, metrics)
 
     for finding in findings:
         print(finding.human())

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+// The accepted obs-registered forms: a registration annotation whose key
+// prefix-matches a metric name registered somewhere in the tree, and a
+// reasoned waiver for members that are not metrics.
+
+namespace fixture {
+
+struct Counters {
+  std::uint64_t packets = 0;
+};
+
+class Registry {
+ public:
+  void register_callback(const std::string& name, std::function<double()> fn);
+};
+
+class FloodMeter {
+ public:
+  void register_metrics(Registry& registry) {
+    registry.register_callback("igp.floods",
+                               [this] { return double(flood_count_); });
+  }
+
+ private:
+  // obs:registered(igp.floods)
+  std::uint64_t flood_count_ = 0;
+  Counters counters_;  // obs:registered(igp)
+  // lint:obs-registered-ok(structural size, not a metric)
+  std::uint64_t slot_count_ = 0;
+};
+
+}  // namespace fixture

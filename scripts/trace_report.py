@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Render the control-loop reaction-latency breakdown from a trace dump.
+
+Input is the Chrome trace-event JSON written by obs::TraceRecorder
+(`{"traceEvents": [...]}`, e.g. bench_fig2 --trace-out, or any test dumping
+`tracer().chrome_json()`). Each mitigation is one trace (args.trace); every
+event carries a virtual-clock timestamp in microseconds. The report shows,
+per trace and in aggregate, when each stage of the paper's Fig. 2 chain
+(monitor -> trigger -> solve -> compile -> verify -> inject -> lsa_install
+-> spf -> table_flip) first fired relative to the trace root.
+
+Usage: trace_report.py TRACE.json [--per-trace]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# Causal chain order (mirrors obs::Stage); anything else sorts after.
+STAGE_ORDER = [
+    "monitor",
+    "trigger",
+    "solve",
+    "compile",
+    "verify",
+    "inject",
+    "lsa_install",
+    "spf",
+    "table_flip",
+]
+
+
+def stage_rank(name: str) -> int:
+    try:
+        return STAGE_ORDER.index(name)
+    except ValueError:
+        return len(STAGE_ORDER)
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """Type-7 (linear interpolation) percentile, matching util::percentile."""
+    if not samples:
+        return 0.0
+    data = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+def load_traces(path: str) -> dict[int, list[dict]]:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    traces: dict[int, list[dict]] = {}
+    for ev in events:
+        if ev.get("ph") == "E":  # span ends carry no fresh timing information
+            continue
+        trace = ev.get("args", {}).get("trace", 0)
+        if not trace:
+            continue
+        traces.setdefault(trace, []).append(ev)
+    return traces
+
+
+def stage_offsets(events: list[dict]) -> tuple[float, dict[str, float], float]:
+    """(root_us, {stage: first offset_us}, end_to_end_us) for one trace."""
+    root = min(ev["ts"] for ev in events)
+    last = max(ev["ts"] for ev in events)
+    first: dict[str, float] = {}
+    for ev in events:
+        name = ev["name"]
+        off = ev["ts"] - root
+        if name not in first or off < first[name]:
+            first[name] = off
+    return root, first, last - root
+
+
+def fmt_ms(us: float) -> str:
+    return f"{us / 1000.0:10.3f}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--per-trace",
+        action="store_true",
+        help="print every trace's own stage table, not just the aggregate",
+    )
+    args = parser.parse_args()
+
+    traces = load_traces(args.trace)
+    if not traces:
+        print("no traces in dump (was the run recorded with tracing on?)")
+        return 1
+
+    # Aggregate: per stage, the first-offset across traces.
+    agg: dict[str, list[float]] = {}
+    e2e: list[float] = []
+    for trace_id in sorted(traces):
+        _, first, total = stage_offsets(traces[trace_id])
+        for name, off in first.items():
+            agg.setdefault(name, []).append(off)
+        e2e.append(total)
+
+    print(f"{len(traces)} trace(s): reaction-latency breakdown "
+          "(virtual-clock offsets from trace root)")
+    print(f"{'stage':<12} {'traces':>6} {'p50 ms':>10} {'p99 ms':>10} {'max ms':>10}")
+    for name in sorted(agg, key=stage_rank):
+        samples = agg[name]
+        print(f"{name:<12} {len(samples):>6} {fmt_ms(percentile(samples, 50))} "
+              f"{fmt_ms(percentile(samples, 99))} {fmt_ms(max(samples))}")
+    print(f"{'end_to_end':<12} {len(e2e):>6} {fmt_ms(percentile(e2e, 50))} "
+          f"{fmt_ms(percentile(e2e, 99))} {fmt_ms(max(e2e))}")
+
+    if args.per_trace:
+        for trace_id in sorted(traces):
+            root, first, total = stage_offsets(traces[trace_id])
+            print(f"\ntrace {trace_id} (root at {root / 1e6:.6f} s, "
+                  f"end-to-end {total / 1000.0:.3f} ms)")
+            for name in sorted(first, key=stage_rank):
+                nodes = sorted({
+                    ev["tid"] for ev in traces[trace_id] if ev["name"] == name
+                })
+                node_list = ",".join(
+                    "ctrl" if n == 0xFFFFFFFF else str(n) for n in nodes)
+                print(f"  {name:<12} +{first[name] / 1000.0:9.3f} ms  "
+                      f"[{node_list}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,7 @@ Controller::Controller(const topo::Topology& topo, igp::IgpDomain& domain,
       FIB_LOG(kInfo, "controller")
           << "SNMP congestion on " << topo_.link_name(event.link) << " (util "
           << event.utilization << "): mitigating";
+      trace_root_(obs::Stage::kMonitor, event.link);
       mitigate_();
     } else {
       maybe_retract_();
@@ -60,8 +61,16 @@ void Controller::on_loads(const std::vector<monitor::LinkLoad>& loads) {
   // anything congested while un-placed demand changes exist means the
   // current lie set is stale.
   if (config_.enabled && !dirty_.empty() && detector_.any_congested()) {
+    trace_root_(obs::Stage::kMonitor, 0);
     mitigate_();
   }
+}
+
+void Controller::trace_root_(obs::Stage stage, std::uint64_t detail) {
+  if (tracer_ == nullptr || !tracer_->enabled() || pending_trace_ != 0) return;
+  pending_trace_ = tracer_->next_trace_id();
+  tracer_->emit(events_.now(), pending_trace_, stage, 'i', obs::kControllerNode,
+                detail);
 }
 
 std::size_t Controller::active_lie_count() const {
@@ -272,6 +281,7 @@ void Controller::evaluate_() {
   for (topo::LinkId l = 0; l < topo_.link_count(); ++l) {
     if (load[l] / topo_.link(l).capacity_bps > config_.high_watermark) {
       hot = true;
+      trace_root_(obs::Stage::kTrigger, l);
       FIB_LOG(kInfo, "controller")
           << "predicted overload on " << topo_.link_name(l) << " ("
           << load[l] / topo_.link(l).capacity_bps << "): mitigating";
@@ -286,6 +296,17 @@ void Controller::evaluate_() {
 }
 
 void Controller::mitigate_() {
+  // Adopt the trace rooted by the triggering sample (or start one when the
+  // trigger predates tracing, e.g. a stranded re-plan); the whole batch --
+  // every member's solve through inject -- shares this id.
+  current_trace_ = pending_trace_;
+  pending_trace_ = 0;
+  if (current_trace_ == 0 && tracer_ != nullptr && tracer_->enabled()) {
+    current_trace_ = tracer_->next_trace_id();
+  }
+  FIB_SPAN(tracer_, events_.now(), current_trace_, obs::Stage::kTrigger,
+           obs::kControllerNode, dirty_.size());
+
   // Stranded placements with no remaining demand have nothing to re-place:
   // retract them outright instead of leaving lies that steer at dead links.
   std::vector<net::Prefix> stranded_idle;
@@ -464,6 +485,24 @@ void Controller::mitigate_() {
       placement_solves_ += m.outcome.solves;
     }
 
+    // Stage stamps land here -- on the driving thread, in commit order --
+    // not inside the parallel phase, so the stream is identical for every
+    // mitigation_workers value. Virtual time does not advance inside one
+    // event callback, so nothing is lost by stamping at commit.
+    if (current_trace_ != 0) {
+      const double now = events_.now();
+      FIB_EVENT(tracer_, now, current_trace_, obs::Stage::kSolve,
+                obs::kControllerNode, static_cast<std::uint64_t>(m.outcome.solves));
+      if (m.outcome.compiled.has_value()) {
+        const std::uint64_t lie_count =
+            m.outcome.ok() ? m.outcome.compiled->value().lies.size() : 0;
+        FIB_EVENT(tracer_, now, current_trace_, obs::Stage::kCompile,
+                  obs::kControllerNode, lie_count);
+        FIB_EVENT(tracer_, now, current_trace_, obs::Stage::kVerify,
+                  obs::kControllerNode, m.outcome.ok() ? 1 : 0);
+      }
+    }
+
     if (!m.outcome.ok()) {
       if (!m.outcome.compiled.has_value()) {
         FIB_LOG(kWarn, "controller")
@@ -523,6 +562,7 @@ void Controller::mitigate_() {
     for (const net::Prefix& prefix : attempted_ok) dirty_.insert(prefix);
   }
   refresh_forwarding_snapshot_();
+  current_trace_ = 0;
 }
 
 Controller::PlacementOutcome Controller::place_prefix_(
@@ -676,6 +716,14 @@ void Controller::apply_lies_(const net::Prefix& prefix, std::vector<Lie> lies) {
       FIB_LOG(kWarn, "controller")
           << "inject refused, dropping lie: " << status.error();
       continue;
+    }
+    if (current_trace_ != 0) {
+      // Bind strictly before any router can see the LSA (injections ride
+      // the adjacency with a positive delay): routers stamp LSA-install and
+      // SPF against this trace by looking the lie id up from the wire tag.
+      tracer_->bind_lie(lie.id, current_trace_);
+      FIB_EVENT(tracer_, events_.now(), current_trace_, obs::Stage::kInject,
+                static_cast<std::uint32_t>(config_.session_router), lie.id);
     }
     injected.push_back(std::move(lie));
   }

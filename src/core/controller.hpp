@@ -16,6 +16,7 @@
 #include "monitor/detector.hpp"
 #include "monitor/poller.hpp"
 #include "net/prefix.hpp"
+#include "obs/trace.hpp"
 #include "topo/topology.hpp"
 #include "util/event_queue.hpp"
 #include "util/worker_pool.hpp"
@@ -124,6 +125,13 @@ class Controller {
   /// Registered demand toward a prefix (bps), for tests and benches.
   [[nodiscard]] double demand_for(const net::Prefix& prefix) const;
 
+  /// Attach the control-loop trace recorder (owned by FibbingService).
+  /// Every mitigation then gets a trace id rooted at the sample that
+  /// triggered it, with solve/compile/verify/inject stages emitted on the
+  /// driving thread in commit order -- worker-count invariant by the same
+  /// argument as the counters.
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
  private:
   void on_notice_(const monitor::DemandNotice& notice);
   /// Mask-subscription reaction: a link failed or was restored. Re-planning
@@ -148,6 +156,10 @@ class Controller {
   [[nodiscard]] std::vector<Lie> all_lies_except_(const net::Prefix& prefix) const;
   [[nodiscard]] std::vector<Lie> all_lies_() const;
   void apply_lies_(const net::Prefix& prefix, std::vector<Lie> lies);
+  /// Root a new trace at the current instant if tracing is on and no root
+  /// is pending: the triggering sample (SNMP edge, congested poll, or
+  /// predicted overload) becomes the trace's t=0; mitigate_() adopts it.
+  void trace_root_(obs::Stage stage, std::uint64_t detail);
 
   /// One prefix's full solve -> fallback-ladder -> compile attempt against
   /// a given background. Pure with respect to controller state (reads
@@ -220,6 +232,14 @@ class Controller {
   };
   std::map<net::Prefix, PrefixLoadMemo> load_memo_;
   std::uint64_t next_lie_id_ = 1;
+  /// Control-loop trace recorder; null or disabled means every emission
+  /// path is a single-branch no-op. pending_trace_ is the id rooted by the
+  /// triggering sample, adopted (and cleared) by the next mitigate_();
+  /// current_trace_ is nonzero only while mitigate_ runs, and gates the
+  /// inject-time lie binding in apply_lies_ so retractions never emit.
+  obs::TraceRecorder* tracer_ = nullptr;
+  std::uint64_t pending_trace_ = 0;
+  std::uint64_t current_trace_ = 0;
   int mitigations_ = 0;
   int retractions_ = 0;
   int relaxed_placements_ = 0;

@@ -7,6 +7,8 @@
 #include "igp/domain.hpp"
 #include "monitor/bus.hpp"
 #include "monitor/poller.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "topo/link_state.hpp"
 #include "topo/topology.hpp"
 #include "util/event_queue.hpp"
@@ -24,6 +26,12 @@ struct ServiceConfig {
   /// domain fully single-threaded; any value produces bit-identical routing
   /// state (see IgpDomain's determinism contract).
   std::size_t igp_shards = 1;
+  /// Record causal control-loop traces (obs::TraceRecorder): every
+  /// mitigation's monitor->solve->compile->verify->inject->flood->SPF->
+  /// table-flip chain, stamped from the virtual clock. Off by default --
+  /// the recorder still exists but every emission is a single-branch no-op
+  /// (bench_overhead pins the cost).
+  bool tracing = false;
 };
 
 /// Everything wired together: the emulated IGP domain, the fluid data
@@ -81,16 +89,39 @@ class FibbingService {
   [[nodiscard]] video::VideoSystem& video() { return video_; }
   [[nodiscard]] Controller& controller() { return *controller_; }
 
+  // -- observability -------------------------------------------------------
+  /// The unified metrics registry: every layer's counters under one
+  /// namespaced key space (controller.*, igp.*, proto.*, southbound.*,
+  /// cache.*, poller.*, dataplane.*, shard.*), adopted as thin callback
+  /// reads -- component structs and accessors stay untouched.
+  [[nodiscard]] obs::Registry& metrics() { return registry_; }
+  /// The control-loop trace recorder (enabled by ServiceConfig::tracing).
+  [[nodiscard]] obs::TraceRecorder& tracer() { return tracer_; }
+  /// One deterministic snapshot of everything: all registered metrics plus
+  /// the trace-derived reaction-latency histograms
+  /// (trace.reaction.<stage>_s_{count,p50,p99,max}), keys sorted. The
+  /// benches (bench_reaction, bench_fig2) consume this.
+  [[nodiscard]] std::map<std::string, double> telemetry_snapshot();
+  [[nodiscard]] std::string telemetry_json();
+
  private:
   enum class LinkEvent { kFail, kRestore };
   [[nodiscard]] util::Result<topo::LinkId> change_link_(topo::NodeId a,
                                                         topo::NodeId b,
                                                         LinkEvent event);
+  void register_metrics_();
+  /// Re-derive the trace.reaction.* histograms from the recorder's current
+  /// stream (reset + refill, so repeated snapshots don't double-count).
+  void refresh_trace_histograms_();
 
   const topo::Topology& topo_;
   /// The one live up/down mask every layer consumes (declared before the
   /// layers so it outlives their construction).
   std::shared_ptr<topo::LinkStateMask> link_state_;
+  /// Observability state precedes every layer holding a pointer into it
+  /// (domain, routers, controller), so it outlives them all.
+  obs::Registry registry_;
+  obs::TraceRecorder tracer_;
   util::EventQueue events_;
   igp::IgpDomain domain_;
   dataplane::NetworkSim sim_;

@@ -364,9 +364,21 @@ void IgpDomain::run_pump_() {
   pump_ = {};
   sync_clock_();  // the pump fires at pool_.next_time() == events_.now()
   pool_.run_round();
+  // Lane flush precedes the table flush: a trace's LSA-install/SPF stamps
+  // must land in the stream before its same-instant table flip.
+  if (tracer_ != nullptr) tracer_->flush_lanes();
   flush_table_changes_();
   flush_liveness_();  // may fail mask links, scheduling more work
   arm_pump_();
+}
+
+void IgpDomain::set_tracer(obs::TraceRecorder* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;
+  tracer_->configure_lanes(pool_.shard_count());
+  for (topo::NodeId n = 0; n < routers_.size(); ++n) {
+    routers_[n]->set_tracer(tracer_, pool_.shard_of(n));
+  }
 }
 
 void IgpDomain::flush_table_changes_() {

@@ -169,6 +169,12 @@ class IgpDomain {
   [[nodiscard]] util::ShardPool::Stats shard_stats() { return pool_.stats(); }
   [[nodiscard]] std::size_t shard_count() const { return pool_.shard_count(); }
 
+  /// Attach the control-loop trace recorder: sizes one lane per shard,
+  /// hands every router its shard's lane, and flushes the lanes at each
+  /// round barrier (before table changes, so a trace's LSA-install/SPF
+  /// stamps precede its same-instant table flip in the stream).
+  void set_tracer(obs::TraceRecorder* tracer);
+
  private:
   void deliver_packet_(topo::NodeId from, topo::NodeId to,
                        const proto::BufferPtr& buffer);
@@ -224,6 +230,9 @@ class IgpDomain {
   /// converged() on the driving thread between rounds.
   std::atomic<std::uint64_t> in_flight_{0};
   TableChangeFn on_table_change_;
+  /// Trace recorder shared with the controller/service; the domain's only
+  /// duties are lane configuration and the barrier flush.
+  obs::TraceRecorder* tracer_ = nullptr;
   /// Routers whose SPF installed a fresh table this round, per shard (each
   /// worker appends only to its own slot); flushed to on_table_change_ in
   /// ascending node order at the barrier.

@@ -255,6 +255,21 @@ proto::DatabaseFacade::DeliverResult RouterProcess::deliver(
       store_wire_(key, lsa);
       flood_(lsa, from_router_id);
       schedule_spf_();
+      if (tracer_ != nullptr && tracer_->enabled() &&
+          lsa.header.type == proto::WireLsaType::kExternal &&
+          lsa.header.advertising_router == proto::kControllerRouterId &&
+          lsa.header.age != proto::kMaxAge) {
+        // A live lie landed in this replica (key.key IS the lie id for
+        // externals). Stamp its trace's LSA-install stage and remember it
+        // for the SPF run the schedule above just armed.
+        if (const std::uint64_t trace = tracer_->trace_for_lie(key.key);
+            trace != 0) {
+          tracer_->emit_lane(trace_lane_, events_.now(), trace,
+                             obs::Stage::kLsaInstall,
+                             static_cast<std::uint32_t>(self_), key.key);
+          pending_trace_lies_.insert(key.key);
+        }
+      }
       if (controller_peer_ && controller_send_ != nullptr &&
           from_router_id != proto::kControllerRouterId &&
           lsa.header.type == proto::WireLsaType::kExternal &&
@@ -423,6 +438,21 @@ void RouterProcess::run_spf_now_() {
   FIB_LOG(kDebug, "igp") << "router " << self_ << " spf run #" << spf_runs_ << ", "
                          << table_.size() << " routes"
                          << (avoided_full ? " (incremental)" : "");
+  // This run consumed every traced lie installed since the previous run:
+  // stamp one kSpf per distinct trace (sorted lie order -- pending is a
+  // set -- so the stream is independent of install interleaving), and keep
+  // the ids for the table-flip stamp at flush time.
+  last_spf_lie_ids_.assign(pending_trace_lies_.begin(), pending_trace_lies_.end());
+  pending_trace_lies_.clear();
+  if (tracer_ != nullptr && tracer_->enabled() && !last_spf_lie_ids_.empty()) {
+    std::set<std::uint64_t> stamped;
+    for (const std::uint64_t lie : last_spf_lie_ids_) {
+      const std::uint64_t trace = tracer_->trace_for_lie(lie);
+      if (trace == 0 || !stamped.insert(trace).second) continue;
+      tracer_->emit_lane(trace_lane_, events_.now(), trace, obs::Stage::kSpf,
+                         static_cast<std::uint32_t>(self_), lie);
+    }
+  }
   if (on_table_) on_table_(self_, table_);
 }
 

@@ -12,6 +12,7 @@
 #include "igp/routes.hpp"
 #include "igp/spf.hpp"
 #include "igp/view.hpp"
+#include "obs/trace.hpp"
 #include "proto/neighbor.hpp"
 #include "proto/translate.hpp"
 #include "util/event_queue.hpp"
@@ -79,6 +80,20 @@ class RouterProcess final : private proto::DatabaseFacade {
     controller_send_ = std::move(fn);
   }
   void set_on_adjacency(AdjacencyFn fn) { on_adjacency_ = std::move(fn); }
+  /// Attach the control-loop trace recorder. `lane` is this router's shard:
+  /// the router runs on a shard worker mid-round, so it emits into the
+  /// shard's lane buffer and the domain merges lanes at the round barrier
+  /// (shard-count-invariant by the lane sort; see obs::TraceRecorder).
+  void set_tracer(obs::TraceRecorder* tracer, std::size_t lane) {
+    tracer_ = tracer;
+    trace_lane_ = lane;
+  }
+  /// Lie ids of controller-originated externals the most recent SPF run
+  /// consumed (installed since the previous run). The service reads this at
+  /// table-flush time to stamp the dataplane table flip on those traces.
+  [[nodiscard]] const std::vector<std::uint64_t>& last_spf_trace_lies() const {
+    return last_spf_lie_ids_;
+  }
   /// This router carries the controller adjacency: installed controller
   /// -originated externals learned from *real* neighbors are echoed up the
   /// session so the controller can spot (and re-flush) resurrected lies.
@@ -171,6 +186,7 @@ class RouterProcess final : private proto::DatabaseFacade {
   void run_spf_now_();
 
   topo::NodeId self_;
+  // lint:obs-registered-ok(structural topology size, not a metric)
   std::size_t node_count_;
   const proto::AddressMap* addrs_;
   util::Scheduler& events_;
@@ -191,6 +207,14 @@ class RouterProcess final : private proto::DatabaseFacade {
   bool started_ = false;
   bool spf_pending_ = false;
   bool controller_peer_ = false;
+  /// Trace wiring (see set_tracer). pending_trace_lies_ accumulates traced
+  /// lie installs between SPF runs; run_spf_now_ drains it into
+  /// last_spf_lie_ids_ and stamps one kSpf per distinct trace. All three
+  /// are only touched from this router's shard worker.
+  obs::TraceRecorder* tracer_ = nullptr;
+  std::size_t trace_lane_ = 0;
+  std::set<std::uint64_t> pending_trace_lies_;
+  std::vector<std::uint64_t> last_spf_lie_ids_;
   proto::SessionCounters retired_;  ///< counters of torn-down sessions
   proto::SessionCounters controller_io_;  ///< acks sent to the controller
   std::uint64_t lsas_received_ = 0;

@@ -1,0 +1,152 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace fibbing::obs {
+
+namespace {
+
+/// Shortest round-trip decimal of `v`: integral values print without a
+/// fraction, so counter snapshots read like counters. Deterministic for
+/// identical bit patterns.
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shorter %g form when it round-trips (1.0 -> "1", 0.05 stays
+  // exact); keeps the JSON stable and human-readable at once.
+  char shorter[32];
+  std::snprintf(shorter, sizeof(shorter), "%g", v);
+  double back = 0.0;
+  if (std::sscanf(shorter, "%lf", &back) == 1 && back == v) return shorter;
+  return buf;
+}
+
+}  // namespace
+
+std::size_t Registry::slot_(const std::string& name, Kind kind) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    FIB_ASSERT(slots_[it->second].kind == kind,
+               "obs::Registry: name re-registered as a different kind");
+    return it->second;
+  }
+  Slot slot;
+  slot.name = name;
+  slot.kind = kind;
+  slots_.push_back(std::move(slot));
+  const std::size_t index = slots_.size() - 1;
+  index_.emplace(name, index);
+  return index;
+}
+
+CounterHandle Registry::counter(const std::string& name) {
+  util::MutexLock lock(mu_);
+  return CounterHandle{slot_(name, Kind::kCounter)};
+}
+
+GaugeHandle Registry::gauge(const std::string& name) {
+  util::MutexLock lock(mu_);
+  return GaugeHandle{slot_(name, Kind::kGauge)};
+}
+
+HistogramHandle Registry::histogram(const std::string& name) {
+  util::MutexLock lock(mu_);
+  return HistogramHandle{slot_(name, Kind::kHistogram)};
+}
+
+void Registry::add(CounterHandle h, std::uint64_t delta) {
+  util::MutexLock lock(mu_);
+  FIB_ASSERT(h.valid() && h.index < slots_.size(), "obs: bad counter handle");
+  slots_[h.index].count += delta;
+}
+
+void Registry::set(GaugeHandle h, double value) {
+  util::MutexLock lock(mu_);
+  FIB_ASSERT(h.valid() && h.index < slots_.size(), "obs: bad gauge handle");
+  slots_[h.index].gauge = value;
+}
+
+void Registry::record(HistogramHandle h, double sample) {
+  util::MutexLock lock(mu_);
+  FIB_ASSERT(h.valid() && h.index < slots_.size(), "obs: bad histogram handle");
+  slots_[h.index].samples.push_back(sample);
+}
+
+void Registry::reset_histogram(HistogramHandle h) {
+  util::MutexLock lock(mu_);
+  FIB_ASSERT(h.valid() && h.index < slots_.size(), "obs: bad histogram handle");
+  slots_[h.index].samples.clear();
+}
+
+void Registry::register_callback(const std::string& name,
+                                 std::function<double()> fn) {
+  util::MutexLock lock(mu_);
+  const std::size_t index = slot_(name, Kind::kCallback);
+  slots_[index].callback = std::move(fn);
+}
+
+std::map<std::string, double> Registry::snapshot() const {
+  // Copy the slot table under the lock, evaluate callbacks outside it: a
+  // callback may read a component that takes its own lock (RouteCache) or
+  // re-enter the registry.
+  std::vector<Slot> slots;
+  {
+    util::MutexLock lock(mu_);
+    slots = slots_;
+  }
+  std::map<std::string, double> out;
+  for (const Slot& slot : slots) {
+    switch (slot.kind) {
+      case Kind::kCounter:
+        out[slot.name] = static_cast<double>(slot.count);
+        break;
+      case Kind::kGauge:
+        out[slot.name] = slot.gauge;
+        break;
+      case Kind::kCallback:
+        out[slot.name] = slot.callback ? slot.callback() : 0.0;
+        break;
+      case Kind::kHistogram: {
+        out[slot.name + "_count"] = static_cast<double>(slot.samples.size());
+        if (!slot.samples.empty()) {
+          out[slot.name + "_p50"] = util::percentile(slot.samples, 50.0);
+          out[slot.name + "_p99"] = util::percentile(slot.samples, 99.0);
+          out[slot.name + "_max"] =
+              *std::max_element(slot.samples.begin(), slot.samples.end());
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::json() const {
+  const std::map<std::string, double> snap = snapshot();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : snap) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + key + "\":" + format_value(value);
+  }
+  out += "}";
+  return out;
+}
+
+double Registry::value(const std::string& name) const {
+  const std::map<std::string, double> snap = snapshot();
+  const auto it = snap.find(name);
+  return it == snap.end() ? 0.0 : it->second;
+}
+
+std::size_t Registry::size() const {
+  util::MutexLock lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace fibbing::obs

@@ -84,7 +84,7 @@ class ControllerSession {
   /// the identity) and transfers when a colliding lie supersedes it.
   std::unordered_map<std::uint32_t, std::uint64_t> wire_id_owner_;
   std::map<LsaIdentity, LsaHeader> unacked_;
-  Counters counters_;
+  Counters counters_;  // obs:registered(southbound)
 };
 
 }  // namespace fibbing::proto

@@ -272,7 +272,7 @@ class NeighborSession {
   util::EventHandle inactivity_timer_;
   util::EventHandle watchdog_timer_;
 
-  SessionCounters counters_;
+  SessionCounters counters_;  // obs:registered(proto)
 };
 
 }  // namespace fibbing::proto

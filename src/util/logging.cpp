@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <map>
+#include <string_view>
 
 #include "util/annotations.hpp"
 #include "util/mutex.hpp"
@@ -12,6 +14,18 @@ namespace {
 // Shard workers log from inside a round, so the level is an atomic and the
 // sink serializes lines (fprintf interleaves otherwise).
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Per-component overrides. The common case is "none configured": one
+// relaxed atomic says so, and log_enabled never takes the lock. With
+// overrides present, lookups lock -- components are short literals and
+// logging at that point is already slow-path. Transparent comparator so a
+// const char* component probes without constructing a std::string.
+std::atomic<bool> g_has_overrides{false};
+Mutex g_override_mu;
+std::map<std::string, LogLevel, std::less<>>& overrides() FIB_REQUIRES(g_override_mu) {
+  static std::map<std::string, LogLevel, std::less<>> map;
+  return map;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -50,8 +64,29 @@ void set_log_level(LogLevel level) {
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_level(const std::string& component, LogLevel level) {
+  MutexLock lock(g_override_mu);
+  overrides()[component] = level;
+  g_has_overrides.store(true, std::memory_order_relaxed);
+}
+
+void clear_log_level(const std::string& component) {
+  MutexLock lock(g_override_mu);
+  overrides().erase(component);
+  g_has_overrides.store(!overrides().empty(), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level, const char* component) {
+  if (g_has_overrides.load(std::memory_order_relaxed)) {
+    MutexLock lock(g_override_mu);
+    const auto it = overrides().find(std::string_view(component));
+    if (it != overrides().end()) return level >= it->second;
+  }
+  return level >= log_level();
+}
+
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
-  if (level < log_level()) return;
+  if (!log_enabled(level, component.c_str())) return;
   g_sink.write(level, component, message);
 }
 

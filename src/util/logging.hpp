@@ -12,7 +12,22 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Sink for a fully-formatted line (used by the LOG macro below).
+/// Per-component override of the process-wide threshold: e.g.
+/// set_log_level("controller", kDebug) narrates just the control loop, or
+/// set_log_level("igp", kOff) silences a chatty layer during tracing-heavy
+/// runs. Overrides stack on the global level (the override wins for its
+/// component); clear_log_level removes one.
+void set_log_level(const std::string& component, LogLevel level);
+void clear_log_level(const std::string& component);
+
+/// Would a line at `level` from `component` be emitted? This is the ONE
+/// filtering decision -- FIB_LOG consults it before formatting anything, so
+/// a suppressed component pays a relaxed atomic load and (only when any
+/// override exists) one map lookup, never the stream formatting.
+[[nodiscard]] bool log_enabled(LogLevel level, const char* component);
+
+/// Sink for a fully-formatted line (used by the LOG macro below). Applies
+/// the same log_enabled filter, so direct callers are filtered too.
 void log_line(LogLevel level, const std::string& component, const std::string& message);
 
 namespace detail {
@@ -40,7 +55,10 @@ class LogStream {
 }  // namespace fibbing::util
 
 /// Usage: FIB_LOG(kInfo, "controller") << "injected " << n << " lies";
-#define FIB_LOG(level, component)                                        \
-  if (::fibbing::util::LogLevel::level < ::fibbing::util::log_level()) { \
-  } else                                                                 \
+/// Short-circuits on log_enabled (global threshold + per-component
+/// overrides) before constructing the stream: a dropped line never formats.
+#define FIB_LOG(level, component)                                              \
+  if (!::fibbing::util::log_enabled(::fibbing::util::LogLevel::level,          \
+                                    component)) {                              \
+  } else                                                                       \
     ::fibbing::util::detail::LogStream(::fibbing::util::LogLevel::level, component)

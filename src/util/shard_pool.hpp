@@ -157,6 +157,7 @@ class ShardPool {
   void prune_cancelled_(Shard& shard);
   void worker_loop_(std::size_t shard_index);
 
+  // lint:obs-registered-ok(structural actor-table size, not a metric)
   std::size_t actor_count_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<ActorScheduler>> actor_schedulers_;

@@ -58,6 +58,7 @@ class WorkerPool {
   std::condition_variable cv_work_;  ///< workers: a batch was published
   std::condition_variable cv_done_;  ///< caller: the last index completed
   const std::function<void(std::size_t)>* job_ FIB_GUARDED_BY(mu_) = nullptr;
+  // lint:obs-registered-ok(transient per-run job width, not a metric)
   std::size_t job_count_ FIB_GUARDED_BY(mu_) = 0;
   std::size_t next_index_ FIB_GUARDED_BY(mu_) = 0;
   std::size_t unfinished_ FIB_GUARDED_BY(mu_) = 0;

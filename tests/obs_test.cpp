@@ -1,0 +1,291 @@
+// The observability layer: the unified metrics registry (handle reuse,
+// registration-order-independent snapshots, callback adoption, histogram
+// expansion), the control-loop trace recorder (span nesting, lie-id
+// threading, lane merge ordering, disabled no-op), the per-component log
+// level overrides, and -- through the full service -- the end-to-end
+// mitigation trace chain plus its bit-identity across shard and
+// mitigation-worker counts (the ShardDeterminism contract extended to
+// telemetry).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "support/scenario.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace fibbing {
+namespace {
+
+// ------------------------------------------------------------ the registry
+
+TEST(MetricsRegistry, HandlesAreReusedForTheSameName) {
+  obs::Registry reg;
+  const obs::CounterHandle a = reg.counter("igp.floods");
+  const obs::CounterHandle b = reg.counter("igp.floods");
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.index, b.index);
+  reg.add(a, 2);
+  reg.add(b);
+  EXPECT_DOUBLE_EQ(reg.value("igp.floods"), 3.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeAndAbsentKeyReads) {
+  obs::Registry reg;
+  const obs::GaugeHandle g = reg.gauge("controller.active_lies");
+  reg.set(g, 5.0);
+  EXPECT_DOUBLE_EQ(reg.value("controller.active_lies"), 5.0);
+  reg.set(g, 2.0);  // gauges overwrite, not accumulate
+  EXPECT_DOUBLE_EQ(reg.value("controller.active_lies"), 2.0);
+  EXPECT_DOUBLE_EQ(reg.value("no.such.key"), 0.0);
+}
+
+TEST(MetricsRegistry, HistogramExpandsToPercentileKeys) {
+  obs::Registry reg;
+  const obs::HistogramHandle h = reg.histogram("trace.reaction.end_to_end_s");
+  std::vector<double> samples;
+  for (int i = 1; i <= 100; ++i) {
+    samples.push_back(static_cast<double>(i));
+    reg.record(h, static_cast<double>(i));
+  }
+  const auto snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.at("trace.reaction.end_to_end_s_count"), 100.0);
+  EXPECT_DOUBLE_EQ(snap.at("trace.reaction.end_to_end_s_p50"),
+                   util::percentile(samples, 50.0));
+  EXPECT_DOUBLE_EQ(snap.at("trace.reaction.end_to_end_s_p99"),
+                   util::percentile(samples, 99.0));
+  EXPECT_DOUBLE_EQ(snap.at("trace.reaction.end_to_end_s_max"), 100.0);
+
+  reg.reset_histogram(h);
+  EXPECT_DOUBLE_EQ(reg.snapshot().at("trace.reaction.end_to_end_s_count"), 0.0);
+}
+
+TEST(MetricsRegistry, CallbackAdoptionAndReplacement) {
+  obs::Registry reg;
+  std::uint64_t component_counter = 7;
+  reg.register_callback("proto.packets_sent",
+                        [&component_counter] { return double(component_counter); });
+  EXPECT_DOUBLE_EQ(reg.value("proto.packets_sent"), 7.0);
+  component_counter = 9;  // a thin read: the component keeps its counter
+  EXPECT_DOUBLE_EQ(reg.value("proto.packets_sent"), 9.0);
+  // Re-registration replaces (components re-wire across reboots).
+  reg.register_callback("proto.packets_sent", [] { return 1.0; });
+  EXPECT_DOUBLE_EQ(reg.value("proto.packets_sent"), 1.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsIndependentOfRegistrationOrder) {
+  const std::vector<std::pair<std::string, double>> metrics = {
+      {"controller.mitigations", 3.0},
+      {"igp.spf_runs", 41.0},
+      {"proto.lsas_sent", 17.0},
+      {"shard.rounds", 1200.0},
+  };
+  obs::Registry forward;
+  for (const auto& [name, value] : metrics) {
+    forward.register_callback(name, [v = value] { return v; });
+  }
+  obs::Registry reverse;
+  for (auto it = metrics.rbegin(); it != metrics.rend(); ++it) {
+    reverse.register_callback(it->first, [v = it->second] { return v; });
+  }
+  EXPECT_EQ(forward.json(), reverse.json());
+  EXPECT_EQ(forward.snapshot(), reverse.snapshot());
+}
+
+// ------------------------------------------------------ the trace recorder
+
+TEST(TraceRecorderTest, DisabledRecorderIsANoOp) {
+  obs::TraceRecorder rec;  // disabled by default
+  EXPECT_FALSE(rec.enabled());
+  FIB_EVENT(&rec, 1.0, 1, obs::Stage::kTrigger, obs::kControllerNode, 0);
+  { FIB_SPAN(&rec, 1.0, 1, obs::Stage::kSolve, obs::kControllerNode, 0); }
+  FIB_EVENT(static_cast<obs::TraceRecorder*>(nullptr), 1.0, 1,
+            obs::Stage::kTrigger, obs::kControllerNode, 0);
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.canonical_dump(), "");
+}
+
+TEST(TraceRecorderTest, SpansNestWithSymmetricDepths) {
+  obs::TraceRecorder rec(/*enabled=*/true);
+  const std::uint64_t trace = rec.next_trace_id();
+  EXPECT_EQ(trace, 1u);
+  {
+    FIB_SPAN(&rec, 2.0, trace, obs::Stage::kTrigger, obs::kControllerNode, 0);
+    {
+      FIB_SPAN(&rec, 2.0, trace, obs::Stage::kSolve, obs::kControllerNode, 1);
+    }
+    FIB_EVENT(&rec, 2.5, trace, obs::Stage::kInject, 4, 7);
+  }
+  const auto& ev = rec.events();
+  ASSERT_EQ(ev.size(), 5u);
+  EXPECT_EQ(ev[0].phase, 'B');  // trigger begin
+  EXPECT_EQ(ev[0].depth, 0u);
+  EXPECT_EQ(ev[1].phase, 'B');  // solve begin, nested
+  EXPECT_EQ(ev[1].depth, 1u);
+  EXPECT_EQ(ev[2].phase, 'E');  // solve end, same depth as its begin
+  EXPECT_EQ(ev[2].depth, 1u);
+  EXPECT_EQ(ev[3].phase, 'i');  // instant inside the outer span
+  EXPECT_EQ(ev[3].stage, obs::Stage::kInject);
+  EXPECT_EQ(ev[4].phase, 'E');  // trigger end
+  EXPECT_EQ(ev[4].depth, 0u);
+  for (const obs::TraceEvent& e : ev) EXPECT_EQ(e.trace_id, trace);
+}
+
+TEST(TraceRecorderTest, LieBindingThreadsTraceIds) {
+  obs::TraceRecorder rec(/*enabled=*/true);
+  const std::uint64_t t1 = rec.next_trace_id();
+  const std::uint64_t t2 = rec.next_trace_id();
+  rec.bind_lie(101, t1);
+  rec.bind_lie(102, t2);
+  EXPECT_EQ(rec.trace_for_lie(101), t1);
+  EXPECT_EQ(rec.trace_for_lie(102), t2);
+  EXPECT_EQ(rec.trace_for_lie(999), 0u);  // unbound
+  rec.bind_lie(101, t2);  // re-binding follows the newest mitigation
+  EXPECT_EQ(rec.trace_for_lie(101), t2);
+}
+
+TEST(TraceRecorderTest, LaneFlushMergesSortedByTimeThenNode) {
+  obs::TraceRecorder rec(/*enabled=*/true);
+  rec.configure_lanes(2);
+  // Out-of-order emission across two lanes, including two same-instant
+  // events on one node whose relative order must survive the merge.
+  rec.emit_lane(0, 2.0, 1, obs::Stage::kSpf, /*node=*/5, 0);
+  rec.emit_lane(1, 1.0, 1, obs::Stage::kLsaInstall, /*node=*/3, 7);
+  rec.emit_lane(0, 1.0, 1, obs::Stage::kLsaInstall, /*node=*/5, 7);
+  rec.emit_lane(0, 1.0, 1, obs::Stage::kSpf, /*node=*/5, 0);
+  rec.flush_lanes();
+  const auto& ev = rec.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].node, 3u);
+  EXPECT_DOUBLE_EQ(ev[0].at, 1.0);
+  EXPECT_EQ(ev[1].node, 5u);
+  EXPECT_EQ(ev[1].stage, obs::Stage::kLsaInstall);  // per-node order kept
+  EXPECT_EQ(ev[2].node, 5u);
+  EXPECT_EQ(ev[2].stage, obs::Stage::kSpf);
+  EXPECT_DOUBLE_EQ(ev[3].at, 2.0);
+  // Lanes drained: a second flush adds nothing.
+  rec.flush_lanes();
+  EXPECT_EQ(rec.events().size(), 4u);
+}
+
+TEST(TraceRecorderTest, StageOffsetsMeasureFromTheTraceRoot) {
+  obs::TraceRecorder rec(/*enabled=*/true);
+  const std::uint64_t trace = rec.next_trace_id();
+  rec.emit(10.0, trace, obs::Stage::kMonitor, 'i', obs::kControllerNode, 0);
+  rec.emit(10.5, trace, obs::Stage::kInject, 'i', 4, 7);
+  rec.emit(11.0, trace, obs::Stage::kTableFlip, 'i', 2, 7);
+  const auto offsets = rec.stage_offsets();
+  ASSERT_EQ(offsets.at("monitor_s").size(), 1u);
+  EXPECT_DOUBLE_EQ(offsets.at("monitor_s")[0], 0.0);
+  EXPECT_DOUBLE_EQ(offsets.at("inject_s")[0], 0.5);
+  EXPECT_DOUBLE_EQ(offsets.at("table_flip_s")[0], 1.0);
+  EXPECT_DOUBLE_EQ(offsets.at("end_to_end_s")[0], 1.0);
+}
+
+// ------------------------------------------------------------- log levels
+
+TEST(Logging, PerComponentOverrideShortCircuits) {
+  const util::LogLevel saved = util::log_level();
+  util::set_log_level(util::LogLevel::kWarn);
+  EXPECT_FALSE(util::log_enabled(util::LogLevel::kDebug, "controller"));
+  util::set_log_level("controller", util::LogLevel::kDebug);
+  EXPECT_TRUE(util::log_enabled(util::LogLevel::kDebug, "controller"));
+  EXPECT_FALSE(util::log_enabled(util::LogLevel::kDebug, "igp"));
+  // An override can also silence one component below the global threshold.
+  util::set_log_level("igp", util::LogLevel::kOff);
+  EXPECT_FALSE(util::log_enabled(util::LogLevel::kError, "igp"));
+  util::clear_log_level("controller");
+  util::clear_log_level("igp");
+  EXPECT_FALSE(util::log_enabled(util::LogLevel::kDebug, "controller"));
+  EXPECT_TRUE(util::log_enabled(util::LogLevel::kError, "igp"));
+  util::set_log_level(saved);
+}
+
+// ------------------------------------------- the end-to-end mitigation trace
+
+core::ServiceConfig traced_config(std::size_t shards, std::size_t workers) {
+  // Reactive (SNMP-only) detection so the chain starts at a monitor sample.
+  core::ServiceConfig config = support::demo_config(true, /*proactive=*/false);
+  config.tracing = true;
+  config.igp_shards = shards;
+  config.controller.mitigation_workers = workers;
+  return config;
+}
+
+TEST(TraceChain, Fig2SurgeCoversEveryStage) {
+  support::PaperScenario scenario(traced_config(1, 1));
+  scenario.schedule_fig2();
+  scenario.run_until(30.0);  // the t=15 surge has been detected and mitigated
+
+  ASSERT_GT(scenario.service.controller().mitigations(), 0);
+  std::set<obs::Stage> stages;
+  std::set<std::uint64_t> traces;
+  for (const obs::TraceEvent& e : scenario.service.tracer().events()) {
+    if (e.trace_id == 0) continue;
+    stages.insert(e.stage);
+    traces.insert(e.trace_id);
+  }
+  ASSERT_FALSE(traces.empty());
+  for (const obs::Stage s :
+       {obs::Stage::kMonitor, obs::Stage::kTrigger, obs::Stage::kSolve,
+        obs::Stage::kCompile, obs::Stage::kVerify, obs::Stage::kInject,
+        obs::Stage::kLsaInstall, obs::Stage::kSpf, obs::Stage::kTableFlip}) {
+    EXPECT_TRUE(stages.count(s)) << "missing stage " << obs::to_string(s);
+  }
+
+  // The trace-derived reaction histograms ride the telemetry snapshot, and
+  // the whole loop closes in well under the paper's seconds-scale budget.
+  const auto telemetry = scenario.service.telemetry_snapshot();
+  ASSERT_GE(telemetry.at("trace.reaction.end_to_end_s_count"), 1.0);
+  EXPECT_GT(telemetry.at("trace.reaction.end_to_end_s_max"), 0.0);
+  EXPECT_LT(telemetry.at("trace.reaction.end_to_end_s_max"), 5.0);
+  EXPECT_GE(telemetry.at("controller.mitigations"), 1.0);
+}
+
+/// The shard bit-identity contract extended to telemetry: the canonical
+/// trace stream and the metrics snapshot are pure functions of the scenario,
+/// independent of how many IGP shards or mitigation workers executed it.
+/// (shard.* keys are excluded from the snapshot comparison: cross-shard
+/// message counts genuinely depend on the partition.)
+TEST(TraceChain, TraceAndTelemetryBitIdenticalAcrossShardAndWorkerCounts) {
+  struct Run {
+    std::string dump;
+    std::map<std::string, double> telemetry;
+  };
+  const auto run = [](std::size_t shards, std::size_t workers) {
+    support::PaperScenario scenario(traced_config(shards, workers));
+    scenario.schedule_fig2();
+    scenario.run_until(45.0);  // both surges: multiple overlapping traces
+    Run out;
+    out.dump = scenario.service.tracer().canonical_dump();
+    out.telemetry = scenario.service.telemetry_snapshot();
+    for (auto it = out.telemetry.begin(); it != out.telemetry.end();) {
+      it = it->first.rfind("shard.", 0) == 0 ? out.telemetry.erase(it) : ++it;
+    }
+    return out;
+  };
+
+  const Run ref = run(1, 1);
+  EXPECT_FALSE(ref.dump.empty());
+  for (const auto& [shards, workers] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {2, 1}, {8, 1}, {1, 8}, {8, 8}}) {
+    SCOPED_TRACE(std::to_string(shards) + " shards, " +
+                 std::to_string(workers) + " workers");
+    const Run got = run(shards, workers);
+    EXPECT_EQ(ref.dump, got.dump);
+    EXPECT_EQ(ref.telemetry, got.telemetry);
+  }
+}
+
+}  // namespace
+}  // namespace fibbing
